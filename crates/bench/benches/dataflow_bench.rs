@@ -1,0 +1,71 @@
+//! Microbenchmark of the flow-sensitive dataflow: the Figure 2/8 tag
+//! dispatch analyzed with and without flow-sensitivity (ablation E5), and
+//! a deep-branching stress case for the label fixpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffisafe_core::{AnalysisOptions, Analyzer};
+use std::hint::black_box;
+
+const FIG2_ML: &str = r#"
+type t = A of int | B | C of int * int | D
+external examine : t -> int = "ml_examine"
+"#;
+
+const FIG2_C: &str = r#"
+value ml_examine(value x) {
+    if (Is_long(x)) {
+        switch (Int_val(x)) {
+        case 0: return Val_int(10);
+        case 1: return Val_int(11);
+        }
+    } else {
+        switch (Tag_val(x)) {
+        case 0: return Field(x, 0);
+        case 1: return Field(x, 1);
+        }
+    }
+    return Val_int(0);
+}
+"#;
+
+fn deep_branches(n: usize) -> String {
+    // n sequential if/else diamonds over one value: stresses env joins
+    let mut c = String::from("value ml_deep(value x, value flags) {\n    long acc = 0;\n");
+    for i in 0..n {
+        c.push_str(&format!(
+            "    if (Int_val(flags) == {i}) {{ acc = acc + {i}; }} else {{ acc = acc - 1; }}\n"
+        ));
+    }
+    c.push_str("    return Val_int(acc);\n}\n");
+    c
+}
+
+fn analyze(ml: &str, c: &str, options: AnalysisOptions) -> usize {
+    let mut az = Analyzer::with_options(options);
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    az.analyze().diagnostics.len()
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    c.bench_function("dataflow/figure2_flow_sensitive", |b| {
+        b.iter(|| black_box(analyze(FIG2_ML, FIG2_C, AnalysisOptions::default())))
+    });
+    c.bench_function("dataflow/figure2_flow_insensitive", |b| {
+        b.iter(|| {
+            black_box(analyze(
+                FIG2_ML,
+                FIG2_C,
+                AnalysisOptions { flow_sensitive: false, gc_effects: true },
+            ))
+        })
+    });
+    let deep_c = deep_branches(64);
+    let deep_ml = r#"external deep : int -> int -> int = "ml_deep""#;
+    c.bench_function("dataflow/64_branch_diamonds", |b| {
+        b.iter(|| black_box(analyze(deep_ml, &deep_c, AnalysisOptions::default())))
+    });
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

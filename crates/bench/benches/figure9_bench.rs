@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 9 "Time (s)" column: full analysis time
+//! per benchmark (parse → translate → infer → solve), mirroring the
+//! paper's per-program measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ffisafe_bench::corpus::generate;
+use ffisafe_bench::figure9::analyze_benchmark;
+use ffisafe_bench::spec::paper_benchmarks;
+use ffisafe_core::AnalysisOptions;
+use std::hint::black_box;
+
+fn bench_figure9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9");
+    group.sample_size(10);
+    for spec in paper_benchmarks() {
+        // generation is excluded from the measurement, like the paper's
+        // compile-time measurements exclude writing the code
+        let bench = generate(&spec);
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name), &bench, |b, bench| {
+            b.iter(|| {
+                let report = analyze_benchmark(black_box(bench), AnalysisOptions::default());
+                black_box(report.diagnostics.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure9);
+criterion_main!(benches);

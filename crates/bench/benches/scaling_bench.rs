@@ -1,0 +1,29 @@
+//! Scaling sweep (DESIGN.md E6): analysis time vs. C LoC on defect-free
+//! synthetic glue, 100 → 6000 lines. Supports the shape of Figure 9's
+//! time column (roughly linear in code size, dominated by C-side
+//! inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffisafe_bench::figure9::analyze_benchmark;
+use ffisafe_bench::runner::scaling_benchmark;
+use ffisafe_core::AnalysisOptions;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for loc in [100usize, 300, 1000, 3000, 6000] {
+        let bench = scaling_benchmark(loc);
+        group.throughput(Throughput::Elements(loc as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(loc), &bench, |b, bench| {
+            b.iter(|| {
+                let report = analyze_benchmark(black_box(bench), AnalysisOptions::default());
+                black_box(report.diagnostics.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

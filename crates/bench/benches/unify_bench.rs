@@ -1,0 +1,92 @@
+//! Microbenchmark of the unification engine: representational types with
+//! open rows growing against declared sums, recursive types, and GC
+//! effect reachability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffisafe_types::TypeTable;
+use std::hint::black_box;
+
+/// Builds a declared sum with `nullary` constants and `products` non-nullary
+/// constructors of `fields` int fields each.
+fn declared_sum(
+    tt: &mut TypeTable,
+    nullary: u32,
+    products: usize,
+    fields: usize,
+) -> ffisafe_types::MtId {
+    let prods: Vec<_> = (0..products)
+        .map(|_| {
+            let fs: Vec<_> = (0..fields)
+                .map(|_| {
+                    let p = tt.psi_top();
+                    let s = tt.sigma_nil();
+                    tt.mt_rep(p, s)
+                })
+                .collect();
+            tt.pi_closed(&fs)
+        })
+        .collect();
+    let sigma = tt.sigma_closed(&prods);
+    let psi = tt.psi_count(nullary);
+    tt.mt_rep(psi, sigma)
+}
+
+fn bench_unify(c: &mut Criterion) {
+    c.bench_function("unify/open_rows_vs_declared_sum", |b| {
+        b.iter(|| {
+            let mut tt = TypeTable::new();
+            let declared = declared_sum(&mut tt, 3, 8, 4);
+            // observed: open row touched at every tag
+            let sigma = tt.fresh_sigma();
+            let psi = tt.fresh_psi();
+            let observed = tt.mt_rep(psi, sigma);
+            for tag in 0..8 {
+                let pi = tt.sigma_at(sigma, tag).unwrap();
+                for f in 0..4 {
+                    let _ = tt.pi_at(pi, f).unwrap();
+                }
+            }
+            tt.unify_mt(observed, declared).unwrap();
+            black_box(tt.node_count())
+        })
+    });
+
+    c.bench_function("unify/recursive_list_types", |b| {
+        b.iter(|| {
+            let mut tt = TypeTable::new();
+            let mk = |tt: &mut TypeTable| {
+                let elem = tt.mt_abstract("string", true);
+                let knot = tt.fresh_mt();
+                let pi = tt.pi_closed(&[elem, knot]);
+                let sigma = tt.sigma_closed(&[pi]);
+                let psi = tt.psi_count(1);
+                let list = tt.mt_rep(psi, sigma);
+                tt.link_mt(knot, list);
+                list
+            };
+            let a = mk(&mut tt);
+            let bb = mk(&mut tt);
+            tt.unify_mt(a, bb).unwrap();
+            black_box(tt.find_mt(a))
+        })
+    });
+
+    c.bench_function("unify/gc_reachability_1000_edges", |b| {
+        b.iter(|| {
+            let mut tt = TypeTable::new();
+            let mut cs = ffisafe_types::ConstraintSet::new();
+            let root = tt.gc_gc();
+            let mut prev = root;
+            for _ in 0..1000 {
+                let next = tt.fresh_gc();
+                cs.add_gc_edge(prev, next);
+                prev = next;
+            }
+            let sol = cs.solve_gc(&mut tt);
+            black_box(sol.may_gc(&tt, prev))
+        })
+    });
+}
+
+criterion_group!(benches, bench_unify);
+criterion_main!(benches);

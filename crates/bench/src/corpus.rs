@@ -1,0 +1,527 @@
+//! Deterministic synthesis of benchmark glue libraries with ground truth.
+//!
+//! For each [`BenchSpec`] the generator emits an OCaml file and a C file:
+//! first the seeded defect functions (§5.2 patterns), then correct filler
+//! glue until the C line target is met, then OCaml filler until the OCaml
+//! line target is met. Every emitted function records its C line range and
+//! seed kind, so the Figure 9 scorer can classify each diagnostic as a
+//! true positive, false positive or unexpected against ground truth.
+
+use crate::spec::BenchSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The §5.2 defect taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeedKind {
+    /// `Val_int` where `Int_val` belongs (or vice versa) — error.
+    ValIntConfusion,
+    /// Unregistered live heap pointer across a GC call — error.
+    MissingRegistration,
+    /// `CAMLparam` without `CAMLreturn` — error.
+    RegisterNoRelease,
+    /// Option block treated as its payload — error.
+    OptionMisuse,
+    /// Other OCaml/C type disagreement — error.
+    TypeConfusion,
+    /// Trailing `unit` parameter — warning.
+    TrailingUnit,
+    /// Polymorphic `'a` pinned concrete — warning.
+    PolyAbuse,
+    /// Polymorphic-variant use — correct code, expected false positive.
+    PolyVariantFp,
+    /// Disguised pointer arithmetic — correct code, expected false
+    /// positive.
+    DisguisedPtrFp,
+    /// Unknown offset — imprecision.
+    UnknownOffsetImp,
+    /// Global `value` — imprecision.
+    GlobalValueImp,
+    /// Function-pointer call — imprecision.
+    FnPtrImp,
+}
+
+impl SeedKind {
+    /// Whether this seed is a real defect (true positive when reported).
+    pub fn is_true_defect(self) -> bool {
+        matches!(
+            self,
+            SeedKind::ValIntConfusion
+                | SeedKind::MissingRegistration
+                | SeedKind::RegisterNoRelease
+                | SeedKind::OptionMisuse
+                | SeedKind::TypeConfusion
+        )
+    }
+
+    /// Whether this seed is a questionable practice (warning).
+    pub fn is_warning(self) -> bool {
+        matches!(self, SeedKind::TrailingUnit | SeedKind::PolyAbuse)
+    }
+
+    /// Whether this seed is correct code that the analysis cannot handle
+    /// (expected false positive).
+    pub fn is_false_positive_source(self) -> bool {
+        matches!(self, SeedKind::PolyVariantFp | SeedKind::DisguisedPtrFp)
+    }
+
+    /// Whether this seed triggers an imprecision report.
+    pub fn is_imprecision(self) -> bool {
+        matches!(
+            self,
+            SeedKind::UnknownOffsetImp | SeedKind::GlobalValueImp | SeedKind::FnPtrImp
+        )
+    }
+}
+
+/// Ground truth for one emitted C function (or global).
+#[derive(Clone, Debug)]
+pub struct GenFunc {
+    /// C function name.
+    pub name: String,
+    /// 1-based inclusive line range in the C file.
+    pub c_lines: (u32, u32),
+    /// 1-based inclusive line range in the OCaml file (its externals).
+    pub ml_lines: (u32, u32),
+    /// The seeded defect, if any.
+    pub seed: Option<SeedKind>,
+}
+
+/// A synthesized benchmark.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name.
+    pub name: String,
+    /// OCaml source.
+    pub ml_source: String,
+    /// C source.
+    pub c_source: String,
+    /// Ground truth per emitted construct.
+    pub funcs: Vec<GenFunc>,
+}
+
+impl Benchmark {
+    /// Finds the ground-truth entry covering a C line.
+    pub fn func_at_c_line(&self, line: u32) -> Option<&GenFunc> {
+        self.funcs.iter().find(|f| f.c_lines.0 <= line && line <= f.c_lines.1)
+    }
+
+    /// Finds the ground-truth entry covering an OCaml line.
+    pub fn func_at_ml_line(&self, line: u32) -> Option<&GenFunc> {
+        self.funcs.iter().find(|f| f.ml_lines.0 <= line && line <= f.ml_lines.1)
+    }
+}
+
+/// Generates the benchmark for `spec` (deterministic in `spec.rng_seed`).
+pub fn generate(spec: &BenchSpec) -> Benchmark {
+    let mut g = Gen::new(spec);
+    g.emit_header();
+    // seeded defects first, in a stable order
+    for _ in 0..spec.seeds.val_int_confusion {
+        g.seed_val_int_confusion();
+    }
+    for _ in 0..spec.seeds.missing_registration {
+        g.seed_missing_registration();
+    }
+    for _ in 0..spec.seeds.register_no_release {
+        g.seed_register_no_release();
+    }
+    for _ in 0..spec.seeds.option_misuse {
+        g.seed_option_misuse();
+    }
+    for _ in 0..spec.seeds.type_confusion {
+        g.seed_type_confusion();
+    }
+    for _ in 0..spec.seeds.trailing_unit {
+        g.seed_trailing_unit();
+    }
+    for _ in 0..spec.seeds.poly_abuse {
+        g.seed_poly_abuse();
+    }
+    let mut poly_uses_left = spec.seeds.poly_variant_fp_uses;
+    while poly_uses_left > 0 {
+        let uses = poly_uses_left.min(1 + (g.rng.gen_range(0..3) as usize)).max(1);
+        g.seed_poly_variant_fp(uses);
+        poly_uses_left -= uses;
+    }
+    for _ in 0..spec.seeds.disguised_ptr_pairs {
+        g.seed_disguised_ptr_pair();
+    }
+    for _ in 0..spec.seeds.unknown_offset {
+        g.seed_unknown_offset();
+    }
+    for _ in 0..spec.seeds.global_value {
+        g.seed_global_value();
+    }
+    for _ in 0..spec.seeds.fn_ptr {
+        g.seed_fn_ptr();
+    }
+    // correct filler to reach the C LoC target
+    while g.c_lines() + 16 < spec.paper.c_loc as u32 {
+        g.emit_correct_function();
+    }
+    // OCaml filler to reach the OCaml LoC target
+    g.pad_ml(spec.paper.ml_loc);
+    Benchmark {
+        name: spec.name.to_string(),
+        ml_source: g.ml,
+        c_source: g.c,
+        funcs: g.funcs,
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    prefix: String,
+    ml: String,
+    c: String,
+    funcs: Vec<GenFunc>,
+    counter: usize,
+    correct_kind: usize,
+}
+
+impl Gen {
+    fn new(spec: &BenchSpec) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(spec.rng_seed),
+            prefix: spec.name.split(['-', '.']).next().unwrap_or("lib").to_string(),
+            ml: String::new(),
+            c: String::new(),
+            funcs: Vec::new(),
+            counter: 0,
+            correct_kind: 0,
+        }
+    }
+
+    fn c_lines(&self) -> u32 {
+        self.c.lines().count() as u32
+    }
+
+    fn ml_lines(&self) -> u32 {
+        self.ml.lines().count() as u32
+    }
+
+    fn fresh(&mut self, what: &str) -> String {
+        self.counter += 1;
+        format!("{}_{}_{}", self.prefix, what, self.counter)
+    }
+
+    fn emit_header(&mut self) {
+        self.ml.push_str(&format!("(* {} bindings — synthesized corpus *)\n", self.prefix));
+        self.c.push_str("/* synthesized glue code */\n\n");
+    }
+
+    /// Emits one function pair and records ground truth.
+    fn record(
+        &mut self,
+        name: &str,
+        ml_text: &str,
+        c_text: &str,
+        seed: Option<SeedKind>,
+    ) {
+        let ml_start = self.ml_lines() + 1;
+        self.ml.push_str(ml_text);
+        let ml_end = self.ml_lines();
+        let c_start = self.c_lines() + 1;
+        self.c.push_str(c_text);
+        let c_end = self.c_lines();
+        self.funcs.push(GenFunc {
+            name: name.to_string(),
+            c_lines: (c_start, c_end.max(c_start)),
+            ml_lines: (ml_start, ml_end.max(ml_start)),
+            seed,
+        });
+    }
+
+    // ---- correct templates ------------------------------------------------
+
+    fn emit_correct_function(&mut self) {
+        let kind = self.correct_kind;
+        self.correct_kind += 1;
+        match kind % 5 {
+            0 => self.correct_arith(),
+            1 => self.correct_string(),
+            2 => self.correct_pair(),
+            3 => self.correct_sum_examine(),
+            _ => self.correct_handle(),
+        }
+    }
+
+    fn correct_arith(&mut self) {
+        let name = self.fresh("calc");
+        let k = self.rng.gen_range(1..9);
+        let op = ["+", "-", "*"][self.rng.gen_range(0..3)];
+        let ml = format!("external {name} : int -> int -> int = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value a, value b) {{\n    long x = Int_val(a);\n    long y = Int_val(b);\n    long r = x {op} y + {k};\n    return Val_int(r);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, None);
+    }
+
+    fn correct_string(&mut self) {
+        let name = self.fresh("str");
+        let ml = format!("external {name} : string -> int = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value s) {{\n    const char *p = String_val(s);\n    int n = lib_{name}_measure(p);\n    return Val_int(n);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, None);
+    }
+
+    fn correct_pair(&mut self) {
+        let name = self.fresh("pair");
+        let ml = format!("external {name} : string -> string -> string * string = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value a, value b) {{\n    CAMLparam2(a, b);\n    CAMLlocal1(res);\n    res = caml_alloc(2, 0);\n    Store_field(res, 0, a);\n    Store_field(res, 1, b);\n    CAMLreturn(res);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, None);
+    }
+
+    fn correct_sum_examine(&mut self) {
+        let name = self.fresh("sum");
+        let ty = format!("{name}_t");
+        let ml = format!(
+            "type {ty} = K0_{name} of int | K1_{name} | K2_{name} of int * int | K3_{name}\nexternal {name} : {ty} -> int = \"c_{name}\"\n"
+        );
+        let c = format!(
+            "value c_{name}(value x) {{\n    if (Is_long(x)) {{\n        switch (Int_val(x)) {{\n        case 0: return Val_int(10);\n        case 1: return Val_int(11);\n        }}\n        return Val_int(0);\n    }} else {{\n        switch (Tag_val(x)) {{\n        case 0: return Val_int(Int_val(Field(x, 0)) + 1);\n        case 1: return Val_int(Int_val(Field(x, 0)) + Int_val(Field(x, 1)));\n        }}\n        return Val_int(-1);\n    }}\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, None);
+    }
+
+    fn correct_handle(&mut self) {
+        let name = self.fresh("h");
+        let lib = format!("lib{name}");
+        let ml = format!(
+            "type {name}_handle\nexternal {name}_open : string -> {name}_handle = \"c_{name}_open\"\nexternal {name}_use : {name}_handle -> int -> int = \"c_{name}_use\"\n"
+        );
+        let c = format!(
+            "value c_{name}_open(value path) {{\n    {lib}_t *h = {lib}_open(String_val(path));\n    return (value) h;\n}}\n\nvalue c_{name}_use(value h, value n) {{\n    int r = {lib}_use(({lib}_t *) h, Int_val(n));\n    return Val_int(r);\n}}\n\n"
+        );
+        // two functions; record as one ground-truth region (both clean)
+        self.record(&format!("c_{name}_open"), &ml, &c, None);
+    }
+
+    // ---- seeded defects ---------------------------------------------------------
+
+    fn seed_val_int_confusion(&mut self) {
+        let name = self.fresh("mode");
+        let ml = format!("external {name} : int -> int = \"c_{name}\"\n");
+        // BUG: Val_int where Int_val belongs
+        let c = format!(
+            "value c_{name}(value flags) {{\n    int mode = lib_{name}_decode(Val_int(flags));\n    return Val_int(mode);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::ValIntConfusion));
+    }
+
+    fn seed_missing_registration(&mut self) {
+        let name = self.fresh("cell");
+        let ml = format!("external {name} : string -> string ref = \"c_{name}\"\n");
+        // BUG: `s` live across caml_alloc but never registered
+        let c = format!(
+            "value c_{name}(value s) {{\n    value cell = caml_alloc(1, 0);\n    Store_field(cell, 0, s);\n    return cell;\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::MissingRegistration));
+    }
+
+    fn seed_register_no_release(&mut self) {
+        let name = self.fresh("dec");
+        let ml = format!("external {name} : string -> int = \"c_{name}\"\n");
+        // BUG: CAMLparam without CAMLreturn
+        let c = format!(
+            "value c_{name}(value buf) {{\n    CAMLparam1(buf);\n    int n = lib_{name}_run(String_val(buf));\n    return Val_int(n);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::RegisterNoRelease));
+    }
+
+    fn seed_option_misuse(&mut self) {
+        let name = self.fresh("opt");
+        let ml = format!("external {name} : (int * int) option -> unit = \"c_{name}\"\n");
+        // BUG: treats the option itself as the pair
+        let c = format!(
+            "value c_{name}(value opt) {{\n    int a = Int_val(Field(opt, 0));\n    int b = Int_val(Field(opt, 1));\n    lib_{name}_apply(a, b);\n    return Val_unit;\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::OptionMisuse));
+    }
+
+    fn seed_type_confusion(&mut self) {
+        let name = self.fresh("conf");
+        // BUG: OCaml says int, C treats the argument as a string
+        let ml = format!("external {name} : int -> int = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value s) {{\n    int n = lib_{name}_len(String_val(s));\n    return Val_int(n);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::TypeConfusion));
+    }
+
+    fn seed_trailing_unit(&mut self) {
+        let name = self.fresh("tu");
+        // QUESTIONABLE: trailing unit parameter missing on the C side
+        let ml = format!("external {name} : int -> unit -> unit = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value n) {{\n    lib_{name}_poke(Int_val(n));\n    return Val_unit;\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::TrailingUnit));
+    }
+
+    fn seed_poly_abuse(&mut self) {
+        let name = self.fresh("seek");
+        let lib = format!("lib{name}");
+        // QUESTIONABLE: 'a accepts any value; C commits to one C type
+        let ml = format!("external {name} : 'a -> int -> unit = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value chan, value pos) {{\n    {lib}_seek(({lib}_t *) chan, Int_val(pos));\n    return Val_unit;\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::PolyAbuse));
+    }
+
+    fn seed_poly_variant_fp(&mut self, uses: usize) {
+        let name = self.fresh("pv");
+        let params: Vec<String> = (0..uses).map(|i| format!("m{i}")).collect();
+        let ml_params: Vec<String> =
+            (0..uses).map(|_| "[ `On | `Off | `Auto ]".to_string()).collect();
+        let ml = format!(
+            "external {name} : {} -> unit = \"c_{name}\"\n",
+            ml_params.join(" -> ")
+        );
+        let c_params: Vec<String> = params.iter().map(|p| format!("value {p}")).collect();
+        let mut body = String::new();
+        for p in &params {
+            // correct at runtime (variants are hashed ints) but unmodeled:
+            // each Int_val use is one expected false positive
+            body.push_str(&format!("    lib_{name}_set(Int_val({p}));\n"));
+        }
+        let c = format!("value c_{name}({}) {{\n{body}    return Val_unit;\n}}\n\n", c_params.join(", "));
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::PolyVariantFp));
+    }
+
+    fn seed_disguised_ptr_pair(&mut self) {
+        let name = self.fresh("iter");
+        let lib = format!("lib{name}");
+        let ml = format!(
+            "type {name}_cursor\nexternal {name}_read : {name}_cursor -> int = \"c_{name}_read\"\nexternal {name}_next : {name}_cursor -> {name}_cursor = \"c_{name}_next\"\n"
+        );
+        // correct C, but the byte-level arithmetic types the cursor as
+        // `char * custom` in one function and `lib_t * custom` in the other
+        let c = format!(
+            "value c_{name}_read(value cur) {{\n    {lib}_t *p = ({lib}_t *) cur;\n    return Val_int({lib}_read(p));\n}}\n\nvalue c_{name}_next(value cur) {{\n    return (value)((char *) cur + sizeof({lib}_t *));\n}}\n\n"
+        );
+        self.record(&format!("c_{name}_read"), &ml, &c, Some(SeedKind::DisguisedPtrFp));
+    }
+
+    fn seed_unknown_offset(&mut self) {
+        let name = self.fresh("arr");
+        let ml = format!("external {name} : int array -> int -> int = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value arr, value n) {{\n    int total = 0;\n    int i;\n    for (i = 0; i < Int_val(n); i++) {{\n        total += Int_val(Field(arr, i));\n    }}\n    return Val_int(total);\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::UnknownOffsetImp));
+    }
+
+    fn seed_global_value(&mut self) {
+        let name = self.fresh("cache");
+        let ml = format!("external {name}_init : unit -> unit = \"c_{name}_init\"\n");
+        let c = format!(
+            "static value {name}_slot;\n\nvalue c_{name}_init(value u) {{\n    return Val_unit;\n}}\n\n"
+        );
+        self.record(&format!("c_{name}_init"), &ml, &c, Some(SeedKind::GlobalValueImp));
+    }
+
+    fn seed_fn_ptr(&mut self) {
+        let name = self.fresh("cb");
+        let ml = format!("external {name} : int -> int = \"c_{name}\"\n");
+        let c = format!(
+            "value c_{name}(value n) {{\n    int (*h)(int) = lib_{name}_handler();\n    return Val_int(h(Int_val(n)));\n}}\n\n"
+        );
+        self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::FnPtrImp));
+    }
+
+    // ---- OCaml filler -----------------------------------------------------------
+
+    fn pad_ml(&mut self, target: usize) {
+        // idiomatic non-declaration OCaml that the phase-1 parser skips
+        let externals: Vec<String> = self
+            .funcs
+            .iter()
+            .filter(|f| f.seed.is_none())
+            .map(|f| f.name.trim_start_matches("c_").to_string())
+            .collect();
+        let mut i = 0usize;
+        while self.ml_lines() < target as u32 {
+            let line = match i % 4 {
+                0 => format!("let use_{i} x = x + {}\n", i % 17),
+                1 => match externals.get(i % externals.len().max(1)) {
+                    Some(e) => format!("let wrap_{i} a b = ignore ({e}); (a, b)\n"),
+                    None => format!("let wrap_{i} a b = (a, b)\n"),
+                },
+                2 => format!("(* binding helper {i} *)\n"),
+                _ => format!("let pp_{i} fmt = Format.fprintf fmt \"{i}\"\n"),
+            };
+            self.ml.push_str(&line);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::paper_benchmarks;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = &paper_benchmarks()[3]; // ocaml-ssl
+        let a = generate(spec);
+        let b = generate(spec);
+        assert_eq!(a.ml_source, b.ml_source);
+        assert_eq!(a.c_source, b.c_source);
+    }
+
+    #[test]
+    fn loc_targets_are_met() {
+        for spec in paper_benchmarks() {
+            let b = generate(&spec);
+            let c_loc = b.c_source.lines().count();
+            let ml_loc = b.ml_source.lines().count();
+            assert!(
+                c_loc >= spec.paper.c_loc * 8 / 10 && c_loc <= spec.paper.c_loc * 12 / 10,
+                "{}: C {} vs target {}",
+                spec.name,
+                c_loc,
+                spec.paper.c_loc
+            );
+            assert!(
+                ml_loc >= spec.paper.ml_loc,
+                "{}: ML {} vs target {}",
+                spec.name,
+                ml_loc,
+                spec.paper.ml_loc
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_ranges_cover_seeds() {
+        let spec = &paper_benchmarks()[10]; // lablgtk
+        let b = generate(spec);
+        let seeded = b.funcs.iter().filter(|f| f.seed.is_some()).count();
+        assert!(seeded > 50, "{seeded}");
+        // ranges are sane and non-overlapping in C
+        let mut last_end = 0u32;
+        for f in &b.funcs {
+            assert!(f.c_lines.0 > last_end, "{}: overlap at {:?}", f.name, f.c_lines);
+            last_end = f.c_lines.1;
+        }
+    }
+
+    #[test]
+    fn line_lookup_resolves_functions() {
+        let spec = &paper_benchmarks()[2]; // ocaml-mad
+        let b = generate(spec);
+        let f = &b.funcs[0];
+        assert_eq!(
+            b.func_at_c_line(f.c_lines.0).map(|g| g.name.clone()),
+            Some(f.name.clone())
+        );
+        assert!(b.func_at_c_line(100_000).is_none());
+    }
+}

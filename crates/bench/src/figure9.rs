@@ -1,0 +1,262 @@
+//! The Figure 9 harness: synthesize each benchmark, analyze it, score the
+//! diagnostics against ground truth, and render the paper-vs-measured
+//! table.
+
+use crate::corpus::{generate, Benchmark, SeedKind};
+use crate::spec::{paper_benchmarks, BenchSpec};
+use ffisafe_core::{AnalysisOptions, AnalysisReport, Analyzer};
+use ffisafe_support::table::{Align, Table};
+use ffisafe_support::Severity;
+use std::collections::HashSet;
+
+/// One measured row, classified against ground truth.
+#[derive(Clone, Debug)]
+pub struct Figure9Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured C LoC.
+    pub c_loc: usize,
+    /// Measured OCaml LoC.
+    pub ml_loc: usize,
+    /// Measured analysis time (seconds).
+    pub seconds: f64,
+    /// Distinct seeded defects confirmed by an error report.
+    pub errors: usize,
+    /// Distinct seeded practices confirmed by a warning.
+    pub warnings: usize,
+    /// Error/warning reports on seeded-correct (unsupported) code.
+    pub false_pos: usize,
+    /// Imprecision reports on seeded-imprecision code.
+    pub imprecision: usize,
+    /// Reports in functions with no seed (must be empty).
+    pub unexpected: Vec<String>,
+    /// Seeds that produced no report (must be empty).
+    pub missed: Vec<String>,
+}
+
+/// Runs one benchmark end to end.
+pub fn run_benchmark(spec: &BenchSpec, options: AnalysisOptions) -> Figure9Row {
+    let bench = generate(spec);
+    let report = analyze_benchmark(&bench, options);
+    score(spec, &bench, &report)
+}
+
+/// Runs the analyzer over a synthesized benchmark.
+pub fn analyze_benchmark(bench: &Benchmark, options: AnalysisOptions) -> AnalysisReport {
+    let mut az = Analyzer::with_options(options);
+    az.add_ml_source("lib.ml", &bench.ml_source);
+    az.add_c_source("glue.c", &bench.c_source);
+    az.analyze()
+}
+
+/// Classifies a report against the benchmark's ground truth.
+pub fn score(spec: &BenchSpec, bench: &Benchmark, report: &AnalysisReport) -> Figure9Row {
+    let mut hit_errors: HashSet<String> = HashSet::new();
+    let mut hit_warnings: HashSet<String> = HashSet::new();
+    let mut hit_imprecision: HashSet<String> = HashSet::new();
+    let mut false_pos = 0usize;
+    let mut imprecision = 0usize;
+    let mut unexpected = Vec::new();
+
+    for d in report.diagnostics.iter() {
+        if d.severity() == Severity::Note {
+            continue;
+        }
+        let loc = report.source_map().resolve(d.span());
+        let func = if loc.file.ends_with(".c") {
+            bench.func_at_c_line(loc.line)
+        } else {
+            bench.func_at_ml_line(loc.line)
+        };
+        let rendered = format!("{loc}: {} [{}]: {}", d.severity(), d.code(), d.message());
+        let Some(func) = func else {
+            unexpected.push(rendered);
+            continue;
+        };
+        match func.seed {
+            None => unexpected.push(rendered),
+            Some(kind) if kind.is_true_defect() => {
+                if d.severity() == Severity::Error {
+                    hit_errors.insert(func.name.clone());
+                }
+                // secondary warnings in a buggy function are tolerated
+            }
+            Some(kind) if kind.is_warning() => {
+                if d.severity() == Severity::Warning {
+                    hit_warnings.insert(func.name.clone());
+                } else {
+                    unexpected.push(rendered);
+                }
+            }
+            Some(kind) if kind.is_false_positive_source() => match d.severity() {
+                Severity::Error | Severity::Warning => false_pos += 1,
+                _ => unexpected.push(rendered),
+            },
+            Some(_) => {
+                // imprecision seeds
+                if d.severity() == Severity::Imprecision {
+                    imprecision += 1;
+                    hit_imprecision.insert(func.name.clone());
+                } else {
+                    unexpected.push(rendered);
+                }
+            }
+        }
+    }
+
+    // seeds that produced nothing
+    let mut missed = Vec::new();
+    for f in &bench.funcs {
+        let Some(kind) = f.seed else { continue };
+        let hit = match kind {
+            k if k.is_true_defect() => hit_errors.contains(&f.name),
+            k if k.is_warning() => hit_warnings.contains(&f.name),
+            k if k.is_imprecision() => hit_imprecision.contains(&f.name),
+            SeedKind::PolyVariantFp | SeedKind::DisguisedPtrFp => false_pos > 0,
+            _ => true,
+        };
+        if !hit {
+            missed.push(format!("{:?} in {}", kind, f.name));
+        }
+    }
+
+    Figure9Row {
+        name: spec.name.to_string(),
+        c_loc: report.stats.c_loc,
+        ml_loc: report.stats.ml_loc,
+        seconds: report.stats.seconds,
+        errors: hit_errors.len(),
+        warnings: hit_warnings.len(),
+        false_pos,
+        imprecision,
+        unexpected,
+        missed,
+    }
+}
+
+/// Runs the whole Figure 9 suite.
+pub fn run_all(options: AnalysisOptions) -> Vec<Figure9Row> {
+    paper_benchmarks().iter().map(|s| run_benchmark(s, options)).collect()
+}
+
+/// Renders the measured table next to the paper's numbers.
+pub fn render_table(rows: &[Figure9Row]) -> String {
+    let specs = paper_benchmarks();
+    let mut t = Table::new(vec![
+        "Program".into(),
+        "C loc".into(),
+        "OCaml loc".into(),
+        "Time (s)".into(),
+        "Errors".into(),
+        "(paper)".into(),
+        "Warnings".into(),
+        "(paper)".into(),
+        "False Pos".into(),
+        "(paper)".into(),
+        "Imprecision".into(),
+        "(paper)".into(),
+    ]);
+    for col in 1..12 {
+        t.set_align(col, Align::Right);
+    }
+    let mut tot = [0usize; 8];
+    for row in rows {
+        let paper = specs
+            .iter()
+            .find(|s| s.name == row.name)
+            .map(|s| s.paper)
+            .unwrap_or(crate::spec::PaperRow {
+                c_loc: 0,
+                ml_loc: 0,
+                time_s: 0.0,
+                errors: 0,
+                warnings: 0,
+                false_pos: 0,
+                imprecision: 0,
+            });
+        t.add_row(vec![
+            row.name.clone(),
+            row.c_loc.to_string(),
+            row.ml_loc.to_string(),
+            format!("{:.2}", row.seconds),
+            row.errors.to_string(),
+            paper.errors.to_string(),
+            row.warnings.to_string(),
+            paper.warnings.to_string(),
+            row.false_pos.to_string(),
+            paper.false_pos.to_string(),
+            row.imprecision.to_string(),
+            paper.imprecision.to_string(),
+        ]);
+        tot[0] += row.errors;
+        tot[1] += paper.errors;
+        tot[2] += row.warnings;
+        tot[3] += paper.warnings;
+        tot[4] += row.false_pos;
+        tot[5] += paper.false_pos;
+        tot[6] += row.imprecision;
+        tot[7] += paper.imprecision;
+    }
+    t.add_row(vec![
+        "Total".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        tot[0].to_string(),
+        tot[1].to_string(),
+        tot[2].to_string(),
+        tot[3].to_string(),
+        tot[4].to_string(),
+        tot[5].to_string(),
+        tot[6].to_string(),
+        tot[7].to_string(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_by_name(name: &str) -> BenchSpec {
+        paper_benchmarks().into_iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn apm_is_clean() {
+        let row = run_benchmark(&spec_by_name("apm-1.00"), AnalysisOptions::default());
+        assert_eq!(row.errors, 0, "{:?}", row.unexpected);
+        assert_eq!(row.warnings, 0);
+        assert_eq!(row.false_pos, 0);
+        assert_eq!(row.imprecision, 0);
+        assert!(row.unexpected.is_empty(), "{:#?}", row.unexpected);
+    }
+
+    #[test]
+    fn ocaml_ssl_matches_paper() {
+        let spec = spec_by_name("ocaml-ssl-0.1.0");
+        let row = run_benchmark(&spec, AnalysisOptions::default());
+        assert!(row.unexpected.is_empty(), "{:#?}", row.unexpected);
+        assert!(row.missed.is_empty(), "{:#?}", row.missed);
+        assert_eq!(row.errors, spec.paper.errors);
+        assert_eq!(row.warnings, spec.paper.warnings);
+    }
+
+    #[test]
+    fn ocaml_mad_finds_register_leak() {
+        let spec = spec_by_name("ocaml-mad-0.1.0");
+        let row = run_benchmark(&spec, AnalysisOptions::default());
+        assert!(row.unexpected.is_empty(), "{:#?}", row.unexpected);
+        assert_eq!(row.errors, 1);
+    }
+
+    #[test]
+    fn gz_matches_paper() {
+        let spec = spec_by_name("gz-0.5.5");
+        let row = run_benchmark(&spec, AnalysisOptions::default());
+        assert!(row.unexpected.is_empty(), "{:#?}", row.unexpected);
+        assert!(row.missed.is_empty(), "{:#?}", row.missed);
+        assert_eq!(row.warnings, 1);
+        assert_eq!(row.imprecision, 1);
+    }
+}

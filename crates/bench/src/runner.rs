@@ -1,0 +1,65 @@
+//! Scaling workloads: synthetic glue libraries of parametric size
+//! (DESIGN.md experiment E6 — supports the shape of Figure 9's time
+//! column).
+
+use crate::corpus::{generate, Benchmark};
+use crate::spec::{BenchSpec, PaperRow, SeedPlan};
+use ffisafe_core::{AnalysisOptions, Analyzer};
+
+/// Builds a defect-free benchmark with roughly `c_loc` lines of C.
+pub fn scaling_spec(c_loc: usize) -> BenchSpec {
+    BenchSpec {
+        name: "scale",
+        paper: PaperRow {
+            c_loc,
+            ml_loc: c_loc / 2,
+            time_s: 0.0,
+            errors: 0,
+            warnings: 0,
+            false_pos: 0,
+            imprecision: 0,
+        },
+        seeds: SeedPlan::default(),
+        rng_seed: 0x5CA1E + c_loc as u64,
+    }
+}
+
+/// Generates the scaling benchmark for a LoC target.
+pub fn scaling_benchmark(c_loc: usize) -> Benchmark {
+    generate(&scaling_spec(c_loc))
+}
+
+/// Analyzes a benchmark and returns (C LoC, wall-clock seconds,
+/// diagnostics count).
+pub fn measure(bench: &Benchmark) -> (usize, f64, usize) {
+    let mut az = Analyzer::with_options(AnalysisOptions::default());
+    az.add_ml_source("lib.ml", &bench.ml_source);
+    az.add_c_source("glue.c", &bench.c_source);
+    let report = az.analyze();
+    (report.stats.c_loc, report.stats.seconds, report.diagnostics.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_benchmarks_are_clean() {
+        for loc in [120, 600] {
+            let bench = scaling_benchmark(loc);
+            let (c_loc, _, diags) = measure(&bench);
+            assert!(c_loc >= loc * 8 / 10, "{c_loc} vs {loc}");
+            assert_eq!(diags, 0, "scaling corpus must analyze clean at {loc} LoC");
+        }
+    }
+
+    #[test]
+    fn scaling_grows_roughly_linearly() {
+        // smoke check: 4x the code should not be 40x the time
+        let small = scaling_benchmark(400);
+        let large = scaling_benchmark(1600);
+        let (_, t1, _) = measure(&small);
+        let (_, t2, _) = measure(&large);
+        assert!(t2 < t1 * 40.0 + 0.5, "t1={t1} t2={t2}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Benchmark specifications: the 11 glue libraries of Figure 9, their
+//! paper-reported numbers, and the defect plan that reproduces them.
+//!
+//! The original library tarballs are not available offline; DESIGN.md
+//! documents the substitution: a deterministic generator synthesizes, per
+//! benchmark, an OCaml+C glue library of the same size seeded with the
+//! same number of defects of the kinds §5.2 describes.
+
+/// The row Figure 9 reports for one benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperRow {
+    /// Lines of C code.
+    pub c_loc: usize,
+    /// Lines of OCaml code.
+    pub ml_loc: usize,
+    /// Analysis time on the paper's 2 GHz Pentium IV Xeon (seconds).
+    pub time_s: f64,
+    /// Outright errors.
+    pub errors: usize,
+    /// Questionable-practice warnings.
+    pub warnings: usize,
+    /// False positives.
+    pub false_pos: usize,
+    /// Imprecision reports.
+    pub imprecision: usize,
+}
+
+/// How many defects of each kind to seed (see §5.2 for the taxonomy).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SeedPlan {
+    /// `Val_int`/`Int_val` confusion (type error).
+    pub val_int_confusion: usize,
+    /// Live heap pointer unregistered across a GC call (GC error).
+    pub missing_registration: usize,
+    /// `CAMLparam` without `CAMLreturn` (GC error).
+    pub register_no_release: usize,
+    /// Option block accessed as its payload (type error).
+    pub option_misuse: usize,
+    /// Other OCaml/C type disagreements (type error).
+    pub type_confusion: usize,
+    /// Trailing `unit` parameter missing from the C definition (warning).
+    pub trailing_unit: usize,
+    /// Polymorphic `'a` pinned to a concrete type by C (warning).
+    pub poly_abuse: usize,
+    /// Total spurious reports from polymorphic-variant uses (false
+    /// positives; one report per use site).
+    pub poly_variant_fp_uses: usize,
+    /// Pairs of functions doing pointer arithmetic disguised as integer
+    /// arithmetic (two spurious reports per pair: the conflicting cast and
+    /// the re-entry of the conflict at the return).
+    pub disguised_ptr_pairs: usize,
+    /// Statically-unknown offsets into OCaml blocks (imprecision).
+    pub unknown_offset: usize,
+    /// Global `value` variables (imprecision).
+    pub global_value: usize,
+    /// Calls through C function pointers (imprecision).
+    pub fn_ptr: usize,
+}
+
+impl SeedPlan {
+    /// Planned number of true errors.
+    pub fn planned_errors(&self) -> usize {
+        self.val_int_confusion
+            + self.missing_registration
+            + self.register_no_release
+            + self.option_misuse
+            + self.type_confusion
+    }
+
+    /// Planned number of warnings.
+    pub fn planned_warnings(&self) -> usize {
+        self.trailing_unit + self.poly_abuse
+    }
+
+    /// Planned number of false-positive reports.
+    pub fn planned_false_pos(&self) -> usize {
+        self.poly_variant_fp_uses + 2 * self.disguised_ptr_pairs
+    }
+
+    /// Planned number of imprecision reports.
+    pub fn planned_imprecision(&self) -> usize {
+        self.unknown_offset + self.global_value + self.fn_ptr
+    }
+}
+
+/// One benchmark to synthesize and analyze.
+#[derive(Clone, Debug)]
+pub struct BenchSpec {
+    /// Benchmark name as in Figure 9.
+    pub name: &'static str,
+    /// The paper's reported row.
+    pub paper: PaperRow,
+    /// Defects to seed.
+    pub seeds: SeedPlan,
+    /// RNG seed for deterministic generation.
+    pub rng_seed: u64,
+}
+
+/// The 11 benchmarks of Figure 9 with their defect plans.
+///
+/// Error/warning kinds follow §5.2's narrative: Val_int/Int_val confusion
+/// in ocaml-ssl/ocaml-glpk/lablgtk, registration leaks in ocaml-mad and
+/// ocaml-vorbis, missing registration in ftplib/lablgl/lablgtk, the option
+/// misuse in lablgtk, trailing-unit warnings in ssl/glpk/ftplib/lablgl/
+/// lablgtk, the polymorphic seek in gz, polymorphic-variant false
+/// positives in lablgl/lablgtk and disguised pointer arithmetic in
+/// lablgtk; the global-value and function-pointer imprecision counts (10
+/// and 8 across the suite) land in lablgl/lablgtk.
+pub fn paper_benchmarks() -> Vec<BenchSpec> {
+    vec![
+        BenchSpec {
+            name: "apm-1.00",
+            paper: PaperRow { c_loc: 124, ml_loc: 156, time_s: 1.3, errors: 0, warnings: 0, false_pos: 0, imprecision: 0 },
+            seeds: SeedPlan::default(),
+            rng_seed: 0xA01,
+        },
+        BenchSpec {
+            name: "camlzip-1.01",
+            paper: PaperRow { c_loc: 139, ml_loc: 820, time_s: 1.7, errors: 0, warnings: 0, false_pos: 0, imprecision: 1 },
+            seeds: SeedPlan { unknown_offset: 1, ..SeedPlan::default() },
+            rng_seed: 0xA02,
+        },
+        BenchSpec {
+            name: "ocaml-mad-0.1.0",
+            paper: PaperRow { c_loc: 139, ml_loc: 38, time_s: 4.2, errors: 1, warnings: 0, false_pos: 0, imprecision: 0 },
+            seeds: SeedPlan { register_no_release: 1, ..SeedPlan::default() },
+            rng_seed: 0xA03,
+        },
+        BenchSpec {
+            name: "ocaml-ssl-0.1.0",
+            paper: PaperRow { c_loc: 187, ml_loc: 151, time_s: 1.5, errors: 4, warnings: 2, false_pos: 0, imprecision: 0 },
+            seeds: SeedPlan { val_int_confusion: 4, trailing_unit: 2, ..SeedPlan::default() },
+            rng_seed: 0xA04,
+        },
+        BenchSpec {
+            name: "ocaml-glpk-0.1.1",
+            paper: PaperRow { c_loc: 305, ml_loc: 147, time_s: 1.3, errors: 4, warnings: 1, false_pos: 0, imprecision: 1 },
+            seeds: SeedPlan {
+                val_int_confusion: 4,
+                trailing_unit: 1,
+                unknown_offset: 1,
+                ..SeedPlan::default()
+            },
+            rng_seed: 0xA05,
+        },
+        BenchSpec {
+            name: "gz-0.5.5",
+            paper: PaperRow { c_loc: 572, ml_loc: 192, time_s: 2.2, errors: 0, warnings: 1, false_pos: 0, imprecision: 1 },
+            seeds: SeedPlan { poly_abuse: 1, unknown_offset: 1, ..SeedPlan::default() },
+            rng_seed: 0xA06,
+        },
+        BenchSpec {
+            name: "ocaml-vorbis-0.1.1",
+            paper: PaperRow { c_loc: 1183, ml_loc: 443, time_s: 2.8, errors: 1, warnings: 0, false_pos: 0, imprecision: 2 },
+            seeds: SeedPlan { register_no_release: 1, unknown_offset: 2, ..SeedPlan::default() },
+            rng_seed: 0xA07,
+        },
+        BenchSpec {
+            name: "ftplib-0.12",
+            paper: PaperRow { c_loc: 1401, ml_loc: 21, time_s: 1.7, errors: 1, warnings: 2, false_pos: 0, imprecision: 1 },
+            seeds: SeedPlan {
+                missing_registration: 1,
+                trailing_unit: 2,
+                unknown_offset: 1,
+                ..SeedPlan::default()
+            },
+            rng_seed: 0xA08,
+        },
+        BenchSpec {
+            name: "lablgl-1.00",
+            paper: PaperRow { c_loc: 1586, ml_loc: 1357, time_s: 7.5, errors: 4, warnings: 5, false_pos: 140, imprecision: 20 },
+            seeds: SeedPlan {
+                missing_registration: 1,
+                type_confusion: 3,
+                trailing_unit: 5,
+                poly_variant_fp_uses: 140,
+                unknown_offset: 14,
+                global_value: 3,
+                fn_ptr: 3,
+                ..SeedPlan::default()
+            },
+            rng_seed: 0xA09,
+        },
+        BenchSpec {
+            name: "cryptokit-1.2",
+            paper: PaperRow { c_loc: 2173, ml_loc: 2315, time_s: 5.4, errors: 0, warnings: 0, false_pos: 0, imprecision: 1 },
+            seeds: SeedPlan { unknown_offset: 1, ..SeedPlan::default() },
+            rng_seed: 0xA0A,
+        },
+        BenchSpec {
+            name: "lablgtk-2.2.0",
+            paper: PaperRow { c_loc: 5998, ml_loc: 14847, time_s: 61.3, errors: 9, warnings: 11, false_pos: 74, imprecision: 48 },
+            seeds: SeedPlan {
+                val_int_confusion: 5,
+                option_misuse: 1,
+                type_confusion: 2,
+                missing_registration: 1,
+                trailing_unit: 11,
+                poly_variant_fp_uses: 60,
+                disguised_ptr_pairs: 7,
+                unknown_offset: 36,
+                global_value: 7,
+                fn_ptr: 5,
+                ..SeedPlan::default()
+            },
+            rng_seed: 0xA0B,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_figure9() {
+        let specs = paper_benchmarks();
+        assert_eq!(specs.len(), 11);
+        let errors: usize = specs.iter().map(|s| s.seeds.planned_errors()).sum();
+        let warnings: usize = specs.iter().map(|s| s.seeds.planned_warnings()).sum();
+        // one report per poly-variant use, one per disguised pair
+        let fp_reports: usize = specs.iter().map(|s| s.seeds.planned_false_pos()).sum();
+        let imp: usize = specs.iter().map(|s| s.seeds.planned_imprecision()).sum();
+        assert_eq!(errors, 24);
+        assert_eq!(warnings, 22);
+        assert_eq!(fp_reports, 214);
+        assert_eq!(imp, 75);
+    }
+
+    #[test]
+    fn per_spec_plan_matches_paper_row() {
+        for s in paper_benchmarks() {
+            assert_eq!(s.seeds.planned_errors(), s.paper.errors, "{}", s.name);
+            assert_eq!(s.seeds.planned_warnings(), s.paper.warnings, "{}", s.name);
+            assert_eq!(s.seeds.planned_imprecision(), s.paper.imprecision, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! AST of the C glue-code sublanguage, produced by [`crate::parser`] and
+//! consumed by [`crate::lower`].
+
+use crate::ctypes::CTypeExpr;
+use ffisafe_support::Span;
+
+/// A C expression with its span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CExpr {
+    /// Expression form.
+    pub kind: CExprKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl CExpr {
+    /// Creates an expression node.
+    pub fn new(kind: CExprKind, span: Span) -> Self {
+        CExpr { kind, span }
+    }
+}
+
+/// Expression forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Identifier (variable, function, or object-like macro).
+    Ident(String),
+    /// Function call `f(args…)` — `f` may be any expression (function
+    /// pointers included).
+    Call(Box<CExpr>, Vec<CExpr>),
+    /// Array subscript `a[i]`.
+    Index(Box<CExpr>, Box<CExpr>),
+    /// Member access `s.f` / `p->f`.
+    Member(Box<CExpr>, String, bool),
+    /// Prefix unary operator (`*`, `&`, `-`, `!`, `~`, `++`, `--`).
+    Unary(&'static str, Box<CExpr>),
+    /// Postfix `++` / `--`.
+    Postfix(Box<CExpr>, &'static str),
+    /// Binary operator.
+    Binary(&'static str, Box<CExpr>, Box<CExpr>),
+    /// Assignment (`=` or compound like `+=`).
+    Assign(&'static str, Box<CExpr>, Box<CExpr>),
+    /// Conditional `c ? a : b`.
+    Ternary(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// Type cast `(ty) e`.
+    Cast(CTypeExpr, Box<CExpr>),
+    /// `sizeof(ty)` or `sizeof e` — both collapse to an unknown int.
+    Sizeof,
+    /// Comma expression `a, b`.
+    Comma(Box<CExpr>, Box<CExpr>),
+}
+
+/// A C statement with its span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CStmt {
+    /// Statement form.
+    pub kind: CStmtKind,
+    /// Source span.
+    pub span: Span,
+}
+
+impl CStmt {
+    /// Creates a statement node.
+    pub fn new(kind: CStmtKind, span: Span) -> Self {
+        CStmt { kind, span }
+    }
+}
+
+/// One `case` arm of a `switch`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchCase {
+    /// `Some(k)` for `case k:`, `None` for `default:`.
+    pub value: Option<i64>,
+    /// The statements of the arm (up to the next case label).
+    pub body: Vec<CStmt>,
+    /// Whether the arm ends by falling through to the next one.
+    pub falls_through: bool,
+}
+
+/// Statement forms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmtKind {
+    /// Local declaration `ty name = init;`.
+    Decl {
+        /// Declared type.
+        ty: CTypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<CExpr>,
+    },
+    /// Expression statement.
+    Expr(CExpr),
+    /// `if` with optional `else`.
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// Then branch.
+        then_branch: Vec<CStmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<CStmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: CExpr,
+        /// Body.
+        body: Vec<CStmt>,
+    },
+    /// `do … while` loop.
+    DoWhile {
+        /// Body.
+        body: Vec<CStmt>,
+        /// Condition.
+        cond: CExpr,
+    },
+    /// `for` loop.
+    For {
+        /// Initialization statement.
+        init: Option<Box<CStmt>>,
+        /// Condition (absent = infinite).
+        cond: Option<CExpr>,
+        /// Step expression.
+        step: Option<CExpr>,
+        /// Body.
+        body: Vec<CStmt>,
+    },
+    /// `switch`.
+    Switch {
+        /// Scrutinee.
+        scrutinee: CExpr,
+        /// Case arms in source order.
+        cases: Vec<SwitchCase>,
+    },
+    /// `return e;`.
+    Return(Option<CExpr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `goto l;`
+    Goto(String),
+    /// `l:` label.
+    Label(String),
+    /// `{ … }` block.
+    Block(Vec<CStmt>),
+    /// `CAMLparam…`/`CAMLlocal…` registration of `names`; `CAMLlocal` also
+    /// declares the names as `value` locals (`declares = true`).
+    CamlProtect {
+        /// Registered variables.
+        names: Vec<String>,
+        /// Whether this macro declares the variables too.
+        declares: bool,
+    },
+    /// `CAMLreturn(e)` / `CAMLreturn0`.
+    CamlReturn(Option<CExpr>),
+    /// An empty statement.
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CParam {
+    /// Parameter name (may be empty in prototypes).
+    pub name: String,
+    /// Parameter type.
+    pub ty: CTypeExpr,
+}
+
+/// A function definition or prototype.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CFunction {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CTypeExpr,
+    /// Parameters.
+    pub params: Vec<CParam>,
+    /// Body, when this is a definition.
+    pub body: Option<Vec<CStmt>>,
+    /// Whether the function was declared `static`.
+    pub is_static: bool,
+    /// Source span of the header.
+    pub span: Span,
+}
+
+/// A global variable declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CGlobal {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: CTypeExpr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A parsed C translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CUnit {
+    /// Functions (definitions and prototypes) in source order.
+    pub functions: Vec<CFunction>,
+    /// Global variables.
+    pub globals: Vec<CGlobal>,
+    /// Recoverable parse problems.
+    pub errors: Vec<(Span, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_construction() {
+        let e = CExpr::new(CExprKind::Int(5), Span::dummy());
+        assert_eq!(e.kind, CExprKind::Int(5));
+    }
+
+    #[test]
+    fn function_shape() {
+        let f = CFunction {
+            name: "ml_f".into(),
+            ret: CTypeExpr::Value,
+            params: vec![CParam { name: "x".into(), ty: CTypeExpr::Value }],
+            body: Some(vec![]),
+            is_static: false,
+            span: Span::dummy(),
+        };
+        assert_eq!(f.params.len(), 1);
+        assert!(f.body.is_some());
+    }
+}

@@ -1,0 +1,327 @@
+//! Lexer for the C glue-code sublanguage.
+//!
+//! Preprocessor directives (`#include`, `#define`, …) are skipped line-wise
+//! (with continuation handling); the FFI macros the analysis cares about
+//! (`Val_int`, `CAMLparam1`, …) appear as ordinary identifiers because glue
+//! code *uses* them rather than defining them.
+
+use crate::token::{CToken, CTokenKind};
+use ffisafe_support::{FileId, Span};
+
+/// Multi-character punctuation, longest first.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">",
+    "!", "~", "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+];
+
+/// Lexes C source text into tokens (ending with `Eof`).
+pub fn lex(file: FileId, src: &str) -> Vec<CToken> {
+    CLexer { file, src: src.as_bytes(), pos: 0 }.run()
+}
+
+struct CLexer<'a> {
+    file: FileId,
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CLexer<'a> {
+    fn run(mut self) -> Vec<CToken> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let lo = self.pos as u32;
+            let Some(c) = self.peek() else {
+                out.push(self.tok(CTokenKind::Eof, lo));
+                return out;
+            };
+            let kind = match c {
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let s = self.take_ident();
+                    CTokenKind::Ident(s)
+                }
+                b'0'..=b'9' => self.take_number(),
+                b'"' => {
+                    let s = self.take_string();
+                    CTokenKind::Str(s)
+                }
+                b'\'' => {
+                    let v = self.take_char();
+                    CTokenKind::Char(v)
+                }
+                _ => {
+                    let mut matched = None;
+                    for p in PUNCTS {
+                        if self.src[self.pos..].starts_with(p.as_bytes()) {
+                            matched = Some(*p);
+                            break;
+                        }
+                    }
+                    match matched {
+                        Some(p) => {
+                            self.pos += p.len();
+                            CTokenKind::Punct(p)
+                        }
+                        None => {
+                            self.bump();
+                            continue; // unknown byte: drop it
+                        }
+                    }
+                }
+            };
+            out.push(self.tok(kind, lo));
+        }
+    }
+
+    fn tok(&self, kind: CTokenKind, lo: u32) -> CToken {
+        CToken { kind, span: Span::new(self.file, lo, self.pos as u32) }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.bump(),
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => return,
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                Some(b'#') => {
+                    // preprocessor line, honoring backslash continuations
+                    loop {
+                        match self.peek() {
+                            None => return,
+                            Some(b'\\') => {
+                                self.bump();
+                                if self.peek() == Some(b'\r') {
+                                    self.bump();
+                                }
+                                if self.peek() == Some(b'\n') {
+                                    self.bump();
+                                }
+                            }
+                            Some(b'\n') => {
+                                self.bump();
+                                break;
+                            }
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn take_number(&mut self) -> CTokenKind {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')) {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+            if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+                is_float = true;
+                self.bump();
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) && !is_float {
+                // 1e9 style
+                if matches!(self.peek2(), Some(b'0'..=b'9' | b'+' | b'-')) {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // suffixes
+        while matches!(self.peek(), Some(b'u' | b'U' | b'l' | b'L' | b'f' | b'F')) {
+            if matches!(self.peek(), Some(b'f' | b'F')) {
+                is_float = true;
+            }
+            self.bump();
+        }
+        let text: String = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim_end_matches(['u', 'U', 'l', 'L', 'f', 'F'])
+            .to_string();
+        if is_float {
+            CTokenKind::Float(text.parse().unwrap_or(0.0))
+        } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            CTokenKind::Int(i64::from_str_radix(hex, 16).unwrap_or(0))
+        } else if text.len() > 1 && text.starts_with('0') {
+            CTokenKind::Int(i64::from_str_radix(&text[1..], 8).unwrap_or(0))
+        } else {
+            CTokenKind::Int(text.parse().unwrap_or(0))
+        }
+    }
+
+    fn take_string(&mut self) -> String {
+        self.bump(); // "
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return out,
+                Some(b'"') => {
+                    self.bump();
+                    return out;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'0') => out.push('\0'),
+                        Some(c) => out.push(c as char),
+                        None => {}
+                    }
+                    self.bump();
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn take_char(&mut self) -> i64 {
+        self.bump(); // '
+        let v = match self.peek() {
+            Some(b'\\') => {
+                self.bump();
+                let v = match self.peek() {
+                    Some(b'n') => b'\n' as i64,
+                    Some(b't') => b'\t' as i64,
+                    Some(b'0') => 0,
+                    Some(c) => c as i64,
+                    None => 0,
+                };
+                self.bump();
+                v
+            }
+            Some(c) => {
+                self.bump();
+                c as i64
+            }
+            None => 0,
+        };
+        if self.peek() == Some(b'\'') {
+            self.bump();
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<CTokenKind> {
+        lex(FileId::from_raw(0), src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_glue_function_header() {
+        let ks = kinds("value ml_add(value a, value b) {");
+        assert_eq!(ks[0], CTokenKind::Ident("value".into()));
+        assert_eq!(ks[1], CTokenKind::Ident("ml_add".into()));
+        assert_eq!(ks[2], CTokenKind::Punct("("));
+        assert!(ks.contains(&CTokenKind::Punct("{")));
+    }
+
+    #[test]
+    fn skips_preprocessor_and_comments() {
+        let ks = kinds(
+            "#include <caml/mlvalues.h>\n// line comment\n/* block */ int x; #define A \\\n  1\nlong y;",
+        );
+        assert_eq!(ks[0], CTokenKind::Ident("int".into()));
+        assert_eq!(ks[4], CTokenKind::Ident("y".into()));
+    }
+
+    #[test]
+    fn numbers_in_all_bases() {
+        let ks = kinds("42 0x2A 052 1.5 2e3 7L 3UL");
+        assert_eq!(ks[0], CTokenKind::Int(42));
+        assert_eq!(ks[1], CTokenKind::Int(42));
+        assert_eq!(ks[2], CTokenKind::Int(42));
+        assert_eq!(ks[3], CTokenKind::Float(1.5));
+        assert_eq!(ks[4], CTokenKind::Float(2000.0));
+        assert_eq!(ks[5], CTokenKind::Int(7));
+        assert_eq!(ks[6], CTokenKind::Int(3));
+    }
+
+    #[test]
+    fn multichar_punct_longest_match() {
+        let ks = kinds("a->b <<= c >> d != e");
+        assert!(ks.contains(&CTokenKind::Punct("->")));
+        assert!(ks.contains(&CTokenKind::Punct("<<=")));
+        assert!(ks.contains(&CTokenKind::Punct(">>")));
+        assert!(ks.contains(&CTokenKind::Punct("!=")));
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        let ks = kinds(r#""hello\n" 'x' '\n'"#);
+        assert_eq!(ks[0], CTokenKind::Str("hello\n".into()));
+        assert_eq!(ks[1], CTokenKind::Char('x' as i64));
+        assert_eq!(ks[2], CTokenKind::Char('\n' as i64));
+    }
+
+    #[test]
+    fn spans_track_positions() {
+        let toks = lex(FileId::from_raw(0), "int x");
+        assert_eq!((toks[0].span.lo, toks[0].span.hi), (0, 3));
+        assert_eq!((toks[1].span.lo, toks[1].span.hi), (4, 5));
+    }
+}

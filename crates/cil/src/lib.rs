@@ -1,0 +1,53 @@
+//! C frontend for `ffisafe` — the CIL-like substrate of the paper (§3.2,
+//! §5.1).
+//!
+//! The paper's second tool is "built using CIL" and consumes C glue code in
+//! the simplified form of Figure 5. This crate rebuilds that substrate from
+//! scratch:
+//!
+//! * [`parser::parse`] — parses the C glue-code sublanguage (functions over
+//!   `value`, full expressions, structured control flow, the
+//!   `CAMLparam`/`CAMLlocal`/`CAMLreturn` macros);
+//! * [`lower::lower_unit`] — compiles the AST to the flat, labeled IR of
+//!   Figure 5 ([`ir`]), syntactically recognizing the dynamic tests
+//!   (`Is_long`, `Tag_val(x) == n`, `switch (Tag_val(x))`, …);
+//! * [`liveness::compute`] — backward liveness, needed by the (App) rule's
+//!   GC-registration check.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffisafe_cil::{parser, lower};
+//! use ffisafe_support::SourceMap;
+//!
+//! let src = r#"
+//!     value ml_pair_first(value pair) {
+//!         return Field(pair, 0);
+//!     }
+//! "#;
+//! let mut sm = SourceMap::new();
+//! let file = sm.add_file("glue.c", src);
+//! let unit = parser::parse(file, src);
+//! let program = lower::lower_unit(&unit);
+//! assert_eq!(program.functions.len(), 1);
+//! assert_eq!(program.functions[0].name, "ml_pair_first");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod ctypes;
+pub mod ir;
+pub mod lexer;
+pub mod liveness;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use ast::{CFunction, CGlobal, CParam, CStmt, CStmtKind, CUnit, CExpr, CExprKind};
+pub use ctypes::CTypeExpr;
+pub use ir::{
+    Callee, IrCond, IrExpr, IrExprKind, IrFunction, IrLocal, IrLval, IrProgram, IrPrototype,
+    IrStmt, IrStmtKind, Label, PrimOp, VarId,
+};
+pub use liveness::Liveness;

@@ -1,0 +1,210 @@
+//! Backward liveness analysis over the Figure 5 IR.
+//!
+//! The (App) rule's GC check needs `live(Γ)` — "all variables live at the
+//! program point corresponding to Γ" — to decide which heap pointers must
+//! have been registered before a call that may collect. The computation is
+//! the standard backward may-analysis.
+
+use crate::ir::*;
+use std::collections::HashSet;
+
+/// Per-statement live-variable sets.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Variables live immediately before each statement.
+    pub live_in: Vec<HashSet<VarId>>,
+    /// Variables live immediately after each statement.
+    pub live_out: Vec<HashSet<VarId>>,
+}
+
+impl Liveness {
+    /// Variables that remain live *across* statement `i` (live after it,
+    /// minus any it defines) — the set that must survive a GC triggered at
+    /// `i`.
+    pub fn live_across(&self, func: &IrFunction, i: usize) -> HashSet<VarId> {
+        let mut out = self.live_out[i].clone();
+        for d in defs(&func.body[i].kind) {
+            out.remove(&d);
+        }
+        out
+    }
+}
+
+fn uses(kind: &IrStmtKind) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    match kind {
+        IrStmtKind::Assign(lval, e) => {
+            lval_uses(lval, &mut out);
+            e.collect_vars(&mut out);
+        }
+        IrStmtKind::Call { dst, callee, args } => {
+            if let Some(lval) = dst {
+                lval_uses(lval, &mut out);
+            }
+            if let Callee::Pointer(p) = callee {
+                p.collect_vars(&mut out);
+            }
+            for a in args {
+                a.collect_vars(&mut out);
+            }
+        }
+        IrStmtKind::If { cond, .. } => match cond {
+            IrCond::Expr(e) => e.collect_vars(&mut out),
+            IrCond::Unboxed(v)
+            | IrCond::Boxed(v)
+            | IrCond::SumTagEq(v, _)
+            | IrCond::IntTagEq(v, _) => {
+                out.insert(*v);
+            }
+        },
+        IrStmtKind::Return(Some(e)) | IrStmtKind::CamlReturn(Some(e)) => {
+            e.collect_vars(&mut out);
+        }
+        IrStmtKind::Protect(v) => {
+            out.insert(*v);
+        }
+        IrStmtKind::Return(None)
+        | IrStmtKind::CamlReturn(None)
+        | IrStmtKind::Goto(_)
+        | IrStmtKind::Mark(_)
+        | IrStmtKind::Nop => {}
+    }
+    out
+}
+
+fn lval_uses(lval: &IrLval, out: &mut HashSet<VarId>) {
+    if let IrLval::Mem { base, offset } = lval {
+        base.collect_vars(out);
+        offset.collect_vars(out);
+    }
+}
+
+fn defs(kind: &IrStmtKind) -> Vec<VarId> {
+    match kind {
+        IrStmtKind::Assign(IrLval::Var(v), _) => vec![*v],
+        IrStmtKind::Call { dst: Some(IrLval::Var(v)), .. } => vec![*v],
+        _ => vec![],
+    }
+}
+
+/// Computes liveness for one function.
+pub fn compute(func: &IrFunction) -> Liveness {
+    let n = func.body.len();
+    let labels = func.label_positions();
+    let mut live_in = vec![HashSet::new(); n];
+    let mut live_out = vec![HashSet::new(); n];
+    let use_sets: Vec<HashSet<VarId>> = func.body.iter().map(|s| uses(&s.kind)).collect();
+    let def_sets: Vec<Vec<VarId>> = func.body.iter().map(|s| defs(&s.kind)).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut out: HashSet<VarId> = HashSet::new();
+            for succ in func.successors(i, &labels) {
+                if succ < n {
+                    out.extend(live_in[succ].iter().copied());
+                }
+            }
+            let mut inn = out.clone();
+            for d in &def_sets[i] {
+                inn.remove(d);
+            }
+            inn.extend(use_sets[i].iter().copied());
+            if inn != live_in[i] || out != live_out[i] {
+                live_in[i] = inn;
+                live_out[i] = out;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_unit;
+    use crate::parser::parse;
+    use ffisafe_support::FileId;
+
+    fn func(src: &str) -> IrFunction {
+        let unit = parse(FileId::from_raw(0), src);
+        assert!(unit.errors.is_empty(), "{:?}", unit.errors);
+        lower_unit(&unit).functions.into_iter().next().unwrap()
+    }
+
+    fn var(f: &IrFunction, name: &str) -> VarId {
+        VarId(f.locals.iter().position(|l| l.name == name).unwrap_or_else(|| {
+            panic!("no local {name}: {:?}", f.locals.iter().map(|l| &l.name).collect::<Vec<_>>())
+        }) as u32)
+    }
+
+    #[test]
+    fn param_live_until_last_use() {
+        let f = func(
+            r#"
+            value f(value a, value b) {
+                value r;
+                r = a;
+                helper(0);
+                r = b;
+                return r;
+            }
+            "#,
+        );
+        let lv = compute(&f);
+        let (a, b) = (var(&f, "a"), var(&f, "b"));
+        // find the helper call
+        let call_idx = f
+            .body
+            .iter()
+            .position(|s| matches!(&s.kind, IrStmtKind::Call { .. }))
+            .unwrap();
+        let across = lv.live_across(&f, call_idx);
+        assert!(!across.contains(&a), "a is dead after first assignment");
+        assert!(across.contains(&b), "b is used after the call");
+    }
+
+    #[test]
+    fn loop_keeps_counter_alive() {
+        let f = func("int f(int n) { while (n > 0) { n = n - 1; } return n; }");
+        let lv = compute(&f);
+        let n = var(&f, "n");
+        // n is live at the loop head test
+        let if_idx = f
+            .body
+            .iter()
+            .position(|s| matches!(s.kind, IrStmtKind::If { .. }))
+            .unwrap();
+        assert!(lv.live_in[if_idx].contains(&n));
+    }
+
+    #[test]
+    fn dead_variable_not_live() {
+        let f = func("int f(int x) { int dead = 5; return x; }");
+        let lv = compute(&f);
+        let d = var(&f, "dead");
+        let ret = f
+            .body
+            .iter()
+            .position(|s| matches!(s.kind, IrStmtKind::Return(Some(_))))
+            .unwrap();
+        assert!(!lv.live_in[ret].contains(&d));
+    }
+
+    #[test]
+    fn protect_counts_as_use() {
+        let f = func("value f(value a) { CAMLparam1(a); CAMLreturn(Val_unit); }");
+        let lv = compute(&f);
+        let a = var(&f, "a");
+        assert!(lv.live_in[0].contains(&a));
+    }
+
+    #[test]
+    fn mem_store_uses_base_and_value() {
+        let f = func("void f(value dst, value v) { Store_field(dst, 0, v); }");
+        let lv = compute(&f);
+        assert!(lv.live_in[0].contains(&var(&f, "dst")));
+        assert!(lv.live_in[0].contains(&var(&f, "v")));
+    }
+}

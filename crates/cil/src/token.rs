@@ -1,0 +1,65 @@
+//! Tokens of the C glue-code sublanguage.
+
+use ffisafe_support::Span;
+
+/// A lexed C token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CTokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Character literal (its value).
+    Char(i64),
+    /// Punctuation / operator, e.g. `"+"`, `"->"`, `"<<="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl CTokenKind {
+    /// Whether this token is the identifier `kw`.
+    pub fn is_ident(&self, kw: &str) -> bool {
+        matches!(self, CTokenKind::Ident(s) if s == kw)
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, CTokenKind::Punct(s) if *s == p)
+    }
+
+    /// Identifier text, if any.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            CTokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CToken {
+    /// Kind and payload.
+    pub kind: CTokenKind,
+    /// Source span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(CTokenKind::Ident("value".into()).is_ident("value"));
+        assert!(!CTokenKind::Ident("value".into()).is_ident("int"));
+        assert!(CTokenKind::Punct("->").is_punct("->"));
+        assert_eq!(CTokenKind::Ident("x".into()).ident(), Some("x"));
+        assert_eq!(CTokenKind::Int(3).ident(), None);
+    }
+}

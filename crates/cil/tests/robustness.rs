@@ -1,0 +1,105 @@
+//! Robustness: the C frontend must never panic, whatever bytes it is fed —
+//! the analysis runs on real-world code it does not control.
+
+use ffisafe_cil::{lower, parser};
+use ffisafe_support::FileId;
+use proptest::prelude::*;
+
+fn pipeline(src: &str) {
+    let unit = parser::parse(FileId::from_raw(0), src);
+    let _ = lower::lower_unit(&unit);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary UTF-8 soup: lex + parse + lower must not panic.
+    #[test]
+    fn prop_parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        pipeline(&src);
+    }
+
+    /// C-shaped token soup: plausible glue fragments with random structure.
+    #[test]
+    fn prop_parser_never_panics_on_c_like_input(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("value".to_string()),
+                Just("int".to_string()),
+                Just("if".to_string()),
+                Just("while".to_string()),
+                Just("return".to_string()),
+                Just("switch".to_string()),
+                Just("case".to_string()),
+                Just("CAMLparam1".to_string()),
+                Just("CAMLreturn".to_string()),
+                Just("Val_int".to_string()),
+                Just("Int_val".to_string()),
+                Just("Field".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("*".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("x".to_string()),
+                Just("f".to_string()),
+                Just("0".to_string()),
+                Just("1".to_string()),
+            ],
+            0..80,
+        )
+    ) {
+        pipeline(&toks.join(" "));
+    }
+
+    /// Truncations of a real glue function parse without panicking.
+    #[test]
+    fn prop_truncated_glue_never_panics(cut in 0usize..400) {
+        let full = r#"
+            value ml_examine(value x, value opts) {
+                CAMLparam2(x, opts);
+                CAMLlocal1(res);
+                if (Is_long(x)) {
+                    switch (Int_val(x)) {
+                    case 0: res = Val_int(10); break;
+                    default: res = Val_int(0); break;
+                    }
+                } else {
+                    res = Field(x, 0);
+                }
+                CAMLreturn(res);
+            }
+        "#;
+        let cut = cut.min(full.len());
+        // cut at a char boundary
+        let mut end = cut;
+        while !full.is_char_boundary(end) {
+            end -= 1;
+        }
+        pipeline(&full[..end]);
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    let mut src = String::from("int f(int x) { return ");
+    for _ in 0..200 {
+        src.push('(');
+    }
+    src.push('x');
+    for _ in 0..200 {
+        src.push(')');
+    }
+    src.push_str("; }");
+    pipeline(&src);
+}
+
+#[test]
+fn unbalanced_braces_terminate() {
+    pipeline("value f(value x) { { { { return x; ");
+    pipeline("}}}}}} value g(value y) { return y; }");
+}

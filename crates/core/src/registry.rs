@@ -1,0 +1,348 @@
+//! Function registry: the initial environment `Γ_I` plus every C function
+//! the analysis discovers.
+//!
+//! Three kinds of functions live here:
+//!
+//! * glue functions declared `external` in OCaml — their `Φ`-translated
+//!   signatures are unified with their C definitions (checking arity and
+//!   the trailing-`unit` practice of §5.2);
+//! * OCaml runtime entry points (`caml_alloc`, `caml_callback`, …) with
+//!   known types and GC effects;
+//! * ordinary C functions (helpers, system libraries) — helpers get
+//!   `η`-translated declared types, unknown library functions get
+//!   unconstrained signatures and, absent effect edges, are `nogc`.
+
+use crate::eta::eta;
+use ffisafe_cil::CTypeExpr;
+use ffisafe_support::Span;
+use ffisafe_types::{CtId, GcId, TypeTable};
+use std::collections::HashMap;
+
+/// How the registry learned about a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuncOrigin {
+    /// Defined in analyzed C code.
+    Defined,
+    /// Declared (prototype) in analyzed C code.
+    Declared,
+    /// A known OCaml runtime function.
+    Runtime,
+    /// Synthesized at a call site to an unknown function.
+    Unknown,
+}
+
+/// Everything the engine needs to type a call to one function.
+#[derive(Clone, Debug)]
+pub struct FuncInfo {
+    /// Function name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<CtId>,
+    /// Return type.
+    pub ret: CtId,
+    /// GC effect.
+    pub effect: GcId,
+    /// Provenance.
+    pub origin: FuncOrigin,
+    /// Index into the phase-1 signatures when this is an FFI entry point.
+    pub external_index: Option<usize>,
+    /// Whether the function never returns (`caml_failwith` and friends):
+    /// values live "after" such a call are unwound, so no GC-registration
+    /// obligation arises.
+    pub noreturn: bool,
+    /// Where the function was declared/first seen.
+    pub span: Span,
+}
+
+/// The function environment shared by all per-function analyses.
+#[derive(Debug, Default)]
+pub struct Registry {
+    funcs: HashMap<String, FuncInfo>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Looks up a function by name.
+    pub fn get(&self, name: &str) -> Option<&FuncInfo> {
+        self.funcs.get(name)
+    }
+
+    /// Registers a function definition/prototype with `η`-translated
+    /// declared types. Re-registration keeps the first entry (definitions
+    /// are registered before prototypes by the driver).
+    pub fn register(
+        &mut self,
+        table: &mut TypeTable,
+        name: &str,
+        ret: &CTypeExpr,
+        params: &[CTypeExpr],
+        origin: FuncOrigin,
+        span: Span,
+    ) -> &FuncInfo {
+        if !self.funcs.contains_key(name) {
+            let params: Vec<CtId> = params.iter().map(|p| eta(table, p)).collect();
+            let ret = eta(table, ret);
+            let effect = table.fresh_gc();
+            self.funcs.insert(
+                name.to_string(),
+                FuncInfo {
+                    name: name.to_string(),
+                    params,
+                    ret,
+                    effect,
+                    origin,
+                    external_index: None,
+                    noreturn: false,
+                    span,
+                },
+            );
+        }
+        &self.funcs[name]
+    }
+
+    /// Ties a registered function to its phase-1 `external` signature.
+    pub fn set_external_index(&mut self, name: &str, idx: usize) {
+        if let Some(f) = self.funcs.get_mut(name) {
+            f.external_index = Some(idx);
+        }
+    }
+
+    /// Resolves a call target, synthesizing runtime or unknown signatures
+    /// on demand. `arity` is the number of arguments at the call site.
+    ///
+    /// Runtime functions (`caml_alloc`, `caml_callback`, …) are
+    /// *polymorphic*: each call site gets a fresh instantiation. Defined
+    /// and unknown C functions are monomorphic (§5.1) and memoized.
+    pub fn resolve_call(
+        &mut self,
+        table: &mut TypeTable,
+        name: &str,
+        arity: usize,
+        span: Span,
+    ) -> FuncInfo {
+        if let Some(info) = self.funcs.get(name) {
+            return info.clone();
+        }
+        if let Some(info) = runtime_signature(table, name, arity, span) {
+            return info; // fresh per call site, never cached
+        }
+        // unknown library function: unconstrained, nogc unless edges prove
+        // otherwise; monomorphic, so memoized
+        let params: Vec<CtId> = (0..arity).map(|_| table.fresh_ct()).collect();
+        let ret = table.fresh_ct();
+        let effect = table.fresh_gc();
+        let info = FuncInfo {
+            name: name.to_string(),
+            params,
+            ret,
+            effect,
+            origin: FuncOrigin::Unknown,
+            external_index: None,
+            noreturn: false,
+            span,
+        };
+        self.funcs.insert(name.to_string(), info.clone());
+        info
+    }
+
+    /// All registered functions.
+    pub fn iter(&self) -> impl Iterator<Item = &FuncInfo> {
+        self.funcs.values()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+/// Builds the signature of a known OCaml runtime function, or `None`.
+///
+/// Effects follow §2/§5: allocation and callbacks may trigger the
+/// collector; root registration and field writes do not.
+fn runtime_signature(
+    table: &mut TypeTable,
+    name: &str,
+    arity: usize,
+    span: Span,
+) -> Option<FuncInfo> {
+    let gc = |table: &mut TypeTable| table.gc_gc();
+    let nogc = |table: &mut TypeTable| table.gc_nogc();
+    let value = |table: &mut TypeTable| table.ct_fresh_value();
+    let int = |table: &mut TypeTable| table.ct_int();
+    let charp = |table: &mut TypeTable| {
+        let i = table.ct_int();
+        table.ct_ptr(i)
+    };
+    let (params, ret, effect): (Vec<CtId>, CtId, GcId) = match name {
+        "caml_alloc" | "caml_alloc_small" | "caml_alloc_shr" => {
+            (vec![int(table), int(table)], value(table), gc(table))
+        }
+        "caml_alloc_tuple" | "caml_alloc_string" => (vec![int(table)], value(table), gc(table)),
+        "caml_copy_string" => {
+            let p = charp(table);
+            let s = table.mt_abstract("string", true);
+            let r = table.ct_value(s);
+            (vec![p], r, gc(table))
+        }
+        "caml_copy_double" => {
+            let f = table.ct_float();
+            let m = table.mt_abstract("float", true);
+            let r = table.ct_value(m);
+            (vec![f], r, gc(table))
+        }
+        "caml_copy_int32" => {
+            let i = int(table);
+            let m = table.mt_abstract("int32", true);
+            let r = table.ct_value(m);
+            (vec![i], r, gc(table))
+        }
+        "caml_copy_int64" => {
+            let i = int(table);
+            let m = table.mt_abstract("int64", true);
+            let r = table.ct_value(m);
+            (vec![i], r, gc(table))
+        }
+        "caml_copy_nativeint" => {
+            let i = int(table);
+            let m = table.mt_abstract("nativeint", true);
+            let r = table.ct_value(m);
+            (vec![i], r, gc(table))
+        }
+        "caml_callback" | "caml_callback_exn" => {
+            (vec![value(table), value(table)], value(table), gc(table))
+        }
+        "caml_callback2" | "caml_callback2_exn" => {
+            (vec![value(table), value(table), value(table)], value(table), gc(table))
+        }
+        "caml_callback3" | "caml_callback3_exn" => (
+            vec![value(table), value(table), value(table), value(table)],
+            value(table),
+            gc(table),
+        ),
+        "caml_failwith" | "caml_invalid_argument" => {
+            (vec![charp(table)], table.ct_void(), gc(table))
+        }
+        "caml_raise_out_of_memory" | "caml_raise_stack_overflow" | "caml_raise_not_found" => {
+            (vec![], table.ct_void(), gc(table))
+        }
+        "caml_raise" | "caml_raise_constant" => (vec![value(table)], table.ct_void(), gc(table)),
+        "caml_raise_with_arg" => {
+            (vec![value(table), value(table)], table.ct_void(), gc(table))
+        }
+        "caml_named_value" => {
+            let p = charp(table);
+            let v = value(table);
+            let pv = table.ct_ptr(v);
+            (vec![p], pv, nogc(table))
+        }
+        "caml_register_global_root" | "caml_remove_global_root" => {
+            let v = value(table);
+            let pv = table.ct_ptr(v);
+            (vec![pv], table.ct_void(), nogc(table))
+        }
+        "caml_modify" => {
+            let v1 = value(table);
+            let pv = table.ct_ptr(v1);
+            (vec![pv, value(table)], table.ct_void(), nogc(table))
+        }
+        "caml_alloc_custom" => {
+            let ops = table.fresh_ct();
+            (
+                vec![ops, int(table), int(table), int(table)],
+                value(table),
+                gc(table),
+            )
+        }
+        "caml_enter_blocking_section" | "caml_leave_blocking_section" => {
+            // other threads may collect while the lock is released
+            (vec![], table.ct_void(), gc(table))
+        }
+        "caml_gc_full_major" | "caml_gc_minor" | "caml_gc_compaction" => {
+            (vec![], table.ct_void(), gc(table))
+        }
+        _ if arity == usize::MAX => return None, // unreachable guard
+        _ => return None,
+    };
+    let noreturn = matches!(
+        name,
+        "caml_failwith"
+            | "caml_invalid_argument"
+            | "caml_raise"
+            | "caml_raise_constant"
+            | "caml_raise_with_arg"
+            | "caml_raise_out_of_memory"
+            | "caml_raise_stack_overflow"
+            | "caml_raise_not_found"
+    );
+    Some(FuncInfo {
+        name: name.to_string(),
+        params,
+        ret,
+        effect,
+        origin: FuncOrigin::Runtime,
+        external_index: None,
+        noreturn,
+        span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffisafe_types::GcNode;
+
+    #[test]
+    fn runtime_alloc_is_gc() {
+        let mut tt = TypeTable::new();
+        let mut reg = Registry::new();
+        let f = reg.resolve_call(&mut tt, "caml_alloc", 2, Span::dummy()).clone();
+        assert_eq!(f.origin, FuncOrigin::Runtime);
+        assert_eq!(tt.gc_node(f.effect), GcNode::Gc);
+        assert_eq!(f.params.len(), 2);
+    }
+
+    #[test]
+    fn unknown_library_function_is_nogc_variable() {
+        let mut tt = TypeTable::new();
+        let mut reg = Registry::new();
+        let f = reg.resolve_call(&mut tt, "gzopen", 2, Span::dummy()).clone();
+        assert_eq!(f.origin, FuncOrigin::Unknown);
+        assert_eq!(tt.gc_node(f.effect), GcNode::Var);
+        // memoized
+        let again = reg.resolve_call(&mut tt, "gzopen", 2, Span::dummy()).clone();
+        assert_eq!(f.ret, again.ret);
+    }
+
+    #[test]
+    fn defined_functions_keep_first_registration() {
+        let mut tt = TypeTable::new();
+        let mut reg = Registry::new();
+        let r1 = reg
+            .register(&mut tt, "helper", &CTypeExpr::Int, &[CTypeExpr::Value], FuncOrigin::Defined, Span::dummy())
+            .clone();
+        let r2 = reg
+            .register(&mut tt, "helper", &CTypeExpr::Void, &[], FuncOrigin::Declared, Span::dummy())
+            .clone();
+        assert_eq!(r1.ret, r2.ret);
+        assert_eq!(r2.origin, FuncOrigin::Defined);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn copy_string_returns_string_value() {
+        let mut tt = TypeTable::new();
+        let mut reg = Registry::new();
+        let f = reg.resolve_call(&mut tt, "caml_copy_string", 1, Span::dummy()).clone();
+        assert_eq!(tt.render_ct(f.ret), "string value");
+    }
+}

@@ -1,0 +1,381 @@
+//! Focused tests for engine paths not covered by the §5.2 taxonomy:
+//! casts and their heuristics, shape propagation through C operators,
+//! address-taken pinning, and control-flow corner cases.
+
+use ffisafe_core::Analyzer;
+use ffisafe_support::DiagnosticCode as C;
+
+fn run(ml: &str, c: &str) -> ffisafe_core::AnalysisReport {
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    az.analyze()
+}
+
+fn count(report: &ffisafe_core::AnalysisReport, code: C) -> usize {
+    report.diagnostics.with_code(code).count()
+}
+
+// ---- casts -------------------------------------------------------------
+
+#[test]
+fn void_pointer_cast_heuristic_is_silent() {
+    // §5.1: "any cast through a void * type is ignored"
+    let report = run(
+        r#"
+        type h
+        external f : h -> unit = "ml_f""#,
+        r#"
+        value ml_f(value x) {
+            void *p = (void *) x;
+            use_ptr(p);
+            return Val_unit;
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+    assert_eq!(report.warning_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn long_cast_of_value_is_tolerated() {
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            long raw = (long) n;
+            return Val_int((int)(raw >> 1));
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn int_to_value_cast_is_suspicious() {
+    let report = run(
+        r#"external f : unit -> int = "ml_f""#,
+        r#"
+        value ml_f(value u) {
+            int n = 21;
+            return (value) n; /* missing Val_int */
+        }
+        "#,
+    );
+    assert!(count(&report, C::SuspiciousCast) >= 1, "{}", report.render());
+}
+
+#[test]
+fn conflicting_custom_casts_are_flagged() {
+    let report = run(
+        r#"
+        type h
+        external f : h -> unit = "ml_f""#,
+        r#"
+        value ml_f(value x) {
+            winT *w = (winT *) x;
+            btnT *b = (btnT *) x; /* same opaque type, different C type */
+            use2(w, b);
+            return Val_unit;
+        }
+        "#,
+    );
+    assert!(count(&report, C::SuspiciousCast) >= 1, "{}", report.render());
+}
+
+// ---- operators and shapes -------------------------------------------------
+
+#[test]
+fn value_equality_comparison_is_allowed() {
+    let report = run(
+        r#"external f : int option -> int = "ml_f""#,
+        r#"
+        value ml_f(value opt) {
+            if (opt == Val_int(0)) { /* None check, common idiom */
+                return Val_int(-1);
+            }
+            return Field(opt, 0);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn comparing_value_with_plain_int_is_an_error() {
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            int k = 3;
+            if (n == k) { return Val_int(1); } /* missing Int_val */
+            return Val_int(0);
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn negation_and_not_produce_ints() {
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            int x = Int_val(n);
+            int y = -x;
+            int z = !y;
+            int w = ~z;
+            return Val_int(y + z + w);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn ternary_merges_branches() {
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            int v = Int_val(n) > 0 ? 1 : 2;
+            return Val_int(v);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn do_while_and_goto_are_supported() {
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            int i = Int_val(n);
+            do { i = i - 1; } while (i > 0);
+            if (i < 0) goto out;
+            i = i + 100;
+        out:
+            return Val_int(i);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+// ---- address-of pinning ------------------------------------------------------
+
+#[test]
+fn address_taken_int_loses_precision() {
+    // `i` has its address taken, so its value is ⊤ everywhere (§5.1) and
+    // Field(x, i) cannot prove a static offset even right after i = 0
+    let report = run(
+        r#"external f : int * int -> int = "ml_f""#,
+        r#"
+        value ml_f(value x) {
+            int i = 0;
+            fill_index(&i);
+            return Field(x, i);
+        }
+        "#,
+    );
+    assert!(count(&report, C::UnknownOffset) >= 1, "{}", report.render());
+}
+
+#[test]
+fn plain_index_keeps_precision() {
+    let report = run(
+        r#"external f : int * int -> int = "ml_f""#,
+        r#"
+        value ml_f(value x) {
+            int i = 1;
+            return Field(x, i);
+        }
+        "#,
+    );
+    assert_eq!(count(&report, C::UnknownOffset), 0, "{}", report.render());
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+// ---- misc runtime interplay ------------------------------------------------------
+
+#[test]
+fn caml_copy_double_types_check() {
+    let report = run(
+        r#"external mk : unit -> float = "ml_mk""#,
+        r#"
+        value ml_mk(value u) {
+            return caml_copy_double(3.25);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn double_val_on_non_float_is_an_error() {
+    let report = run(
+        r#"external f : int -> unit = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            double d = Double_val(n);
+            use_d(d);
+            return Val_unit;
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn distinct_allocations_do_not_unify() {
+    // caml_alloc is instantiated per call site: a string pair and an int
+    // ref in one function must not interfere
+    let report = run(
+        r#"
+        external a : string -> string * string = "ml_a"
+        external b : int -> int ref = "ml_b"
+        "#,
+        r#"
+        value ml_a(value s) {
+            CAMLparam1(s);
+            CAMLlocal1(r);
+            r = caml_alloc(2, 0);
+            Store_field(r, 0, s);
+            Store_field(r, 1, s);
+            CAMLreturn(r);
+        }
+        value ml_b(value n) {
+            value r = caml_alloc(1, 0);
+            Store_field(r, 0, n);
+            return r;
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn wosize_and_tag_prims_are_ints() {
+    let report = run(
+        r#"external f : int * int -> int = "ml_f""#,
+        r#"
+        value ml_f(value x) {
+            int size = Wosize_val(x);
+            int tag = Tag_val(x);
+            return Val_int(size + tag);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn unreachable_branch_is_pruned() {
+    // `if (0)` is statically dead: the bogus code inside must not report
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        value ml_f(value n) {
+            if (0) {
+                return Field(n, 3); /* dead: n is an int */
+            }
+            return Val_int(Int_val(n));
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn string_literals_are_char_pointers() {
+    let report = run(
+        r#"external f : unit -> int = "ml_f""#,
+        r#"
+        value ml_f(value u) {
+            const char *msg = "hello";
+            return Val_int(lib_measure(msg));
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn helper_prototypes_connect_call_sites() {
+    // a prototype without body still carries η-types: a bad call is caught
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"
+        int helper(int x);
+        value ml_f(value n) {
+            return Val_int(helper(n)); /* passes a value where int expected */
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn static_helpers_require_registration_transitively() {
+    let report = run(
+        r#"external f : string -> string ref = "ml_f""#,
+        r#"
+        static value wrap(value v) {
+            value cell = caml_alloc(1, 0);
+            Store_field(cell, 0, v);
+            return cell;
+        }
+        value ml_f(value s) {
+            CAMLparam1(s);
+            CAMLlocal1(c);
+            c = wrap(s);
+            CAMLreturn(c);
+        }
+        "#,
+    );
+    // ml_f registers correctly, but wrap itself holds `v` live across the
+    // allocation without registering it
+    assert!(
+        report.diagnostics.with_code(C::UnrootedValue).count() >= 1,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn runtime_check_suggestions_cover_imprecision() {
+    let report = run(
+        r#"external sum : int array -> int -> int = "ml_sum""#,
+        r#"
+        static value stash;
+        value ml_sum(value arr, value n) {
+            int total = 0;
+            int i;
+            for (i = 0; i < Int_val(n); i++) {
+                total += Int_val(Field(arr, i));
+            }
+            return Val_int(total);
+        }
+        "#,
+    );
+    let suggestions = report.suggest_runtime_checks();
+    assert_eq!(suggestions.len(), report.imprecision_count(), "{}", report.render());
+    assert!(suggestions.iter().any(|s| s.suggestion.contains("Wosize_val")));
+    assert!(suggestions.iter().any(|s| s.suggestion.contains("caml_register_global_root")));
+}
+
+#[test]
+fn atom_macro_is_boxed_constant() {
+    let report = run(
+        r#"external empty : unit -> int array = "ml_empty""#,
+        r#"
+        value ml_empty(value u) {
+            return Atom(0);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}

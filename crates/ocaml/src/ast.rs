@@ -1,0 +1,268 @@
+//! AST of the OCaml declaration sublanguage: type expressions, type
+//! declarations and `external` declarations (Figure 1a and §3.1).
+
+use ffisafe_support::Span;
+
+/// An OCaml type expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// Type variable `'a`.
+    Var(String),
+    /// Function type `t₁ → t₂` (optionally labelled in the source).
+    Arrow(Box<TypeExpr>, Box<TypeExpr>),
+    /// Tuple `t₁ * … * tₙ` (n ≥ 2).
+    Tuple(Vec<TypeExpr>),
+    /// Type constructor application `(t₁, …, tₙ) path`, e.g. `int list`,
+    /// `(int, string) Hashtbl.t`. `path` is the dotted name.
+    Constr(Vec<String>, Vec<TypeExpr>),
+    /// A polymorphic variant type `[ \`A | \`B of t ]`. The analysis does
+    /// not model these (§5.1); they are carried opaquely and produce
+    /// imprecision at use sites.
+    PolyVariant,
+    /// An object type `< … >`, treated like an opaque type (§5.1).
+    Object,
+}
+
+impl TypeExpr {
+    /// Convenience constructor for a non-parameterized named type.
+    pub fn named(name: &str) -> Self {
+        TypeExpr::Constr(vec![name.to_string()], Vec::new())
+    }
+
+    /// Splits an arrow spine `t₁ → … → tₙ → r` into (`[t₁…tₙ]`, `r`).
+    pub fn arrow_spine(&self) -> (Vec<&TypeExpr>, &TypeExpr) {
+        let mut params = Vec::new();
+        let mut cur = self;
+        while let TypeExpr::Arrow(a, b) = cur {
+            params.push(a.as_ref());
+            cur = b.as_ref();
+        }
+        (params, cur)
+    }
+
+    /// Whether this expression is the literal `unit` type.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, TypeExpr::Constr(p, a) if a.is_empty() && p.len() == 1 && p[0] == "unit")
+    }
+
+    /// Whether a polymorphic variant occurs anywhere in this type.
+    pub fn mentions_poly_variant(&self) -> bool {
+        match self {
+            TypeExpr::PolyVariant => true,
+            TypeExpr::Var(_) | TypeExpr::Object => false,
+            TypeExpr::Arrow(a, b) => a.mentions_poly_variant() || b.mentions_poly_variant(),
+            TypeExpr::Tuple(ts) => ts.iter().any(|t| t.mentions_poly_variant()),
+            TypeExpr::Constr(_, args) => args.iter().any(|t| t.mentions_poly_variant()),
+        }
+    }
+
+    /// Collects the distinct type variables in order of first occurrence.
+    pub fn type_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            TypeExpr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            TypeExpr::Arrow(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            TypeExpr::Tuple(ts) => ts.iter().for_each(|t| t.collect_vars(out)),
+            TypeExpr::Constr(_, args) => args.iter().for_each(|t| t.collect_vars(out)),
+            TypeExpr::PolyVariant | TypeExpr::Object => {}
+        }
+    }
+}
+
+/// One constructor of a sum type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Variant {
+    /// Constructor name (capitalized).
+    pub name: String,
+    /// Argument types; empty for nullary constructors. `C of int * int`
+    /// has two arguments, `C of (int * int)` has one tuple argument.
+    pub args: Vec<TypeExpr>,
+}
+
+impl Variant {
+    /// Whether the constructor takes no arguments (represented unboxed).
+    pub fn is_nullary(&self) -> bool {
+        self.args.is_empty()
+    }
+}
+
+/// One field of a record type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Whether the field is `mutable`.
+    pub mutable: bool,
+    /// Field type.
+    pub ty: TypeExpr,
+}
+
+/// The right-hand side of a `type` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeDeclKind {
+    /// `type t = u`.
+    Alias(TypeExpr),
+    /// `type t = A | B of int | …`.
+    Sum(Vec<Variant>),
+    /// `type t = { a : int; mutable b : string }`.
+    Record(Vec<Field>),
+    /// `type t` — abstract/opaque.
+    Opaque,
+    /// `type t = [ \`A | \`B ]` — polymorphic variant alias (unsupported).
+    PolyVariant,
+}
+
+/// A `type` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeDecl {
+    /// Declared name.
+    pub name: String,
+    /// Type parameters in order (`'a`, `'b`).
+    pub params: Vec<String>,
+    /// Right-hand side.
+    pub kind: TypeDeclKind,
+    /// Source span of the declaration head.
+    pub span: Span,
+}
+
+impl TypeDecl {
+    /// Number of nullary constructors, when this is a sum type.
+    pub fn nullary_count(&self) -> Option<usize> {
+        match &self.kind {
+            TypeDeclKind::Sum(vs) => Some(vs.iter().filter(|v| v.is_nullary()).count()),
+            _ => None,
+        }
+    }
+}
+
+/// An `external` declaration binding an OCaml name to C code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExternalDecl {
+    /// OCaml-side name.
+    pub ml_name: String,
+    /// Declared OCaml type.
+    pub ty: TypeExpr,
+    /// C function names: `[native]` or `[bytecode, native]` for functions
+    /// of arity > 5.
+    pub c_names: Vec<String>,
+    /// Source span of the declaration.
+    pub span: Span,
+}
+
+impl ExternalDecl {
+    /// The C function name used in native compilation (the last one).
+    pub fn native_c_name(&self) -> &str {
+        self.c_names.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// Declared OCaml arity (number of arrows on the spine).
+    pub fn arity(&self) -> usize {
+        self.ty.arrow_spine().0.len()
+    }
+}
+
+/// A top-level item our parser understands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// A `type` declaration (or one member of a `type … and …` chain).
+    Type(TypeDecl),
+    /// An `external` declaration.
+    External(ExternalDecl),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrow(a: TypeExpr, b: TypeExpr) -> TypeExpr {
+        TypeExpr::Arrow(Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn arrow_spine_splits() {
+        let t = arrow(
+            TypeExpr::named("int"),
+            arrow(TypeExpr::named("string"), TypeExpr::named("unit")),
+        );
+        let (params, ret) = t.arrow_spine();
+        assert_eq!(params.len(), 2);
+        assert!(ret.is_unit());
+    }
+
+    #[test]
+    fn unit_detection() {
+        assert!(TypeExpr::named("unit").is_unit());
+        assert!(!TypeExpr::named("int").is_unit());
+        assert!(!TypeExpr::Constr(vec!["M".into(), "unit".into()], vec![]).is_unit());
+    }
+
+    #[test]
+    fn poly_variant_detection_recurses() {
+        let t = arrow(TypeExpr::PolyVariant, TypeExpr::named("unit"));
+        assert!(t.mentions_poly_variant());
+        let t2 = TypeExpr::Tuple(vec![TypeExpr::named("int"), TypeExpr::PolyVariant]);
+        assert!(t2.mentions_poly_variant());
+        assert!(!TypeExpr::named("int").mentions_poly_variant());
+    }
+
+    #[test]
+    fn type_vars_in_order_no_dups() {
+        let t = arrow(
+            TypeExpr::Var("a".into()),
+            TypeExpr::Tuple(vec![TypeExpr::Var("b".into()), TypeExpr::Var("a".into())]),
+        );
+        assert_eq!(t.type_vars(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn variant_nullary() {
+        let v = Variant { name: "B".into(), args: vec![] };
+        assert!(v.is_nullary());
+        let v2 = Variant { name: "A".into(), args: vec![TypeExpr::named("int")] };
+        assert!(!v2.is_nullary());
+    }
+
+    #[test]
+    fn nullary_count_for_running_example() {
+        // type t = A of int | B | C of int * int | D
+        let decl = TypeDecl {
+            name: "t".into(),
+            params: vec![],
+            kind: TypeDeclKind::Sum(vec![
+                Variant { name: "A".into(), args: vec![TypeExpr::named("int")] },
+                Variant { name: "B".into(), args: vec![] },
+                Variant {
+                    name: "C".into(),
+                    args: vec![TypeExpr::named("int"), TypeExpr::named("int")],
+                },
+                Variant { name: "D".into(), args: vec![] },
+            ]),
+            span: Span::dummy(),
+        };
+        assert_eq!(decl.nullary_count(), Some(2));
+    }
+
+    #[test]
+    fn external_native_name_and_arity() {
+        let e = ExternalDecl {
+            ml_name: "f".into(),
+            ty: arrow(TypeExpr::named("int"), TypeExpr::named("unit")),
+            c_names: vec!["f_bytecode".into(), "f_native".into()],
+            span: Span::dummy(),
+        };
+        assert_eq!(e.native_c_name(), "f_native");
+        assert_eq!(e.arity(), 1);
+    }
+}

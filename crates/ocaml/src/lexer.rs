@@ -1,0 +1,391 @@
+//! Lexer for the OCaml declaration sublanguage.
+//!
+//! Handles nested `(* … *)` comments, string literals with escapes, type
+//! variables, and the punctuation used by `type` and `external`
+//! declarations. Everything else (expression syntax) is lexed permissively
+//! into [`TokenKind::Other`] so the parser can skip non-declaration items.
+
+use crate::token::{Token, TokenKind};
+use ffisafe_support::{FileId, Span};
+
+/// Lexes an entire OCaml source file into tokens (ending with `Eof`).
+pub fn lex(file: FileId, src: &str) -> Vec<Token> {
+    Lexer { file, src: src.as_bytes(), pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    file: FileId,
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let lo = self.pos as u32;
+            let Some(c) = self.peek() else {
+                out.push(self.tok(TokenKind::Eof, lo));
+                return out;
+            };
+            let kind = match c {
+                b'a'..=b'z' | b'_' => {
+                    let s = self.take_ident();
+                    TokenKind::LIdent(s)
+                }
+                b'A'..=b'Z' => {
+                    let s = self.take_ident();
+                    TokenKind::UIdent(s)
+                }
+                b'\'' => {
+                    // type variable 'a or char literal; we only need tyvars
+                    self.bump();
+                    if matches!(self.peek(), Some(b'a'..=b'z' | b'_')) {
+                        let s = self.take_plain_ident();
+                        // char literal like 'a' has a closing quote
+                        if self.peek() == Some(b'\'') && s.len() == 1 {
+                            self.bump();
+                            TokenKind::Other('\'')
+                        } else {
+                            TokenKind::TyVar(s)
+                        }
+                    } else {
+                        // char literal such as '\n' or '0'; consume loosely
+                        if self.peek() == Some(b'\\') {
+                            self.bump();
+                            self.bump();
+                        } else {
+                            self.bump();
+                        }
+                        if self.peek() == Some(b'\'') {
+                            self.bump();
+                        }
+                        TokenKind::Other('\'')
+                    }
+                }
+                b'"' => {
+                    let s = self.take_string();
+                    TokenKind::Str(s)
+                }
+                b'0'..=b'9' => {
+                    let n = self.take_int();
+                    TokenKind::Int(n)
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                b'|' => {
+                    self.bump();
+                    // tolerate || in skipped expressions
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        TokenKind::Other('|')
+                    } else {
+                        TokenKind::Bar
+                    }
+                }
+                b'*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                b'(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                b'{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                b';' => {
+                    self.bump();
+                    if self.peek() == Some(b';') {
+                        self.bump();
+                        TokenKind::SemiSemi
+                    } else {
+                        TokenKind::Semi
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    TokenKind::Colon
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Other('-')
+                    }
+                }
+                b'.' => {
+                    self.bump();
+                    TokenKind::Dot
+                }
+                b'?' => {
+                    self.bump();
+                    TokenKind::Question
+                }
+                b'~' => {
+                    self.bump();
+                    TokenKind::Tilde
+                }
+                b'<' => {
+                    self.bump();
+                    TokenKind::Lt
+                }
+                b'>' => {
+                    self.bump();
+                    TokenKind::Gt
+                }
+                b'#' => {
+                    self.bump();
+                    TokenKind::Hash
+                }
+                b'`' => {
+                    self.bump();
+                    TokenKind::Backtick
+                }
+                other => {
+                    self.bump();
+                    TokenKind::Other(other as char)
+                }
+            };
+            out.push(self.tok(kind, lo));
+        }
+    }
+
+    fn tok(&self, kind: TokenKind, lo: u32) -> Token {
+        Token { kind, span: Span::new(self.file, lo, self.pos as u32) }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => self.bump(),
+                Some(b'(') if self.peek2() == Some(b'*') => self.skip_comment(),
+                _ => return,
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) {
+        // at "(*"
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                None => return,
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                Some(b'*') if self.peek2() == Some(b')') => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(b'"') => {
+                    let _ = self.take_string();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\''))
+        {
+            // identifiers may contain primes (x') but a prime followed by a
+            // letter at the start of lexing is a tyvar, handled by caller
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Like [`Self::take_ident`] but excludes primes — used for type
+    /// variables, where `'x'` must lex as a char literal, not tyvar `x'`.
+    fn take_plain_ident(&mut self) -> String {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn take_string(&mut self) -> String {
+        // at '"'
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'"') => {
+                    self.bump();
+                    return out;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'"') => out.push('"'),
+                        Some(c) => out.push(c as char),
+                        None => {}
+                    }
+                    self.bump();
+                }
+                Some(c) => {
+                    out.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn take_int(&mut self) -> i64 {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'x' | b'X' | b'a'..=b'f' | b'A'..=b'F' | b'_'))
+        {
+            self.bump();
+        }
+        let text: String = String::from_utf8_lossy(&self.src[start..self.pos])
+            .replace('_', "");
+        if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16).unwrap_or(0)
+        } else {
+            text.parse().unwrap_or(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(FileId::from_raw(0), src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_external_declaration() {
+        let ks = kinds(r#"external seek : channel -> int -> unit = "ml_gz_seek""#);
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::LIdent("external".into()),
+                TokenKind::LIdent("seek".into()),
+                TokenKind::Colon,
+                TokenKind::LIdent("channel".into()),
+                TokenKind::Arrow,
+                TokenKind::LIdent("int".into()),
+                TokenKind::Arrow,
+                TokenKind::LIdent("unit".into()),
+                TokenKind::Eq,
+                TokenKind::Str("ml_gz_seek".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_type_declaration_with_variants() {
+        let ks = kinds("type t = A of int | B | C of int * int | D");
+        assert!(ks.contains(&TokenKind::UIdent("A".into())));
+        assert!(ks.contains(&TokenKind::Bar));
+        assert!(ks.contains(&TokenKind::Star));
+        assert!(ks.contains(&TokenKind::LIdent("of".into())));
+    }
+
+    #[test]
+    fn nested_comments_are_skipped() {
+        let ks = kinds("type (* a (* nested *) comment *) t = int");
+        assert_eq!(ks[0], TokenKind::LIdent("type".into()));
+        assert_eq!(ks[1], TokenKind::LIdent("t".into()));
+    }
+
+    #[test]
+    fn tyvars_and_char_literals() {
+        let ks = kinds("'a 'b_var");
+        assert_eq!(ks[0], TokenKind::TyVar("a".into()));
+        assert_eq!(ks[1], TokenKind::TyVar("b_var".into()));
+        // char literal should not become a tyvar
+        let ks = kinds("'x' 'a");
+        assert_eq!(ks[0], TokenKind::Other('\''));
+        assert_eq!(ks[1], TokenKind::TyVar("a".into()));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ks = kinds(r#""a\nb\"c""#);
+        assert_eq!(ks[0], TokenKind::Str("a\nb\"c".into()));
+    }
+
+    #[test]
+    fn semisemi_and_arrow() {
+        let ks = kinds(";; ->");
+        assert_eq!(ks[0], TokenKind::SemiSemi);
+        assert_eq!(ks[1], TokenKind::Arrow);
+    }
+
+    #[test]
+    fn integers_including_hex() {
+        let ks = kinds("42 0x1f 1_000");
+        assert_eq!(ks[0], TokenKind::Int(42));
+        assert_eq!(ks[1], TokenKind::Int(31));
+        assert_eq!(ks[2], TokenKind::Int(1000));
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let toks = lex(FileId::from_raw(0), "type t");
+        assert_eq!(toks[0].span.lo, 0);
+        assert_eq!(toks[0].span.hi, 4);
+        assert_eq!(toks[1].span.lo, 5);
+        assert_eq!(toks[1].span.hi, 6);
+    }
+
+    #[test]
+    fn backtick_for_polymorphic_variants() {
+        let ks = kinds("[ `On | `Off ]");
+        assert_eq!(ks[0], TokenKind::LBracket);
+        assert_eq!(ks[1], TokenKind::Backtick);
+    }
+}

@@ -1,0 +1,138 @@
+//! The central type repository (§5.1).
+//!
+//! The paper's camlp4-based tool incrementally updates "a central type
+//! repository with the newly extracted type information" as each OCaml
+//! source file is analyzed, "beginning with a pre-generated repository from
+//! the standard OCaml library". [`TypeRepository`] plays that role: user
+//! `type` declarations register here; builtin types (`int`, `'a list`,
+//! `'a option`, …) are handled structurally by the translator.
+
+use crate::ast::{Item, TypeDecl, TypeDeclKind};
+use crate::parser::ParsedFile;
+use std::collections::HashMap;
+
+/// Maps type names to their declarations across all analyzed OCaml files.
+///
+/// Lookups use the *last* path segment (`Gl.point` → `point`), matching how
+/// our single-namespace benchmark corpus is organized; a real multi-module
+/// build would key on full paths.
+#[derive(Clone, Debug, Default)]
+pub struct TypeRepository {
+    decls: HashMap<String, TypeDecl>,
+}
+
+impl TypeRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        TypeRepository::default()
+    }
+
+    /// Registers one declaration, replacing any previous one of the same
+    /// name (later files win, as with the paper's incremental updates).
+    pub fn register(&mut self, decl: TypeDecl) {
+        self.decls.insert(decl.name.clone(), decl);
+    }
+
+    /// Registers every type declaration in a parsed file.
+    pub fn register_file(&mut self, file: &ParsedFile) {
+        for item in &file.items {
+            if let Item::Type(d) = item {
+                self.register(d.clone());
+            }
+        }
+    }
+
+    /// Looks up a declaration by name.
+    pub fn lookup(&self, name: &str) -> Option<&TypeDecl> {
+        self.decls.get(name)
+    }
+
+    /// Looks up by dotted path, using the final segment.
+    pub fn lookup_path(&self, path: &[String]) -> Option<&TypeDecl> {
+        path.last().and_then(|n| self.lookup(n))
+    }
+
+    /// Number of registered declarations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Resolves alias chains: follows `type a = b` links (without
+    /// arguments) until hitting a non-alias declaration, a builtin or an
+    /// unknown name. Used to answer "what concrete form does this type
+    /// have" for opaque-type replacement (§5.1).
+    pub fn resolve_alias_chain(&self, name: &str) -> String {
+        let mut cur = name.to_string();
+        let mut hops = 0usize;
+        while let Some(decl) = self.lookup(&cur) {
+            match &decl.kind {
+                TypeDeclKind::Alias(crate::ast::TypeExpr::Constr(path, args))
+                    if args.is_empty() && path.len() == 1 =>
+                {
+                    cur = path[0].clone();
+                }
+                _ => return decl.name.clone(),
+            }
+            hops += 1;
+            if hops > self.decls.len() + 1 {
+                return cur; // alias cycle; give up
+            }
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use ffisafe_support::FileId;
+
+    fn repo_from(src: &str) -> TypeRepository {
+        let pf = parse(FileId::from_raw(0), src);
+        let mut repo = TypeRepository::new();
+        repo.register_file(&pf);
+        repo
+    }
+
+    #[test]
+    fn registers_and_looks_up() {
+        let repo = repo_from("type t = A | B\ntype u = int");
+        assert_eq!(repo.len(), 2);
+        assert!(repo.lookup("t").is_some());
+        assert!(repo.lookup("v").is_none());
+        assert!(repo.lookup_path(&["M".into(), "t".into()]).is_some());
+    }
+
+    #[test]
+    fn later_registration_wins() {
+        let mut repo = repo_from("type t = A");
+        let pf = parse(FileId::from_raw(1), "type t = A | B");
+        repo.register_file(&pf);
+        let d = repo.lookup("t").unwrap();
+        match &d.kind {
+            TypeDeclKind::Sum(vs) => assert_eq!(vs.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_chain_resolution() {
+        let repo = repo_from("type a = b\ntype b = c\ntype c = X | Y");
+        assert_eq!(repo.resolve_alias_chain("a"), "c");
+        assert_eq!(repo.resolve_alias_chain("missing"), "missing");
+    }
+
+    #[test]
+    fn alias_cycle_terminates() {
+        let repo = repo_from("type a = b\ntype b = a");
+        // must not loop forever
+        let r = repo.resolve_alias_chain("a");
+        assert!(r == "a" || r == "b");
+    }
+}

@@ -1,0 +1,106 @@
+//! Tokens of the OCaml declaration sublanguage.
+
+use ffisafe_support::Span;
+
+/// A lexed OCaml token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lowercase identifier or keyword candidate (`type`, `t`, `external`).
+    LIdent(String),
+    /// Uppercase identifier (constructors, module names).
+    UIdent(String),
+    /// Type variable `'a`.
+    TyVar(String),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// `=`
+    Eq,
+    /// `|`
+    Bar,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `;;`
+    SemiSemi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `~`
+    Tilde,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `#`
+    Hash,
+    /// `` ` `` (polymorphic-variant tag marker)
+    Backtick,
+    /// Any other punctuation we tolerate while skipping non-declarations.
+    Other(char),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the identifier text when this is an `LIdent`.
+    pub fn as_lident(&self) -> Option<&str> {
+        match self {
+            TokenKind::LIdent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::LIdent(s) if s == kw)
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Source span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_recognition() {
+        assert!(TokenKind::LIdent("type".into()).is_kw("type"));
+        assert!(!TokenKind::LIdent("typ".into()).is_kw("type"));
+        assert!(!TokenKind::UIdent("Type".into()).is_kw("type"));
+    }
+
+    #[test]
+    fn as_lident() {
+        assert_eq!(TokenKind::LIdent("t".into()).as_lident(), Some("t"));
+        assert_eq!(TokenKind::Eq.as_lident(), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Robustness: the OCaml frontend must never panic and must always skip
+//! unrecognized items rather than derail.
+
+use ffisafe_ocaml::{parser, TypeRepository};
+use ffisafe_support::FileId;
+use proptest::prelude::*;
+
+fn pipeline(src: &str) {
+    let parsed = parser::parse(FileId::from_raw(0), src);
+    let mut repo = TypeRepository::new();
+    repo.register_file(&parsed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text: lex + parse + register must not panic.
+    #[test]
+    fn prop_parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
+        pipeline(&src);
+    }
+
+    /// OCaml-shaped token soup.
+    #[test]
+    fn prop_parser_never_panics_on_ml_like_input(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("type".to_string()),
+                Just("external".to_string()),
+                Just("of".to_string()),
+                Just("and".to_string()),
+                Just("mutable".to_string()),
+                Just("let".to_string()),
+                Just("t".to_string()),
+                Just("A".to_string()),
+                Just("int".to_string()),
+                Just("'a".to_string()),
+                Just("->".to_string()),
+                Just("|".to_string()),
+                Just("*".to_string()),
+                Just("=".to_string()),
+                Just(":".to_string()),
+                Just(";".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("`".to_string()),
+                Just("\"c_f\"".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        pipeline(&toks.join(" "));
+    }
+
+    /// Declarations survive arbitrary surrounding junk (bracket-free —
+    /// an unbalanced opening bracket legitimately swallows what follows):
+    /// the declarations themselves must still be found.
+    #[test]
+    fn prop_declarations_survive_junk(junk in "[a-z0-9 \\n=+*;.]{0,80}") {
+        let src = format!(
+            "let junk = {junk}\ntype probe = P0 | P1 of int\nexternal pf : probe -> int = \"c_pf\"\n"
+        );
+        let parsed = parser::parse(FileId::from_raw(0), &src);
+        let types = parsed
+            .items
+            .iter()
+            .filter(|i| matches!(i, ffisafe_ocaml::Item::Type(d) if d.name == "probe"))
+            .count();
+        let exts = parsed
+            .items
+            .iter()
+            .filter(|i| matches!(i, ffisafe_ocaml::Item::External(e) if e.ml_name == "pf"))
+            .count();
+        prop_assert_eq!(types, 1);
+        prop_assert_eq!(exts, 1);
+    }
+}
+
+#[test]
+fn comment_bomb_terminates() {
+    let mut src = String::new();
+    for _ in 0..500 {
+        src.push_str("(* ");
+    }
+    src.push_str("type t = int");
+    pipeline(&src);
+}
+
+#[test]
+fn deeply_nested_types_do_not_overflow() {
+    let mut ty = String::from("int");
+    for _ in 0..300 {
+        ty = format!("({ty}) list");
+    }
+    pipeline(&format!("type deep = {ty}"));
+}

@@ -1,0 +1,674 @@
+//! The type *checking* rules of Figures 13/14 for the restricted language,
+//! plus the store-compatibility relation of Definition 4.
+//!
+//! Unlike the inference engine, everything here is ground: `Γ` assigns
+//! concrete types to variables, C locations and heap blocks, and the rules
+//! merely validate. Theorem 1 (executable form): if [`check`] accepts a
+//! well-formed program under a `Γ` compatible with the initial stores, the
+//! machine never gets stuck — tested exhaustively in the soundness suite.
+
+use crate::machine::Stores;
+use crate::syntax::{Program, SExpr, SStmt, Value};
+use crate::types::{GCt, GMt, GPsi};
+use ffisafe_types::{Boxedness, FlatInt, Shape};
+use std::collections::HashMap;
+
+/// The ground typing context: variables, C locations and heap blocks.
+#[derive(Clone, Debug, Default)]
+pub struct Gamma {
+    /// Variable types (the flow-insensitive `ct` part).
+    pub vars: HashMap<String, GCt>,
+    /// C location types (`Γ ⊢ l : ct *`).
+    pub clocs: HashMap<u32, GCt>,
+    /// Heap block types and static tags
+    /// (`Γ ⊢ {l+n} : (Ψ,Σ) value[boxed{n}]{m}`).
+    pub blocks: HashMap<u32, (GMt, i64)>,
+}
+
+/// A checking failure, with the statement index where it occurred
+/// (`usize::MAX` for compatibility failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeError {
+    /// Statement index.
+    pub at: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "statement {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(at: usize, message: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError { at, message: message.into() })
+}
+
+/// Whether runtime value `v` inhabits ground type `ct` (used by
+/// compatibility, Definition 4). Heap pointers must be *safe* (offset 0).
+pub fn value_has_type(gamma: &Gamma, v: Value, ct: &GCt) -> bool {
+    match (v, ct) {
+        (Value::CInt(_), GCt::Int) => true,
+        (Value::CLoc(l), GCt::Ptr(inner)) => {
+            gamma.clocs.get(&l).is_some_and(|t| t == inner.as_ref())
+        }
+        (Value::MlInt(n), GCt::Value(mt)) => mt.psi.admits(n),
+        (Value::MlLoc { base, off: 0 }, GCt::Value(mt)) => {
+            gamma.blocks.get(&base).is_some_and(|(t, _)| t == mt)
+        }
+        _ => false,
+    }
+}
+
+/// Definition 4: `Γ ∼ ⟨S_C, S_ML, V⟩`.
+pub fn compatible(gamma: &Gamma, stores: &Stores) -> Result<(), TypeError> {
+    for (l, v) in &stores.sc {
+        let Some(ct) = gamma.clocs.get(l) else {
+            return err(usize::MAX, format!("C location {l} missing from Γ"));
+        };
+        if !value_has_type(gamma, *v, ct) {
+            return err(usize::MAX, format!("S_C({l}) = {v:?} is not a `{ct}`"));
+        }
+    }
+    for (base, block) in &stores.sml {
+        let Some((mt, tag)) = gamma.blocks.get(base) else {
+            return err(usize::MAX, format!("block {base} missing from Γ"));
+        };
+        if block.tag != *tag {
+            return err(
+                usize::MAX,
+                format!("block {base} has tag {} but Γ says {tag}", block.tag),
+            );
+        }
+        let Some(fields) = mt.product(*tag) else {
+            return err(usize::MAX, format!("block {base} tag {tag} exceeds Σ"));
+        };
+        if block.fields.len() < fields.len() {
+            return err(usize::MAX, format!("block {base} shorter than its product"));
+        }
+        for (i, fty) in fields.iter().enumerate() {
+            if !value_has_type(gamma, block.fields[i], &GCt::Value(fty.clone())) {
+                return err(
+                    usize::MAX,
+                    format!("block {base} field {i} does not inhabit `{fty}`"),
+                );
+            }
+        }
+    }
+    for (x, v) in &stores.v {
+        let Some(ct) = gamma.vars.get(x) else {
+            return err(usize::MAX, format!("variable {x} missing from Γ"));
+        };
+        if !value_has_type(gamma, *v, ct) {
+            return err(usize::MAX, format!("V({x}) = {v:?} is not a `{ct}`"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a program under `gamma`, running the flow-sensitive label
+/// fixpoint of Figure 14.
+///
+/// # Errors
+///
+/// Returns the first rule violation found.
+pub fn check(program: &Program, gamma: &Gamma) -> Result<(), TypeError> {
+    let mut checker = Checker {
+        gamma,
+        program,
+        labels: HashMap::new(),
+        env: HashMap::new(),
+    };
+    // fixpoint on label environments; rule applications are deterministic
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        let changed = checker.run_pass()?;
+        if !changed {
+            return Ok(());
+        }
+        if guard > 4 * program.len() + 8 {
+            return err(usize::MAX, "label fixpoint failed to converge");
+        }
+    }
+}
+
+struct Checker<'a> {
+    gamma: &'a Gamma,
+    program: &'a Program,
+    labels: HashMap<String, HashMap<String, Shape>>,
+    env: HashMap<String, Shape>,
+}
+
+impl<'a> Checker<'a> {
+    fn initial_env(&self) -> HashMap<String, Shape> {
+        self.gamma.vars.keys().map(|k| (k.clone(), Shape::unknown())).collect()
+    }
+
+    fn bottom_env(&self) -> HashMap<String, Shape> {
+        self.gamma.vars.keys().map(|k| (k.clone(), Shape::bottom())).collect()
+    }
+
+    fn join_label(&mut self, label: &str, env: &HashMap<String, Shape>) -> bool {
+        let entry = self
+            .labels
+            .entry(label.to_string())
+            .or_insert_with(|| {
+                self.gamma.vars.keys().map(|k| (k.clone(), Shape::bottom())).collect()
+            });
+        let mut changed = false;
+        for (k, s) in env {
+            let g = entry.entry(k.clone()).or_insert_with(Shape::bottom);
+            let joined = g.join(*s);
+            if joined != *g {
+                *g = joined;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn run_pass(&mut self) -> Result<bool, TypeError> {
+        self.env = self.initial_env();
+        let mut changed = false;
+        for (i, stmt) in self.program.stmts.iter().enumerate() {
+            changed |= self.check_stmt(i, stmt)?;
+        }
+        Ok(changed)
+    }
+
+    fn shape_of(&self, x: &str) -> Shape {
+        self.env.get(x).copied().unwrap_or_else(Shape::bottom)
+    }
+
+    fn check_stmt(&mut self, at: usize, stmt: &SStmt) -> Result<bool, TypeError> {
+        match stmt {
+            SStmt::Skip => Ok(false),
+            SStmt::Label(l) => {
+                let env = self.env.clone();
+                let changed = self.join_label(l, &env);
+                self.env = self.labels[l].clone();
+                Ok(changed)
+            }
+            SStmt::Goto(l) => {
+                if self.program.label(l).is_none() {
+                    return err(at, format!("goto to unknown label `{l}`"));
+                }
+                let env = self.env.clone();
+                let changed = self.join_label(l, &env);
+                self.env = self.bottom_env();
+                Ok(changed)
+            }
+            SStmt::AssignVar(x, e) => {
+                let (ct, shape) = self.check_expr(at, e)?;
+                let Some(want) = self.gamma.vars.get(x) else {
+                    return err(at, format!("assignment to undeclared variable `{x}`"));
+                };
+                if &ct != want {
+                    return err(at, format!("assigning `{ct}` to `{x}` of type `{want}`"));
+                }
+                self.env.insert(x.clone(), shape);
+                Ok(false)
+            }
+            SStmt::AssignMem(base, n, rhs) => {
+                // *(e1 +p n) must type as a safe ct; rhs matches and is safe
+                let addr = SExpr::PtrAdd(Box::new(base.clone()), Box::new(SExpr::cint(*n)));
+                let target = SExpr::Deref(Box::new(addr));
+                let (ct, _) = self.check_expr(at, &target)?;
+                let (rct, rshape) = self.check_expr(at, rhs)?;
+                if rct != ct {
+                    return err(at, format!("storing `{rct}` where `{ct}` is required"));
+                }
+                if !rshape.is_safe() {
+                    return err(at, "stored value is not safe (offset unknown or nonzero)");
+                }
+                Ok(false)
+            }
+            SStmt::If(e, l) => {
+                let (ct, _) = self.check_expr(at, e)?;
+                if ct != GCt::Int {
+                    return err(at, format!("if-condition has type `{ct}`, expected int"));
+                }
+                if self.program.label(l).is_none() {
+                    return err(at, format!("branch to unknown label `{l}`"));
+                }
+                let env = self.env.clone();
+                Ok(self.join_label(l, &env))
+            }
+            SStmt::IfUnboxed(x, l) => {
+                let mt = self.var_value_type(at, x)?;
+                let _ = mt;
+                let shape = self.shape_of(x);
+                if !shape.is_safe() {
+                    return err(at, format!("if unboxed({x}): `{x}` is not safe"));
+                }
+                if self.program.label(l).is_none() {
+                    return err(at, format!("branch to unknown label `{l}`"));
+                }
+                let mut tenv = self.env.clone();
+                tenv.insert(
+                    x.clone(),
+                    Shape::new(Boxedness::Unboxed, FlatInt::Known(0), shape.t),
+                );
+                let changed = self.join_label(l, &tenv);
+                self.env.insert(
+                    x.clone(),
+                    Shape::new(Boxedness::Boxed, FlatInt::Known(0), shape.t),
+                );
+                Ok(changed)
+            }
+            SStmt::IfSumTag(x, n, l) => {
+                let mt = self.var_value_type(at, x)?;
+                let shape = self.shape_of(x);
+                if shape.b != Boxedness::Boxed && shape.b != Boxedness::Bot {
+                    return err(
+                        at,
+                        format!("if sum_tag({x}): `{x}` is not known to be boxed"),
+                    );
+                }
+                if !matches!(shape.i, FlatInt::Known(0) | FlatInt::Bot) {
+                    return err(at, format!("if sum_tag({x}): `{x}` is not at offset 0"));
+                }
+                if mt.product(*n).is_none() {
+                    return err(
+                        at,
+                        format!("if sum_tag({x}) == {n}: type `{mt}` has no such constructor"),
+                    );
+                }
+                if self.program.label(l).is_none() {
+                    return err(at, format!("branch to unknown label `{l}`"));
+                }
+                let mut tenv = self.env.clone();
+                tenv.insert(
+                    x.clone(),
+                    Shape::new(Boxedness::Boxed, FlatInt::Known(0), FlatInt::Known(*n)),
+                );
+                Ok(self.join_label(l, &tenv))
+            }
+            SStmt::IfIntTag(x, n, l) => {
+                let mt = self.var_value_type(at, x)?;
+                let shape = self.shape_of(x);
+                if shape.b != Boxedness::Unboxed && shape.b != Boxedness::Bot {
+                    return err(
+                        at,
+                        format!("if int_tag({x}): `{x}` is not known to be unboxed"),
+                    );
+                }
+                if !mt.psi.admits(*n) {
+                    return err(
+                        at,
+                        format!("if int_tag({x}) == {n}: type `{mt}` has too few nullary constructors"),
+                    );
+                }
+                if self.program.label(l).is_none() {
+                    return err(at, format!("branch to unknown label `{l}`"));
+                }
+                let mut tenv = self.env.clone();
+                tenv.insert(
+                    x.clone(),
+                    Shape::new(Boxedness::Unboxed, FlatInt::Known(0), FlatInt::Known(*n)),
+                );
+                Ok(self.join_label(l, &tenv))
+            }
+        }
+    }
+
+    fn var_value_type(&self, at: usize, x: &str) -> Result<GMt, TypeError> {
+        match self.gamma.vars.get(x) {
+            Some(GCt::Value(mt)) => Ok(mt.clone()),
+            Some(other) => err(at, format!("`{x}` has type `{other}`, expected a value")),
+            None => err(at, format!("unknown variable `{x}`")),
+        }
+    }
+
+    fn check_expr(&self, at: usize, e: &SExpr) -> Result<(GCt, Shape), TypeError> {
+        match e {
+            SExpr::Lit(Value::CInt(n), _) => Ok((GCt::Int, Shape::int_const(*n))),
+            SExpr::Lit(Value::CLoc(l), _) => match self.gamma.clocs.get(l) {
+                Some(ct) => Ok((ct.clone().ptr(), Shape::unknown())),
+                None => err(at, format!("literal C location {l} not in Γ")),
+            },
+            SExpr::Lit(Value::MlInt(n), ann) => {
+                let Some(mt) = ann else {
+                    return err(at, "OCaml literal without a type annotation");
+                };
+                if !mt.psi.admits(*n) {
+                    return err(at, format!("immediate {{{n}}} is not admitted by `{mt}`"));
+                }
+                Ok((
+                    GCt::Value(mt.clone()),
+                    Shape::new(Boxedness::Unboxed, FlatInt::Known(0), FlatInt::Known(*n)),
+                ))
+            }
+            SExpr::Lit(Value::MlLoc { base, off }, _) => {
+                let Some((mt, tag)) = self.gamma.blocks.get(base) else {
+                    return err(at, format!("literal block {base} not in Γ"));
+                };
+                let Some(fields) = mt.product(*tag) else {
+                    return err(at, format!("block {base} tag {tag} exceeds Σ"));
+                };
+                if *off < 0 || *off as usize > fields.len().saturating_sub(1) {
+                    return err(at, format!("literal {{{base}+{off}}} out of bounds"));
+                }
+                Ok((
+                    GCt::Value(mt.clone()),
+                    Shape::new(Boxedness::Boxed, FlatInt::Known(*off), FlatInt::Known(*tag)),
+                ))
+            }
+            SExpr::Var(x) => match self.gamma.vars.get(x) {
+                Some(ct) => Ok((ct.clone(), self.shape_of(x))),
+                None => err(at, format!("unknown variable `{x}`")),
+            },
+            SExpr::Deref(inner) => {
+                let (ct, shape) = self.check_expr(at, inner)?;
+                match ct {
+                    GCt::Ptr(inner_ct) => Ok((*inner_ct, Shape::unknown())),
+                    GCt::Value(mt) => {
+                        if shape.b != Boxedness::Boxed {
+                            return err(at, "dereference of a value not known to be boxed");
+                        }
+                        let (FlatInt::Known(m), FlatInt::Known(n)) = (shape.t, shape.i) else {
+                            return err(at, "dereference with unknown tag or offset");
+                        };
+                        let Some(fields) = mt.product(m) else {
+                            return err(at, format!("tag {m} exceeds `{mt}`"));
+                        };
+                        let Some(field) =
+                            usize::try_from(n).ok().and_then(|i| fields.get(i))
+                        else {
+                            return err(at, format!("field {n} exceeds product of tag {m}"));
+                        };
+                        Ok((GCt::Value(field.clone()), Shape::unknown()))
+                    }
+                    GCt::Int => err(at, "dereference of an int"),
+                }
+            }
+            SExpr::Aop(op, a, b) => {
+                let (cta, sa) = self.check_expr(at, a)?;
+                let (ctb, sb) = self.check_expr(at, b)?;
+                if cta != GCt::Int || ctb != GCt::Int {
+                    return err(at, "arithmetic on non-integers");
+                }
+                Ok((
+                    GCt::Int,
+                    Shape::new(Boxedness::Top, FlatInt::Known(0), sa.t.aop(op, sb.t)),
+                ))
+            }
+            SExpr::PtrAdd(a, b) => {
+                let (cta, sa) = self.check_expr(at, a)?;
+                let (ctb, sb) = self.check_expr(at, b)?;
+                if ctb != GCt::Int {
+                    return err(at, "pointer offset is not an integer");
+                }
+                match cta {
+                    GCt::Value(mt) => {
+                        if sa.b != Boxedness::Boxed {
+                            return err(at, "value pointer arithmetic on a non-boxed value");
+                        }
+                        let (FlatInt::Known(n), FlatInt::Known(m), FlatInt::Known(k)) =
+                            (sa.i, sa.t, sb.t)
+                        else {
+                            return err(at, "pointer arithmetic with unknown components");
+                        };
+                        let Some(fields) = mt.product(m) else {
+                            return err(at, format!("tag {m} exceeds `{mt}`"));
+                        };
+                        let new_off = n + k;
+                        if new_off < 0 || new_off as usize >= fields.len() {
+                            return err(
+                                at,
+                                format!("offset {new_off} exceeds product of tag {m}"),
+                            );
+                        }
+                        Ok((
+                            GCt::Value(mt),
+                            Shape::new(
+                                Boxedness::Boxed,
+                                FlatInt::Known(new_off),
+                                FlatInt::Known(m),
+                            ),
+                        ))
+                    }
+                    GCt::Ptr(_) => {
+                        if sb.t != FlatInt::Known(0) {
+                            return err(at, "C pointer arithmetic must use offset 0");
+                        }
+                        Ok((cta, Shape::unknown()))
+                    }
+                    GCt::Int => err(at, "pointer arithmetic on an int"),
+                }
+            }
+            SExpr::ValInt(inner, mt) => {
+                let (ct, shape) = self.check_expr(at, inner)?;
+                if ct != GCt::Int {
+                    return err(at, "Val_int of a non-integer");
+                }
+                match shape.t {
+                    FlatInt::Known(n) if !mt.psi.admits(n) => {
+                        return err(at, format!("Val_int({n}) is not admitted by `{mt}`"));
+                    }
+                    FlatInt::Top if mt.psi != GPsi::Top => {
+                        return err(at, "Val_int of unknown integer requires an int-like type");
+                    }
+                    _ => {}
+                }
+                Ok((
+                    GCt::Value(mt.clone()),
+                    Shape::new(Boxedness::Unboxed, FlatInt::Known(0), shape.t),
+                ))
+            }
+            SExpr::IntVal(inner) => {
+                let (ct, shape) = self.check_expr(at, inner)?;
+                let GCt::Value(mt) = ct else {
+                    return err(at, "Int_val of a non-value");
+                };
+                // A type with no boxed constructors is statically immediate
+                // (no compatible store can hold a pointer of that type), so
+                // no dynamic unboxedness proof is needed.
+                let statically_immediate = mt.sigma.is_empty();
+                if !statically_immediate
+                    && shape.b != Boxedness::Unboxed
+                    && shape.b != Boxedness::Bot
+                {
+                    return err(at, "Int_val of a value not known to be unboxed");
+                }
+                Ok((
+                    GCt::Int,
+                    Shape::new(Boxedness::Top, FlatInt::Known(0), shape.t),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Block;
+
+    /// `Γ` and stores for: `x : t` where
+    /// `type t = A of int | B | C of int * int | D`, x = C(3, 4).
+    fn world() -> (Gamma, Stores) {
+        let t = GMt::sum(2, vec![vec![GMt::int()], vec![GMt::int(), GMt::int()]]);
+        let mut gamma = Gamma::default();
+        gamma.blocks.insert(0, (t.clone(), 1));
+        gamma.vars.insert("x".into(), GCt::Value(t));
+        gamma.vars.insert("r".into(), GCt::Int);
+        let mut stores = Stores::default();
+        stores.sml.insert(0, Block { tag: 1, fields: vec![Value::MlInt(3), Value::MlInt(4)] });
+        stores.v.insert("x".into(), Value::MlLoc { base: 0, off: 0 });
+        stores.v.insert("r".into(), Value::CInt(0));
+        (gamma, stores)
+    }
+
+    /// The Figure 8 program: examine `x` with all four constructors.
+    fn figure8() -> Program {
+        use SExpr as E;
+        use SStmt as S;
+        Program::new(vec![
+            S::IfUnboxed("x".into(), "unboxed".into()),
+            // boxed fall-through
+            S::IfSumTag("x".into(), 0, "tag_a".into()),
+            S::IfSumTag("x".into(), 1, "tag_c".into()),
+            S::Goto("end".into()),
+            S::Label("tag_a".into()),
+            S::AssignVar(
+                "r".into(),
+                E::IntVal(Box::new(E::Deref(Box::new(E::PtrAdd(
+                    Box::new(E::var("x")),
+                    Box::new(E::cint(0)),
+                ))))),
+            ),
+            S::Goto("end".into()),
+            S::Label("tag_c".into()),
+            S::AssignVar(
+                "r".into(),
+                E::IntVal(Box::new(E::Deref(Box::new(E::PtrAdd(
+                    Box::new(E::var("x")),
+                    Box::new(E::cint(1)),
+                ))))),
+            ),
+            S::Goto("end".into()),
+            S::Label("unboxed".into()),
+            S::IfIntTag("x".into(), 0, "b".into()),
+            S::IfIntTag("x".into(), 1, "d".into()),
+            S::Goto("end".into()),
+            S::Label("b".into()),
+            S::AssignVar("r".into(), E::cint(100)),
+            S::Goto("end".into()),
+            S::Label("d".into()),
+            S::AssignVar("r".into(), E::cint(200)),
+            S::Label("end".into()),
+        ])
+    }
+
+    #[test]
+    fn figure8_program_checks_and_runs() {
+        let (gamma, stores) = world();
+        let p = figure8();
+        assert!(p.well_formed());
+        compatible(&gamma, &stores).unwrap();
+        check(&p, &gamma).unwrap();
+        let out = crate::machine::Machine::new(&p, stores).run(10_000);
+        match out {
+            crate::machine::Outcome::Finished(s) => {
+                // x = C(3,4): tag 1, second field read
+                assert_eq!(s.v["r"], Value::CInt(4));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_offset_is_rejected_statically() {
+        let (gamma, _) = world();
+        use SExpr as E;
+        use SStmt as S;
+        // reads field 2 of constructor C (which has fields 0 and 1)
+        let p = Program::new(vec![
+            S::IfUnboxed("x".into(), "end".into()),
+            S::IfSumTag("x".into(), 1, "c".into()),
+            S::Goto("end".into()),
+            S::Label("c".into()),
+            S::AssignVar(
+                "r".into(),
+                E::IntVal(Box::new(E::Deref(Box::new(E::PtrAdd(
+                    Box::new(E::var("x")),
+                    Box::new(E::cint(2)),
+                ))))),
+            ),
+            S::Label("end".into()),
+        ]);
+        let e = check(&p, &gamma).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{e}");
+    }
+
+    #[test]
+    fn int_val_without_unboxed_test_is_rejected() {
+        let (gamma, _) = world();
+        use SExpr as E;
+        use SStmt as S;
+        let p = Program::new(vec![S::AssignVar(
+            "r".into(),
+            E::IntVal(Box::new(E::var("x"))),
+        )]);
+        let e = check(&p, &gamma).unwrap_err();
+        assert!(e.message.contains("unboxed"), "{e}");
+    }
+
+    #[test]
+    fn tag_test_without_boxedness_proof_is_rejected() {
+        let (gamma, _) = world();
+        let p = Program::new(vec![SStmt::IfSumTag("x".into(), 0, "l".into()), SStmt::Label("l".into())]);
+        let e = check(&p, &gamma).unwrap_err();
+        assert!(e.message.contains("boxed"), "{e}");
+    }
+
+    #[test]
+    fn int_tag_out_of_range_is_rejected() {
+        let (gamma, _) = world();
+        let p = Program::new(vec![
+            SStmt::IfUnboxed("x".into(), "u".into()),
+            SStmt::Goto("end".into()),
+            SStmt::Label("u".into()),
+            SStmt::IfIntTag("x".into(), 7, "end".into()),
+            SStmt::Label("end".into()),
+        ]);
+        let e = check(&p, &gamma).unwrap_err();
+        assert!(e.message.contains("nullary"), "{e}");
+    }
+
+    #[test]
+    fn compatibility_catches_wrong_store() {
+        let (gamma, mut stores) = world();
+        stores.v.insert("r".into(), Value::MlInt(0)); // r is an int variable
+        assert!(compatible(&gamma, &stores).is_err());
+    }
+
+    #[test]
+    fn val_int_respects_psi() {
+        let (mut gamma, _) = world();
+        let two = GMt::enumeration(2);
+        gamma.vars.insert("e".into(), GCt::Value(two.clone()));
+        use SExpr as E;
+        use SStmt as S;
+        let ok = Program::new(vec![S::AssignVar(
+            "e".into(),
+            E::ValInt(Box::new(E::cint(1)), two.clone()),
+        )]);
+        check(&ok, &gamma).unwrap();
+        let bad = Program::new(vec![S::AssignVar(
+            "e".into(),
+            E::ValInt(Box::new(E::cint(5)), two),
+        )]);
+        assert!(check(&bad, &gamma).is_err());
+    }
+
+    #[test]
+    fn loop_checks_via_label_fixpoint() {
+        let (gamma, stores) = world();
+        use SExpr as E;
+        use SStmt as S;
+        let mut g = gamma;
+        g.vars.insert("i".into(), GCt::Int);
+        let mut st = stores;
+        st.v.insert("i".into(), Value::CInt(3));
+        let p = Program::new(vec![
+            S::AssignVar("i".into(), E::cint(3)),
+            S::Label("head".into()),
+            S::If(
+                E::Aop("==", Box::new(E::var("i")), Box::new(E::cint(0))),
+                "end".into(),
+            ),
+            S::AssignVar("i".into(), E::Aop("-", Box::new(E::var("i")), Box::new(E::cint(1)))),
+            S::Goto("head".into()),
+            S::Label("end".into()),
+        ]);
+        check(&p, &g).unwrap();
+        let out = crate::machine::Machine::new(&p, st).run(1000);
+        assert!(matches!(out, crate::machine::Outcome::Finished(_)), "{out:?}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Executable semantics and soundness harness for the restricted
+//! multi-lingual language of the paper's appendix (§4, Figures 10–14).
+//!
+//! The paper proves Theorem 1 (Soundness): a well-typed statement either
+//! diverges or reduces to `()` — it never gets *stuck*. This crate makes
+//! that theorem executable:
+//!
+//! * [`syntax`] — the restricted grammar (Figure 10) in linear form with a
+//!   label map `D`;
+//! * [`machine`] — the small-step reduction rules of Figure 12 over the
+//!   three stores `S_C`, `S_ML`, `V`, with precise stuck detection;
+//! * [`mod@check`] — the ground checking rules of Figures 13/14 and the
+//!   store-compatibility relation of Definition 4;
+//! * [`generate`] — seeds random well-typed worlds/programs and mutants,
+//!   so the soundness suite can validate `checked ⇒ never stuck` across
+//!   thousands of configurations.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffisafe_semantics::generate::{gen_world, gen_program};
+//! use ffisafe_semantics::check::{check, compatible};
+//! use ffisafe_semantics::machine::Machine;
+//!
+//! let world = gen_world(42);
+//! let program = gen_program(&world, 42);
+//! compatible(&world.gamma, &world.stores).unwrap();
+//! check(&program, &world.gamma).unwrap();
+//! let outcome = Machine::new(&program, world.stores.clone()).run(10_000);
+//! assert!(!outcome.is_stuck());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod generate;
+pub mod machine;
+pub mod syntax;
+pub mod types;
+
+pub use check::{check, compatible, Gamma, TypeError};
+pub use machine::{Block, Machine, Outcome, Stores, Stuck};
+pub use syntax::{Program, SExpr, SStmt, Value};
+pub use types::{GCt, GMt, GPsi};

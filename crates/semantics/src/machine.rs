@@ -1,0 +1,442 @@
+//! The small-step operational semantics of Figure 12, executable.
+//!
+//! Configurations are `⟨S_C, S_ML, V, pc⟩` over a linear [`Program`]. The
+//! machine either terminates (runs past the end — the `()` statement),
+//! exhausts its step budget ("diverges"), or gets **stuck** — the outcome
+//! Theorem 1 (Soundness) rules out for well-typed programs.
+
+use crate::syntax::{Program, SExpr, SStmt, Value};
+use std::collections::HashMap;
+
+/// A structured block on the OCaml heap: a tag plus fields
+/// (`S_ML({l + -1})` is the tag).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Runtime tag.
+    pub tag: i64,
+    /// Field values.
+    pub fields: Vec<Value>,
+}
+
+/// The three stores of the semantics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Stores {
+    /// `S_C`: C locations.
+    pub sc: HashMap<u32, Value>,
+    /// `S_ML`: OCaml heap blocks by base location.
+    pub sml: HashMap<u32, Block>,
+    /// `V`: local variables.
+    pub v: HashMap<String, Value>,
+}
+
+/// Why a configuration could not reduce — exactly the side conditions of
+/// Figure 12 failing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stuck {
+    /// Read of an unbound variable.
+    UnboundVar(String),
+    /// `*l` with `l ∉ dom(S_C)`.
+    BadCLoc(u32),
+    /// `*{l+n}` outside any block or out of bounds.
+    BadMlLoc(u32, i64),
+    /// Arithmetic on non-integers.
+    AopOnNonInt,
+    /// Pointer arithmetic on incompatible operands (o-c-add allows only
+    /// `l +p 0`).
+    BadPtrAdd,
+    /// `Val_int` of a non-C-integer.
+    ValIntOnNonInt,
+    /// `Int_val` of a non-OCaml-integer.
+    IntValOnNonImmediate,
+    /// A conditional examined a value of the wrong kind.
+    BadTest,
+    /// Branch to an unknown label.
+    BadLabel(String),
+    /// Store through a non-location.
+    BadStore,
+}
+
+impl std::fmt::Display for Stuck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stuck::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            Stuck::BadCLoc(l) => write!(f, "dangling C location {l}"),
+            Stuck::BadMlLoc(l, n) => write!(f, "invalid OCaml heap access {{{l}+{n}}}"),
+            Stuck::AopOnNonInt => write!(f, "arithmetic on a non-integer"),
+            Stuck::BadPtrAdd => write!(f, "invalid pointer arithmetic"),
+            Stuck::ValIntOnNonInt => write!(f, "Val_int of a non-integer"),
+            Stuck::IntValOnNonImmediate => write!(f, "Int_val of a non-immediate"),
+            Stuck::BadTest => write!(f, "dynamic test on a value of the wrong kind"),
+            Stuck::BadLabel(l) => write!(f, "branch to unknown label `{l}`"),
+            Stuck::BadStore => write!(f, "store through a non-location"),
+        }
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Reduced to `()` — ran past the end of the statement list.
+    Finished(Stores),
+    /// Step budget exhausted (treated as divergence).
+    Diverged(Stores),
+    /// A reduction rule's side conditions failed.
+    Stuck {
+        /// What failed.
+        reason: Stuck,
+        /// Index of the offending statement.
+        at: usize,
+    },
+}
+
+impl Outcome {
+    /// Whether the run got stuck.
+    pub fn is_stuck(&self) -> bool {
+        matches!(self, Outcome::Stuck { .. })
+    }
+}
+
+/// The machine: a program under execution.
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    /// Current stores.
+    pub stores: Stores,
+    /// Program counter.
+    pub pc: usize,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine at `pc = 0` with the given initial stores.
+    pub fn new(program: &'p Program, stores: Stores) -> Self {
+        Machine { program, stores, pc: 0 }
+    }
+
+    /// Evaluates an expression (expressions are side-effect free).
+    pub fn eval(&self, e: &SExpr) -> Result<Value, Stuck> {
+        match e {
+            SExpr::Lit(v, _) => Ok(*v),
+            SExpr::Var(x) => {
+                self.stores.v.get(x).copied().ok_or_else(|| Stuck::UnboundVar(x.clone()))
+            }
+            SExpr::Deref(inner) => match self.eval(inner)? {
+                Value::CLoc(l) => {
+                    self.stores.sc.get(&l).copied().ok_or(Stuck::BadCLoc(l))
+                }
+                Value::MlLoc { base, off } => {
+                    let block =
+                        self.stores.sml.get(&base).ok_or(Stuck::BadMlLoc(base, off))?;
+                    usize::try_from(off)
+                        .ok()
+                        .and_then(|o| block.fields.get(o))
+                        .copied()
+                        .ok_or(Stuck::BadMlLoc(base, off))
+                }
+                _ => Err(Stuck::BadTest),
+            },
+            SExpr::Aop(op, a, b) => match (self.eval(a)?, self.eval(b)?) {
+                (Value::CInt(x), Value::CInt(y)) => Ok(Value::CInt(apply_aop(op, x, y))),
+                _ => Err(Stuck::AopOnNonInt),
+            },
+            SExpr::PtrAdd(a, b) => match (self.eval(a)?, self.eval(b)?) {
+                // o-ml-add
+                (Value::MlLoc { base, off }, Value::CInt(m)) => {
+                    Ok(Value::MlLoc { base, off: off + m })
+                }
+                // o-c-add permits only the trivial offset
+                (Value::CLoc(l), Value::CInt(0)) => Ok(Value::CLoc(l)),
+                _ => Err(Stuck::BadPtrAdd),
+            },
+            SExpr::ValInt(inner, _) => match self.eval(inner)? {
+                Value::CInt(n) => Ok(Value::MlInt(n)),
+                _ => Err(Stuck::ValIntOnNonInt),
+            },
+            SExpr::IntVal(inner) => match self.eval(inner)? {
+                Value::MlInt(n) => Ok(Value::CInt(n)),
+                _ => Err(Stuck::IntValOnNonImmediate),
+            },
+        }
+    }
+
+    /// Performs one statement step. `Ok(true)` means the program finished.
+    pub fn step(&mut self) -> Result<bool, Stuck> {
+        let Some(stmt) = self.program.stmts.get(self.pc) else {
+            return Ok(true);
+        };
+        match stmt.clone() {
+            SStmt::Skip | SStmt::Label(_) => {
+                self.pc += 1;
+            }
+            SStmt::Goto(l) => {
+                self.pc = self.program.label(&l).ok_or(Stuck::BadLabel(l))?;
+                self.pc += 1; // start after the label mark
+            }
+            SStmt::AssignVar(x, e) => {
+                let v = self.eval(&e)?;
+                self.stores.v.insert(x, v);
+                self.pc += 1;
+            }
+            SStmt::AssignMem(base, n, rhs) => {
+                let addr = self.eval(&SExpr::PtrAdd(
+                    Box::new(base),
+                    Box::new(SExpr::cint(n)),
+                ))?;
+                let v = self.eval(&rhs)?;
+                match addr {
+                    // o-c-assign
+                    Value::CLoc(l) => {
+                        if !self.stores.sc.contains_key(&l) {
+                            return Err(Stuck::BadCLoc(l));
+                        }
+                        self.stores.sc.insert(l, v);
+                    }
+                    // o-ml-assign
+                    Value::MlLoc { base, off } => {
+                        let block =
+                            self.stores.sml.get_mut(&base).ok_or(Stuck::BadMlLoc(base, off))?;
+                        let slot = usize::try_from(off)
+                            .ok()
+                            .and_then(|o| block.fields.get_mut(o))
+                            .ok_or(Stuck::BadMlLoc(base, off))?;
+                        *slot = v;
+                    }
+                    _ => return Err(Stuck::BadStore),
+                }
+                self.pc += 1;
+            }
+            SStmt::If(e, l) => match self.eval(&e)? {
+                Value::CInt(0) => self.pc += 1,
+                Value::CInt(_) => {
+                    self.pc = self.program.label(&l).ok_or(Stuck::BadLabel(l))? + 1;
+                }
+                _ => return Err(Stuck::BadTest),
+            },
+            SStmt::IfUnboxed(x, l) => {
+                match *self.stores.v.get(&x).ok_or(Stuck::UnboundVar(x.clone()))? {
+                    // o-iflong
+                    Value::MlInt(_) => {
+                        self.pc = self.program.label(&l).ok_or(Stuck::BadLabel(l))? + 1;
+                    }
+                    // o-iflong2 — requires a safe pointer {l + 0}
+                    Value::MlLoc { off: 0, .. } => self.pc += 1,
+                    _ => return Err(Stuck::BadTest),
+                }
+            }
+            SStmt::IfSumTag(x, n, l) => {
+                match *self.stores.v.get(&x).ok_or(Stuck::UnboundVar(x.clone()))? {
+                    Value::MlLoc { base, off: 0 } => {
+                        let tag = self
+                            .stores
+                            .sml
+                            .get(&base)
+                            .ok_or(Stuck::BadMlLoc(base, -1))?
+                            .tag;
+                        if tag == n {
+                            self.pc = self.program.label(&l).ok_or(Stuck::BadLabel(l))? + 1;
+                        } else {
+                            self.pc += 1;
+                        }
+                    }
+                    _ => return Err(Stuck::BadTest),
+                }
+            }
+            SStmt::IfIntTag(x, n, l) => {
+                match *self.stores.v.get(&x).ok_or(Stuck::UnboundVar(x.clone()))? {
+                    Value::MlInt(m) => {
+                        if m == n {
+                            self.pc = self.program.label(&l).ok_or(Stuck::BadLabel(l))? + 1;
+                        } else {
+                            self.pc += 1;
+                        }
+                    }
+                    _ => return Err(Stuck::BadTest),
+                }
+            }
+        }
+        Ok(self.pc >= self.program.stmts.len())
+    }
+
+    /// Runs up to `max_steps`.
+    pub fn run(mut self, max_steps: usize) -> Outcome {
+        for _ in 0..max_steps {
+            match self.step() {
+                Ok(true) => return Outcome::Finished(self.stores),
+                Ok(false) => {}
+                Err(reason) => return Outcome::Stuck { reason, at: self.pc },
+            }
+        }
+        Outcome::Diverged(self.stores)
+    }
+}
+
+fn apply_aop(op: &str, a: i64, b: i64) -> i64 {
+    match op {
+        "+" => a.wrapping_add(b),
+        "-" => a.wrapping_sub(b),
+        "*" => a.wrapping_mul(b),
+        "==" => (a == b) as i64,
+        "!=" => (a != b) as i64,
+        "<" => (a < b) as i64,
+        "<=" => (a <= b) as i64,
+        ">" => (a > b) as i64,
+        ">=" => (a >= b) as i64,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GMt;
+
+    fn world() -> Stores {
+        let mut s = Stores::default();
+        // block 0: tag 1, fields {3}, {4}  (constructor C of int * int)
+        s.sml.insert(0, Block { tag: 1, fields: vec![Value::MlInt(3), Value::MlInt(4)] });
+        s.sc.insert(0, Value::CInt(7));
+        s.v.insert("x".into(), Value::MlLoc { base: 0, off: 0 });
+        s.v.insert("i".into(), Value::CInt(5));
+        s
+    }
+
+    #[test]
+    fn eval_deref_ml_block() {
+        let p = Program::new(vec![]);
+        let m = Machine::new(&p, world());
+        let e = SExpr::Deref(Box::new(SExpr::PtrAdd(
+            Box::new(SExpr::var("x")),
+            Box::new(SExpr::cint(1)),
+        )));
+        assert_eq!(m.eval(&e), Ok(Value::MlInt(4)));
+    }
+
+    #[test]
+    fn eval_out_of_bounds_field_is_stuck() {
+        let p = Program::new(vec![]);
+        let m = Machine::new(&p, world());
+        let e = SExpr::Deref(Box::new(SExpr::PtrAdd(
+            Box::new(SExpr::var("x")),
+            Box::new(SExpr::cint(9)),
+        )));
+        assert_eq!(m.eval(&e), Err(Stuck::BadMlLoc(0, 9)));
+    }
+
+    #[test]
+    fn val_int_int_val_roundtrip() {
+        let p = Program::new(vec![]);
+        let m = Machine::new(&p, world());
+        let e = SExpr::IntVal(Box::new(SExpr::ValInt(
+            Box::new(SExpr::var("i")),
+            GMt::int(),
+        )));
+        assert_eq!(m.eval(&e), Ok(Value::CInt(5)));
+        // Int_val of a pointer is stuck
+        let bad = SExpr::IntVal(Box::new(SExpr::var("x")));
+        assert_eq!(m.eval(&bad), Err(Stuck::IntValOnNonImmediate));
+    }
+
+    #[test]
+    fn sum_tag_dispatch_runs() {
+        let p = Program::new(vec![
+            SStmt::IfSumTag("x".into(), 1, "one".into()),
+            SStmt::AssignVar("r".into(), SExpr::cint(0)),
+            SStmt::Goto("end".into()),
+            SStmt::Label("one".into()),
+            SStmt::AssignVar(
+                "r".into(),
+                SExpr::IntVal(Box::new(SExpr::Deref(Box::new(SExpr::PtrAdd(
+                    Box::new(SExpr::var("x")),
+                    Box::new(SExpr::cint(0)),
+                ))))),
+            ),
+            SStmt::Label("end".into()),
+        ]);
+        assert!(p.well_formed());
+        let m = Machine::new(&p, world());
+        match m.run(100) {
+            Outcome::Finished(s) => assert_eq!(s.v.get("r"), Some(&Value::CInt(3))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unboxed_test_dispatch() {
+        let mut s = world();
+        s.v.insert("u".into(), Value::MlInt(1));
+        let p = Program::new(vec![
+            SStmt::IfUnboxed("u".into(), "imm".into()),
+            SStmt::AssignVar("r".into(), SExpr::cint(100)),
+            SStmt::Goto("end".into()),
+            SStmt::Label("imm".into()),
+            SStmt::AssignVar("r".into(), SExpr::IntVal(Box::new(SExpr::var("u")))),
+            SStmt::Label("end".into()),
+        ]);
+        match Machine::new(&p, s).run(100) {
+            Outcome::Finished(s) => assert_eq!(s.v.get("r"), Some(&Value::CInt(1))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn interior_pointer_boxedness_test_is_stuck() {
+        let mut s = world();
+        s.v.insert("mid".into(), Value::MlLoc { base: 0, off: 1 });
+        let p = Program::new(vec![
+            SStmt::Label("l".into()),
+            SStmt::IfUnboxed("mid".into(), "l".into()),
+        ]);
+        let out = Machine::new(&p, s).run(10);
+        assert!(out.is_stuck(), "{out:?}");
+    }
+
+    #[test]
+    fn heap_store_updates_block() {
+        let p = Program::new(vec![SStmt::AssignMem(
+            SExpr::var("x"),
+            1,
+            SExpr::ValInt(Box::new(SExpr::cint(42)), GMt::int()),
+        )]);
+        match Machine::new(&p, world()).run(10) {
+            Outcome::Finished(s) => {
+                assert_eq!(s.sml[&0].fields[1], Value::MlInt(42));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_loop_diverges() {
+        let p = Program::new(vec![SStmt::Label("l".into()), SStmt::Goto("l".into())]);
+        let out = Machine::new(&p, world()).run(1000);
+        assert!(matches!(out, Outcome::Diverged(_)));
+    }
+
+    #[test]
+    fn c_pointer_ops() {
+        let mut s = world();
+        s.v.insert("p".into(), Value::CLoc(0));
+        let p = Program::new(vec![
+            SStmt::AssignVar("r".into(), SExpr::Deref(Box::new(SExpr::var("p")))),
+            SStmt::AssignMem(SExpr::var("p"), 0, SExpr::cint(9)),
+        ]);
+        match Machine::new(&p, s).run(10) {
+            Outcome::Finished(s) => {
+                assert_eq!(s.v.get("r"), Some(&Value::CInt(7)));
+                assert_eq!(s.sc[&0], Value::CInt(9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nontrivial_c_pointer_arithmetic_is_stuck() {
+        let mut s = world();
+        s.v.insert("p".into(), Value::CLoc(0));
+        let p = Program::new(vec![SStmt::AssignVar(
+            "q".into(),
+            SExpr::PtrAdd(Box::new(SExpr::var("p")), Box::new(SExpr::cint(1))),
+        )]);
+        let out = Machine::new(&p, s).run(10);
+        assert!(out.is_stuck());
+    }
+}

@@ -1,0 +1,174 @@
+//! Syntax of the restricted language (Figure 10) in executable, linear
+//! form.
+//!
+//! The appendix presents statements as right-nested sequences with a
+//! statement store `D` mapping labels to suffixes. An equivalent (and much
+//! more convenient) machine representation is a statement *array* with a
+//! label → index map: `goto L` sets the program counter to `D(L)`, and
+//! sequencing is `pc + 1`. The reduction rules of Figure 12 carry over
+//! verbatim.
+
+use crate::types::GMt;
+use std::collections::HashMap;
+
+/// Runtime values `v ::= n | l | {n} | {l + n}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// A C integer `n`.
+    CInt(i64),
+    /// A C location `l`.
+    CLoc(u32),
+    /// An OCaml immediate `{n}`.
+    MlInt(i64),
+    /// An OCaml heap pointer `{l + n}`.
+    MlLoc {
+        /// Block identity.
+        base: u32,
+        /// Word offset into the block.
+        off: i64,
+    },
+}
+
+/// Expressions of Figure 10. OCaml literals carry the ground type the
+/// program intends for them — checking is syntax-directed and the types of
+/// `{n}` and `Val_int e` are otherwise ambiguous.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExpr {
+    /// A literal value; `GMt` annotates OCaml literals.
+    Lit(Value, Option<GMt>),
+    /// Variable read.
+    Var(String),
+    /// `*e`.
+    Deref(Box<SExpr>),
+    /// `e₁ aop e₂` on C integers.
+    Aop(&'static str, Box<SExpr>, Box<SExpr>),
+    /// `e₁ +p e₂`.
+    PtrAdd(Box<SExpr>, Box<SExpr>),
+    /// `Val_int e`, annotated with the intended representational type.
+    ValInt(Box<SExpr>, GMt),
+    /// `Int_val e`.
+    IntVal(Box<SExpr>),
+}
+
+impl SExpr {
+    /// Convenience C-integer literal.
+    pub fn cint(n: i64) -> SExpr {
+        SExpr::Lit(Value::CInt(n), None)
+    }
+
+    /// Convenience variable reference.
+    pub fn var(name: &str) -> SExpr {
+        SExpr::Var(name.to_string())
+    }
+}
+
+/// Statements of Figure 10, linearized.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SStmt {
+    /// `L:` — a label definition (the `D` entries of the appendix).
+    Label(String),
+    /// `goto L`.
+    Goto(String),
+    /// `x := e`.
+    AssignVar(String, SExpr),
+    /// `*(e +p n) := e`.
+    AssignMem(SExpr, i64, SExpr),
+    /// `if e then L`.
+    If(SExpr, String),
+    /// `if unboxed(x) then L`.
+    IfUnboxed(String, String),
+    /// `if sum_tag(x) == n then L`.
+    IfSumTag(String, i64, String),
+    /// `if int_tag(x) == n then L`.
+    IfIntTag(String, i64, String),
+    /// `()` — the empty statement.
+    Skip,
+}
+
+/// A program: a linear statement sequence plus its label map `D`.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Statements in order; execution starts at index 0 and finishes by
+    /// running past the end.
+    pub stmts: Vec<SStmt>,
+    labels: HashMap<String, usize>,
+}
+
+impl Program {
+    /// Builds a program, computing `D`. Duplicate labels keep the first
+    /// occurrence (the appendix requires well-formed `D`; see
+    /// [`Program::well_formed`]).
+    pub fn new(stmts: Vec<SStmt>) -> Self {
+        let mut labels = HashMap::new();
+        for (i, s) in stmts.iter().enumerate() {
+            if let SStmt::Label(l) = s {
+                labels.entry(l.clone()).or_insert(i);
+            }
+        }
+        Program { stmts, labels }
+    }
+
+    /// `D(L)`: the index of label `L`.
+    pub fn label(&self, l: &str) -> Option<usize> {
+        self.labels.get(l).copied()
+    }
+
+    /// Definition 3: every label referenced by a `goto` or conditional
+    /// exists and names a label statement, and no label is defined twice.
+    pub fn well_formed(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.stmts {
+            if let SStmt::Label(l) = s {
+                if !seen.insert(l.clone()) {
+                    return false;
+                }
+            }
+        }
+        self.stmts.iter().all(|s| match s {
+            SStmt::Goto(l)
+            | SStmt::If(_, l)
+            | SStmt::IfUnboxed(_, l)
+            | SStmt::IfSumTag(_, _, l)
+            | SStmt::IfIntTag(_, _, l) => self.labels.contains_key(l),
+            _ => true,
+        })
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_map_to_indices() {
+        let p = Program::new(vec![
+            SStmt::Skip,
+            SStmt::Label("a".into()),
+            SStmt::Goto("a".into()),
+        ]);
+        assert_eq!(p.label("a"), Some(1));
+        assert!(p.well_formed());
+    }
+
+    #[test]
+    fn dangling_goto_is_ill_formed() {
+        let p = Program::new(vec![SStmt::Goto("missing".into())]);
+        assert!(!p.well_formed());
+    }
+
+    #[test]
+    fn duplicate_label_is_ill_formed() {
+        let p = Program::new(vec![SStmt::Label("a".into()), SStmt::Label("a".into())]);
+        assert!(!p.well_formed());
+    }
+}

@@ -1,0 +1,156 @@
+//! Ground (variable-free) multi-lingual types for the restricted system of
+//! the appendix. The checking rules (Figures 13/14) never need inference
+//! variables, so types here are plain trees.
+
+use std::fmt;
+
+/// Ground `Ψ`: an exact nullary-constructor count or `⊤` (integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GPsi {
+    /// Exactly `n` nullary constructors.
+    Count(u32),
+    /// Any integer.
+    Top,
+}
+
+impl GPsi {
+    /// Whether the immediate `n` inhabits this bound (`n + 1 ≤ Ψ`).
+    pub fn admits(self, n: i64) -> bool {
+        match self {
+            GPsi::Top => true,
+            GPsi::Count(k) => n >= 0 && (n as u64) < k as u64,
+        }
+    }
+}
+
+/// A ground representational type `(Ψ, Σ)`: `sigma[m]` lists the field
+/// types of the product at tag `m`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GMt {
+    /// Bound on unboxed values.
+    pub psi: GPsi,
+    /// One product (field-type list) per non-nullary constructor.
+    pub sigma: Vec<Vec<GMt>>,
+}
+
+impl GMt {
+    /// The type of OCaml `int`: `(⊤, ∅)`.
+    pub fn int() -> Self {
+        GMt { psi: GPsi::Top, sigma: Vec::new() }
+    }
+
+    /// The type of `unit`: `(1, ∅)`.
+    pub fn unit() -> Self {
+        GMt { psi: GPsi::Count(1), sigma: Vec::new() }
+    }
+
+    /// An enumeration with `k` nullary constructors: `(k, ∅)`.
+    pub fn enumeration(k: u32) -> Self {
+        GMt { psi: GPsi::Count(k), sigma: Vec::new() }
+    }
+
+    /// A sum with the given nullary count and products.
+    pub fn sum(nullary: u32, products: Vec<Vec<GMt>>) -> Self {
+        GMt { psi: GPsi::Count(nullary), sigma: products }
+    }
+
+    /// A bare tuple/record: `(0, Π)`.
+    pub fn block(fields: Vec<GMt>) -> Self {
+        GMt { psi: GPsi::Count(0), sigma: vec![fields] }
+    }
+
+    /// Fields of the product at `tag`, if present.
+    pub fn product(&self, tag: i64) -> Option<&[GMt]> {
+        usize::try_from(tag).ok().and_then(|t| self.sigma.get(t)).map(Vec::as_slice)
+    }
+}
+
+impl fmt::Display for GMt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.psi {
+            GPsi::Count(n) => write!(f, "({n}, ")?,
+            GPsi::Top => write!(f, "(⊤, ")?,
+        }
+        if self.sigma.is_empty() {
+            write!(f, "∅)")
+        } else {
+            let prods: Vec<String> = self
+                .sigma
+                .iter()
+                .map(|p| {
+                    if p.is_empty() {
+                        "∅".to_string()
+                    } else {
+                        p.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" × ")
+                    }
+                })
+                .collect();
+            write!(f, "{})", prods.join(" + "))
+        }
+    }
+}
+
+/// Ground extended C types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GCt {
+    /// A C integer.
+    Int,
+    /// A C pointer.
+    Ptr(Box<GCt>),
+    /// An OCaml value of the given representational type.
+    Value(GMt),
+}
+
+impl GCt {
+    /// Convenience: pointer to `self`.
+    pub fn ptr(self) -> GCt {
+        GCt::Ptr(Box::new(self))
+    }
+
+    /// The embedded `mt`, if this is a `value`.
+    pub fn as_value(&self) -> Option<&GMt> {
+        match self {
+            GCt::Value(mt) => Some(mt),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GCt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GCt::Int => write!(f, "int"),
+            GCt::Ptr(inner) => write!(f, "{inner} *"),
+            GCt::Value(mt) => write!(f, "{mt} value"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_admission() {
+        assert!(GPsi::Top.admits(123));
+        assert!(GPsi::Count(2).admits(0));
+        assert!(GPsi::Count(2).admits(1));
+        assert!(!GPsi::Count(2).admits(2));
+        assert!(!GPsi::Count(2).admits(-1));
+    }
+
+    #[test]
+    fn running_example_display() {
+        // type t = A of int | B | C of int * int | D
+        let t = GMt::sum(2, vec![vec![GMt::int()], vec![GMt::int(), GMt::int()]]);
+        assert_eq!(t.to_string(), "(2, (⊤, ∅) + (⊤, ∅) × (⊤, ∅))");
+        assert_eq!(t.product(1).unwrap().len(), 2);
+        assert!(t.product(2).is_none());
+    }
+
+    #[test]
+    fn ct_display() {
+        assert_eq!(GCt::Int.ptr().to_string(), "int *");
+        assert_eq!(GCt::Value(GMt::unit()).to_string(), "(1, ∅) value");
+    }
+}

@@ -1,0 +1,129 @@
+//! Executable soundness (DESIGN.md experiment E4): the property-based
+//! counterpart of Theorem 1.
+//!
+//! *If `Γ ∼ ⟨S_C, S_ML, V⟩` and the program checks under `Γ`, execution
+//! never gets stuck* — validated over randomized worlds, programs and
+//! adversarial mutants.
+
+use ffisafe_semantics::check::{check, compatible};
+use ffisafe_semantics::generate::{gen_program, gen_world, mutate};
+use ffisafe_semantics::machine::{Machine, Outcome};
+use proptest::prelude::*;
+
+const STEP_BUDGET: usize = 100_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generator coherence: worlds are compatible, programs well-formed
+    /// and accepted by the checker.
+    #[test]
+    fn prop_generator_produces_well_typed_programs(seed in 0u64..100_000) {
+        let world = gen_world(seed);
+        prop_assert!(compatible(&world.gamma, &world.stores).is_ok());
+        let program = gen_program(&world, seed);
+        prop_assert!(program.well_formed());
+        if let Err(e) = check(&program, &world.gamma) {
+            prop_assert!(false, "checker rejected generated program (seed {seed}): {e}");
+        }
+    }
+
+    /// Theorem 1 on generated programs: never stuck.
+    #[test]
+    fn prop_well_typed_programs_never_get_stuck(seed in 0u64..100_000) {
+        let world = gen_world(seed);
+        let program = gen_program(&world, seed);
+        let outcome = Machine::new(&program, world.stores.clone()).run(STEP_BUDGET);
+        prop_assert!(!outcome.is_stuck(), "seed {}: {:?}", seed, outcome);
+    }
+
+    /// Theorem 1 on adversarial programs: any mutant the checker still
+    /// accepts must also never get stuck.
+    #[test]
+    fn prop_accepted_mutants_never_get_stuck(seed in 0u64..100_000, salt in 0u64..64) {
+        let world = gen_world(seed);
+        let program = gen_program(&world, seed);
+        let mutant = mutate(&program, seed.wrapping_add(salt));
+        if !mutant.well_formed() {
+            return Ok(());
+        }
+        if check(&mutant, &world.gamma).is_ok() {
+            let outcome = Machine::new(&mutant, world.stores.clone()).run(STEP_BUDGET);
+            prop_assert!(!outcome.is_stuck(), "seed {} salt {}: {:?}", seed, salt, outcome);
+        }
+    }
+
+    /// Execution preserves compatibility (the subject-reduction half):
+    /// final stores of a finished run still inhabit Γ.
+    #[test]
+    fn prop_execution_preserves_compatibility(seed in 0u64..100_000) {
+        let world = gen_world(seed);
+        let program = gen_program(&world, seed);
+        if let Outcome::Finished(stores) = Machine::new(&program, world.stores.clone()).run(STEP_BUDGET) {
+            prop_assert!(
+                compatible(&world.gamma, &stores).is_ok(),
+                "seed {seed}: final stores incompatible"
+            );
+        }
+    }
+}
+
+/// Deterministic regression corpus: a fixed sweep of seeds run in CI every
+/// time (faster to debug than proptest shrinking).
+#[test]
+fn soundness_seed_sweep() {
+    for seed in 0..400u64 {
+        let world = gen_world(seed);
+        compatible(&world.gamma, &world.stores)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let program = gen_program(&world, seed);
+        assert!(program.well_formed(), "seed {seed}");
+        check(&program, &world.gamma).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let outcome = Machine::new(&program, world.stores.clone()).run(STEP_BUDGET);
+        assert!(!outcome.is_stuck(), "seed {seed}: {outcome:?}");
+    }
+}
+
+/// The checker must reject a healthy fraction of mutants — otherwise the
+/// soundness property above would be vacuous.
+#[test]
+fn mutation_kill_rate_is_nontrivial() {
+    let mut total = 0usize;
+    let mut rejected = 0usize;
+    let mut stuck_unchecked = 0usize;
+    for seed in 0..400u64 {
+        let world = gen_world(seed);
+        let program = gen_program(&world, seed);
+        if program.is_empty() {
+            continue;
+        }
+        let mutant = mutate(&program, seed);
+        if mutant.stmts == program.stmts || !mutant.well_formed() {
+            continue;
+        }
+        total += 1;
+        match check(&mutant, &world.gamma) {
+            Err(_) => {
+                rejected += 1;
+                // rejected mutants may genuinely get stuck — count them to
+                // show the checker is catching real dangers
+                if Machine::new(&mutant, world.stores.clone()).run(50_000).is_stuck() {
+                    stuck_unchecked += 1;
+                }
+            }
+            Ok(()) => {
+                let outcome = Machine::new(&mutant, world.stores.clone()).run(50_000);
+                assert!(!outcome.is_stuck(), "seed {seed}: accepted mutant stuck: {outcome:?}");
+            }
+        }
+    }
+    assert!(total >= 100, "too few distinct mutants: {total}");
+    assert!(
+        rejected * 10 >= total,
+        "checker rejected only {rejected}/{total} mutants"
+    );
+    assert!(
+        stuck_unchecked > 0,
+        "no rejected mutant actually got stuck — mutations too tame"
+    );
+}

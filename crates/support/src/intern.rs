@@ -1,0 +1,119 @@
+//! String interning shared by the OCaml and C frontends.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. Comparison and hashing are O(1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index backing this symbol.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// Interner mapping strings to [`Symbol`]s and back.
+///
+/// # Examples
+///
+/// ```
+/// use ffisafe_support::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("Val_int");
+/// let b = i.intern("Val_int");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "Val_int");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(s.to_string());
+        self.map.insert(s.to_string(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned string.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// The string backing `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not issued by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Returns `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let s = i.intern("CAMLparam1");
+        assert_eq!(i.resolve(s), "CAMLparam1");
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("nope"), None);
+        let s = i.intern("yep");
+        assert_eq!(i.get("yep"), Some(s));
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

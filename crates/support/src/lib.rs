@@ -1,0 +1,39 @@
+//! Shared infrastructure for the `ffisafe` workspace.
+//!
+//! This crate provides the plumbing every phase of the multi-lingual
+//! type-inference pipeline relies on:
+//!
+//! * [`SourceMap`] / [`Span`] — byte-offset spans into registered source
+//!   files, resolvable to `file:line:col` locations for diagnostics.
+//! * [`Diagnostic`] — machine-classifiable findings with severity levels
+//!   matching the columns of the paper's Figure 9 (errors, questionable
+//!   practice warnings, imprecision warnings).
+//! * [`Interner`] / [`Symbol`] — cheap interned identifiers shared by the
+//!   OCaml and C frontends.
+//! * [`table`] — a small plain-text table renderer used by the Figure 9
+//!   harness and the CLI.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffisafe_support::{SourceMap, Diagnostic, DiagnosticCode};
+//!
+//! let mut sm = SourceMap::new();
+//! let file = sm.add_file("glue.c", "value f(value x) { return x; }");
+//! let span = sm.span(file, 6, 7);
+//! let diag = Diagnostic::error(DiagnosticCode::TypeMismatch, span, "bad use of value");
+//! assert!(diag.severity().is_error());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod intern;
+pub mod source_map;
+pub mod span;
+pub mod table;
+
+pub use diagnostics::{Diagnostic, DiagnosticBag, DiagnosticCode, Severity};
+pub use intern::{Interner, Symbol};
+pub use source_map::{FileId, Loc, SourceFile, SourceMap};
+pub use span::Span;

@@ -1,0 +1,253 @@
+//! Registry of source files and span → line/column resolution.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Identifies a file registered in a [`SourceMap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(u32);
+
+impl FileId {
+    /// Builds a `FileId` from a raw index. Mostly useful in tests; real ids
+    /// come from [`SourceMap::add_file`].
+    pub fn from_raw(raw: u32) -> Self {
+        FileId(raw)
+    }
+
+    /// The raw index backing this id.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A registered source file: name, contents and a line-start index.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    name: String,
+    src: String,
+    /// Byte offsets at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    fn new(name: impl Into<String>, src: impl Into<String>) -> Self {
+        let src = src.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name: name.into(), src, line_starts }
+    }
+
+    /// File name as registered.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Full source text.
+    pub fn src(&self) -> &str {
+        &self.src
+    }
+
+    /// Number of lines in the file (at least 1, even when empty).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// 1-based line and column for a byte offset (clamped to the file end).
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let offset = offset.min(self.src.len() as u32);
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let col = offset - self.line_starts[line];
+        (line as u32 + 1, col + 1)
+    }
+
+    /// The source text of 1-based line `line`, without the newline.
+    pub fn line_text(&self, line: u32) -> Option<&str> {
+        let idx = line.checked_sub(1)? as usize;
+        let start = *self.line_starts.get(idx)? as usize;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&e| (e as usize).saturating_sub(1))
+            .unwrap_or(self.src.len());
+        Some(&self.src[start..end.max(start)])
+    }
+}
+
+/// A fully-resolved source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loc {
+    /// Name of the file containing the location.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+/// Owns all registered source files and resolves [`Span`]s.
+///
+/// # Examples
+///
+/// ```
+/// use ffisafe_support::SourceMap;
+/// let mut sm = SourceMap::new();
+/// let id = sm.add_file("a.ml", "type t = A | B\n");
+/// let span = sm.span(id, 9, 10);
+/// let loc = sm.resolve(span);
+/// assert_eq!((loc.line, loc.col), (1, 10));
+/// assert_eq!(sm.snippet(span), "A");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, src: impl Into<String>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile::new(name, src));
+        id
+    }
+
+    /// Looks up a registered file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this map.
+    pub fn file(&self, id: FileId) -> &SourceFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// Returns the file for `id` if it belongs to this map.
+    pub fn get_file(&self, id: FileId) -> Option<&SourceFile> {
+        self.files.get(id.0 as usize)
+    }
+
+    /// All registered files in registration order.
+    pub fn files(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
+        self.files.iter().enumerate().map(|(i, f)| (FileId(i as u32), f))
+    }
+
+    /// Convenience constructor for a span into `file`.
+    pub fn span(&self, file: FileId, lo: u32, hi: u32) -> Span {
+        Span::new(file, lo, hi)
+    }
+
+    /// Resolves the start of `span` to a [`Loc`]. Dummy spans resolve to a
+    /// placeholder location.
+    pub fn resolve(&self, span: Span) -> Loc {
+        if span.is_dummy() {
+            return Loc { file: "<builtin>".into(), line: 0, col: 0 };
+        }
+        match self.get_file(span.file) {
+            None => Loc { file: "<unknown>".into(), line: 0, col: 0 },
+            Some(f) => {
+                let (line, col) = f.line_col(span.lo);
+                Loc { file: f.name().to_string(), line, col }
+            }
+        }
+    }
+
+    /// The source text covered by `span` (empty for dummy spans).
+    pub fn snippet(&self, span: Span) -> &str {
+        if span.is_dummy() {
+            return "";
+        }
+        match self.get_file(span.file) {
+            None => "",
+            Some(f) => {
+                let lo = (span.lo as usize).min(f.src.len());
+                let hi = (span.hi as usize).min(f.src.len());
+                &f.src[lo..hi]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_resolution() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("x.c", "ab\ncd\nef");
+        let f = sm.file(id);
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(1), (1, 2));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(4), (2, 2));
+        assert_eq!(f.line_col(6), (3, 1));
+        assert_eq!(f.line_col(100), (3, 3)); // clamped past the end
+    }
+
+    #[test]
+    fn line_text_lookup() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("x.c", "first\nsecond\nthird");
+        let f = sm.file(id);
+        assert_eq!(f.line_text(1), Some("first"));
+        assert_eq!(f.line_text(2), Some("second"));
+        assert_eq!(f.line_text(3), Some("third"));
+        assert_eq!(f.line_text(4), None);
+        assert_eq!(f.line_text(0), None);
+    }
+
+    #[test]
+    fn empty_file_has_one_line() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("e", "");
+        assert_eq!(sm.file(id).line_count(), 1);
+        assert_eq!(sm.file(id).line_col(0), (1, 1));
+    }
+
+    #[test]
+    fn snippet_extraction() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("x", "hello world");
+        assert_eq!(sm.snippet(Span::new(id, 6, 11)), "world");
+        assert_eq!(sm.snippet(Span::dummy()), "");
+    }
+
+    #[test]
+    fn resolve_dummy_and_unknown() {
+        let sm = SourceMap::new();
+        assert_eq!(sm.resolve(Span::dummy()).file, "<builtin>");
+        let bogus = Span::new(FileId::from_raw(7), 0, 0);
+        assert_eq!(sm.resolve(bogus).file, "<unknown>");
+    }
+
+    #[test]
+    fn display_loc() {
+        let loc = Loc { file: "glue.c".into(), line: 12, col: 3 };
+        assert_eq!(loc.to_string(), "glue.c:12:3");
+    }
+
+    #[test]
+    fn files_iterates_in_order() {
+        let mut sm = SourceMap::new();
+        sm.add_file("a", "");
+        sm.add_file("b", "");
+        let names: Vec<_> = sm.files().map(|(_, f)| f.name().to_string()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

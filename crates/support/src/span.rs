@@ -1,0 +1,137 @@
+//! Byte-offset spans into source files.
+
+use crate::source_map::FileId;
+
+/// A half-open byte range `[lo, hi)` inside a single source file.
+///
+/// Spans are deliberately tiny (`Copy`) so every AST node, IR statement and
+/// diagnostic can carry one without overhead.
+///
+/// # Examples
+///
+/// ```
+/// use ffisafe_support::{Span, FileId};
+/// let a = Span::new(FileId::from_raw(0), 4, 9);
+/// let b = Span::new(FileId::from_raw(0), 7, 12);
+/// assert_eq!(a.merge(b).len(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// File this span points into.
+    pub file: FileId,
+    /// Start byte offset (inclusive).
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi` of `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(file: FileId, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "span lo ({lo}) must not exceed hi ({hi})");
+        Span { file, lo, hi }
+    }
+
+    /// A zero-length span used for synthesized constructs.
+    pub fn dummy() -> Self {
+        Span { file: FileId::from_raw(u32::MAX), lo: 0, hi: 0 }
+    }
+
+    /// Returns `true` for spans produced by [`Span::dummy`].
+    pub fn is_dummy(&self) -> bool {
+        self.file == FileId::from_raw(u32::MAX)
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// If the spans come from different files the left span wins; this keeps
+    /// merge total, which is convenient for parsers recovering across
+    /// synthesized tokens.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() || self.file != other.file {
+            return self;
+        }
+        Span { file: self.file, lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Returns `true` if `offset` lies within the span.
+    pub fn contains(&self, offset: u32) -> bool {
+        self.lo <= offset && offset < self.hi
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::dummy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(n: u32) -> FileId {
+        FileId::from_raw(n)
+    }
+
+    #[test]
+    fn merge_same_file_widens() {
+        let a = Span::new(f(1), 10, 20);
+        let b = Span::new(f(1), 15, 30);
+        assert_eq!(a.merge(b), Span::new(f(1), 10, 30));
+        assert_eq!(b.merge(a), Span::new(f(1), 10, 30));
+    }
+
+    #[test]
+    fn merge_different_files_keeps_left() {
+        let a = Span::new(f(1), 10, 20);
+        let b = Span::new(f(2), 0, 5);
+        assert_eq!(a.merge(b), a);
+    }
+
+    #[test]
+    fn merge_with_dummy_keeps_real() {
+        let a = Span::new(f(1), 10, 20);
+        assert_eq!(a.merge(Span::dummy()), a);
+        assert_eq!(Span::dummy().merge(a), a);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let a = Span::new(f(0), 3, 6);
+        assert!(!a.contains(2));
+        assert!(a.contains(3));
+        assert!(a.contains(5));
+        assert!(!a.contains(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_span_panics() {
+        let _ = Span::new(f(0), 9, 3);
+    }
+
+    #[test]
+    fn dummy_is_empty_and_dummy() {
+        assert!(Span::dummy().is_dummy());
+        assert!(Span::dummy().is_empty());
+        assert!(!Span::new(f(0), 0, 1).is_dummy());
+    }
+}

@@ -1,0 +1,141 @@
+//! A small plain-text table renderer for the Figure 9 harness and the CLI.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// An in-memory table rendered with aligned columns and a header rule.
+///
+/// # Examples
+///
+/// ```
+/// use ffisafe_support::table::{Table, Align};
+/// let mut t = Table::new(vec!["Program".into(), "Errors".into()]);
+/// t.set_align(1, Align::Right);
+/// t.add_row(vec!["apm-1.00".into(), "0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Program"));
+/// assert!(s.contains("apm-1.00"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers (all left-aligned).
+    pub fn new(headers: Vec<String>) -> Self {
+        let n = headers.len();
+        Table { headers, aligns: vec![Align::Left; n], rows: Vec::new() }
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn set_align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string with a `-` rule under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(ncols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        self.render_cells(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            self.render_cells(&mut out, row, &widths);
+        }
+        out
+    }
+
+    fn render_cells(&self, out: &mut String, cells: &[String], widths: &[usize]) {
+        let ncols = widths.len();
+        for (i, &w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            match self.aligns[i] {
+                Align::Left => {
+                    let _ = write!(out, "{cell:<w$}");
+                }
+                Align::Right => {
+                    let _ = write!(out, "{cell:>w$}");
+                }
+            }
+            if i + 1 < ncols {
+                out.push_str("  ");
+            }
+        }
+        // trim trailing spaces of left-aligned final column
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name".into(), "n".into()]);
+        t.set_align(1, Align::Right);
+        t.add_row(vec!["short".into(), "1".into()]);
+        t.add_row(vec!["a-much-longer-name".into(), "250".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].ends_with("250"));
+    }
+
+    #[test]
+    fn missing_cells_render_empty() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.add_row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn right_alignment_pads_left() {
+        let mut t = Table::new(vec!["num".into()]);
+        t.set_align(0, Align::Right);
+        t.add_row(vec!["7".into()]);
+        let s = t.render();
+        let last = s.lines().last().unwrap();
+        assert_eq!(last, "  7");
+    }
+}

@@ -1,0 +1,627 @@
+//! The type arena: one table owning every node of every sort, with
+//! union-find resolution.
+
+use crate::term::*;
+
+/// Owns all type nodes and implements union-find over each sort.
+///
+/// Every phase of the analysis allocates its types here: the OCaml
+/// translation (`ρ`/`Φ`), the C-side `η` mapping, and the inference rules.
+/// Nodes are never removed; links created by unification are compressed on
+/// resolution.
+///
+/// # Examples
+///
+/// ```
+/// use ffisafe_types::TypeTable;
+/// let mut tt = TypeTable::new();
+/// // Build the representational type of OCaml `unit`: (1, ∅)
+/// let psi = tt.psi_count(1);
+/// let sigma = tt.sigma_nil();
+/// let unit = tt.mt_rep(psi, sigma);
+/// assert_eq!(tt.render_mt(unit), "(1, ∅)");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    pub(crate) mts: Vec<MtNode>,
+    pub(crate) cts: Vec<CtNode>,
+    pub(crate) psis: Vec<PsiNode>,
+    pub(crate) sigmas: Vec<SigmaNode>,
+    pub(crate) pis: Vec<PiNode>,
+    pub(crate) gcs: Vec<GcNode>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TypeTable::default()
+    }
+
+    // ---- allocation: mt -------------------------------------------------
+
+    /// Fresh type variable `α`.
+    pub fn fresh_mt(&mut self) -> MtId {
+        self.push_mt(MtNode::Var)
+    }
+
+    /// OCaml function type node.
+    pub fn mt_fun(&mut self, params: Vec<MtId>, ret: MtId) -> MtId {
+        self.push_mt(MtNode::Fun(params, ret))
+    }
+
+    /// `ct custom` node.
+    pub fn mt_custom(&mut self, ct: CtId) -> MtId {
+        self.push_mt(MtNode::Custom(ct))
+    }
+
+    /// Representational type `(Ψ, Σ)`.
+    pub fn mt_rep(&mut self, psi: PsiId, sigma: SigmaId) -> MtId {
+        self.push_mt(MtNode::Rep(psi, sigma))
+    }
+
+    /// Fresh representational type `(ψ, σ)` with both components unbound.
+    pub fn mt_fresh_rep(&mut self) -> MtId {
+        let psi = self.fresh_psi();
+        let sigma = self.fresh_sigma();
+        self.mt_rep(psi, sigma)
+    }
+
+    /// Nominal abstract OCaml type.
+    pub fn mt_abstract(&mut self, name: &str, heap: bool) -> MtId {
+        self.push_mt(MtNode::Abstract { name: name.to_string(), heap })
+    }
+
+    fn push_mt(&mut self, n: MtNode) -> MtId {
+        let id = MtId(self.mts.len() as u32);
+        self.mts.push(n);
+        id
+    }
+
+    /// Overwrites the node behind `id`. Used by the OCaml translator to tie
+    /// recursive knots (`'a list`) and by the unifier to install links.
+    pub(crate) fn set_mt(&mut self, id: MtId, n: MtNode) {
+        self.mts[id.0 as usize] = n;
+    }
+
+    /// Binds the unbound variable `var` to `to`, tying a recursive knot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is not an unbound `α` variable.
+    pub fn link_mt(&mut self, var: MtId, to: MtId) {
+        assert!(
+            matches!(self.mts[var.0 as usize], MtNode::Var),
+            "link_mt target must be an unbound variable"
+        );
+        self.set_mt(var, MtNode::Link(to));
+    }
+
+    // ---- allocation: ct -------------------------------------------------
+
+    /// Fresh unknown C type.
+    pub fn fresh_ct(&mut self) -> CtId {
+        self.push_ct(CtNode::Var)
+    }
+
+    /// `void`.
+    pub fn ct_void(&mut self) -> CtId {
+        self.push_ct(CtNode::Void)
+    }
+
+    /// Any C integer type.
+    pub fn ct_int(&mut self) -> CtId {
+        self.push_ct(CtNode::Int)
+    }
+
+    /// Any C floating-point type.
+    pub fn ct_float(&mut self) -> CtId {
+        self.push_ct(CtNode::Float)
+    }
+
+    /// `mt value`.
+    pub fn ct_value(&mut self, mt: MtId) -> CtId {
+        self.push_ct(CtNode::Value(mt))
+    }
+
+    /// `α value` with a fresh `α` — the `η(value)` of §3.3.2.
+    pub fn ct_fresh_value(&mut self) -> CtId {
+        let mt = self.fresh_mt();
+        self.ct_value(mt)
+    }
+
+    /// `ct *`.
+    pub fn ct_ptr(&mut self, inner: CtId) -> CtId {
+        self.push_ct(CtNode::Ptr(inner))
+    }
+
+    /// Nominal C type.
+    pub fn ct_named(&mut self, name: &str) -> CtId {
+        self.push_ct(CtNode::Named(name.to_string()))
+    }
+
+    /// Function type with effect.
+    pub fn ct_fun(&mut self, params: Vec<CtId>, ret: CtId, gc: GcId) -> CtId {
+        self.push_ct(CtNode::Fun(params, ret, gc))
+    }
+
+    fn push_ct(&mut self, n: CtNode) -> CtId {
+        let id = CtId(self.cts.len() as u32);
+        self.cts.push(n);
+        id
+    }
+
+    pub(crate) fn set_ct(&mut self, id: CtId, n: CtNode) {
+        self.cts[id.0 as usize] = n;
+    }
+
+    // ---- allocation: psi / sigma / pi / gc --------------------------------
+
+    /// Fresh `ψ` variable.
+    pub fn fresh_psi(&mut self) -> PsiId {
+        let id = PsiId(self.psis.len() as u32);
+        self.psis.push(PsiNode::Var);
+        id
+    }
+
+    /// `Ψ = n` (exactly `n` nullary constructors).
+    pub fn psi_count(&mut self, n: u32) -> PsiId {
+        let id = PsiId(self.psis.len() as u32);
+        self.psis.push(PsiNode::Count(n));
+        id
+    }
+
+    /// `Ψ = ⊤` (the type is `int`-like).
+    pub fn psi_top(&mut self) -> PsiId {
+        let id = PsiId(self.psis.len() as u32);
+        self.psis.push(PsiNode::Top);
+        id
+    }
+
+    pub(crate) fn set_psi(&mut self, id: PsiId, n: PsiNode) {
+        self.psis[id.0 as usize] = n;
+    }
+
+    /// Fresh `σ` row variable.
+    pub fn fresh_sigma(&mut self) -> SigmaId {
+        let id = SigmaId(self.sigmas.len() as u32);
+        self.sigmas.push(SigmaNode::Var);
+        id
+    }
+
+    /// The empty sum row `∅`.
+    pub fn sigma_nil(&mut self) -> SigmaId {
+        let id = SigmaId(self.sigmas.len() as u32);
+        self.sigmas.push(SigmaNode::Nil);
+        id
+    }
+
+    /// `Π + Σ`.
+    pub fn sigma_cons(&mut self, head: PiId, tail: SigmaId) -> SigmaId {
+        let id = SigmaId(self.sigmas.len() as u32);
+        self.sigmas.push(SigmaNode::Cons(head, tail));
+        id
+    }
+
+    /// Builds a closed sum row from products.
+    pub fn sigma_closed(&mut self, products: &[PiId]) -> SigmaId {
+        let mut tail = self.sigma_nil();
+        for &p in products.iter().rev() {
+            tail = self.sigma_cons(p, tail);
+        }
+        tail
+    }
+
+    pub(crate) fn set_sigma(&mut self, id: SigmaId, n: SigmaNode) {
+        self.sigmas[id.0 as usize] = n;
+    }
+
+    /// Fresh `π` row variable.
+    pub fn fresh_pi(&mut self) -> PiId {
+        let id = PiId(self.pis.len() as u32);
+        self.pis.push(PiNode::Var);
+        id
+    }
+
+    /// The empty product row `∅`.
+    pub fn pi_nil(&mut self) -> PiId {
+        let id = PiId(self.pis.len() as u32);
+        self.pis.push(PiNode::Nil);
+        id
+    }
+
+    /// `mt × Π`.
+    pub fn pi_cons(&mut self, head: MtId, tail: PiId) -> PiId {
+        let id = PiId(self.pis.len() as u32);
+        self.pis.push(PiNode::Cons(head, tail));
+        id
+    }
+
+    /// Unknown-length block with uniform element type (`'a array`).
+    pub fn pi_array(&mut self, elem: MtId) -> PiId {
+        let id = PiId(self.pis.len() as u32);
+        self.pis.push(PiNode::Array(elem));
+        id
+    }
+
+    /// Builds a closed product row from field types.
+    pub fn pi_closed(&mut self, fields: &[MtId]) -> PiId {
+        let mut tail = self.pi_nil();
+        for &f in fields.iter().rev() {
+            tail = self.pi_cons(f, tail);
+        }
+        tail
+    }
+
+    pub(crate) fn set_pi(&mut self, id: PiId, n: PiNode) {
+        self.pis[id.0 as usize] = n;
+    }
+
+    /// Fresh effect variable `γ`.
+    pub fn fresh_gc(&mut self) -> GcId {
+        let id = GcId(self.gcs.len() as u32);
+        self.gcs.push(GcNode::Var);
+        id
+    }
+
+    /// The constant effect `gc`.
+    pub fn gc_gc(&mut self) -> GcId {
+        let id = GcId(self.gcs.len() as u32);
+        self.gcs.push(GcNode::Gc);
+        id
+    }
+
+    /// The constant effect `nogc`.
+    pub fn gc_nogc(&mut self) -> GcId {
+        let id = GcId(self.gcs.len() as u32);
+        self.gcs.push(GcNode::NoGc);
+        id
+    }
+
+    pub(crate) fn set_gc(&mut self, id: GcId, n: GcNode) {
+        self.gcs[id.0 as usize] = n;
+    }
+
+    // ---- resolution -------------------------------------------------------
+
+    /// Canonical representative of an `mt`, with path compression.
+    pub fn resolve_mt(&mut self, mut id: MtId) -> MtId {
+        let mut seen = Vec::new();
+        while let MtNode::Link(next) = self.mts[id.0 as usize] {
+            seen.push(id);
+            id = next;
+        }
+        for s in seen {
+            self.mts[s.0 as usize] = MtNode::Link(id);
+        }
+        id
+    }
+
+    /// Canonical representative without mutation (no compression).
+    pub fn find_mt(&self, mut id: MtId) -> MtId {
+        while let MtNode::Link(next) = self.mts[id.0 as usize] {
+            id = next;
+        }
+        id
+    }
+
+    /// The node behind the canonical representative of `id`.
+    pub fn mt_node(&self, id: MtId) -> &MtNode {
+        let id = self.find_mt(id);
+        &self.mts[id.0 as usize]
+    }
+
+    /// Canonical representative of a `ct`.
+    pub fn resolve_ct(&mut self, mut id: CtId) -> CtId {
+        let mut seen = Vec::new();
+        while let CtNode::Link(next) = self.cts[id.0 as usize] {
+            seen.push(id);
+            id = next;
+        }
+        for s in seen {
+            self.cts[s.0 as usize] = CtNode::Link(id);
+        }
+        id
+    }
+
+    /// Canonical representative without mutation.
+    pub fn find_ct(&self, mut id: CtId) -> CtId {
+        while let CtNode::Link(next) = self.cts[id.0 as usize] {
+            id = next;
+        }
+        id
+    }
+
+    /// The node behind the canonical representative of `id`.
+    pub fn ct_node(&self, id: CtId) -> &CtNode {
+        let id = self.find_ct(id);
+        &self.cts[id.0 as usize]
+    }
+
+    /// Canonical representative of a `Ψ`.
+    pub fn resolve_psi(&mut self, mut id: PsiId) -> PsiId {
+        let mut seen = Vec::new();
+        while let PsiNode::Link(next) = self.psis[id.0 as usize] {
+            seen.push(id);
+            id = next;
+        }
+        for s in seen {
+            self.psis[s.0 as usize] = PsiNode::Link(id);
+        }
+        id
+    }
+
+    /// Canonical representative without mutation.
+    pub fn find_psi(&self, mut id: PsiId) -> PsiId {
+        while let PsiNode::Link(next) = self.psis[id.0 as usize] {
+            id = next;
+        }
+        id
+    }
+
+    /// The node behind the canonical representative of `id`.
+    pub fn psi_node(&self, id: PsiId) -> PsiNode {
+        let id = self.find_psi(id);
+        self.psis[id.0 as usize]
+    }
+
+    /// Canonical representative of a `Σ`.
+    pub fn resolve_sigma(&mut self, mut id: SigmaId) -> SigmaId {
+        let mut seen = Vec::new();
+        while let SigmaNode::Link(next) = self.sigmas[id.0 as usize] {
+            seen.push(id);
+            id = next;
+        }
+        for s in seen {
+            self.sigmas[s.0 as usize] = SigmaNode::Link(id);
+        }
+        id
+    }
+
+    /// Canonical representative without mutation.
+    pub fn find_sigma(&self, mut id: SigmaId) -> SigmaId {
+        while let SigmaNode::Link(next) = self.sigmas[id.0 as usize] {
+            id = next;
+        }
+        id
+    }
+
+    /// The node behind the canonical representative of `id`.
+    pub fn sigma_node(&self, id: SigmaId) -> SigmaNode {
+        let id = self.find_sigma(id);
+        self.sigmas[id.0 as usize]
+    }
+
+    /// Canonical representative of a `Π`.
+    pub fn resolve_pi(&mut self, mut id: PiId) -> PiId {
+        let mut seen = Vec::new();
+        while let PiNode::Link(next) = self.pis[id.0 as usize] {
+            seen.push(id);
+            id = next;
+        }
+        for s in seen {
+            self.pis[s.0 as usize] = PiNode::Link(id);
+        }
+        id
+    }
+
+    /// Canonical representative without mutation.
+    pub fn find_pi(&self, mut id: PiId) -> PiId {
+        while let PiNode::Link(next) = self.pis[id.0 as usize] {
+            id = next;
+        }
+        id
+    }
+
+    /// The node behind the canonical representative of `id`.
+    pub fn pi_node(&self, id: PiId) -> PiNode {
+        let id = self.find_pi(id);
+        self.pis[id.0 as usize]
+    }
+
+    /// Canonical representative of a `GC` effect.
+    pub fn resolve_gc(&mut self, mut id: GcId) -> GcId {
+        let mut seen = Vec::new();
+        while let GcNode::Link(next) = self.gcs[id.0 as usize] {
+            seen.push(id);
+            id = next;
+        }
+        for s in seen {
+            self.gcs[s.0 as usize] = GcNode::Link(id);
+        }
+        id
+    }
+
+    /// Canonical representative without mutation.
+    pub fn find_gc(&self, mut id: GcId) -> GcId {
+        while let GcNode::Link(next) = self.gcs[id.0 as usize] {
+            id = next;
+        }
+        id
+    }
+
+    /// The node behind the canonical representative of `id`.
+    pub fn gc_node(&self, id: GcId) -> GcNode {
+        let id = self.find_gc(id);
+        self.gcs[id.0 as usize]
+    }
+
+    // ---- statistics --------------------------------------------------------
+
+    /// Total number of nodes across all sorts (bench metric).
+    pub fn node_count(&self) -> usize {
+        self.mts.len()
+            + self.cts.len()
+            + self.psis.len()
+            + self.sigmas.len()
+            + self.pis.len()
+            + self.gcs.len()
+    }
+
+    // ---- structured queries -------------------------------------------------
+
+    /// Number of products in a sum row, if the row is closed.
+    pub fn sigma_len(&self, id: SigmaId) -> Option<usize> {
+        let mut n = 0usize;
+        let mut cur = self.find_sigma(id);
+        loop {
+            match self.sigmas[cur.0 as usize] {
+                SigmaNode::Nil => return Some(n),
+                SigmaNode::Cons(_, tail) => {
+                    n += 1;
+                    cur = self.find_sigma(tail);
+                    // cyclic rows cannot be closed
+                    if n > self.sigmas.len() {
+                        return None;
+                    }
+                }
+                SigmaNode::Var => return None,
+                SigmaNode::Link(_) => unreachable!("resolved"),
+            }
+        }
+    }
+
+    /// Returns `true` when the sum row is known to contain at least one
+    /// product (the `|Σ| > 0` test of the (App) rule's `ValPtrs`).
+    pub fn sigma_nonempty(&self, id: SigmaId) -> bool {
+        matches!(self.sigma_node(id), SigmaNode::Cons(..))
+    }
+
+    /// Collects the products of a row up to its (possibly open) end.
+    pub fn sigma_products(&self, id: SigmaId) -> Vec<PiId> {
+        let mut out = Vec::new();
+        let mut cur = self.find_sigma(id);
+        while let SigmaNode::Cons(head, tail) = self.sigmas[cur.0 as usize] {
+            out.push(head);
+            cur = self.find_sigma(tail);
+            if out.len() > self.sigmas.len() {
+                break; // cyclic row; stop
+            }
+        }
+        out
+    }
+
+    /// Collects the fields of a product row up to its (possibly open) end.
+    /// Returns `None` for `Array` rows, whose length is unknown.
+    pub fn pi_fields(&self, id: PiId) -> Option<Vec<MtId>> {
+        let mut out = Vec::new();
+        let mut cur = self.find_pi(id);
+        loop {
+            match self.pis[cur.0 as usize] {
+                PiNode::Cons(head, tail) => {
+                    out.push(head);
+                    cur = self.find_pi(tail);
+                    if out.len() > self.pis.len() {
+                        return Some(out); // cyclic; stop
+                    }
+                }
+                PiNode::Array(_) => return None,
+                PiNode::Nil | PiNode::Var => return Some(out),
+                PiNode::Link(_) => unreachable!("resolved"),
+            }
+        }
+    }
+
+    /// Whether `mt` is a heap pointer candidate for `ValPtrs(Γ)`: a
+    /// representational type with at least one product, or a heap-allocated
+    /// abstract type (strings, floats, boxed opaque data).
+    pub fn mt_is_heap_pointer(&self, mt: MtId) -> bool {
+        match self.mt_node(mt) {
+            MtNode::Rep(_, sigma) => self.sigma_nonempty(*sigma),
+            MtNode::Abstract { heap, .. } => *heap,
+            _ => false,
+        }
+    }
+
+    /// Whether `mt` resolved to something concrete (not a bare variable).
+    pub fn mt_is_concrete(&self, mt: MtId) -> bool {
+        !matches!(self.mt_node(mt), MtNode::Var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_resolve_links() {
+        let mut tt = TypeTable::new();
+        let a = tt.fresh_mt();
+        let b = tt.fresh_mt();
+        let c = tt.fresh_mt();
+        tt.set_mt(a, MtNode::Link(b));
+        tt.set_mt(b, MtNode::Link(c));
+        assert_eq!(tt.resolve_mt(a), c);
+        // path compression happened
+        assert_eq!(tt.mts[a.as_raw() as usize], MtNode::Link(c));
+    }
+
+    #[test]
+    fn sigma_len_closed_and_open() {
+        let mut tt = TypeTable::new();
+        let p0 = tt.pi_nil();
+        let p1 = tt.pi_nil();
+        let closed = tt.sigma_closed(&[p0, p1]);
+        assert_eq!(tt.sigma_len(closed), Some(2));
+        let tail = tt.fresh_sigma();
+        let open = tt.sigma_cons(p0, tail);
+        assert_eq!(tt.sigma_len(open), None);
+        assert!(tt.sigma_nonempty(open));
+        let nil = tt.sigma_nil();
+        assert!(!tt.sigma_nonempty(nil));
+    }
+
+    #[test]
+    fn pi_fields_closed_and_array() {
+        let mut tt = TypeTable::new();
+        let a = tt.fresh_mt();
+        let b = tt.fresh_mt();
+        let pi = tt.pi_closed(&[a, b]);
+        assert_eq!(tt.pi_fields(pi), Some(vec![a, b]));
+        let arr = tt.pi_array(a);
+        assert_eq!(tt.pi_fields(arr), None);
+    }
+
+    #[test]
+    fn heap_pointer_classification() {
+        let mut tt = TypeTable::new();
+        // (⊤, ∅): an int — not a heap pointer
+        let psi = tt.psi_top();
+        let nil = tt.sigma_nil();
+        let int_mt = tt.mt_rep(psi, nil);
+        assert!(!tt.mt_is_heap_pointer(int_mt));
+        // (0, Π) with one product — heap pointer
+        let f = tt.fresh_mt();
+        let pi = tt.pi_closed(&[f]);
+        let psi0 = tt.psi_count(0);
+        let sig = tt.sigma_closed(&[pi]);
+        let ref_mt = tt.mt_rep(psi0, sig);
+        assert!(tt.mt_is_heap_pointer(ref_mt));
+        // heap abstract
+        let s = tt.mt_abstract("string", true);
+        assert!(tt.mt_is_heap_pointer(s));
+        let c = tt.mt_abstract("win32_handle", false);
+        assert!(!tt.mt_is_heap_pointer(c));
+    }
+
+    #[test]
+    fn node_count_accumulates() {
+        let mut tt = TypeTable::new();
+        assert_eq!(tt.node_count(), 0);
+        tt.fresh_mt();
+        tt.fresh_psi();
+        tt.fresh_gc();
+        assert_eq!(tt.node_count(), 3);
+    }
+
+    #[test]
+    fn find_does_not_mutate() {
+        let mut tt = TypeTable::new();
+        let a = tt.fresh_mt();
+        let b = tt.fresh_mt();
+        tt.set_mt(a, MtNode::Link(b));
+        let found = tt.find_mt(a);
+        assert_eq!(found, b);
+        // no compression via find
+        assert_eq!(tt.mts[a.as_raw() as usize], MtNode::Link(b));
+    }
+}

@@ -1,0 +1,356 @@
+//! The flow-sensitive lattices of §3.3: boxedness `B`, offset `I` and
+//! tag/value `T`, combined into shapes `[B{I}]{T}`.
+//!
+//! ```text
+//! B ::= boxed | unboxed | ⊤ | ⊥          ⊥ ⊑ boxed ⊑ ⊤, ⊥ ⊑ unboxed ⊑ ⊤
+//! I, T ::= n | ⊤ | ⊥                      ⊥ ⊑ n ⊑ ⊤
+//! ```
+//!
+//! Arithmetic on `I`/`T` extends integer arithmetic with
+//! `⊤ aop x = ⊤` and `⊥ aop x = ⊥` (Figure 6, (AOP Exp)).
+
+use std::fmt;
+
+/// The boxedness lattice `B`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Boxedness {
+    /// Unreachable / no information yet.
+    Bot,
+    /// Definitely a pointer into the OCaml heap.
+    Boxed,
+    /// Definitely an immediate (tagged integer).
+    Unboxed,
+    /// Could be either.
+    Top,
+}
+
+impl Boxedness {
+    /// Least upper bound.
+    pub fn join(self, other: Boxedness) -> Boxedness {
+        use Boxedness::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Top, _) | (_, Top) => Top,
+            (Boxed, Boxed) => Boxed,
+            (Unboxed, Unboxed) => Unboxed,
+            (Boxed, Unboxed) | (Unboxed, Boxed) => Top,
+        }
+    }
+
+    /// Partial-order test `self ⊑ other`.
+    pub fn leq(self, other: Boxedness) -> bool {
+        self.join(other) == other
+    }
+}
+
+impl fmt::Display for Boxedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Boxedness::Bot => "⊥",
+            Boxedness::Boxed => "boxed",
+            Boxedness::Unboxed => "unboxed",
+            Boxedness::Top => "⊤",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The flat integer lattice used for offsets `I` and tags/values `T`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlatInt {
+    /// Unreachable / no information yet.
+    Bot,
+    /// A known integer.
+    Known(i64),
+    /// Unknown.
+    Top,
+}
+
+impl FlatInt {
+    /// Least upper bound.
+    pub fn join(self, other: FlatInt) -> FlatInt {
+        use FlatInt::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Top, _) | (_, Top) => Top,
+            (Known(a), Known(b)) => {
+                if a == b {
+                    Known(a)
+                } else {
+                    Top
+                }
+            }
+        }
+    }
+
+    /// Partial-order test `self ⊑ other`.
+    pub fn leq(self, other: FlatInt) -> bool {
+        self.join(other) == other
+    }
+
+    /// Applies a binary integer operation, extended with
+    /// `⊥ aop x = ⊥` and otherwise `⊤ aop x = ⊤`.
+    ///
+    /// Note `⊥` is absorbing even against `⊤`, matching the paper's
+    /// convention that unreachable code stays unreachable.
+    pub fn apply2(self, other: FlatInt, op: impl FnOnce(i64, i64) -> Option<i64>) -> FlatInt {
+        use FlatInt::*;
+        match (self, other) {
+            (Bot, _) | (_, Bot) => Bot,
+            (Top, _) | (_, Top) => Top,
+            (Known(a), Known(b)) => match op(a, b) {
+                Some(v) => Known(v),
+                None => Top,
+            },
+        }
+    }
+
+    /// The arithmetic of the paper's `aop` grammar: `+ - * == != < <= > >=`
+    /// plus division/modulo/bit operations used by real glue code. Unknown
+    /// operators conservatively produce `⊤` on known operands.
+    pub fn aop(self, op: &str, other: FlatInt) -> FlatInt {
+        self.apply2(other, |a, b| match op {
+            "+" => a.checked_add(b),
+            "-" => a.checked_sub(b),
+            "*" => a.checked_mul(b),
+            "/" => a.checked_div(b),
+            "%" => a.checked_rem(b),
+            "==" => Some((a == b) as i64),
+            "!=" => Some((a != b) as i64),
+            "<" => Some((a < b) as i64),
+            "<=" => Some((a <= b) as i64),
+            ">" => Some((a > b) as i64),
+            ">=" => Some((a >= b) as i64),
+            "&" => Some(a & b),
+            "|" => Some(a | b),
+            "^" => Some(a ^ b),
+            "<<" => a.checked_shl(u32::try_from(b).ok()?),
+            ">>" => a.checked_shr(u32::try_from(b).ok()?),
+            _ => None,
+        })
+    }
+
+    /// Returns the known integer, if any.
+    pub fn known(self) -> Option<i64> {
+        match self {
+            FlatInt::Known(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FlatInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatInt::Bot => f.write_str("⊥"),
+            FlatInt::Known(n) => write!(f, "{n}"),
+            FlatInt::Top => f.write_str("⊤"),
+        }
+    }
+}
+
+/// A flow-sensitive shape `[B{I}]{T}` attached to a flow-insensitive `ct`.
+///
+/// Meaning depends on the `ct` it decorates (§3.3): for `value` types `B`
+/// is boxedness, `I` the offset into a structured block and `T` the tag
+/// (boxed) or immediate value (unboxed); for `int`, `B = ⊤`, `I = 0`, `T`
+/// the integer value; for anything else `B = T = ⊤`, `I = 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Boxedness component.
+    pub b: Boxedness,
+    /// Offset component.
+    pub i: FlatInt,
+    /// Tag/value component.
+    pub t: FlatInt,
+}
+
+impl Shape {
+    /// `[B{I}]{T}` constructor.
+    pub fn new(b: Boxedness, i: FlatInt, t: FlatInt) -> Self {
+        Shape { b, i, t }
+    }
+
+    /// The unconstrained-but-safe shape `[⊤{0}]{⊤}` given to parameters and
+    /// heap reads.
+    pub fn unknown() -> Self {
+        Shape { b: Boxedness::Top, i: FlatInt::Known(0), t: FlatInt::Top }
+    }
+
+    /// The unreachable shape `[⊥{⊥}]{⊥}` produced by `reset(Γ)`.
+    pub fn bottom() -> Self {
+        Shape { b: Boxedness::Bot, i: FlatInt::Bot, t: FlatInt::Bot }
+    }
+
+    /// Shape of the C integer literal `n`: `[⊤{0}]{n}`.
+    pub fn int_const(n: i64) -> Self {
+        Shape { b: Boxedness::Top, i: FlatInt::Known(0), t: FlatInt::Known(n) }
+    }
+
+    /// Pointwise least upper bound.
+    pub fn join(self, other: Shape) -> Shape {
+        Shape { b: self.b.join(other.b), i: self.i.join(other.i), t: self.t.join(other.t) }
+    }
+
+    /// Pointwise partial order.
+    pub fn leq(self, other: Shape) -> bool {
+        self.b.leq(other.b) && self.i.leq(other.i) && self.t.leq(other.t)
+    }
+
+    /// A value is *safe* when its offset is statically zero — it is either
+    /// unboxed or points at the first element of a structured block (§3.3).
+    pub fn is_safe(self) -> bool {
+        matches!(self.i, FlatInt::Known(0) | FlatInt::Bot)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}{{{}}}]{{{}}}", self.b, self.i, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_b() -> Vec<Boxedness> {
+        vec![Boxedness::Bot, Boxedness::Boxed, Boxedness::Unboxed, Boxedness::Top]
+    }
+
+    #[test]
+    fn boxedness_join_table() {
+        use Boxedness::*;
+        assert_eq!(Boxed.join(Unboxed), Top);
+        assert_eq!(Bot.join(Boxed), Boxed);
+        assert_eq!(Unboxed.join(Unboxed), Unboxed);
+        assert_eq!(Top.join(Bot), Top);
+    }
+
+    #[test]
+    fn boxedness_order() {
+        use Boxedness::*;
+        assert!(Bot.leq(Boxed));
+        assert!(Bot.leq(Unboxed));
+        assert!(Boxed.leq(Top));
+        assert!(!Boxed.leq(Unboxed));
+        assert!(!Top.leq(Boxed));
+    }
+
+    #[test]
+    fn flatint_join() {
+        use FlatInt::*;
+        assert_eq!(Known(3).join(Known(3)), Known(3));
+        assert_eq!(Known(3).join(Known(4)), Top);
+        assert_eq!(Bot.join(Known(5)), Known(5));
+        assert_eq!(Top.join(Bot), Top);
+    }
+
+    #[test]
+    fn flatint_arith() {
+        use FlatInt::*;
+        assert_eq!(Known(2).aop("+", Known(3)), Known(5));
+        assert_eq!(Known(2).aop("==", Known(2)), Known(1));
+        assert_eq!(Known(2).aop("==", Known(3)), Known(0));
+        assert_eq!(Top.aop("+", Known(3)), Top);
+        assert_eq!(Bot.aop("+", Top), Bot);
+        assert_eq!(Known(1).aop("/", Known(0)), Top); // division by zero
+        assert_eq!(Known(1).aop("??", Known(2)), Top); // unknown operator
+    }
+
+    #[test]
+    fn shape_safety() {
+        assert!(Shape::unknown().is_safe());
+        assert!(Shape::int_const(7).is_safe());
+        assert!(Shape::bottom().is_safe());
+        let unsafe_shape =
+            Shape::new(Boxedness::Boxed, FlatInt::Known(2), FlatInt::Known(0));
+        assert!(!unsafe_shape.is_safe());
+        let unknown_off = Shape::new(Boxedness::Boxed, FlatInt::Top, FlatInt::Top);
+        assert!(!unknown_off.is_safe());
+    }
+
+    #[test]
+    fn shape_join_pointwise() {
+        let a = Shape::new(Boxedness::Boxed, FlatInt::Known(0), FlatInt::Known(1));
+        let b = Shape::new(Boxedness::Unboxed, FlatInt::Known(0), FlatInt::Known(1));
+        let j = a.join(b);
+        assert_eq!(j.b, Boxedness::Top);
+        assert_eq!(j.i, FlatInt::Known(0));
+        assert_eq!(j.t, FlatInt::Known(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Shape::int_const(5).to_string(), "[⊤{0}]{5}");
+        assert_eq!(Shape::bottom().to_string(), "[⊥{⊥}]{⊥}");
+    }
+
+    fn arb_flat() -> impl Strategy<Value = FlatInt> {
+        prop_oneof![
+            Just(FlatInt::Bot),
+            Just(FlatInt::Top),
+            (-8i64..8).prop_map(FlatInt::Known),
+        ]
+    }
+
+    fn arb_b() -> impl Strategy<Value = Boxedness> {
+        prop_oneof![
+            Just(Boxedness::Bot),
+            Just(Boxedness::Boxed),
+            Just(Boxedness::Unboxed),
+            Just(Boxedness::Top),
+        ]
+    }
+
+    fn arb_shape() -> impl Strategy<Value = Shape> {
+        (arb_b(), arb_flat(), arb_flat()).prop_map(|(b, i, t)| Shape { b, i, t })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_boxedness_join_lattice(xs in proptest::collection::vec(0usize..4, 3)) {
+            let all = all_b();
+            let (a, b, c) = (all[xs[0]], all[xs[1]], all[xs[2]]);
+            prop_assert_eq!(a.join(b), b.join(a));
+            prop_assert_eq!(a.join(a), a);
+            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+            prop_assert!(a.leq(a.join(b)));
+        }
+
+        #[test]
+        fn prop_flatint_join_lattice(a in arb_flat(), b in arb_flat(), c in arb_flat()) {
+            prop_assert_eq!(a.join(b), b.join(a));
+            prop_assert_eq!(a.join(a), a);
+            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+            prop_assert!(a.leq(a.join(b)));
+        }
+
+        #[test]
+        fn prop_shape_join_lattice(a in arb_shape(), b in arb_shape(), c in arb_shape()) {
+            prop_assert_eq!(a.join(b), b.join(a));
+            prop_assert_eq!(a.join(a), a);
+            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+            prop_assert!(a.leq(a.join(b)));
+            prop_assert!(b.leq(a.join(b)));
+        }
+
+        #[test]
+        fn prop_leq_antisymmetric(a in arb_shape(), b in arb_shape()) {
+            if a.leq(b) && b.leq(a) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn prop_aop_strictness(a in arb_flat(), b in arb_flat()) {
+            let r = a.aop("+", b);
+            if a == FlatInt::Bot || b == FlatInt::Bot {
+                prop_assert_eq!(r, FlatInt::Bot);
+            } else if a == FlatInt::Top || b == FlatInt::Top {
+                prop_assert_eq!(r, FlatInt::Top);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! GC safety: the paper's effect analysis in action (§2, (App)).
+//!
+//! A C function holding a pointer into the OCaml heap must register it
+//! with `CAMLparam`/`CAMLlocal` before *anything* that may trigger a
+//! collection runs — including indirectly, through a helper. The effect
+//! analysis solves `GC ⊑ GC′` constraints by graph reachability, so the
+//! requirement propagates up the call graph.
+//!
+//! ```text
+//! cargo run --example gc_safety
+//! ```
+
+use ffisafe::{AnalysisOptions, Analyzer, DiagnosticCode};
+
+const ML: &str = r#"
+external remember : string -> unit = "ml_remember"
+"#;
+
+/// `ml_remember` never calls the runtime directly — the allocation hides
+/// two levels down, inside `build_cell` → `caml_alloc`.
+const C: &str = r#"
+static value make_block(value v) {
+    value cell = caml_alloc(1, 0);
+    Store_field(cell, 0, v);
+    return cell;
+}
+
+static value build_cell(value v) {
+    return make_block(v);
+}
+
+value ml_remember(value s) {
+    value c = build_cell(s);   /* s is live across an allocating call! */
+    register_cell(c, s);
+    return Val_unit;
+}
+"#;
+
+const FIXED_C: &str = r#"
+static value make_block(value v) {
+    CAMLparam1(v);
+    CAMLlocal1(cell);
+    cell = caml_alloc(1, 0);
+    Store_field(cell, 0, v);
+    CAMLreturn(cell);
+}
+
+static value build_cell(value v) {
+    CAMLparam1(v);
+    CAMLreturn(make_block(v));
+}
+
+value ml_remember(value s) {
+    CAMLparam1(s);
+    CAMLlocal1(c);
+    c = build_cell(s);
+    register_cell(c, s);
+    CAMLreturn(Val_unit);
+}
+"#;
+
+fn run(label: &str, c_src: &str) -> usize {
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", ML);
+    az.add_c_source("glue.c", c_src);
+    let report = az.analyze();
+    println!("--- {label} ---");
+    print!("{}", report.render());
+    println!();
+    report.diagnostics.with_code(DiagnosticCode::UnrootedValue).count()
+}
+
+fn main() {
+    let buggy = run("unregistered (buggy)", C);
+    assert!(buggy >= 1, "the indirect GC call must be detected");
+
+    let fixed = run("registered (fixed)", FIXED_C);
+    assert_eq!(fixed, 0, "registration silences the GC error");
+
+    // Ablation: without effect tracking the bug is invisible.
+    let mut az = Analyzer::with_options(AnalysisOptions {
+        flow_sensitive: true,
+        gc_effects: false,
+    });
+    az.add_ml_source("lib.ml", ML);
+    az.add_c_source("glue.c", C);
+    let report = az.analyze();
+    let missed = report.diagnostics.with_code(DiagnosticCode::UnrootedValue).count();
+    println!("--- with GC effects disabled (ablation) ---");
+    println!("unrooted-value reports: {missed} (the bug goes unnoticed)");
+    assert_eq!(missed, 0);
+}

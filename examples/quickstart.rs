@@ -1,0 +1,60 @@
+//! Quickstart: analyze a small OCaml+C pair and print the report.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ffisafe::Analyzer;
+
+fn main() {
+    let mut az = Analyzer::new();
+
+    az.add_ml_source(
+        "counter.ml",
+        r#"
+(* A tiny binding: a counter stored in an OCaml ref cell. *)
+external make  : int -> int ref   = "ml_counter_make"
+external bump  : int ref -> int   = "ml_counter_bump"
+external broken : int -> int      = "ml_counter_broken"
+"#,
+    );
+
+    az.add_c_source(
+        "counter.c",
+        r#"
+/* Correct: registers its argument before allocating. */
+value ml_counter_make(value n) {
+    CAMLparam1(n);
+    CAMLlocal1(cell);
+    cell = caml_alloc(1, 0);
+    Store_field(cell, 0, n);
+    CAMLreturn(cell);
+}
+
+/* Correct: reads and writes the cell. */
+value ml_counter_bump(value cell) {
+    long v = Int_val(Field(cell, 0));
+    Store_field(cell, 0, Val_int(v + 1));
+    return Val_int(v);
+}
+
+/* BUG: Val_int applied to something that is already a value. */
+value ml_counter_broken(value n) {
+    return Val_int(n);
+}
+"#,
+    );
+
+    let report = az.analyze();
+    print!("{}", report.render());
+
+    println!();
+    println!(
+        "analyzed {} externals / {} C functions in {:.3}s — {} error(s) found",
+        report.stats.externals,
+        report.stats.c_functions,
+        report.stats.seconds,
+        report.error_count()
+    );
+    assert_eq!(report.error_count(), 1, "exactly the seeded bug is found");
+}

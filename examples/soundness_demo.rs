@@ -1,0 +1,83 @@
+//! Soundness in action (§4 / appendix): run the executable small-step
+//! semantics on a well-typed program and on an ill-typed one.
+//!
+//! Theorem 1 says well-typed statements never get *stuck*. The checker of
+//! Figures 13/14 accepts the first program, which then runs to completion;
+//! the second program reads field 7 of a 2-field block — the checker
+//! rejects it statically, and running it anyway shows exactly the stuck
+//! state the theorem rules out.
+//!
+//! ```text
+//! cargo run --example soundness_demo
+//! ```
+
+use ffisafe_semantics::check::{check, compatible, Gamma};
+use ffisafe_semantics::machine::{Block, Machine, Stores};
+use ffisafe_semantics::syntax::{Program, SExpr, SStmt, Value};
+use ffisafe_semantics::types::{GCt, GMt};
+
+fn world() -> (Gamma, Stores) {
+    // x : t where type t = A of int | B | C of int * int | D, x = C(3, 4)
+    let t = GMt::sum(2, vec![vec![GMt::int()], vec![GMt::int(), GMt::int()]]);
+    let mut gamma = Gamma::default();
+    gamma.blocks.insert(0, (t.clone(), 1));
+    gamma.vars.insert("x".into(), GCt::Value(t));
+    gamma.vars.insert("r".into(), GCt::Int);
+    let mut stores = Stores::default();
+    stores
+        .sml
+        .insert(0, Block { tag: 1, fields: vec![Value::MlInt(3), Value::MlInt(4)] });
+    stores.v.insert("x".into(), Value::MlLoc { base: 0, off: 0 });
+    stores.v.insert("r".into(), Value::CInt(0));
+    (gamma, stores)
+}
+
+fn field_read(var: &str, idx: i64) -> SExpr {
+    SExpr::IntVal(Box::new(SExpr::Deref(Box::new(SExpr::PtrAdd(
+        Box::new(SExpr::var(var)),
+        Box::new(SExpr::cint(idx)),
+    )))))
+}
+
+fn examine(bad_field: Option<i64>) -> Program {
+    use SStmt as S;
+    let read_idx = bad_field.unwrap_or(1);
+    Program::new(vec![
+        S::IfUnboxed("x".into(), "imm".into()),
+        S::IfSumTag("x".into(), 1, "c".into()),
+        S::Goto("end".into()),
+        S::Label("c".into()),
+        S::AssignVar("r".into(), field_read("x", read_idx)),
+        S::Goto("end".into()),
+        S::Label("imm".into()),
+        S::AssignVar("r".into(), SExpr::IntVal(Box::new(SExpr::var("x")))),
+        S::Label("end".into()),
+    ])
+}
+
+fn main() {
+    let (gamma, stores) = world();
+    compatible(&gamma, &stores).expect("stores inhabit Γ");
+
+    // --- the well-typed program -----------------------------------------
+    let good = examine(None);
+    check(&good, &gamma).expect("checker accepts the Figure 8 idiom");
+    let outcome = Machine::new(&good, stores.clone()).run(10_000);
+    println!("well-typed program: {outcome:?}");
+    assert!(!outcome.is_stuck());
+
+    // --- the ill-typed program -------------------------------------------
+    let bad = examine(Some(7)); // reads field 7 of a 2-field constructor
+    match check(&bad, &gamma) {
+        Err(e) => println!("\nchecker rejects the broken program:\n  {e}"),
+        Ok(()) => panic!("the checker must reject the out-of-bounds read"),
+    }
+    // running the rejected program shows the stuck state Theorem 1 avoids
+    let outcome = Machine::new(&bad, stores).run(10_000);
+    println!("running it anyway: {outcome:?}");
+    assert!(outcome.is_stuck(), "the ill-typed program gets stuck at runtime");
+
+    println!("\nTheorem 1 (executable form): accepted ⇒ never stuck.");
+    println!("The property-based suite in crates/semantics/tests/soundness.rs");
+    println!("validates this over thousands of random worlds and mutants.");
+}

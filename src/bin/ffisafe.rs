@@ -1,0 +1,57 @@
+//! The `ffisafe` command-line tool: analyze OCaml + C glue sources.
+//!
+//! ```text
+//! ffisafe [--no-flow] [--no-gc] <file.ml|file.c>...
+//! ```
+//!
+//! Exit status is 1 when errors are found, 0 otherwise.
+
+use ffisafe::{AnalysisOptions, Analyzer};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut options = AnalysisOptions::default();
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-flow" => options.flow_sensitive = false,
+            "--no-gc" => options.gc_effects = false,
+            "--help" | "-h" => {
+                eprintln!("usage: ffisafe [--no-flow] [--no-gc] <file.ml|file.c>...");
+                eprintln!();
+                eprintln!("Checks type and GC safety of OCaml-to-C foreign function calls");
+                eprintln!("(Furr & Foster, PLDI 2005).");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("ffisafe: no input files (try --help)");
+        return ExitCode::from(2);
+    }
+    let mut az = Analyzer::with_options(options);
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ffisafe: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if path.ends_with(".ml") || path.ends_with(".mli") {
+            az.add_ml_source(path, &src);
+        } else if path.ends_with(".c") || path.ends_with(".h") {
+            az.add_c_source(path, &src);
+        } else {
+            eprintln!("ffisafe: skipping {path}: unknown extension");
+        }
+    }
+    let report = az.analyze();
+    print!("{}", report.render());
+    if report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,72 @@
+//! # ffisafe — checking type safety of foreign function calls
+//!
+//! A production-quality Rust implementation of Furr & Foster, *Checking
+//! Type Safety of Foreign Function Calls* (PLDI 2005): a multi-lingual
+//! type inference system that prevents OCaml→C foreign function calls from
+//! introducing type and memory-safety violations.
+//!
+//! ## What it checks
+//!
+//! C "glue" code manipulates OCaml data through macros (`Val_int`,
+//! `Int_val`, `Field`, `Tag_val`, …) with no compiler checking. This
+//! library infers multi-lingual types for that code and reports:
+//!
+//! * **type errors** — `Val_int`/`Int_val` confusion, wrong constructors,
+//!   out-of-range tags and fields, arity mismatches with the OCaml
+//!   `external` declaration;
+//! * **GC errors** — heap pointers live across an allocating call without
+//!   `CAMLparam`/`CAMLlocal` registration, `CAMLparam` without
+//!   `CAMLreturn`;
+//! * **questionable practice** — trailing `unit` parameters, polymorphic
+//!   `'a` arguments pinned to one concrete type by the C code;
+//! * **imprecision** — places the flow-sensitive analysis loses track
+//!   (unknown offsets, `value` globals, function pointers).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ffisafe::Analyzer;
+//!
+//! let mut az = Analyzer::new();
+//! az.add_ml_source("stack.ml", r#"
+//!     type t = Empty | Node of int * t
+//!     external depth : t -> int = "ml_depth"
+//! "#);
+//! az.add_c_source("stack.c", r#"
+//!     value ml_depth(value v) {
+//!         int n = 0;
+//!         while (Is_block(v)) {
+//!             n = n + 1;
+//!             v = Field(v, 1);
+//!         }
+//!         return Val_int(n);
+//!     }
+//! "#);
+//! let report = az.analyze();
+//! assert_eq!(report.error_count(), 0, "{}", report.render());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`ffisafe_support`] | spans, diagnostics, interning |
+//! | [`ffisafe_types`] | the multi-lingual type language + unification |
+//! | [`ffisafe_ocaml`] | OCaml frontend, type repository, `ρ`/`Φ` |
+//! | [`ffisafe_cil`] | C frontend, Figure 5 IR, liveness |
+//! | [`ffisafe_core`] | the inference engine and [`Analyzer`] |
+//! | [`ffisafe_semantics`] | executable semantics + soundness harness |
+//! | [`ffisafe_bench`] | Figure 9 corpus and measurement harness |
+
+#![warn(missing_docs)]
+
+pub use ffisafe_bench as bench;
+pub use ffisafe_cil as cil;
+pub use ffisafe_core as core;
+pub use ffisafe_ocaml as ocaml;
+pub use ffisafe_semantics as semantics;
+pub use ffisafe_support as support;
+pub use ffisafe_types as types;
+
+pub use ffisafe_core::{AnalysisOptions, AnalysisReport, AnalysisStats, Analyzer};
+pub use ffisafe_support::{Diagnostic, DiagnosticCode, Severity};

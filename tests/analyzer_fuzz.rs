@@ -1,0 +1,87 @@
+//! Whole-pipeline robustness: the analyzer must never panic, whatever it
+//! is fed — including byte-level corruptions of realistic glue code. Real
+//! deployments run it over code the tool authors never saw.
+
+use ffisafe::Analyzer;
+use ffisafe_bench::corpus::generate;
+use ffisafe_bench::spec::paper_benchmarks;
+use proptest::prelude::*;
+
+fn analyze(ml: &str, c: &str) -> usize {
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    az.analyze().diagnostics.len()
+}
+
+/// Deterministically corrupts a string: deletes, duplicates or replaces a
+/// byte region (respecting char boundaries).
+fn corrupt(src: &str, seed: u64) -> String {
+    if src.is_empty() {
+        return src.to_string();
+    }
+    let mut pos = (seed as usize * 7919) % src.len();
+    while !src.is_char_boundary(pos) {
+        pos -= 1;
+    }
+    let mut end = (pos + 1 + (seed as usize % 23)).min(src.len());
+    while !src.is_char_boundary(end) {
+        end -= 1;
+    }
+    let (a, rest) = src.split_at(pos);
+    let (mid, b) = rest.split_at(end - pos);
+    match seed % 3 {
+        0 => format!("{a}{b}"),           // delete
+        1 => format!("{a}{mid}{mid}{b}"), // duplicate
+        _ => format!("{a}@#${b}"),        // replace with junk
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Corrupted versions of a real benchmark never panic the analyzer.
+    #[test]
+    fn prop_corrupted_corpus_never_panics(seed in 0u64..5_000, which in 0usize..4) {
+        let specs = paper_benchmarks();
+        let bench = generate(&specs[which]); // the small benchmarks
+        let ml = corrupt(&bench.ml_source, seed);
+        let c = corrupt(&bench.c_source, seed.wrapping_mul(31));
+        let _ = analyze(&ml, &c);
+    }
+
+    /// Mixed-up inputs (C fed as OCaml and vice versa) never panic.
+    #[test]
+    fn prop_swapped_languages_never_panic(which in 0usize..4) {
+        let specs = paper_benchmarks();
+        let bench = generate(&specs[which]);
+        let _ = analyze(&bench.c_source, &bench.ml_source);
+    }
+}
+
+#[test]
+fn empty_and_whitespace_inputs() {
+    assert_eq!(analyze("", ""), 0);
+    assert_eq!(analyze("\n\n  \n", "\t \n"), 0);
+}
+
+#[test]
+fn ml_only_and_c_only() {
+    // external with no C definition: nothing to check
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", r#"external f : int -> int = "ml_f""#);
+    assert_eq!(az.analyze().error_count(), 0);
+    // C with no OCaml side: helpers type-check among themselves
+    let mut az = Analyzer::new();
+    az.add_c_source("glue.c", "int twice(int x) { return x + x; }");
+    assert_eq!(az.analyze().error_count(), 0);
+}
+
+#[test]
+fn duplicate_function_definitions_do_not_panic() {
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", r#"external f : int -> int = "ml_f""#);
+    az.add_c_source("a.c", "value ml_f(value n) { return n; }");
+    az.add_c_source("b.c", "value ml_f(value n, value m) { return m; }");
+    let _ = az.analyze(); // arity conflict must be reported, not panic
+}

@@ -1,0 +1,98 @@
+//! End-to-end test of the `ffisafe` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffisafe-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn cli_reports_errors_and_exits_nonzero() {
+    let ml = write_temp(
+        "lib.ml",
+        r#"external f : int -> int = "ml_f""#,
+    );
+    let c = write_temp(
+        "glue.c",
+        r#"value ml_f(value n) { return Val_int(n); }"#,
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "buggy input must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("E001"), "{stdout}");
+    assert!(stdout.contains("glue.c"), "{stdout}");
+}
+
+#[test]
+fn cli_accepts_clean_input() {
+    let ml = write_temp(
+        "ok.ml",
+        r#"external add : int -> int -> int = "ml_add""#,
+    );
+    let c = write_temp(
+        "ok.c",
+        r#"value ml_add(value a, value b) { return Val_int(Int_val(a) + Int_val(b)); }"#,
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn cli_no_gc_flag_suppresses_gc_errors() {
+    let ml = write_temp(
+        "gc.ml",
+        r#"external wrap : string -> string ref = "ml_wrap""#,
+    );
+    let c = write_temp(
+        "gc.c",
+        r#"
+value ml_wrap(value s) {
+    value cell = caml_alloc(1, 0);
+    Store_field(cell, 0, s);
+    return cell;
+}
+"#,
+    );
+    let strict = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .unwrap();
+    assert!(!strict.status.success());
+    let relaxed = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .arg("--no-gc")
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .unwrap();
+    assert!(relaxed.status.success(), "{}", String::from_utf8_lossy(&relaxed.stdout));
+}
+
+#[test]
+fn cli_help_and_missing_files() {
+    let help = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("--help").output().unwrap();
+    assert!(help.status.success());
+    let none = Command::new(env!("CARGO_BIN_EXE_ffisafe")).output().unwrap();
+    assert_eq!(none.status.code(), Some(2));
+    let missing = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .arg("/definitely/not/here.c")
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+}

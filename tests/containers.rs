@@ -1,0 +1,256 @@
+//! Whole-pipeline tests of the builtin container encodings: options,
+//! lists, arrays, refs, results and nested combinations, each exercised
+//! from realistic C.
+
+use ffisafe::Analyzer;
+
+fn run(ml: &str, c: &str) -> ffisafe::AnalysisReport {
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    az.analyze()
+}
+
+#[test]
+fn option_some_payload_access() {
+    let report = run(
+        r#"external get : string option -> int = "ml_get""#,
+        r#"
+        value ml_get(value opt) {
+            if (Is_block(opt)) {
+                return Val_int(lib_len(String_val(Field(opt, 0))));
+            }
+            return Val_int(-1);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn option_payload_type_is_checked() {
+    let report = run(
+        r#"external get : string option -> int = "ml_get""#,
+        r#"
+        value ml_get(value opt) {
+            if (Is_block(opt)) {
+                return Field(opt, 0); /* returns the string as an int */
+            }
+            return Val_int(-1);
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn list_of_pairs_traversal() {
+    let report = run(
+        r#"external total : (int * int) list -> int = "ml_total""#,
+        r#"
+        value ml_total(value l) {
+            long acc = 0;
+            while (Is_block(l)) {
+                value pair = Field(l, 0);
+                acc += Int_val(Field(pair, 0)) + Int_val(Field(pair, 1));
+                l = Field(l, 1);
+            }
+            return Val_int(acc);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn list_head_confused_with_tail_is_an_error() {
+    let report = run(
+        r#"external heads : (int * int) list -> int = "ml_heads""#,
+        r#"
+        value ml_heads(value l) {
+            long acc = 0;
+            while (Is_block(l)) {
+                /* BUG: field 1 is the tail (a list), not the pair */
+                value pair = Field(l, 1);
+                acc += Int_val(Field(pair, 0));
+                l = Field(l, 1);
+            }
+            return Val_int(acc);
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn array_elements_share_one_type() {
+    let report = run(
+        r#"external first_two : string array -> int = "ml_first_two""#,
+        r#"
+        value ml_first_two(value arr) {
+            int a = lib_len(String_val(Field(arr, 0)));
+            int b = lib_len(String_val(Field(arr, 1)));
+            return Val_int(a + b);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn array_element_misuse_is_an_error() {
+    let report = run(
+        r#"external bad : string array -> int = "ml_bad""#,
+        r#"
+        value ml_bad(value arr) {
+            return Val_int(Int_val(Field(arr, 0))); /* string, not int */
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn ref_update_is_clean() {
+    let report = run(
+        r#"external incr : int ref -> unit = "ml_incr""#,
+        r#"
+        value ml_incr(value cell) {
+            long v = Int_val(Field(cell, 0));
+            Store_field(cell, 0, Val_int(v + 1));
+            return Val_unit;
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn result_constructors_have_distinct_payloads() {
+    let report = run(
+        r#"external describe : (int, string) result -> int = "ml_describe""#,
+        r#"
+        value ml_describe(value r) {
+            if (Is_block(r)) {
+                switch (Tag_val(r)) {
+                case 0: return Field(r, 0);                       /* Ok of int */
+                case 1: return Val_int(lib_len(String_val(Field(r, 0)))); /* Error of string */
+                }
+            }
+            return Val_int(0);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn result_payloads_must_not_be_swapped() {
+    let report = run(
+        r#"external describe : (int, string) result -> int = "ml_describe""#,
+        r#"
+        value ml_describe(value r) {
+            if (Is_block(r)) {
+                switch (Tag_val(r)) {
+                case 0: return Val_int(lib_len(String_val(Field(r, 0)))); /* BUG: Ok holds int */
+                case 1: return Field(r, 0);                               /* BUG: Error holds string */
+                }
+            }
+            return Val_int(0);
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+}
+
+#[test]
+fn nested_option_in_record() {
+    let report = run(
+        r#"
+        type conn = { fd : int; peer : string option }
+        external peer_len : conn -> int = "ml_peer_len"
+        "#,
+        r#"
+        value ml_peer_len(value c) {
+            value peer = Field(c, 1);
+            if (Is_block(peer)) {
+                return Val_int(lib_len(String_val(Field(peer, 0))));
+            }
+            return Val_int(0);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn unit_returning_glue_is_clean() {
+    let report = run(
+        r#"external ping : unit -> unit = "ml_ping""#,
+        r#"
+        value ml_ping(value u) {
+            lib_ping();
+            return Val_unit;
+        }
+        "#,
+    );
+    assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+}
+
+#[test]
+fn mutually_recursive_types_via_and_chain() {
+    let report = run(
+        r#"
+        type tree = Leaf | Node of forest
+        and forest = Nil | Trees of tree * forest
+        external count : tree -> int = "ml_count"
+        "#,
+        r#"
+        value ml_count(value t) {
+            long n = 0;
+            while (Is_block(t)) {
+                value f = Field(t, 0);      /* Node payload: forest */
+                if (Is_block(f)) {
+                    t = Field(f, 0);        /* Trees head: tree */
+                    n = n + 1;
+                } else {
+                    return Val_int(n);
+                }
+            }
+            return Val_int(n);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn wide_sum_with_many_constructors() {
+    // 6 nullary + 6 non-nullary constructors, dispatched exhaustively
+    let mut ml = String::from("type wide = ");
+    let parts: Vec<String> = (0..6)
+        .map(|i| format!("N{i}"))
+        .chain((0..6).map(|i| format!("B{i} of int")))
+        .collect();
+    ml.push_str(&parts.join(" | "));
+    ml.push_str("\nexternal pick : wide -> int = \"ml_pick\"\n");
+    let mut c = String::from(
+        "value ml_pick(value w) {\n    if (Is_long(w)) {\n        switch (Int_val(w)) {\n",
+    );
+    for i in 0..6 {
+        c.push_str(&format!("        case {i}: return Val_int({i});\n"));
+    }
+    c.push_str("        }\n        return Val_int(-1);\n    }\n    switch (Tag_val(w)) {\n");
+    for i in 0..6 {
+        c.push_str(&format!("    case {i}: return Field(w, 0);\n"));
+    }
+    c.push_str("    }\n    return Val_int(-2);\n}\n");
+    let report = run(&ml, &c);
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+
+    // one constructor beyond the declared sum, both unboxed and boxed
+    let bad_c = c.replace("    }\n    return Val_int(-2);",
+        "    case 6: return Field(w, 0);\n    }\n    return Val_int(-2);");
+    let report = run(&ml, &bad_c);
+    assert!(report.error_count() >= 1, "{}", report.render());
+}

@@ -1,0 +1,155 @@
+//! Experiment E2 (DESIGN.md): the paper's worked example, Figures 2 and 8.
+//!
+//! `type t = A of int | B | C of int * int | D` translates to
+//! `(2, (⊤,∅) + (⊤,∅) × (⊤,∅))`, and the Figure 2 examination code
+//! type-checks with the flow-sensitive facts of Figure 8.
+
+use ffisafe::Analyzer;
+use ffisafe_ocaml::{parser, translate, Item, TypeRepository};
+use ffisafe_support::{FileId, SourceMap};
+use ffisafe_types::TypeTable;
+
+const ML: &str = r#"
+type t = A of int | B | C of int * int | D
+external examine : t -> int = "ml_examine"
+"#;
+
+fn phase1() -> (TypeTable, translate::Phase1) {
+    let mut sm = SourceMap::new();
+    let file = sm.add_file("t.ml", ML);
+    let parsed = parser::parse(file, ML);
+    assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+    let mut repo = TypeRepository::new();
+    repo.register_file(&parsed);
+    let externals: Vec<_> = parsed
+        .items
+        .into_iter()
+        .filter_map(|i| match i {
+            Item::External(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    let mut table = TypeTable::new();
+    let p1 = translate::translate_program(&repo, &externals, &mut table);
+    (table, p1)
+}
+
+#[test]
+fn representational_type_matches_section2() {
+    let (table, p1) = phase1();
+    let sig = p1.signature_for_c("ml_examine").expect("external found");
+    // §2: "the OCaml type t has representational type (2, (⊤,∅)+(⊤,∅)×(⊤,∅))"
+    assert_eq!(table.render_mt(sig.params[0]), "(2, (⊤, ∅) + (⊤, ∅) × (⊤, ∅))");
+    // the return type is int: (⊤, ∅)
+    assert_eq!(table.render_mt(sig.ret), "(⊤, ∅)");
+}
+
+#[test]
+fn figure2_code_type_checks() {
+    let mut az = Analyzer::new();
+    az.add_ml_source("t.ml", ML);
+    az.add_c_source(
+        "examine.c",
+        r#"
+        value ml_examine(value x) {
+            if (Is_long(x)) {
+                switch (Int_val(x)) {
+                case 0: /* B */ return Val_int(10);
+                case 1: /* D */ return Val_int(11);
+                }
+            } else {
+                switch (Tag_val(x)) {
+                case 0: /* A */ return Field(x, 0);
+                case 1: /* C */ return Val_int(Int_val(Field(x, 0)) + Int_val(Field(x, 1)));
+                }
+            }
+            return Val_int(0);
+        }
+        "#,
+    );
+    let report = az.analyze();
+    assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
+}
+
+#[test]
+fn figure8_constraints_reject_third_nullary_constructor() {
+    // testing int_tag 2 on a type with exactly 2 nullary constructors
+    // violates 2 + 1 ≤ Ψ once unified with t
+    let mut az = Analyzer::new();
+    az.add_ml_source("t.ml", ML);
+    az.add_c_source(
+        "examine.c",
+        r#"
+        value ml_examine(value x) {
+            if (Is_long(x)) {
+                if (Int_val(x) == 2) { return Val_int(99); }
+            }
+            return Val_int(0);
+        }
+        "#,
+    );
+    let report = az.analyze();
+    assert!(
+        report
+            .diagnostics
+            .with_code(ffisafe::DiagnosticCode::ConstructorRange)
+            .count()
+            >= 1,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn boxedness_misuse_rejected() {
+    // Int_val on the boxed branch of the test
+    let mut az = Analyzer::new();
+    az.add_ml_source("t.ml", ML);
+    az.add_c_source(
+        "examine.c",
+        r#"
+        value ml_examine(value x) {
+            if (Is_long(x)) {
+                return Val_int(0);
+            }
+            /* x is boxed here */
+            return Val_int(Int_val(x));
+        }
+        "#,
+    );
+    let report = az.analyze();
+    assert!(
+        report
+            .diagnostics
+            .with_code(ffisafe::DiagnosticCode::BoxednessMismatch)
+            .count()
+            >= 1,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn phase1_is_reusable_across_files() {
+    // the central repository spans multiple OCaml files (§5.1)
+    let mut sm = SourceMap::new();
+    let f1 = sm.add_file("a.ml", "type t = A of int | B");
+    let f2: FileId = sm.add_file("b.ml", r#"external f : t -> int = "ml_f""#);
+    let p1 = parser::parse(f1, "type t = A of int | B");
+    let p2 = parser::parse(f2, r#"external f : t -> int = "ml_f""#);
+    let mut repo = TypeRepository::new();
+    repo.register_file(&p1);
+    repo.register_file(&p2);
+    let externals: Vec<_> = p2
+        .items
+        .into_iter()
+        .filter_map(|i| match i {
+            Item::External(e) => Some(e),
+            _ => None,
+        })
+        .collect();
+    let mut table = TypeTable::new();
+    let out = translate::translate_program(&repo, &externals, &mut table);
+    let sig = out.signature_for_c("ml_f").unwrap();
+    assert_eq!(table.render_mt(sig.params[0]), "(1, (⊤, ∅))");
+}

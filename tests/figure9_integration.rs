@@ -1,0 +1,56 @@
+//! Experiment E1 (DESIGN.md): the full Figure 9 reproduction, asserted.
+//!
+//! Every benchmark's measured row must match the paper's counts exactly
+//! against the synthesized corpus, with no unexpected or missed findings.
+
+use ffisafe::AnalysisOptions;
+use ffisafe_bench::figure9::{run_all, run_benchmark};
+use ffisafe_bench::spec::paper_benchmarks;
+
+#[test]
+fn figure9_totals_match_the_paper() {
+    let rows = run_all(AnalysisOptions::default());
+    let errors: usize = rows.iter().map(|r| r.errors).sum();
+    let warnings: usize = rows.iter().map(|r| r.warnings).sum();
+    let fps: usize = rows.iter().map(|r| r.false_pos).sum();
+    let imps: usize = rows.iter().map(|r| r.imprecision).sum();
+    assert_eq!(errors, 24, "Figure 9 total errors");
+    assert_eq!(warnings, 22, "Figure 9 total warnings");
+    assert_eq!(fps, 214, "Figure 9 total false positives");
+    assert_eq!(imps, 75, "Figure 9 total imprecision");
+    for row in &rows {
+        assert!(row.unexpected.is_empty(), "{}: {:#?}", row.name, row.unexpected);
+        assert!(row.missed.is_empty(), "{}: {:#?}", row.name, row.missed);
+    }
+}
+
+#[test]
+fn every_benchmark_row_matches_the_paper() {
+    for spec in paper_benchmarks() {
+        let row = run_benchmark(&spec, AnalysisOptions::default());
+        assert_eq!(row.errors, spec.paper.errors, "{} errors", spec.name);
+        assert_eq!(row.warnings, spec.paper.warnings, "{} warnings", spec.name);
+        assert_eq!(row.false_pos, spec.paper.false_pos, "{} false positives", spec.name);
+        assert_eq!(row.imprecision, spec.paper.imprecision, "{} imprecision", spec.name);
+        // LoC within 20% of the paper's C size
+        assert!(
+            row.c_loc >= spec.paper.c_loc * 8 / 10 && row.c_loc <= spec.paper.c_loc * 12 / 10,
+            "{}: C LoC {} vs paper {}",
+            spec.name,
+            row.c_loc,
+            spec.paper.c_loc
+        );
+    }
+}
+
+#[test]
+fn gc_ablation_misses_exactly_the_gc_errors() {
+    // disabling effect tracking must lose the registration errors (E006)
+    // but keep the pure type errors
+    let with = run_all(AnalysisOptions::default());
+    let without = run_all(AnalysisOptions { flow_sensitive: true, gc_effects: false });
+    let with_errors: usize = with.iter().map(|r| r.errors).sum();
+    let without_errors: usize = without.iter().map(|r| r.errors).sum();
+    // missing-registration seeds: ftplib 1 + lablgl 1 + lablgtk 1 = 3
+    assert_eq!(with_errors - without_errors, 3, "GC ablation should miss the 3 E006 seeds");
+}

@@ -1,0 +1,210 @@
+//! Cross-crate integration: whole-pipeline behaviours that span the
+//! OCaml frontend, the C frontend, the type system and the engine.
+
+use ffisafe::{AnalysisOptions, Analyzer, DiagnosticCode, Severity};
+
+fn run(ml: &str, c: &str) -> ffisafe::AnalysisReport {
+    let mut az = Analyzer::new();
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    az.analyze()
+}
+
+#[test]
+fn multi_file_programs_share_one_type_table() {
+    let mut az = Analyzer::new();
+    az.add_ml_source("types.ml", "type handle\n");
+    az.add_ml_source(
+        "api.ml",
+        r#"
+        external open_h : string -> handle = "ml_open"
+        external close_h : handle -> unit = "ml_close"
+        "#,
+    );
+    az.add_c_source(
+        "open.c",
+        r#"
+        value ml_open(value path) {
+            winT *w = make_window(String_val(path));
+            return (value) w;
+        }
+        "#,
+    );
+    az.add_c_source(
+        "close.c",
+        r#"
+        value ml_close(value h) {
+            destroy_window((winT *) h);
+            return Val_unit;
+        }
+        "#,
+    );
+    let report = az.analyze();
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn conflated_custom_types_are_detected() {
+    // the same opaque OCaml type used at two different C types: the check
+    // of §2 ("not possible to perform a C type cast by passing a pointer
+    // through OCaml")
+    let report = run(
+        r#"
+        type handle
+        external as_window : handle -> unit = "ml_as_window"
+        external as_button : handle -> unit = "ml_as_button"
+        "#,
+        r#"
+        value ml_as_window(value h) {
+            use_window((WindowT *) h);
+            return Val_unit;
+        }
+        value ml_as_button(value h) {
+            use_button((ButtonT *) h);
+            return Val_unit;
+        }
+        "#,
+    );
+    let suspicious = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error || d.severity() == Severity::Warning)
+        .count();
+    assert!(suspicious >= 1, "{}", report.render());
+}
+
+#[test]
+fn recursive_list_traversal_analyzes_clean() {
+    let report = run(
+        r#"external len : int list -> int = "ml_len""#,
+        r#"
+        value ml_len(value l) {
+            int n = 0;
+            while (Is_block(l)) {
+                n = n + 1;
+                l = Field(l, 1);
+            }
+            return Val_int(n);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn record_field_types_are_enforced() {
+    let report = run(
+        r#"
+        type point = { x : int; y : int; label : string }
+        external get_label : point -> string = "ml_get_label"
+        external broken : point -> string = "ml_broken"
+        "#,
+        r#"
+        value ml_get_label(value p) {
+            return Field(p, 2);
+        }
+        value ml_broken(value p) {
+            return Field(p, 0); /* int field returned as string */
+        }
+        "#,
+    );
+    assert!(report.error_count() >= 1, "{}", report.render());
+    // the correct accessor contributes no error: exactly the broken one
+    let errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| report.source_map().resolve(d.span()).line)
+        .collect();
+    assert!(errors.iter().all(|&line| line >= 5), "{}", report.render());
+}
+
+#[test]
+fn arity_and_unit_interplay() {
+    // arity mismatch that is NOT a trailing-unit case must be an error
+    let report = run(
+        r#"external f : int -> int -> int = "ml_f""#,
+        r#"value ml_f(value a) { return a; }"#,
+    );
+    assert!(
+        report.diagnostics.with_code(DiagnosticCode::ArityMismatch).count() >= 1,
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn bytecode_native_pair_is_supported() {
+    let report = run(
+        r#"external big : int -> int -> int -> int -> int -> int -> int = "ml_big_bc" "ml_big""#,
+        r#"
+        value ml_big(value a, value b, value c, value d, value e, value f) {
+            return Val_int(Int_val(a) + Int_val(f));
+        }
+        value ml_big_bc(value *argv, int argn) {
+            return ml_big(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5]);
+        }
+        "#,
+    );
+    assert_eq!(report.error_count(), 0, "{}", report.render());
+}
+
+#[test]
+fn ablations_change_behaviour_in_opposite_directions() {
+    let ml = r#"
+        type t = A of int | B | C of int * int | D
+        external examine : t -> int = "ml_examine"
+    "#;
+    let c = r#"
+        value ml_examine(value x) {
+            if (Is_long(x)) { return Val_int(0); }
+            switch (Tag_val(x)) {
+            case 0: return Field(x, 0);
+            case 1: return Field(x, 1);
+            }
+            return Val_int(0);
+        }
+    "#;
+    let full = {
+        let mut az = Analyzer::new();
+        az.add_ml_source("l.ml", ml);
+        az.add_c_source("g.c", c);
+        az.analyze()
+    };
+    assert_eq!(full.error_count(), 0, "{}", full.render());
+    let no_flow = {
+        let mut az = Analyzer::with_options(AnalysisOptions {
+            flow_sensitive: false,
+            gc_effects: true,
+        });
+        az.add_ml_source("l.ml", ml);
+        az.add_c_source("g.c", c);
+        az.analyze()
+    };
+    assert!(no_flow.error_count() > 0, "{}", no_flow.render());
+}
+
+#[test]
+fn report_rendering_contains_locations_and_codes() {
+    let report = run(
+        r#"external f : int -> int = "ml_f""#,
+        r#"value ml_f(value n) { return Val_int(n); }"#,
+    );
+    let rendered = report.render();
+    assert!(rendered.contains("glue.c:1:"), "{rendered}");
+    assert!(rendered.contains("[E001]"), "{rendered}");
+    assert!(rendered.contains("1 error(s)"), "{rendered}");
+}
+
+#[test]
+fn stats_reflect_inputs() {
+    let report = run(
+        "external f : int -> int = \"ml_f\"\n(* two lines *)\n",
+        "value ml_f(value n) { return n; }\n/* c comment */\n",
+    );
+    assert_eq!(report.stats.externals, 1);
+    assert_eq!(report.stats.c_functions, 1);
+    assert!(report.stats.ml_loc >= 2);
+    assert!(report.stats.c_loc >= 2);
+    assert!(report.stats.type_nodes > 0);
+}
