@@ -2,7 +2,8 @@
 //! dispatch analyzed with and without flow-sensitivity (ablation E5), and
 //! a deep-branching stress case for the label fixpoint.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffisafe_bench::harness::Criterion;
+use ffisafe_bench::{criterion_group, criterion_main};
 use ffisafe_core::{AnalysisOptions, Analyzer};
 use std::hint::black_box;
 
@@ -56,7 +57,11 @@ fn bench_dataflow(c: &mut Criterion) {
             black_box(analyze(
                 FIG2_ML,
                 FIG2_C,
-                AnalysisOptions { flow_sensitive: false, gc_effects: true },
+                AnalysisOptions {
+                    flow_sensitive: false,
+                    gc_effects: true,
+                    ..AnalysisOptions::default()
+                },
             ))
         })
     });

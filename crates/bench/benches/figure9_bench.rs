@@ -2,10 +2,11 @@
 //! per benchmark (parse → translate → infer → solve), mirroring the
 //! paper's per-program measurements.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ffisafe_bench::corpus::generate;
 use ffisafe_bench::figure9::analyze_benchmark;
+use ffisafe_bench::harness::{BenchmarkId, Criterion};
 use ffisafe_bench::spec::paper_benchmarks;
+use ffisafe_bench::{criterion_group, criterion_main};
 use ffisafe_core::AnalysisOptions;
 use std::hint::black_box;
 

@@ -1,0 +1,33 @@
+//! `cargo bench --bench pipeline_bench` — measures the analysis pipeline
+//! at `jobs = 1` vs `jobs = available parallelism` over the Figure 9
+//! corpus plus a 12k-LoC scaling workload, and writes the machine-readable
+//! `BENCH_pipeline.json` at the workspace root.
+
+use ffisafe_bench::pipeline_bench;
+
+fn main() {
+    let wide = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let widths: Vec<usize> = if wide > 1 { vec![1, wide] } else { vec![1, 8] };
+    eprintln!("pipeline bench: jobs widths {widths:?}");
+    let result = pipeline_bench::run(&widths);
+    for row in &result.rows {
+        eprintln!(
+            "{:>16} jobs={:<2} {:>7.3}s (infer {:>7.3}s) {:>5} fns {:>6} passes {:>4} diags",
+            row.name,
+            row.jobs,
+            row.seconds,
+            row.infer_seconds,
+            row.functions,
+            row.passes,
+            row.diagnostics
+        );
+    }
+    eprintln!("overall speedup: {:.2}x (host cores: {wide})", result.overall_speedup());
+    eprintln!("work/critical-path bound: {:.2}x", result.work_speedup_bound());
+
+    let json = result.to_json();
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_pipeline.json");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    eprintln!("wrote {}", path.display());
+}

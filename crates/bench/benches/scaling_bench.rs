@@ -3,9 +3,10 @@
 //! time column (roughly linear in code size, dominated by C-side
 //! inference).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ffisafe_bench::figure9::analyze_benchmark;
+use ffisafe_bench::harness::{BenchmarkId, Criterion, Throughput};
 use ffisafe_bench::runner::scaling_benchmark;
+use ffisafe_bench::{criterion_group, criterion_main};
 use ffisafe_core::AnalysisOptions;
 use std::hint::black_box;
 

@@ -2,7 +2,8 @@
 //! open rows growing against declared sums, recursive types, and GC
 //! effect reachability.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ffisafe_bench::harness::Criterion;
+use ffisafe_bench::{criterion_group, criterion_main};
 use ffisafe_types::TypeTable;
 use std::hint::black_box;
 

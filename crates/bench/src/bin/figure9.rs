@@ -35,13 +35,21 @@ fn main() {
 
     if ablate {
         println!("\n--- ablation: flow-sensitivity disabled (B/I/T not tracked) ---");
-        let rows = run_all(AnalysisOptions { flow_sensitive: false, gc_effects: true });
+        let rows = run_all(AnalysisOptions {
+            flow_sensitive: false,
+            gc_effects: true,
+            ..AnalysisOptions::default()
+        });
         println!("{}", render_table(&rows));
         let fp: usize = rows.iter().map(|r| r.false_pos + r.unexpected.len()).sum();
         println!("spurious reports without flow-sensitivity: {fp}\n");
 
         println!("--- ablation: GC effects disabled ---");
-        let rows = run_all(AnalysisOptions { flow_sensitive: true, gc_effects: false });
+        let rows = run_all(AnalysisOptions {
+            flow_sensitive: true,
+            gc_effects: false,
+            ..AnalysisOptions::default()
+        });
         let missed: usize = rows.iter().map(|r| r.missed.len()).sum();
         println!("{}", render_table(&rows));
         println!("seeded GC errors missed without effect tracking: {missed}");

@@ -8,8 +8,7 @@
 //! true positive, false positive or unexpected against ground truth.
 
 use crate::spec::BenchSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffisafe_support::rng::Rng64 as StdRng;
 
 /// The §5.2 defect taxonomy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,10 +66,7 @@ impl SeedKind {
 
     /// Whether this seed triggers an imprecision report.
     pub fn is_imprecision(self) -> bool {
-        matches!(
-            self,
-            SeedKind::UnknownOffsetImp | SeedKind::GlobalValueImp | SeedKind::FnPtrImp
-        )
+        matches!(self, SeedKind::UnknownOffsetImp | SeedKind::GlobalValueImp | SeedKind::FnPtrImp)
     }
 }
 
@@ -162,12 +158,7 @@ pub fn generate(spec: &BenchSpec) -> Benchmark {
     }
     // OCaml filler to reach the OCaml LoC target
     g.pad_ml(spec.paper.ml_loc);
-    Benchmark {
-        name: spec.name.to_string(),
-        ml_source: g.ml,
-        c_source: g.c,
-        funcs: g.funcs,
-    }
+    Benchmark { name: spec.name.to_string(), ml_source: g.ml, c_source: g.c, funcs: g.funcs }
 }
 
 struct Gen {
@@ -212,13 +203,7 @@ impl Gen {
     }
 
     /// Emits one function pair and records ground truth.
-    fn record(
-        &mut self,
-        name: &str,
-        ml_text: &str,
-        c_text: &str,
-        seed: Option<SeedKind>,
-    ) {
+    fn record(&mut self, name: &str, ml_text: &str, c_text: &str, seed: Option<SeedKind>) {
         let ml_start = self.ml_lines() + 1;
         self.ml.push_str(ml_text);
         let ml_end = self.ml_lines();
@@ -250,7 +235,7 @@ impl Gen {
     fn correct_arith(&mut self) {
         let name = self.fresh("calc");
         let k = self.rng.gen_range(1..9);
-        let op = ["+", "-", "*"][self.rng.gen_range(0..3)];
+        let op = ["+", "-", "*"][self.rng.gen_range(0..3usize)];
         let ml = format!("external {name} : int -> int -> int = \"c_{name}\"\n");
         let c = format!(
             "value c_{name}(value a, value b) {{\n    long x = Int_val(a);\n    long y = Int_val(b);\n    long r = x {op} y + {k};\n    return Val_int(r);\n}}\n\n"
@@ -379,10 +364,7 @@ impl Gen {
         let params: Vec<String> = (0..uses).map(|i| format!("m{i}")).collect();
         let ml_params: Vec<String> =
             (0..uses).map(|_| "[ `On | `Off | `Auto ]".to_string()).collect();
-        let ml = format!(
-            "external {name} : {} -> unit = \"c_{name}\"\n",
-            ml_params.join(" -> ")
-        );
+        let ml = format!("external {name} : {} -> unit = \"c_{name}\"\n", ml_params.join(" -> "));
         let c_params: Vec<String> = params.iter().map(|p| format!("value {p}")).collect();
         let mut body = String::new();
         for p in &params {
@@ -390,7 +372,10 @@ impl Gen {
             // each Int_val use is one expected false positive
             body.push_str(&format!("    lib_{name}_set(Int_val({p}));\n"));
         }
-        let c = format!("value c_{name}({}) {{\n{body}    return Val_unit;\n}}\n\n", c_params.join(", "));
+        let c = format!(
+            "value c_{name}({}) {{\n{body}    return Val_unit;\n}}\n\n",
+            c_params.join(", ")
+        );
         self.record(&format!("c_{name}"), &ml, &c, Some(SeedKind::PolyVariantFp));
     }
 
@@ -518,10 +503,7 @@ mod tests {
         let spec = &paper_benchmarks()[2]; // ocaml-mad
         let b = generate(spec);
         let f = &b.funcs[0];
-        assert_eq!(
-            b.func_at_c_line(f.c_lines.0).map(|g| g.name.clone()),
-            Some(f.name.clone())
-        );
+        assert_eq!(b.func_at_c_line(f.c_lines.0).map(|g| g.name.clone()), Some(f.name.clone()));
         assert!(b.func_at_c_line(100_000).is_none());
     }
 }

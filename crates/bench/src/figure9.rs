@@ -161,11 +161,8 @@ pub fn render_table(rows: &[Figure9Row]) -> String {
     }
     let mut tot = [0usize; 8];
     for row in rows {
-        let paper = specs
-            .iter()
-            .find(|s| s.name == row.name)
-            .map(|s| s.paper)
-            .unwrap_or(crate::spec::PaperRow {
+        let paper = specs.iter().find(|s| s.name == row.name).map(|s| s.paper).unwrap_or(
+            crate::spec::PaperRow {
                 c_loc: 0,
                 ml_loc: 0,
                 time_s: 0.0,
@@ -173,7 +170,8 @@ pub fn render_table(rows: &[Figure9Row]) -> String {
                 warnings: 0,
                 false_pos: 0,
                 imprecision: 0,
-            });
+            },
+        );
         t.add_row(vec![
             row.name.clone(),
             row.c_loc.to_string(),

@@ -1,0 +1,173 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! API the workspace benches use. The build environment is offline, so
+//! vendoring criterion is not an option; this harness keeps the bench
+//! sources idiomatic (groups, `bench_function`, `b.iter`) while measuring
+//! with plain `std::time::Instant`.
+//!
+//! Measurement model: each benchmark runs `sample_size` samples after one
+//! warm-up; a sample times a batch of iterations sized so the batch takes
+//! ≳1ms. The median sample is reported.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with the default sample size (20).
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.max(1));
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: 20, _parent: self }
+    }
+}
+
+/// A group of related benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepts a throughput hint purely for criterion API parity; the
+    /// plain-text report ignores it and prints µs/iter only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (mirrors `criterion::BenchmarkId`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter<D: std::fmt::Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Throughput hint (mirrors `criterion::Throughput`).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the closure; `iter` runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher { sample_size, median: None }
+    }
+
+    /// Measures `routine`: one warm-up call, then `sample_size` batches
+    /// sized to take at least ~1ms each; stores the median per-iteration
+    /// time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up + batch sizing
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / batch);
+        }
+        samples.sort();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+
+    fn report(&self, name: &str) {
+        match self.median {
+            Some(t) => println!("{name:<48} {:>12.3} µs/iter", t.as_secs_f64() * 1e6),
+            None => println!("{name:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a runner function that
+/// invokes each registered bench with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::new();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_parity() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &7usize, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

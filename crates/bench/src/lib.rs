@@ -12,7 +12,9 @@
 //! * [`spec`] — the 11 benchmark rows and defect plans;
 //! * [`corpus`] — the source generator with ground truth;
 //! * [`figure9`] — run + score + render the paper-vs-measured table;
-//! * [`runner`] — parametric scaling workloads.
+//! * [`runner`] — parametric scaling workloads;
+//! * [`pipeline_bench`] — worker-pool scaling measurements
+//!   (`BENCH_pipeline.json`).
 //!
 //! ```
 //! use ffisafe_bench::{figure9, spec};
@@ -27,6 +29,8 @@
 
 pub mod corpus;
 pub mod figure9;
+pub mod harness;
+pub mod pipeline_bench;
 pub mod runner;
 pub mod spec;
 

@@ -1,0 +1,176 @@
+//! The pipeline benchmark: wall-clock comparison of the inference stage
+//! across worker counts, emitted as machine-readable `BENCH_pipeline.json`
+//! so successive PRs accumulate a perf trajectory.
+//!
+//! Workloads: every Figure 9 benchmark (the paper's corpus, synthesized)
+//! plus a large parametric scaling corpus, each analyzed at `jobs = 1` and
+//! `jobs = available parallelism`.
+
+use crate::corpus::generate;
+use crate::runner::scaling_benchmark;
+use crate::spec::paper_benchmarks;
+use ffisafe_core::{AnalysisOptions, Analyzer};
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineMeasurement {
+    /// Workload name.
+    pub name: String,
+    /// Lines of C analyzed.
+    pub c_loc: usize,
+    /// C functions analyzed.
+    pub functions: usize,
+    /// Total fixpoint passes.
+    pub passes: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole analysis.
+    pub seconds: f64,
+    /// Wall-clock seconds of the inference stage alone.
+    pub infer_seconds: f64,
+    /// Sum of per-function inference work (jobs-independent).
+    pub work_seconds: f64,
+    /// Slowest single function — the parallel lower bound.
+    pub critical_path_seconds: f64,
+    /// Findings (errors + warnings + imprecision — context notes excluded,
+    /// so the trajectory is comparable across note-emission changes;
+    /// sanity: must match across jobs).
+    pub diagnostics: usize,
+}
+
+/// The full benchmark result.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineBench {
+    /// All measurements, serial and parallel, in workload order.
+    pub rows: Vec<PipelineMeasurement>,
+}
+
+fn measure(name: &str, ml: &str, c: &str, jobs: usize) -> PipelineMeasurement {
+    let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    let report = az.analyze();
+    PipelineMeasurement {
+        name: name.to_string(),
+        c_loc: report.stats.c_loc,
+        functions: report.stats.c_functions,
+        passes: report.stats.passes,
+        jobs: report.stats.jobs,
+        seconds: report.stats.seconds,
+        infer_seconds: report.timings.get(ffisafe_core::Phase::Infer).as_secs_f64(),
+        work_seconds: report.stats.infer_work_seconds,
+        critical_path_seconds: report.stats.infer_critical_path_seconds,
+        diagnostics: report.error_count() + report.warning_count() + report.imprecision_count(),
+    }
+}
+
+/// Runs every workload at each worker count in `jobs_list`.
+pub fn run(jobs_list: &[usize]) -> PipelineBench {
+    let mut rows = Vec::new();
+    for spec in paper_benchmarks() {
+        let bench = generate(&spec);
+        for &jobs in jobs_list {
+            rows.push(measure(spec.name, &bench.ml_source, &bench.c_source, jobs));
+        }
+    }
+    let scale = scaling_benchmark(12_000);
+    for &jobs in jobs_list {
+        rows.push(measure("scale-12k", &scale.ml_source, &scale.c_source, jobs));
+    }
+    PipelineBench { rows }
+}
+
+impl PipelineBench {
+    /// Wall-clock speedup of the widest configuration over `jobs = 1`,
+    /// summed over every workload. Meaningful only when the host has more
+    /// than one core; see [`PipelineBench::work_speedup_bound`] for the
+    /// hardware-independent number.
+    pub fn overall_speedup(&self) -> f64 {
+        let serial: f64 = self.rows.iter().filter(|r| r.jobs == 1).map(|r| r.seconds).sum();
+        let max_jobs = self.rows.iter().map(|r| r.jobs).max().unwrap_or(1);
+        let parallel: f64 =
+            self.rows.iter().filter(|r| r.jobs == max_jobs).map(|r| r.seconds).sum();
+        if parallel > 0.0 {
+            serial / parallel
+        } else {
+            1.0
+        }
+    }
+
+    /// The measured work/critical-path ratio of the inference stage over
+    /// the `jobs = 1` runs: the wall-clock speedup an unbounded worker
+    /// pool achieves on this corpus, independent of the host's core count.
+    pub fn work_speedup_bound(&self) -> f64 {
+        let work: f64 = self.rows.iter().filter(|r| r.jobs == 1).map(|r| r.work_seconds).sum();
+        let critical: f64 =
+            self.rows.iter().filter(|r| r.jobs == 1).map(|r| r.critical_path_seconds).sum();
+        if critical > 0.0 {
+            work / critical
+        } else {
+            1.0
+        }
+    }
+
+    /// Serializes to the `BENCH_pipeline.json` format (no external JSON
+    /// dependency; every field is a number or a plain string).
+    pub fn to_json(&self) -> String {
+        let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut out = String::from("{\n  \"benchmark\": \"pipeline\",\n");
+        out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+        out.push_str(&format!(
+            "  \"overall_speedup\": {:.3},\n  \"work_speedup_bound\": {:.3},\n  \"rows\": [\n",
+            self.overall_speedup(),
+            self.work_speedup_bound()
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"diagnostics\": {}}}{}\n",
+                json_escape(&r.name),
+                r.c_loc,
+                r.functions,
+                r.passes,
+                r.jobs,
+                r.seconds,
+                r.infer_seconds,
+                r.work_seconds,
+                r.critical_path_seconds,
+                r.diagnostics,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_produces_valid_shape() {
+        // one tiny workload at two widths, via the internal measure()
+        let spec = &paper_benchmarks()[0];
+        let bench = generate(spec);
+        let serial = measure(spec.name, &bench.ml_source, &bench.c_source, 1);
+        let parallel = measure(spec.name, &bench.ml_source, &bench.c_source, 4);
+        assert_eq!(serial.diagnostics, parallel.diagnostics, "jobs changed results");
+        assert_eq!(serial.passes, parallel.passes);
+        assert_eq!(serial.jobs, 1);
+        assert!(parallel.jobs >= 1);
+        let pb = PipelineBench { rows: vec![serial, parallel] };
+        let json = pb.to_json();
+        assert!(json.contains("\"benchmark\": \"pipeline\""));
+        assert!(json.contains("\"overall_speedup\""));
+        assert!(json.contains(&format!("\"name\": \"{}\"", spec.name)));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -110,31 +110,71 @@ pub fn paper_benchmarks() -> Vec<BenchSpec> {
     vec![
         BenchSpec {
             name: "apm-1.00",
-            paper: PaperRow { c_loc: 124, ml_loc: 156, time_s: 1.3, errors: 0, warnings: 0, false_pos: 0, imprecision: 0 },
+            paper: PaperRow {
+                c_loc: 124,
+                ml_loc: 156,
+                time_s: 1.3,
+                errors: 0,
+                warnings: 0,
+                false_pos: 0,
+                imprecision: 0,
+            },
             seeds: SeedPlan::default(),
             rng_seed: 0xA01,
         },
         BenchSpec {
             name: "camlzip-1.01",
-            paper: PaperRow { c_loc: 139, ml_loc: 820, time_s: 1.7, errors: 0, warnings: 0, false_pos: 0, imprecision: 1 },
+            paper: PaperRow {
+                c_loc: 139,
+                ml_loc: 820,
+                time_s: 1.7,
+                errors: 0,
+                warnings: 0,
+                false_pos: 0,
+                imprecision: 1,
+            },
             seeds: SeedPlan { unknown_offset: 1, ..SeedPlan::default() },
             rng_seed: 0xA02,
         },
         BenchSpec {
             name: "ocaml-mad-0.1.0",
-            paper: PaperRow { c_loc: 139, ml_loc: 38, time_s: 4.2, errors: 1, warnings: 0, false_pos: 0, imprecision: 0 },
+            paper: PaperRow {
+                c_loc: 139,
+                ml_loc: 38,
+                time_s: 4.2,
+                errors: 1,
+                warnings: 0,
+                false_pos: 0,
+                imprecision: 0,
+            },
             seeds: SeedPlan { register_no_release: 1, ..SeedPlan::default() },
             rng_seed: 0xA03,
         },
         BenchSpec {
             name: "ocaml-ssl-0.1.0",
-            paper: PaperRow { c_loc: 187, ml_loc: 151, time_s: 1.5, errors: 4, warnings: 2, false_pos: 0, imprecision: 0 },
+            paper: PaperRow {
+                c_loc: 187,
+                ml_loc: 151,
+                time_s: 1.5,
+                errors: 4,
+                warnings: 2,
+                false_pos: 0,
+                imprecision: 0,
+            },
             seeds: SeedPlan { val_int_confusion: 4, trailing_unit: 2, ..SeedPlan::default() },
             rng_seed: 0xA04,
         },
         BenchSpec {
             name: "ocaml-glpk-0.1.1",
-            paper: PaperRow { c_loc: 305, ml_loc: 147, time_s: 1.3, errors: 4, warnings: 1, false_pos: 0, imprecision: 1 },
+            paper: PaperRow {
+                c_loc: 305,
+                ml_loc: 147,
+                time_s: 1.3,
+                errors: 4,
+                warnings: 1,
+                false_pos: 0,
+                imprecision: 1,
+            },
             seeds: SeedPlan {
                 val_int_confusion: 4,
                 trailing_unit: 1,
@@ -145,19 +185,43 @@ pub fn paper_benchmarks() -> Vec<BenchSpec> {
         },
         BenchSpec {
             name: "gz-0.5.5",
-            paper: PaperRow { c_loc: 572, ml_loc: 192, time_s: 2.2, errors: 0, warnings: 1, false_pos: 0, imprecision: 1 },
+            paper: PaperRow {
+                c_loc: 572,
+                ml_loc: 192,
+                time_s: 2.2,
+                errors: 0,
+                warnings: 1,
+                false_pos: 0,
+                imprecision: 1,
+            },
             seeds: SeedPlan { poly_abuse: 1, unknown_offset: 1, ..SeedPlan::default() },
             rng_seed: 0xA06,
         },
         BenchSpec {
             name: "ocaml-vorbis-0.1.1",
-            paper: PaperRow { c_loc: 1183, ml_loc: 443, time_s: 2.8, errors: 1, warnings: 0, false_pos: 0, imprecision: 2 },
+            paper: PaperRow {
+                c_loc: 1183,
+                ml_loc: 443,
+                time_s: 2.8,
+                errors: 1,
+                warnings: 0,
+                false_pos: 0,
+                imprecision: 2,
+            },
             seeds: SeedPlan { register_no_release: 1, unknown_offset: 2, ..SeedPlan::default() },
             rng_seed: 0xA07,
         },
         BenchSpec {
             name: "ftplib-0.12",
-            paper: PaperRow { c_loc: 1401, ml_loc: 21, time_s: 1.7, errors: 1, warnings: 2, false_pos: 0, imprecision: 1 },
+            paper: PaperRow {
+                c_loc: 1401,
+                ml_loc: 21,
+                time_s: 1.7,
+                errors: 1,
+                warnings: 2,
+                false_pos: 0,
+                imprecision: 1,
+            },
             seeds: SeedPlan {
                 missing_registration: 1,
                 trailing_unit: 2,
@@ -168,7 +232,15 @@ pub fn paper_benchmarks() -> Vec<BenchSpec> {
         },
         BenchSpec {
             name: "lablgl-1.00",
-            paper: PaperRow { c_loc: 1586, ml_loc: 1357, time_s: 7.5, errors: 4, warnings: 5, false_pos: 140, imprecision: 20 },
+            paper: PaperRow {
+                c_loc: 1586,
+                ml_loc: 1357,
+                time_s: 7.5,
+                errors: 4,
+                warnings: 5,
+                false_pos: 140,
+                imprecision: 20,
+            },
             seeds: SeedPlan {
                 missing_registration: 1,
                 type_confusion: 3,
@@ -183,13 +255,29 @@ pub fn paper_benchmarks() -> Vec<BenchSpec> {
         },
         BenchSpec {
             name: "cryptokit-1.2",
-            paper: PaperRow { c_loc: 2173, ml_loc: 2315, time_s: 5.4, errors: 0, warnings: 0, false_pos: 0, imprecision: 1 },
+            paper: PaperRow {
+                c_loc: 2173,
+                ml_loc: 2315,
+                time_s: 5.4,
+                errors: 0,
+                warnings: 0,
+                false_pos: 0,
+                imprecision: 1,
+            },
             seeds: SeedPlan { unknown_offset: 1, ..SeedPlan::default() },
             rng_seed: 0xA0A,
         },
         BenchSpec {
             name: "lablgtk-2.2.0",
-            paper: PaperRow { c_loc: 5998, ml_loc: 14847, time_s: 61.3, errors: 9, warnings: 11, false_pos: 74, imprecision: 48 },
+            paper: PaperRow {
+                c_loc: 5998,
+                ml_loc: 14847,
+                time_s: 61.3,
+                errors: 9,
+                warnings: 11,
+                false_pos: 74,
+                imprecision: 48,
+            },
             seeds: SeedPlan {
                 val_int_confusion: 5,
                 option_misuse: 1,

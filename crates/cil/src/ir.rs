@@ -370,7 +370,10 @@ mod tests {
             locals: vec![],
             n_params: 0,
             body: vec![
-                IrStmt::new(IrStmtKind::If { cond: IrCond::Unboxed(VarId(0)), target: Label(0) }, s),
+                IrStmt::new(
+                    IrStmtKind::If { cond: IrCond::Unboxed(VarId(0)), target: Label(0) },
+                    s,
+                ),
                 IrStmt::new(IrStmtKind::Goto(Label(1)), s),
                 IrStmt::new(IrStmtKind::Mark(Label(0)), s),
                 IrStmt::new(IrStmtKind::Mark(Label(1)), s),

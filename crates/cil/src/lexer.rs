@@ -10,9 +10,9 @@ use ffisafe_support::{FileId, Span};
 
 /// Multi-character punctuation, longest first.
 const PUNCTS: &[&str] = &[
-    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
-    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">",
-    "!", "~", "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "+", "-", "*", "/", "%", "=", "<", ">", "!", "~",
+    "&", "|", "^", "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
 ];
 
 /// Lexes C source text into tokens (ending with `Eof`).
@@ -152,9 +152,7 @@ impl<'a> CLexer<'a> {
     fn take_number(&mut self) -> CTokenKind {
         let start = self.pos;
         let mut is_float = false;
-        if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
             self.bump();
             self.bump();
             while matches!(self.peek(), Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')) {

@@ -44,7 +44,7 @@ pub mod lower;
 pub mod parser;
 pub mod token;
 
-pub use ast::{CFunction, CGlobal, CParam, CStmt, CStmtKind, CUnit, CExpr, CExprKind};
+pub use ast::{CExpr, CExprKind, CFunction, CGlobal, CParam, CStmt, CStmtKind, CUnit};
 pub use ctypes::CTypeExpr;
 pub use ir::{
     Callee, IrCond, IrExpr, IrExprKind, IrFunction, IrLocal, IrLval, IrProgram, IrPrototype,

@@ -155,11 +155,8 @@ mod tests {
         let lv = compute(&f);
         let (a, b) = (var(&f, "a"), var(&f, "b"));
         // find the helper call
-        let call_idx = f
-            .body
-            .iter()
-            .position(|s| matches!(&s.kind, IrStmtKind::Call { .. }))
-            .unwrap();
+        let call_idx =
+            f.body.iter().position(|s| matches!(&s.kind, IrStmtKind::Call { .. })).unwrap();
         let across = lv.live_across(&f, call_idx);
         assert!(!across.contains(&a), "a is dead after first assignment");
         assert!(across.contains(&b), "b is used after the call");
@@ -171,11 +168,7 @@ mod tests {
         let lv = compute(&f);
         let n = var(&f, "n");
         // n is live at the loop head test
-        let if_idx = f
-            .body
-            .iter()
-            .position(|s| matches!(s.kind, IrStmtKind::If { .. }))
-            .unwrap();
+        let if_idx = f.body.iter().position(|s| matches!(s.kind, IrStmtKind::If { .. })).unwrap();
         assert!(lv.live_in[if_idx].contains(&n));
     }
 
@@ -184,11 +177,8 @@ mod tests {
         let f = func("int f(int x) { int dead = 5; return x; }");
         let lv = compute(&f);
         let d = var(&f, "dead");
-        let ret = f
-            .body
-            .iter()
-            .position(|s| matches!(s.kind, IrStmtKind::Return(Some(_))))
-            .unwrap();
+        let ret =
+            f.body.iter().position(|s| matches!(s.kind, IrStmtKind::Return(Some(_)))).unwrap();
         assert!(!lv.live_in[ret].contains(&d));
     }
 

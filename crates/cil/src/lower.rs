@@ -73,8 +73,7 @@ impl<'a> FnLowerer<'a> {
         let mut locals = Vec::new();
         let mut vars = HashMap::new();
         for (i, p) in f.params.iter().enumerate() {
-            let name =
-                if p.name.is_empty() { format!("%arg{i}") } else { p.name.clone() };
+            let name = if p.name.is_empty() { format!("%arg{i}") } else { p.name.clone() };
             vars.insert(name.clone(), VarId(i as u32));
             locals.push(IrLocal { name, ty: p.ty.clone(), is_param: true, span: f.span });
         }
@@ -102,7 +101,9 @@ impl<'a> FnLowerer<'a> {
         // guarantee an explicit exit so protection-set checks see it
         let needs_exit = !matches!(
             self.body.last().map(|s| &s.kind),
-            Some(IrStmtKind::Return(_)) | Some(IrStmtKind::CamlReturn(_)) | Some(IrStmtKind::Goto(_))
+            Some(IrStmtKind::Return(_))
+                | Some(IrStmtKind::CamlReturn(_))
+                | Some(IrStmtKind::Goto(_))
         );
         if needs_exit {
             self.body.push(IrStmt::new(IrStmtKind::Return(None), self.span));
@@ -536,8 +537,7 @@ impl<'a> FnLowerer<'a> {
         let lval = self.lower_lval(lhs);
         let cur = self.lval_as_expr(&lval, span);
         let r = self.lower_expr(rhs);
-        let combined =
-            IrExpr::new(IrExprKind::Binop(bare, Box::new(cur), Box::new(r)), span);
+        let combined = IrExpr::new(IrExprKind::Binop(bare, Box::new(cur), Box::new(r)), span);
         self.emit(IrStmtKind::Assign(lval, combined), span);
     }
 
@@ -611,10 +611,7 @@ impl<'a> FnLowerer<'a> {
 
     /// Splits a call expression into (callee, lowered args) unless it is an
     /// FFI macro that lowers to a pure expression (then `None`).
-    fn lower_call_parts_pair(
-        &mut self,
-        e: &CExpr,
-    ) -> (Option<(Callee, Vec<IrExpr>)>, ()) {
+    fn lower_call_parts_pair(&mut self, e: &CExpr) -> (Option<(Callee, Vec<IrExpr>)>, ()) {
         (self.lower_call_parts(e).0, ())
     }
 
@@ -965,8 +962,7 @@ mod tests {
 
     #[test]
     fn switch_on_tag_val_becomes_sum_tag_chain() {
-        let f = one(
-            r#"
+        let f = one(r#"
             int f(value x) {
                 switch (Tag_val(x)) {
                     case 0: return 1;
@@ -974,8 +970,7 @@ mod tests {
                     default: return 3;
                 }
             }
-            "#,
-        );
+            "#);
         let tags: Vec<i64> = f
             .body
             .iter()
@@ -989,16 +984,14 @@ mod tests {
 
     #[test]
     fn caml_macros_lower_to_protect() {
-        let f = one(
-            r#"
+        let f = one(r#"
             value f(value a) {
                 CAMLparam1(a);
                 CAMLlocal1(r);
                 r = a;
                 CAMLreturn(r);
             }
-            "#,
-        );
+            "#);
         let protects: Vec<VarId> = f
             .body
             .iter()
@@ -1084,15 +1077,13 @@ mod tests {
 
     #[test]
     fn shadowing_respects_blocks() {
-        let f = one(
-            r#"
+        let f = one(r#"
             int f(int x) {
                 { int y = 1; x = y; }
                 { value y = Val_int(2); x = Int_val(y); }
                 return x;
             }
-            "#,
-        );
+            "#);
         // two distinct `y` locals plus param
         assert_eq!(f.locals.iter().filter(|l| l.name == "y").count(), 2);
     }
@@ -1101,9 +1092,9 @@ mod tests {
     fn string_val_prim() {
         let f = one("int f(value s) { return use(String_val(s)); }");
         let has_prim = f.body.iter().any(|st| match &st.kind {
-            IrStmtKind::Call { args, .. } => args
-                .iter()
-                .any(|a| matches!(&a.kind, IrExprKind::Prim(PrimOp::StringVal, _))),
+            IrStmtKind::Call { args, .. } => {
+                args.iter().any(|a| matches!(&a.kind, IrExprKind::Prim(PrimOp::StringVal, _)))
+            }
             _ => false,
         });
         assert!(has_prim, "{:#?}", f.body);

@@ -172,8 +172,7 @@ impl Parser {
     /// Parses a base type (without pointer declarators).
     fn parse_base_type(&mut self) -> CTypeExpr {
         // skip qualifiers
-        while matches!(self.peek_kind(), CTokenKind::Ident(s) if s == "const" || s == "volatile")
-        {
+        while matches!(self.peek_kind(), CTokenKind::Ident(s) if s == "const" || s == "volatile") {
             self.bump();
         }
         match self.peek_kind().clone() {
@@ -208,7 +207,10 @@ impl Parser {
                 CTypeExpr::Float
             }
             CTokenKind::Ident(s)
-                if matches!(s.as_str(), "int" | "long" | "short" | "char" | "unsigned" | "signed") =>
+                if matches!(
+                    s.as_str(),
+                    "int" | "long" | "short" | "char" | "unsigned" | "signed"
+                ) =>
             {
                 while matches!(
                     self.peek_kind(),
@@ -339,8 +341,7 @@ impl Parser {
     fn parse_top_decl(&mut self) {
         let start = self.span();
         let mut is_static = false;
-        while matches!(self.peek_kind(), CTokenKind::Ident(s) if QUALIFIERS.contains(&s.as_str()))
-        {
+        while matches!(self.peek_kind(), CTokenKind::Ident(s) if QUALIFIERS.contains(&s.as_str())) {
             if self.peek_kind().is_ident("static") {
                 is_static = true;
             }
@@ -414,11 +415,15 @@ impl Parser {
                 loop {
                     match self.peek_kind() {
                         CTokenKind::Eof => break,
-                        CTokenKind::Punct("{") | CTokenKind::Punct("(") | CTokenKind::Punct("[") => {
+                        CTokenKind::Punct("{")
+                        | CTokenKind::Punct("(")
+                        | CTokenKind::Punct("[") => {
                             depth += 1;
                             self.bump();
                         }
-                        CTokenKind::Punct("}") | CTokenKind::Punct(")") | CTokenKind::Punct("]") => {
+                        CTokenKind::Punct("}")
+                        | CTokenKind::Punct(")")
+                        | CTokenKind::Punct("]") => {
                             depth -= 1;
                             self.bump();
                         }
@@ -496,11 +501,8 @@ impl Parser {
                 "switch" => self.parse_switch(start),
                 "return" => {
                     self.bump();
-                    let e = if self.peek_kind().is_punct(";") {
-                        None
-                    } else {
-                        Some(self.parse_expr())
-                    };
+                    let e =
+                        if self.peek_kind().is_punct(";") { None } else { Some(self.parse_expr()) };
                     self.expect_punct(";");
                     CStmt::new(CStmtKind::Return(e), start)
                 }
@@ -534,11 +536,8 @@ impl Parser {
                 "CAMLreturn" => {
                     self.bump();
                     self.expect_punct("(");
-                    let e = if self.peek_kind().is_punct(")") {
-                        None
-                    } else {
-                        Some(self.parse_expr())
-                    };
+                    let e =
+                        if self.peek_kind().is_punct(")") { None } else { Some(self.parse_expr()) };
                     self.expect_punct(")");
                     self.eat_punct(";");
                     CStmt::new(CStmtKind::CamlReturn(e), start)
@@ -704,7 +703,11 @@ impl Parser {
                 self.bump();
                 let value = self.parse_case_const();
                 self.expect_punct(":");
-                cases.push(SwitchCase { value: Some(value), body: Vec::new(), falls_through: true });
+                cases.push(SwitchCase {
+                    value: Some(value),
+                    body: Vec::new(),
+                    falls_through: true,
+                });
             } else if self.peek_kind().is_ident("default") {
                 self.bump();
                 self.expect_punct(":");
@@ -777,9 +780,9 @@ impl Parser {
     fn parse_assign_expr(&mut self) -> CExpr {
         let lhs = self.parse_ternary();
         let op = match self.peek_kind() {
-            CTokenKind::Punct(p @ ("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=")) => {
-                *p
-            }
+            CTokenKind::Punct(
+                p @ ("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>="),
+            ) => *p,
             _ => return lhs,
         };
         self.bump();
@@ -1015,8 +1018,9 @@ pub fn is_caml_param_macro(name: &str) -> bool {
 
 /// `CAMLlocal1` … `CAMLlocal5`, `CAMLlocalN` — declare and register.
 pub fn is_caml_local_macro(name: &str) -> bool {
-    name.strip_prefix("CAMLlocal")
-        .is_some_and(|rest| rest.len() == 1 && (rest.chars().all(|c| c.is_ascii_digit()) || rest == "N"))
+    name.strip_prefix("CAMLlocal").is_some_and(|rest| {
+        rest.len() == 1 && (rest.chars().all(|c| c.is_ascii_digit()) || rest == "N")
+    })
 }
 
 #[cfg(test)]
@@ -1163,10 +1167,7 @@ mod tests {
             &body[0].kind,
             CStmtKind::Decl { ty: CTypeExpr::Named(n), .. } if n == "gzFile"
         ));
-        assert!(matches!(
-            &body[1].kind,
-            CStmtKind::Decl { ty: CTypeExpr::Ptr(_), .. }
-        ));
+        assert!(matches!(&body[1].kind, CStmtKind::Decl { ty: CTypeExpr::Ptr(_), .. }));
     }
 
     #[test]
@@ -1217,9 +1218,8 @@ mod tests {
 
     #[test]
     fn parses_member_access_and_calls() {
-        let f = one_fn(
-            "int f(struct buf *b) { b->len = b->len + 1; return use(b->data, (*b).len); }",
-        );
+        let f =
+            one_fn("int f(struct buf *b) { b->len = b->len + 1; return use(b->data, (*b).len); }");
         assert_eq!(f.params[0].ty, CTypeExpr::Named("buf".into()).ptr());
     }
 
@@ -1254,10 +1254,7 @@ mod tests {
     fn array_local_becomes_pointer() {
         let f = one_fn("int f(void) { int buf[16]; return buf[0]; }");
         let body = f.body.unwrap();
-        assert!(matches!(
-            &body[0].kind,
-            CStmtKind::Decl { ty: CTypeExpr::Ptr(_), .. }
-        ));
+        assert!(matches!(&body[0].kind, CStmtKind::Decl { ty: CTypeExpr::Ptr(_), .. }));
     }
 
     #[test]

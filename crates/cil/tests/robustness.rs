@@ -2,78 +2,80 @@
 //! the analysis runs on real-world code it does not control.
 
 use ffisafe_cil::{lower, parser};
+use ffisafe_support::rng::Rng64;
 use ffisafe_support::FileId;
-use proptest::prelude::*;
 
 fn pipeline(src: &str) {
     let unit = parser::parse(FileId::from_raw(0), src);
     let _ = lower::lower_unit(&unit);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Arbitrary UTF-8 soup: lex + parse + lower must not panic.
-    #[test]
-    fn prop_parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
-        pipeline(&src);
+/// Arbitrary UTF-8 soup: lex + parse + lower must not panic.
+#[test]
+fn prop_parser_never_panics_on_arbitrary_input() {
+    let mut rng = Rng64::seed_from_u64(0xC111);
+    for _ in 0..512 {
+        pipeline(&rng.arbitrary_text(200));
     }
+}
 
-    /// C-shaped token soup: plausible glue fragments with random structure.
-    #[test]
-    fn prop_parser_never_panics_on_c_like_input(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("value".to_string()),
-                Just("int".to_string()),
-                Just("if".to_string()),
-                Just("while".to_string()),
-                Just("return".to_string()),
-                Just("switch".to_string()),
-                Just("case".to_string()),
-                Just("CAMLparam1".to_string()),
-                Just("CAMLreturn".to_string()),
-                Just("Val_int".to_string()),
-                Just("Int_val".to_string()),
-                Just("Field".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just("{".to_string()),
-                Just("}".to_string()),
-                Just(";".to_string()),
-                Just(",".to_string()),
-                Just("*".to_string()),
-                Just("=".to_string()),
-                Just("+".to_string()),
-                Just("x".to_string()),
-                Just("f".to_string()),
-                Just("0".to_string()),
-                Just("1".to_string()),
-            ],
-            0..80,
-        )
-    ) {
-        pipeline(&toks.join(" "));
+/// C-shaped token soup: plausible glue fragments with random structure.
+#[test]
+fn prop_parser_never_panics_on_c_like_input() {
+    const TOKS: &[&str] = &[
+        "value",
+        "int",
+        "if",
+        "while",
+        "return",
+        "switch",
+        "case",
+        "CAMLparam1",
+        "CAMLreturn",
+        "Val_int",
+        "Int_val",
+        "Field",
+        "(",
+        ")",
+        "{",
+        "}",
+        ";",
+        ",",
+        "*",
+        "=",
+        "+",
+        "x",
+        "f",
+        "0",
+        "1",
+    ];
+    let mut rng = Rng64::seed_from_u64(0xC112);
+    for _ in 0..512 {
+        let n = rng.gen_range(0..80usize);
+        let soup: Vec<&str> = (0..n).map(|_| TOKS[rng.gen_range(0..TOKS.len())]).collect();
+        pipeline(&soup.join(" "));
     }
+}
 
-    /// Truncations of a real glue function parse without panicking.
-    #[test]
-    fn prop_truncated_glue_never_panics(cut in 0usize..400) {
-        let full = r#"
-            value ml_examine(value x, value opts) {
-                CAMLparam2(x, opts);
-                CAMLlocal1(res);
-                if (Is_long(x)) {
-                    switch (Int_val(x)) {
-                    case 0: res = Val_int(10); break;
-                    default: res = Val_int(0); break;
-                    }
-                } else {
-                    res = Field(x, 0);
+/// Truncations of a real glue function parse without panicking.
+#[test]
+fn prop_truncated_glue_never_panics() {
+    let full = r#"
+        value ml_examine(value x, value opts) {
+            CAMLparam2(x, opts);
+            CAMLlocal1(res);
+            if (Is_long(x)) {
+                switch (Int_val(x)) {
+                case 0: res = Val_int(10); break;
+                default: res = Val_int(0); break;
                 }
-                CAMLreturn(res);
+            } else {
+                res = Field(x, 0);
             }
-        "#;
+            CAMLreturn(res);
+        }
+    "#;
+    for cut in 0..400usize {
         let cut = cut.min(full.len());
         // cut at a char boundary
         let mut end = cut;

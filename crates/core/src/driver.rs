@@ -1,21 +1,22 @@
-//! The analyzer driver: the public entry point tying both phases together.
+//! The analyzer driver: the public entry point over the staged pipeline.
 //!
-//! Phase 1 parses OCaml sources, builds the central type repository and
-//! translates `external` signatures (Φ/ρ). Phase 2 parses and lowers C
-//! sources, seeds the function registry (`Γ_I`), runs the flow-sensitive
-//! inference on every function, then discharges the deferred constraints:
-//! GC reachability + registration obligations, `T + 1 ≤ Ψ` bounds, and the
-//! whole-program practice checks (trailing `unit`, polymorphic abuse,
-//! `value` globals).
+//! [`Analyzer`] owns a [`Session`] (source map + interner + diagnostic
+//! sink + options + per-phase timings) and the parsed inputs. `analyze`
+//! runs the four pipeline stages — [`pipeline::frontend_ml`],
+//! [`pipeline::frontend_c`], [`pipeline::infer`] (parallel),
+//! [`pipeline::discharge`] — and assembles the [`AnalysisReport`].
+//!
+//! [`pipeline::frontend_ml`]: crate::pipeline::frontend_ml
+//! [`pipeline::frontend_c`]: crate::pipeline::frontend_c
+//! [`pipeline::infer`]: crate::pipeline::infer
+//! [`pipeline::discharge`]: crate::pipeline::discharge
 
-use crate::engine::{analyze_function, AnalysisOptions, GcObligation};
-use crate::registry::{FuncOrigin, Registry};
+use crate::engine::AnalysisOptions;
+use crate::pipeline::{discharge, frontend_c, frontend_ml, infer};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
-use ffisafe_support::{
-    Diagnostic, DiagnosticBag, DiagnosticCode, Severity, SourceMap,
-};
-use ffisafe_types::{ConstraintSet, CtNode, TypeTable};
+use ffisafe_support::{DiagnosticBag, DiagnosticCode, Phase, PhaseTimings, Session, SourceMap};
+use ffisafe_types::TypeTable;
 use std::time::Instant;
 
 /// Whole-run statistics (benchmark metrics and the Figure 9 columns).
@@ -31,12 +32,19 @@ pub struct AnalysisStats {
     pub c_functions: usize,
     /// Total fixpoint passes across all functions.
     pub passes: usize,
-    /// Arena nodes allocated.
+    /// Arena nodes allocated (base table plus every worker's growth).
     pub type_nodes: usize,
     /// GC effect edges recorded.
     pub gc_edges: usize,
+    /// Worker threads used by the inference stage.
+    pub jobs: usize,
     /// Wall-clock analysis time in seconds.
     pub seconds: f64,
+    /// Sum of per-function inference wall-clock (total parallelizable
+    /// work).
+    pub infer_work_seconds: f64,
+    /// Slowest single function (lower bound on parallel inference time).
+    pub infer_critical_path_seconds: f64,
 }
 
 /// A concrete run-time check that would make an imprecise site safe
@@ -58,6 +66,8 @@ pub struct AnalysisReport {
     pub diagnostics: DiagnosticBag,
     /// Run statistics.
     pub stats: AnalysisStats,
+    /// Cumulative wall-clock time per pipeline phase.
+    pub timings: PhaseTimings,
     source_map: SourceMap,
 }
 
@@ -116,30 +126,35 @@ impl AnalysisReport {
             .collect()
     }
 
-    /// Renders a human-readable report.
+    /// Renders a human-readable report: [`AnalysisReport::render_stable`]
+    /// with the run's wall-clock appended to the summary line.
     pub fn render(&self) -> String {
+        let mut out = self.render_stable();
+        out.pop();
+        out.push_str(&format!(", {:.3}s\n", self.stats.seconds));
+        out
+    }
+
+    /// Like [`AnalysisReport::render`], but without the trailing timing
+    /// line — byte-identical across runs and worker counts, which the
+    /// determinism tests rely on.
+    pub fn render_stable(&self) -> String {
         let mut out = String::new();
         for d in self.diagnostics.iter() {
             let loc = self.source_map.resolve(d.span());
-            out.push_str(&format!(
-                "{loc}: {} [{}]: {}\n",
-                d.severity(),
-                d.code(),
-                d.message()
-            ));
+            out.push_str(&format!("{loc}: {} [{}]: {}\n", d.severity(), d.code(), d.message()));
             for (nspan, note) in d.notes() {
                 let nloc = self.source_map.resolve(*nspan);
                 out.push_str(&format!("  {nloc}: note: {note}\n"));
             }
         }
         out.push_str(&format!(
-            "{} error(s), {} warning(s), {} imprecision report(s) — {} lines C, {} lines OCaml, {:.3}s\n",
+            "{} error(s), {} warning(s), {} imprecision report(s) — {} lines C, {} lines OCaml\n",
             self.error_count(),
             self.warning_count(),
             self.imprecision_count(),
             self.stats.c_loc,
             self.stats.ml_loc,
-            self.stats.seconds,
         ));
         out
     }
@@ -164,11 +179,9 @@ impl AnalysisReport {
 /// ```
 #[derive(Debug, Default)]
 pub struct Analyzer {
-    source_map: SourceMap,
-    options: AnalysisOptions,
+    session: Session,
     ml_files: Vec<ocaml::ParsedFile>,
     c_units: Vec<cil::CUnit>,
-    pre_diags: DiagnosticBag,
     ml_loc: usize,
     c_loc: usize,
 }
@@ -179,258 +192,67 @@ impl Analyzer {
         Analyzer::default()
     }
 
-    /// Creates an analyzer with explicit options (ablation experiments).
+    /// Creates an analyzer with explicit options (ablation experiments,
+    /// worker-pool sizing).
     pub fn with_options(options: AnalysisOptions) -> Self {
-        Analyzer { options, ..Analyzer::default() }
+        Analyzer { session: Session::with_options(options), ..Analyzer::default() }
+    }
+
+    /// The session shared by every pipeline stage.
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// Adds and parses one OCaml source file.
     pub fn add_ml_source(&mut self, name: &str, src: &str) {
-        let file = self.source_map.add_file(name, src);
         self.ml_loc += src.lines().count();
-        let parsed = ocaml::parser::parse(file, src);
-        for e in &parsed.errors {
-            self.pre_diags.push(
-                Diagnostic::new(DiagnosticCode::Context, e.span, e.message.clone())
-                    .with_severity(Severity::Note),
-            );
-        }
+        let parsed = frontend_ml::parse(&mut self.session, name, src);
         self.ml_files.push(parsed);
     }
 
     /// Adds and parses one C source file.
     pub fn add_c_source(&mut self, name: &str, src: &str) {
-        let file = self.source_map.add_file(name, src);
         self.c_loc += src.lines().count();
-        let unit = cil::parser::parse(file, src);
-        for (span, msg) in &unit.errors {
-            self.pre_diags.push(
-                Diagnostic::new(DiagnosticCode::Context, *span, msg.clone())
-                    .with_severity(Severity::Note),
-            );
-        }
+        let unit = frontend_c::parse(&mut self.session, name, src);
         self.c_units.push(unit);
     }
 
-    /// Runs the full two-phase analysis.
+    /// Runs the full pipeline: both frontends, linking, parallel
+    /// inference, and discharge.
     pub fn analyze(&mut self) -> AnalysisReport {
         let start = Instant::now();
+        // Work on a copy of the session so `analyze` can be called again
+        // after adding more sources.
+        let mut session = self.session.clone();
+
         let mut table = TypeTable::new();
-        let mut constraints = ConstraintSet::new();
-        let mut diags = self.pre_diags.clone();
+        let ml =
+            session.time(Phase::FrontendMl, |s| frontend_ml::run(s, &self.ml_files, &mut table));
+        let c = session.time(Phase::FrontendC, |s| frontend_c::run(s, &self.c_units));
+        let mut base = session.time(Phase::Infer, |s| infer::link(s, table, &ml, &c.program));
+        let inferred = session.time(Phase::Infer, |s| infer::run(s, &base, &c.program, &ml.phase1));
+        session.time(Phase::Discharge, |s| discharge::run(s, &mut base, &inferred, &ml.phase1));
 
-        // ---- phase 1: OCaml ------------------------------------------------
-        let mut repo = ocaml::TypeRepository::new();
-        for f in &self.ml_files {
-            repo.register_file(f);
-        }
-        let externals: Vec<ocaml::ExternalDecl> = self
-            .ml_files
-            .iter()
-            .flat_map(|f| f.items.iter())
-            .filter_map(|i| match i {
-                ocaml::Item::External(e) => Some(e.clone()),
-                _ => None,
-            })
-            .collect();
-        let phase1 = ocaml::translate::translate_program(&repo, &externals, &mut table);
-
-        // ---- phase 2: C ----------------------------------------------------
-        let mut program = cil::IrProgram::default();
-        for unit in &self.c_units {
-            let lowered = cil::lower::lower_unit(unit);
-            program.functions.extend(lowered.functions);
-            program.prototypes.extend(lowered.prototypes);
-            program.globals.extend(lowered.globals);
-            program.notes.extend(lowered.notes);
-        }
-
-        let mut registry = Registry::new();
-        for f in &program.functions {
-            let params: Vec<cil::CTypeExpr> =
-                f.locals[..f.n_params].iter().map(|l| l.ty.clone()).collect();
-            registry.register(&mut table, &f.name, &f.ret, &params, FuncOrigin::Defined, f.span);
-        }
-        for p in &program.prototypes {
-            registry.register(&mut table, &p.name, &p.ret, &p.params, FuncOrigin::Declared, p.span);
-        }
-
-        // bind externals to their C definitions
-        self.bind_externals(&mut table, &mut registry, &phase1, &mut diags);
-
-        // `value` globals: the analysis cannot track them (§5.1)
-        for (name, ty, span) in &program.globals {
-            if ty.contains_value() {
-                diags.push(Diagnostic::new(
-                    DiagnosticCode::GlobalValue,
-                    *span,
-                    format!("global variable `{name}` holds an OCaml value; it is not tracked"),
-                ));
-            }
-        }
-
-        // ---- per-function inference ------------------------------------------
-        let mut obligations: Vec<GcObligation> = Vec::new();
-        let mut passes = 0usize;
-        for f in &program.functions {
-            let mut result =
-                analyze_function(&mut table, &mut constraints, &mut registry, &self.options, f);
-            diags.append(&mut result.diagnostics);
-            obligations.extend(result.obligations);
-            passes += result.passes;
-        }
-
-        // ---- deferred checks ---------------------------------------------------
-        let gc_solution = constraints.solve_gc(&mut table);
-        if self.options.gc_effects {
-            for ob in &obligations {
-                if !gc_solution.may_gc(&table, ob.effect) {
-                    continue;
-                }
-                for (name, ct) in &ob.live {
-                    if ob.protected.contains(name) {
-                        continue;
-                    }
-                    let ct = table.resolve_ct(*ct);
-                    let CtNode::Value(mt) = table.ct_node(ct).clone() else { continue };
-                    if table.mt_is_heap_pointer(mt) {
-                        diags.push(Diagnostic::new(
-                            DiagnosticCode::UnrootedValue,
-                            ob.span,
-                            format!(
-                                "`{}` holds a pointer into the OCaml heap across a call to `{}` (which may trigger the GC) without registering it via CAMLparam/CAMLlocal",
-                                name, ob.callee
-                            ),
-                        ));
-                    }
-                }
-            }
-        }
-
-        for v in constraints.check_psi_bounds(&table) {
-            diags.push(Diagnostic::new(
-                DiagnosticCode::ConstructorRange,
-                v.bound.span,
-                format!("{} ({})", v.reason, v.bound.context),
-            ));
-        }
-
-        // polymorphic abuse: a declared `'a` pinned to a concrete type by C
-        for sig in &phase1.signatures {
-            for (var, mt) in &sig.poly_params {
-                if table.mt_is_concrete(*mt) {
-                    let rendered = table.render_mt(*mt);
-                    diags.push(Diagnostic::new(
-                        DiagnosticCode::PolymorphicAbuse,
-                        sig.span,
-                        format!(
-                            "external `{}` declares polymorphic parameter '{} but its C implementation uses it at type `{}`; any OCaml value can be passed here",
-                            sig.ml_name, var, rendered
-                        ),
-                    ));
-                }
-            }
-        }
-
+        let mut diags = session.take_diagnostics();
         diags.dedup();
         let stats = AnalysisStats {
             ml_loc: self.ml_loc,
             c_loc: self.c_loc,
-            externals: phase1.signatures.len(),
-            c_functions: program.functions.len(),
-            passes,
-            type_nodes: table.node_count(),
-            gc_edges: constraints.gc_edge_count(),
+            externals: ml.phase1.signatures.len(),
+            c_functions: c.program.functions.len(),
+            passes: inferred.passes,
+            type_nodes: base.table.node_count() + inferred.new_nodes,
+            gc_edges: base.constraints.gc_edge_count() + inferred.new_gc_edges,
+            jobs: inferred.jobs,
             seconds: start.elapsed().as_secs_f64(),
+            infer_work_seconds: inferred.work_seconds,
+            infer_critical_path_seconds: inferred.critical_path_seconds,
         };
-        AnalysisReport { diagnostics: diags, stats, source_map: self.source_map.clone() }
-    }
-
-    /// Unifies each `Φ`-translated external signature with its C
-    /// definition, checking arity and the trailing-`unit` practice.
-    fn bind_externals(
-        &self,
-        table: &mut TypeTable,
-        registry: &mut Registry,
-        phase1: &ocaml::Phase1,
-        diags: &mut DiagnosticBag,
-    ) {
-        for (idx, sig) in phase1.signatures.iter().enumerate() {
-            // bytecode stubs (value *argv, int argn) are not checked
-            if let Some(byte) = &sig.byte_c_name {
-                if let Some(info) = registry.get(byte) {
-                    let skip = info.params.len() == 2;
-                    let effect = info.effect;
-                    registry.set_external_index(byte, idx);
-                    if !skip {
-                        // unusual: treat like the native variant below
-                    }
-                    table.unify_gc(effect, sig.effect);
-                }
-            }
-            let Some(info) = registry.get(&sig.c_name).cloned() else {
-                continue; // defined in a library we are not analyzing
-            };
-            registry.set_external_index(&sig.c_name, idx);
-            table.unify_gc(info.effect, sig.effect);
-            let n_ml = sig.params.len();
-            let m = info.params.len();
-            let span = sig.span;
-            if m < n_ml && sig.unit_params[m..].iter().all(|&u| u) {
-                diags.push(
-                    Diagnostic::new(
-                        DiagnosticCode::TrailingUnitParameter,
-                        span,
-                        format!(
-                            "external `{}` declares {} trailing unit parameter(s) that `{}` does not take; the unit is passed on the stack",
-                            sig.ml_name,
-                            n_ml - m,
-                            sig.c_name
-                        ),
-                    )
-                    .with_note(info.span, "C definition is here".to_string()),
-                );
-            } else if m != n_ml {
-                diags.push(
-                    Diagnostic::new(
-                        DiagnosticCode::ArityMismatch,
-                        span,
-                        format!(
-                            "external `{}` has arity {} but `{}` takes {} parameter(s)",
-                            sig.ml_name, n_ml, sig.c_name, m
-                        ),
-                    )
-                    .with_note(info.span, "C definition is here".to_string()),
-                );
-            }
-            let n_unify = m.min(n_ml);
-            for i in 0..n_unify {
-                let want = table.ct_value(sig.params[i]);
-                if let Err(e) = table.unify_ct(info.params[i], want) {
-                    diags.push(
-                        Diagnostic::new(
-                            DiagnosticCode::TypeMismatch,
-                            span,
-                            format!(
-                                "parameter {} of `{}` does not match its OCaml declaration: {}",
-                                i + 1,
-                                sig.c_name,
-                                e
-                            ),
-                        )
-                        .with_note(info.span, "C definition is here".to_string()),
-                    );
-                }
-            }
-            let want_ret = table.ct_value(sig.ret);
-            if let Err(e) = table.unify_ct(info.ret, want_ret) {
-                diags.push(Diagnostic::new(
-                    DiagnosticCode::TypeMismatch,
-                    span,
-                    format!("return type of `{}` does not match its OCaml declaration: {}", sig.c_name, e),
-                ));
-            }
+        AnalysisReport {
+            diagnostics: diags,
+            stats,
+            timings: *session.timings(),
+            source_map: session.source_map().clone(),
         }
     }
 }
-

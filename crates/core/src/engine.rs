@@ -13,27 +13,13 @@ use crate::registry::{FuncOrigin, Registry};
 use ffisafe_cil::ir::*;
 use ffisafe_cil::liveness::{self, Liveness};
 use ffisafe_cil::CTypeExpr;
-use ffisafe_support::{Diagnostic, DiagnosticBag, DiagnosticCode, Span};
+use ffisafe_support::{Diagnostic, DiagnosticBag, DiagnosticCode, Interner, Span};
 use ffisafe_types::{
     Boxedness, ConstraintSet, CtId, CtNode, FlatInt, GcId, MtId, MtNode, Shape, TypeTable,
 };
 use std::collections::{HashMap, HashSet};
 
-/// Tunable switches, used by the ablation experiments (DESIGN.md E5).
-#[derive(Clone, Copy, Debug)]
-pub struct AnalysisOptions {
-    /// Track `B`/`I`/`T` refinements from dynamic tests. Disabling this
-    /// removes the dataflow analysis of §3.3 while keeping unification.
-    pub flow_sensitive: bool,
-    /// Track GC effects and registration obligations (§2, (App)).
-    pub gc_effects: bool,
-}
-
-impl Default for AnalysisOptions {
-    fn default() -> Self {
-        AnalysisOptions { flow_sensitive: true, gc_effects: true }
-    }
-}
+pub use ffisafe_support::session::AnalysisOptions;
 
 /// A deferred (App)-rule check: when `effect` solves to `gc`, every live
 /// heap pointer at the call must be registered.
@@ -69,12 +55,13 @@ pub fn analyze_function(
     table: &mut TypeTable,
     constraints: &mut ConstraintSet,
     registry: &mut Registry,
+    interner: &mut Interner,
     options: &AnalysisOptions,
     func: &IrFunction,
 ) -> FunctionResult {
     let liveness = liveness::compute(func);
     let info = registry
-        .get(&func.name)
+        .get(interner, &func.name)
         .unwrap_or_else(|| panic!("function {} not registered", func.name))
         .clone();
     // Flow-insensitive cts: parameters share the registry's (possibly
@@ -106,6 +93,7 @@ pub fn analyze_function(
         table,
         constraints,
         registry,
+        interner,
         options,
         func,
         liveness,
@@ -160,6 +148,7 @@ struct Engine<'a> {
     table: &'a mut TypeTable,
     constraints: &'a mut ConstraintSet,
     registry: &'a mut Registry,
+    interner: &'a mut Interner,
     options: &'a AnalysisOptions,
     func: &'a IrFunction,
     liveness: Liveness,
@@ -206,10 +195,7 @@ impl<'a> Engine<'a> {
     }
 
     fn join_into_label(&mut self, label: Label, env: &[Shape]) -> bool {
-        let entry = self
-            .labels
-            .entry(label)
-            .or_insert_with(|| vec![Shape::bottom(); env.len()]);
+        let entry = self.labels.entry(label).or_insert_with(|| vec![Shape::bottom(); env.len()]);
         let mut changed = false;
         for (g, e) in entry.iter_mut().zip(env.iter()) {
             let joined = g.join(*e);
@@ -254,7 +240,10 @@ impl<'a> Engine<'a> {
 
     /// Forces `mt` to be a representational type, binding variables.
     /// Returns `None` (without reporting) for abstract/custom types.
-    fn rep_components(&mut self, mt: MtId) -> Option<(ffisafe_types::PsiId, ffisafe_types::SigmaId)> {
+    fn rep_components(
+        &mut self,
+        mt: MtId,
+    ) -> Option<(ffisafe_types::PsiId, ffisafe_types::SigmaId)> {
         let mt = self.table.resolve_mt(mt);
         match self.table.mt_node(mt).clone() {
             MtNode::Rep(psi, sigma) => Some((psi, sigma)),
@@ -405,13 +394,7 @@ impl<'a> Engine<'a> {
     /// Locates the field `mt` of an OCaml block at (`tag` from the shape,
     /// `index` = shape offset + extra), implementing (Val Deref Exp) /
     /// (Val Deref Tuple Exp) and their store duals.
-    fn value_field(
-        &mut self,
-        mt: MtId,
-        shape: Shape,
-        extra: FlatInt,
-        span: Span,
-    ) -> Option<MtId> {
+    fn value_field(&mut self, mt: MtId, shape: Shape, extra: FlatInt, span: Span) -> Option<MtId> {
         // Unreachable code (⊥ shapes) is vacuously well-typed: `reset(Γ)`
         // satisfies every rule, so no structural demands are made.
         if shape.b == Boxedness::Bot {
@@ -528,11 +511,14 @@ impl<'a> Engine<'a> {
                 return;
             }
             Callee::Named(name) => {
-                self.registry.resolve_call(self.table, name, args.len(), span)
+                self.registry.resolve_call(self.table, self.interner, name, args.len(), span)
             }
         };
         if info.params.len() != args.len()
-            && matches!(info.origin, FuncOrigin::Defined | FuncOrigin::Declared | FuncOrigin::Runtime)
+            && matches!(
+                info.origin,
+                FuncOrigin::Defined | FuncOrigin::Declared | FuncOrigin::Runtime
+            )
         {
             self.report(
                 DiagnosticCode::ArityMismatch,
@@ -740,22 +726,17 @@ impl<'a> Engine<'a> {
     fn eval(&mut self, e: &IrExpr) -> ExprTy {
         let span = e.span;
         match &e.kind {
-            IrExprKind::Int(n) => {
-                ExprTy { ct: self.table.ct_int(), shape: Shape::int_const(*n) }
-            }
+            IrExprKind::Int(n) => ExprTy { ct: self.table.ct_int(), shape: Shape::int_const(*n) },
             IrExprKind::Float => ExprTy { ct: self.table.ct_float(), shape: Shape::unknown() },
             IrExprKind::Str(_) => {
                 let i = self.table.ct_int();
                 let p = self.table.ct_ptr(i);
                 ExprTy { ct: p, shape: Shape::unknown() }
             }
-            IrExprKind::OpaqueInt => {
-                ExprTy { ct: self.table.ct_int(), shape: Shape::unknown() }
+            IrExprKind::OpaqueInt => ExprTy { ct: self.table.ct_int(), shape: Shape::unknown() },
+            IrExprKind::Var(v) => {
+                ExprTy { ct: self.var_cts[v.as_usize()], shape: self.env[v.as_usize()] }
             }
-            IrExprKind::Var(v) => ExprTy {
-                ct: self.var_cts[v.as_usize()],
-                shape: self.env[v.as_usize()],
-            },
             IrExprKind::AddrOfVar(v) => {
                 if self.func.locals[v.as_usize()].ty.contains_value()
                     && !self.reported_addr_of.contains(v)
@@ -789,10 +770,7 @@ impl<'a> Engine<'a> {
                     );
                 }
                 let ct = self.table.ct_value(mt);
-                ExprTy {
-                    ct,
-                    shape: Shape::new(Boxedness::Unboxed, FlatInt::Known(0), t.shape.t),
-                }
+                ExprTy { ct, shape: Shape::new(Boxedness::Unboxed, FlatInt::Known(0), t.shape.t) }
             }
             IrExprKind::IntVal(inner) => {
                 let t = self.eval(inner);
@@ -878,9 +856,7 @@ impl<'a> Engine<'a> {
             }
             IrExprKind::Cast(ty, inner) => self.cast(ty, inner, span),
             IrExprKind::Prim(op, args) => self.prim(*op, args, span),
-            IrExprKind::Unknown => {
-                ExprTy { ct: self.table.fresh_ct(), shape: Shape::unknown() }
-            }
+            IrExprKind::Unknown => ExprTy { ct: self.table.fresh_ct(), shape: Shape::unknown() },
         }
     }
 
@@ -937,18 +913,13 @@ impl<'a> Engine<'a> {
     fn add_value(&mut self, mt: MtId, base: ExprTy, off: ExprTy, op: &str, span: Span) -> ExprTy {
         let ict = self.table.ct_int();
         self.unify_ct_or_report(off.ct, ict, span, "offset into OCaml block");
-        let m = if op == "-" {
-            FlatInt::Known(0).aop("-", off.shape.t)
-        } else {
-            off.shape.t
-        };
+        let m = if op == "-" { FlatInt::Known(0).aop("-", off.shape.t) } else { off.shape.t };
         let new_off = base.shape.i.aop("+", m);
         if matches!(new_off, FlatInt::Top) {
             self.report(
                 DiagnosticCode::UnknownOffset,
                 span,
-                "pointer arithmetic on an OCaml value with a statically-unknown offset"
-                    .to_string(),
+                "pointer arithmetic on an OCaml value with a statically-unknown offset".to_string(),
             );
         }
         // grow the rows so the new interior pointer is known in-bounds
@@ -969,10 +940,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        ExprTy {
-            ct: base.ct,
-            shape: Shape::new(base.shape.b, new_off, base.shape.t),
-        }
+        ExprTy { ct: base.ct, shape: Shape::new(base.shape.b, new_off, base.shape.t) }
     }
 
     /// `*e` — (Val Deref Exp) / (Val Deref Tuple Exp) / (C Deref Exp).
@@ -1040,9 +1008,7 @@ impl<'a> Engine<'a> {
                 }
             }
             _ if src_is_value => {
-                let CtNode::Value(mt) = self.table.ct_node(src_ct).clone() else {
-                    unreachable!()
-                };
+                let CtNode::Value(mt) = self.table.ct_node(src_ct).clone() else { unreachable!() };
                 let target = eta(self.table, ty);
                 match ty {
                     // heuristic: casts through void * are ignored (§5.1)
@@ -1078,10 +1044,8 @@ impl<'a> Engine<'a> {
 
     fn prim(&mut self, op: PrimOp, args: &[IrExpr], span: Span) -> ExprTy {
         let tys: Vec<ExprTy> = args.iter().map(|a| self.eval(a)).collect();
-        let int_result = |table: &mut TypeTable| ExprTy {
-            ct: table.ct_int(),
-            shape: Shape::unknown(),
-        };
+        let int_result =
+            |table: &mut TypeTable| ExprTy { ct: table.ct_int(), shape: Shape::unknown() };
         match op {
             PrimOp::TagVal | PrimOp::IsLong | PrimOp::IsBlock | PrimOp::WosizeVal => {
                 if let Some(t) = tys.first() {
@@ -1122,10 +1086,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let ct = self.table.ct_value(mt);
-                ExprTy {
-                    ct,
-                    shape: Shape::new(Boxedness::Boxed, FlatInt::Known(0), tag),
-                }
+                ExprTy { ct, shape: Shape::new(Boxedness::Boxed, FlatInt::Known(0), tag) }
             }
         }
     }

@@ -66,8 +66,10 @@
 pub mod driver;
 pub mod engine;
 pub mod eta;
+pub mod pipeline;
 pub mod registry;
 
 pub use driver::{AnalysisReport, AnalysisStats, Analyzer, RuntimeCheckSuggestion};
 pub use engine::{AnalysisOptions, GcObligation};
+pub use ffisafe_support::{Phase, PhaseTimings, Session};
 pub use registry::{FuncInfo, FuncOrigin, Registry};

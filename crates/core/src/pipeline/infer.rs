@@ -1,0 +1,745 @@
+//! Pipeline stage 3: linking and parallel per-function inference.
+//!
+//! [`link`] seeds the function registry (`Γ_I`) from the lowered program,
+//! binds every Φ-translated `external` signature to its C definition
+//! (checking arity and the trailing-`unit` practice), and freezes the
+//! result as the [`BaseState`] snapshot.
+//!
+//! [`run`] then analyzes every function against that snapshot on a
+//! `std::thread` worker pool. Unification mutates the type table, so
+//! workers cannot share it; each function instead gets a *clone* of the
+//! base state. That choice is what makes the stage deterministic: every
+//! function sees exactly the post-link types, never a sibling's in-flight
+//! unifications, so the outcome is independent of scheduling and of
+//! [`AnalysisOptions::jobs`]. Cross-function facts still flow — GC effect
+//! edges are exported as [`EffectKey`]s meaningful across clones and merged
+//! by the discharge stage into one whole-program reachability solve.
+//!
+//! Each worker's post-pass rescans the shared identities (candidate
+//! signature slots, open `mt`s, base effect classes) to normalize what its
+//! clone resolved. Those scans are `O(base state)` per function, but so is
+//! the clone of the base state itself, which dominates them in practice;
+//! restricting both to the state a function actually touches is the
+//! incremental-reanalysis item on the ROADMAP.
+
+use crate::engine::{analyze_function, AnalysisOptions};
+use crate::registry::{FuncOrigin, Registry};
+use ffisafe_cil as cil;
+use ffisafe_ocaml as ocaml;
+use ffisafe_support::{Diagnostic, DiagnosticBag, DiagnosticCode, Interner, Session, Span};
+use ffisafe_types::{
+    ConstraintSet, CtId, CtNode, FlatInt, GcId, GcNode, MtId, MtNode, PsiNode, PsiViolation,
+    TypeTable,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The frozen post-link state every inference worker clones.
+#[derive(Clone, Debug)]
+pub struct BaseState {
+    /// Type table after translation, registration and external binding.
+    pub table: TypeTable,
+    /// Constraints accumulated before inference (usually from binding).
+    pub constraints: ConstraintSet,
+    /// The function environment `Γ_I`.
+    pub registry: Registry,
+    /// Snapshot of the session interner (workers intern clone-locally).
+    pub interner: Interner,
+    /// GC node count at snapshot time — the `Base`/`Local` boundary.
+    pub gc_len: usize,
+    /// GC edge count at snapshot time (workers export edges past this).
+    pub edge_len: usize,
+    /// Total node count at snapshot time (for per-worker growth stats).
+    pub node_count: usize,
+    /// Per signature, per poly param: already pinned concrete by binding.
+    pub poly_concrete_at_base: Vec<Vec<bool>>,
+    /// Per signature, per slot (params then return): the base-canonical
+    /// raw id of the slot's `mt` — the cross-clone identity the
+    /// interface-consistency check groups by.
+    pub slot_keys: Vec<Vec<u32>>,
+    /// Per signature, per slot: already concrete at snapshot time (such
+    /// slots are checked by plain unification inside each worker).
+    pub slot_concrete_at_base: Vec<Vec<bool>>,
+    /// Per base GC id, its base-table canonical raw id. Workers key every
+    /// exported base effect by this canonical so that clone-local
+    /// union-find merges still meet at one [`EffectKey`].
+    pub base_gc_canon: Vec<u32>,
+    /// Base `mt` ids that are unresolved variables at snapshot time
+    /// (opaque types, `'a` params) — the shared identities behind
+    /// cross-clone `Ψ` pins and deferred `Ψ` bounds.
+    pub open_mt_vars: Vec<u32>,
+    /// `Ψ` bound count at snapshot time (workers export bounds past this).
+    pub psi_bound_len: usize,
+    /// Registry parameter slots *not* resolved to heap-pointer values at
+    /// snapshot time: the only slots a worker's unification can newly pin
+    /// heap, so the only ones it needs to rescan.
+    pub heap_slot_candidates: Vec<(String, usize, CtId)>,
+}
+
+/// One function's resolution of a shared interface type.
+///
+/// Opaque OCaml types translate to *shared* inference variables — every
+/// external mentioning `type t` points at one `mt` — so that "two
+/// different C types flowing into one opaque type is a unification
+/// error". Snapshot isolation hides sibling functions' pinnings from the
+/// engine, so each worker exports what *it* pinned shared slots to, and
+/// the discharge stage compares the ground renders across functions.
+#[derive(Clone, Debug)]
+pub struct InterfacePin {
+    /// Signature index in `phase1.signatures`.
+    pub sig_idx: usize,
+    /// Slot within the signature: `0..n` are params, `n` is the return.
+    pub slot: usize,
+    /// Base-canonical raw id of the slot's `mt` (the grouping key).
+    pub mt_key: u32,
+    /// The ground type this function resolved the slot to.
+    pub rendered: String,
+    /// The pinning function's definition site.
+    pub func_span: Span,
+    /// The pinning function's name.
+    pub func_name: String,
+}
+
+/// A GC effect node identity that survives the snapshot boundary.
+///
+/// Effect ids allocated before the snapshot (function signatures, runtime
+/// constants) have the same raw index in every clone, so they merge as
+/// [`EffectKey::Base`]. Ids a worker allocates inside its clone are private
+/// to that function and merge as [`EffectKey::Local`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EffectKey {
+    /// An effect node shared by every clone (allocated pre-snapshot).
+    Base(u32),
+    /// An effect node allocated by one function's worker.
+    Local {
+        /// Index of the function whose clone allocated the node.
+        func: u32,
+        /// Raw id within that clone's table.
+        raw: u32,
+    },
+}
+
+/// A GC-registration obligation reduced to snapshot-portable data.
+#[derive(Clone, Debug)]
+pub struct ResolvedObligation {
+    /// Callee name (for the message).
+    pub callee: String,
+    /// The callee's effect, normalized.
+    pub effect: EffectKey,
+    /// Whether the worker already resolved the effect to the `gc` constant.
+    pub effect_is_gc: bool,
+    /// Live, unprotected locals holding OCaml heap pointers at the call.
+    pub unprotected_heap_ptrs: Vec<String>,
+    /// Live, unprotected locals whose type is still an unresolved variable
+    /// in this clone but unified with one or more shared signature slots
+    /// (their own parameter, an alias of it, or a callee's slot). A
+    /// sibling function may pin such a slot to a heap type — discharge
+    /// re-checks these against every worker's
+    /// [`FunctionOutcome::heap_slots`].
+    pub deferred_ptrs: Vec<(String, Vec<SlotKey>)>,
+    /// Call site.
+    pub span: Span,
+}
+
+/// Identity of a registry signature slot: `(function name, slot index)`,
+/// where indices `0..n` are the parameters and `n` is the return. Stable
+/// across clones (unlike table canonicals after local unification).
+pub type SlotKey = (String, usize);
+
+/// A `T + 1 ≤ Ψ` bound whose `Ψ` is still an unresolved variable in the
+/// recording worker's clone, keyed by the base `mt` variable behind it.
+///
+/// The bound's own `Ψ` id is clone-local (the engine mints a fresh
+/// representational type when it first examines an opaque value), so the
+/// portable identity is the shared base `mt` the rep was unified into. A
+/// sibling function may pin that `mt`'s `Ψ` to a count — discharge
+/// re-checks these bounds against every worker's
+/// [`FunctionOutcome::psi_pins`].
+#[derive(Clone, Debug)]
+pub struct DeferredPsiBound {
+    /// Raw id of the base `mt` variable whose `Ψ` the bound constrains.
+    pub mt_key: u32,
+    /// The flow-sensitive value `T` at constraint-generation time.
+    pub t: FlatInt,
+    /// Where the constraint arose.
+    pub span: Span,
+    /// Short description of the construct (for diagnostics).
+    pub context: String,
+}
+
+/// Everything one function's analysis produced, as plain data valid
+/// outside its worker's table clone.
+#[derive(Clone, Debug)]
+pub struct FunctionOutcome {
+    /// Function name.
+    pub name: String,
+    /// Diagnostics from the engine's reporting pass.
+    pub diagnostics: DiagnosticBag,
+    /// Fixpoint passes executed.
+    pub passes: usize,
+    /// Nodes the clone allocated beyond the base table.
+    pub new_nodes: usize,
+    /// GC edges the clone recorded beyond the base set, normalized, plus
+    /// the synthetic bidirectional pairs that re-export clone-local
+    /// union-find merges of base classes.
+    pub gc_edges: Vec<(EffectKey, EffectKey)>,
+    /// Of [`FunctionOutcome::gc_edges`], how many the engine actually
+    /// recorded (the call edges — the stat the bench trajectory tracks,
+    /// excluding merge-export bookkeeping).
+    pub recorded_gc_edges: usize,
+    /// Keys the clone resolved to the `gc` constant (reachability roots).
+    pub gc_roots: Vec<EffectKey>,
+    /// Deferred (App)-rule checks, pre-filtered to unprotected heap ptrs.
+    pub obligations: Vec<ResolvedObligation>,
+    /// `Ψ` bound violations under this clone's resolution.
+    pub psi_violations: Vec<PsiViolation>,
+    /// Shared open `mt`s whose `Ψ` this clone resolved: `(base mt raw,
+    /// resolved node)`. Input to sibling bound re-checks in discharge.
+    pub psi_pins: Vec<(u32, PsiNode)>,
+    /// Bounds on `Ψ`s unresolved in this clone, deferred to discharge.
+    pub deferred_psi_bounds: Vec<DeferredPsiBound>,
+    /// Poly params this function pinned: `(sig idx, param idx, rendered)`.
+    pub pinned_polys: Vec<(usize, usize, String)>,
+    /// Shared interface slots this function resolved to a ground type.
+    pub interface_pins: Vec<InterfacePin>,
+    /// Registry parameter slots this clone resolved to a heap-pointer
+    /// `value` that the base table had not (input to deferred-obligation
+    /// re-checks in discharge).
+    pub heap_slots: Vec<SlotKey>,
+    /// Wall-clock seconds this function's analysis took (snapshot clone
+    /// included). Never affects diagnostics; feeds the perf trajectory.
+    pub seconds: f64,
+}
+
+/// Output of the inference stage: one outcome per function, program order.
+#[derive(Clone, Debug, Default)]
+pub struct InferArtifact {
+    /// Per-function outcomes in program order.
+    pub outcomes: Vec<FunctionOutcome>,
+    /// Total fixpoint passes.
+    pub passes: usize,
+    /// Total nodes allocated by workers beyond the base table.
+    pub new_nodes: usize,
+    /// Total GC edges recorded by workers beyond the base set.
+    pub new_gc_edges: usize,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Sum of per-function analysis wall-clock (the stage's total work).
+    pub work_seconds: f64,
+    /// The slowest single function (the stage's critical path — a lower
+    /// bound on parallel wall-clock whatever the worker count).
+    pub critical_path_seconds: f64,
+}
+
+/// Builds `Γ_I` and binds externals: registers every defined function and
+/// prototype, unifies `external` signatures with their C definitions, and
+/// reports untracked `value` globals (§5.1). Consumes the frontend table
+/// into the returned snapshot.
+pub fn link(
+    session: &mut Session,
+    mut table: TypeTable,
+    ml: &super::MlArtifact,
+    program: &cil::IrProgram,
+) -> BaseState {
+    let mut registry = Registry::new();
+    let constraints = ConstraintSet::new();
+    for f in &program.functions {
+        let params: Vec<cil::CTypeExpr> =
+            f.locals[..f.n_params].iter().map(|l| l.ty.clone()).collect();
+        registry.register(
+            &mut table,
+            session.interner_mut(),
+            &f.name,
+            &f.ret,
+            &params,
+            FuncOrigin::Defined,
+            f.span,
+        );
+    }
+    for p in &program.prototypes {
+        registry.register(
+            &mut table,
+            session.interner_mut(),
+            &p.name,
+            &p.ret,
+            &p.params,
+            FuncOrigin::Declared,
+            p.span,
+        );
+    }
+
+    bind_externals(session, &mut table, &mut registry, &ml.phase1);
+
+    // `value` globals: the analysis cannot track them (§5.1)
+    for (name, ty, span) in &program.globals {
+        if ty.contains_value() {
+            session.emit(Diagnostic::new(
+                DiagnosticCode::GlobalValue,
+                *span,
+                format!("global variable `{name}` holds an OCaml value; it is not tracked"),
+            ));
+        }
+    }
+
+    let poly_concrete_at_base = ml
+        .phase1
+        .signatures
+        .iter()
+        .map(|sig| sig.poly_params.iter().map(|(_, mt)| table.mt_is_concrete(*mt)).collect())
+        .collect();
+
+    let mut slot_keys = Vec::with_capacity(ml.phase1.signatures.len());
+    let mut slot_concrete_at_base = Vec::with_capacity(ml.phase1.signatures.len());
+    for sig in &ml.phase1.signatures {
+        let slots: Vec<_> = sig.params.iter().chain(std::iter::once(&sig.ret)).collect();
+        slot_keys.push(slots.iter().map(|&&mt| table.find_mt(mt).as_raw()).collect());
+        slot_concrete_at_base.push(slots.iter().map(|&&mt| table.mt_is_concrete(mt)).collect());
+    }
+
+    // Slots a worker's unification could newly pin to a heap-pointer
+    // `value`: every param and return slot not already heap at the
+    // snapshot. Workers rescan only these (and only functions registered
+    // here can be deferred against — `resolve_call` additions inside a
+    // clone never can).
+    let mut heap_slot_candidates = Vec::new();
+    let infos: Vec<(String, Vec<CtId>)> = registry
+        .iter()
+        .map(|i| (i.name.clone(), i.params.iter().copied().chain([i.ret]).collect()))
+        .collect();
+    for (name, slots) in infos {
+        for (i, &ct) in slots.iter().enumerate() {
+            let ct = table.resolve_ct(ct);
+            let already_heap = match table.ct_node(ct).clone() {
+                CtNode::Value(mt) => table.mt_is_heap_pointer(mt),
+                _ => false,
+            };
+            if !already_heap {
+                heap_slot_candidates.push((name.clone(), i, ct));
+            }
+        }
+    }
+
+    let gc_len = table.gc_count();
+    let base_gc_canon =
+        (0..gc_len as u32).map(|raw| table.resolve_gc(GcId::from_raw(raw)).as_raw()).collect();
+    let open_mt_vars = (0..table.mt_count() as u32)
+        .filter(|&raw| {
+            let id = MtId::from_raw(raw);
+            table.find_mt(id) == id && matches!(table.mt_node(id), MtNode::Var)
+        })
+        .collect();
+
+    BaseState {
+        gc_len,
+        edge_len: constraints.gc_edge_count(),
+        node_count: table.node_count(),
+        interner: session.interner().clone(),
+        poly_concrete_at_base,
+        slot_keys,
+        slot_concrete_at_base,
+        base_gc_canon,
+        open_mt_vars,
+        psi_bound_len: constraints.psi_bound_count(),
+        heap_slot_candidates,
+        table,
+        constraints,
+        registry,
+    }
+}
+
+/// Unifies each `Φ`-translated external signature with its C definition,
+/// checking arity and the trailing-`unit` practice.
+fn bind_externals(
+    session: &mut Session,
+    table: &mut TypeTable,
+    registry: &mut Registry,
+    phase1: &ocaml::translate::Phase1,
+) {
+    for (idx, sig) in phase1.signatures.iter().enumerate() {
+        // bytecode stubs (value *argv, int argn) are not checked
+        if let Some(byte) = &sig.byte_c_name {
+            if let Some(info) = registry.get(session.interner(), byte) {
+                let skip = info.params.len() == 2;
+                let effect = info.effect;
+                registry.set_external_index(session.interner(), byte, idx);
+                if !skip {
+                    // unusual: treat like the native variant below
+                }
+                table.unify_gc(effect, sig.effect);
+            }
+        }
+        let Some(info) = registry.get(session.interner(), &sig.c_name).cloned() else {
+            continue; // defined in a library we are not analyzing
+        };
+        registry.set_external_index(session.interner(), &sig.c_name, idx);
+        table.unify_gc(info.effect, sig.effect);
+        let n_ml = sig.params.len();
+        let m = info.params.len();
+        let span = sig.span;
+        if m < n_ml && sig.unit_params[m..].iter().all(|&u| u) {
+            session.emit(
+                Diagnostic::new(
+                    DiagnosticCode::TrailingUnitParameter,
+                    span,
+                    format!(
+                        "external `{}` declares {} trailing unit parameter(s) that `{}` does not take; the unit is passed on the stack",
+                        sig.ml_name,
+                        n_ml - m,
+                        sig.c_name
+                    ),
+                )
+                .with_note(info.span, "C definition is here".to_string()),
+            );
+        } else if m != n_ml {
+            session.emit(
+                Diagnostic::new(
+                    DiagnosticCode::ArityMismatch,
+                    span,
+                    format!(
+                        "external `{}` has arity {} but `{}` takes {} parameter(s)",
+                        sig.ml_name, n_ml, sig.c_name, m
+                    ),
+                )
+                .with_note(info.span, "C definition is here".to_string()),
+            );
+        }
+        let n_unify = m.min(n_ml);
+        for i in 0..n_unify {
+            let want = table.ct_value(sig.params[i]);
+            if let Err(e) = table.unify_ct(info.params[i], want) {
+                session.emit(
+                    Diagnostic::new(
+                        DiagnosticCode::TypeMismatch,
+                        span,
+                        format!(
+                            "parameter {} of `{}` does not match its OCaml declaration: {}",
+                            i + 1,
+                            sig.c_name,
+                            e
+                        ),
+                    )
+                    .with_note(info.span, "C definition is here".to_string()),
+                );
+            }
+        }
+        let want_ret = table.ct_value(sig.ret);
+        if let Err(e) = table.unify_ct(info.ret, want_ret) {
+            session.emit(Diagnostic::new(
+                DiagnosticCode::TypeMismatch,
+                span,
+                format!(
+                    "return type of `{}` does not match its OCaml declaration: {}",
+                    sig.c_name, e
+                ),
+            ));
+        }
+    }
+}
+
+/// Runs per-function inference over `program` on a worker pool sized by
+/// [`AnalysisOptions::jobs`]. Outcomes are collected in program order, so
+/// the artifact is identical for any worker count.
+pub fn run(
+    session: &Session,
+    base: &BaseState,
+    program: &cil::IrProgram,
+    phase1: &ocaml::translate::Phase1,
+) -> InferArtifact {
+    let options = *session.options();
+    let n = program.functions.len();
+    if n == 0 {
+        return InferArtifact { jobs: 0, ..InferArtifact::default() };
+    }
+    let jobs = options.effective_jobs().clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<FunctionOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let outcome =
+                    analyze_one(base, &program.functions[idx], phase1, idx as u32, &options);
+                *results[idx].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let outcomes: Vec<FunctionOutcome> = results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed every claimed index"))
+        .collect();
+    InferArtifact {
+        passes: outcomes.iter().map(|o| o.passes).sum(),
+        new_nodes: outcomes.iter().map(|o| o.new_nodes).sum(),
+        new_gc_edges: outcomes.iter().map(|o| o.recorded_gc_edges).sum(),
+        jobs,
+        work_seconds: outcomes.iter().map(|o| o.seconds).sum(),
+        critical_path_seconds: outcomes.iter().map(|o| o.seconds).fold(0.0, f64::max),
+        outcomes,
+    }
+}
+
+/// Analyzes one function on a fresh clone of the base state and reduces
+/// the result to snapshot-portable data.
+fn analyze_one(
+    base: &BaseState,
+    func: &cil::ir::IrFunction,
+    phase1: &ocaml::translate::Phase1,
+    func_idx: u32,
+    options: &AnalysisOptions,
+) -> FunctionOutcome {
+    let started = std::time::Instant::now();
+    let mut table = base.table.clone();
+    let mut constraints = base.constraints.clone();
+    let mut registry = base.registry.clone();
+    let mut interner = base.interner.clone();
+
+    let result =
+        analyze_function(&mut table, &mut constraints, &mut registry, &mut interner, options, func);
+
+    // Every exported base effect is keyed by its *base-table* canonical, so
+    // keys agree across workers even when this clone's unification gave the
+    // class a different (or clone-local) canonical.
+    let keyed = |table: &mut TypeTable, id: GcId| -> (EffectKey, bool) {
+        let canon = table.resolve_gc(id);
+        let is_gc = matches!(table.gc_node(canon), GcNode::Gc);
+        let key = if (canon.as_raw() as usize) < base.gc_len {
+            EffectKey::Base(base.base_gc_canon[canon.as_raw() as usize])
+        } else if (id.as_raw() as usize) < base.gc_len {
+            EffectKey::Base(base.base_gc_canon[id.as_raw() as usize])
+        } else {
+            EffectKey::Local { func: func_idx, raw: canon.as_raw() }
+        };
+        (key, is_gc)
+    };
+
+    let mut gc_edges = Vec::new();
+    let mut gc_roots = Vec::new();
+
+    // Union-find merges over base effect ids (e.g. `unify_gc` under a
+    // function-type unification) happen only in this clone; siblings still
+    // see the unmerged classes. Export each changed class as bidirectional
+    // edges between its base representatives — and as roots when the class
+    // resolved to the `gc` constant — so the discharge reachability solve
+    // reunites them.
+    let mut merged: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for raw in 0..base.gc_len as u32 {
+        if base.base_gc_canon[raw as usize] != raw {
+            continue; // one visit per base class
+        }
+        let clone_canon = table.resolve_gc(GcId::from_raw(raw));
+        merged.entry(clone_canon.as_raw()).or_default().push(raw);
+    }
+    for (canon_raw, members) in merged {
+        let is_gc = matches!(table.gc_node(GcId::from_raw(canon_raw)), GcNode::Gc);
+        let base_is_gc = matches!(base.table.gc_node(GcId::from_raw(members[0])), GcNode::Gc);
+        if members.len() == 1 && canon_raw == members[0] && is_gc == base_is_gc {
+            continue; // class unchanged from the snapshot
+        }
+        if is_gc {
+            gc_roots.extend(members.iter().map(|&m| EffectKey::Base(m)));
+        }
+        for w in members.windows(2) {
+            gc_edges.push((EffectKey::Base(w[0]), EffectKey::Base(w[1])));
+            gc_edges.push((EffectKey::Base(w[1]), EffectKey::Base(w[0])));
+        }
+        if (canon_raw as usize) >= base.gc_len {
+            // local edges name the clone-local canonical; tie it to the class
+            let local = EffectKey::Local { func: func_idx, raw: canon_raw };
+            gc_edges.push((local, EffectKey::Base(members[0])));
+            gc_edges.push((EffectKey::Base(members[0]), local));
+        }
+    }
+    let delta = base.edge_len.min(constraints.gc_edge_count());
+    let edges: Vec<(GcId, GcId)> = constraints.gc_edges()[delta..].to_vec();
+    let recorded_gc_edges = edges.len();
+    for (lo, hi) in edges {
+        let (kl, gl) = keyed(&mut table, lo);
+        let (kh, gh) = keyed(&mut table, hi);
+        if gl {
+            gc_roots.push(kl);
+        }
+        if gh {
+            gc_roots.push(kh);
+        }
+        gc_edges.push((kl, kh));
+    }
+
+    // Resolve every shared candidate slot once in this clone: the slots
+    // that resolved to heap pointers are this function's heap pins; the
+    // rest index the deferred liveness checks below.
+    let resolved_candidates: Vec<(CtId, bool)> = base
+        .heap_slot_candidates
+        .iter()
+        .map(|&(_, _, ct)| {
+            let ct = table.resolve_ct(ct);
+            let heap = match table.ct_node(ct).clone() {
+                CtNode::Value(mt) => table.mt_is_heap_pointer(mt),
+                _ => false,
+            };
+            (ct, heap)
+        })
+        .collect();
+    let heap_slots: Vec<SlotKey> = base
+        .heap_slot_candidates
+        .iter()
+        .zip(&resolved_candidates)
+        .filter(|&(_, &(_, heap))| heap)
+        .map(|((name, i, _), _)| (name.clone(), *i))
+        .collect();
+    let mut slots_by_ct: std::collections::HashMap<CtId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (idx, &(ct, heap)) in resolved_candidates.iter().enumerate() {
+        if !heap {
+            slots_by_ct.entry(ct).or_default().push(idx);
+        }
+    }
+
+    // A live local whose type is still a variable here may be unified with
+    // shared signature slots — its own parameter slot, an alias of one, or
+    // a callee's param/return slot — that a sibling function pins to a
+    // heap type this clone cannot see. Defer those liveness checks to
+    // discharge under every matching slot's stable identity.
+    let mut obligations = Vec::new();
+    for ob in result.obligations {
+        let mut unprotected = Vec::new();
+        let mut deferred = Vec::new();
+        for (name, ct) in &ob.live {
+            if ob.protected.contains(name) {
+                continue;
+            }
+            let ct = table.resolve_ct(*ct);
+            let unresolved = match table.ct_node(ct).clone() {
+                CtNode::Value(mt) => {
+                    if table.mt_is_heap_pointer(mt) {
+                        unprotected.push(name.clone());
+                        false
+                    } else {
+                        !table.mt_is_ground(mt)
+                    }
+                }
+                CtNode::Var => true,
+                _ => false,
+            };
+            if unresolved {
+                if let Some(idxs) = slots_by_ct.get(&ct) {
+                    let keys: Vec<SlotKey> = idxs
+                        .iter()
+                        .map(|&i| {
+                            let (name, slot, _) = &base.heap_slot_candidates[i];
+                            (name.clone(), *slot)
+                        })
+                        .collect();
+                    deferred.push((name.clone(), keys));
+                }
+            }
+        }
+        if unprotected.is_empty() && deferred.is_empty() {
+            continue;
+        }
+        let (effect, effect_is_gc) = keyed(&mut table, ob.effect);
+        obligations.push(ResolvedObligation {
+            callee: ob.callee,
+            effect,
+            effect_is_gc,
+            unprotected_heap_ptrs: unprotected,
+            deferred_ptrs: deferred,
+            span: ob.span,
+        });
+    }
+
+    let psi_violations = constraints.check_psi_bounds(&table);
+
+    // Ψ facts behind the shared open mts. A `Ψ` this clone resolved is a
+    // pin siblings' deferred bounds are checked against; a `Ψ` still
+    // unresolved here carries this clone's bounds to discharge.
+    let mut psi_pins = Vec::new();
+    let mut open_psis = Vec::new();
+    for &raw in &base.open_mt_vars {
+        let mt = table.resolve_mt(MtId::from_raw(raw));
+        if let MtNode::Rep(psi, _) = *table.mt_node(mt) {
+            let psi = table.resolve_psi(psi);
+            match table.psi_node(psi) {
+                node @ (PsiNode::Count(_) | PsiNode::Top) => psi_pins.push((raw, node)),
+                PsiNode::Var => open_psis.push((raw, psi)),
+                PsiNode::Link(_) => unreachable!("resolved"),
+            }
+        }
+    }
+    let deferred_psi_bounds: Vec<DeferredPsiBound> = constraints.psi_bounds()
+        [base.psi_bound_len.min(constraints.psi_bound_count())..]
+        .iter()
+        .filter_map(|b| {
+            let canon = table.find_psi(b.psi);
+            if !matches!(table.psi_node(canon), PsiNode::Var) {
+                return None; // resolved here: already checked in-clone
+            }
+            let mt_key = open_psis.iter().find(|&&(_, p)| p == canon)?.0;
+            Some(DeferredPsiBound { mt_key, t: b.t, span: b.span, context: b.context.clone() })
+        })
+        .collect();
+
+    let mut pinned_polys = Vec::new();
+    for (sig_idx, sig) in phase1.signatures.iter().enumerate() {
+        for (param_idx, (_, mt)) in sig.poly_params.iter().enumerate() {
+            if base.poly_concrete_at_base[sig_idx][param_idx] {
+                continue;
+            }
+            if table.mt_is_concrete(*mt) {
+                pinned_polys.push((sig_idx, param_idx, table.render_mt(*mt)));
+            }
+        }
+    }
+
+    // Shared interface slots this function resolved to a ground type,
+    // restricted to the function's *own* signature — the slots it pins by
+    // construction rather than observes transitively. Ground renders carry
+    // no variable indices, so discharge can compare them textually across
+    // clones.
+    let mut interface_pins = Vec::new();
+    for (sig_idx, sig) in phase1.signatures.iter().enumerate() {
+        let is_own =
+            sig.c_name == func.name || sig.byte_c_name.as_deref() == Some(func.name.as_str());
+        if !is_own {
+            continue;
+        }
+        let slots: Vec<_> = sig.params.iter().chain(std::iter::once(&sig.ret)).collect();
+        for (slot, &&mt) in slots.iter().enumerate() {
+            if base.slot_concrete_at_base[sig_idx][slot] {
+                continue;
+            }
+            if table.mt_is_ground(mt) {
+                interface_pins.push(InterfacePin {
+                    sig_idx,
+                    slot,
+                    mt_key: base.slot_keys[sig_idx][slot],
+                    rendered: table.render_mt(mt),
+                    func_span: func.span,
+                    func_name: func.name.clone(),
+                });
+            }
+        }
+    }
+
+    FunctionOutcome {
+        name: func.name.clone(),
+        diagnostics: result.diagnostics,
+        passes: result.passes,
+        new_nodes: table.node_count().saturating_sub(base.node_count),
+        gc_edges,
+        recorded_gc_edges,
+        gc_roots,
+        obligations,
+        psi_violations,
+        psi_pins,
+        deferred_psi_bounds,
+        pinned_polys,
+        interface_pins,
+        heap_slots,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}

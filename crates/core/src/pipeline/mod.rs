@@ -1,0 +1,47 @@
+//! The staged analysis pipeline.
+//!
+//! The old driver ran both phases of the paper inside one monolithic
+//! `Analyzer::analyze`. This module splits it into four explicit stages
+//! with a typed artifact flowing between them, all sharing one
+//! [`ffisafe_support::Session`]:
+//!
+//! ```text
+//! frontend_ml ─▶ MlArtifact ─┐
+//!                            ├─▶ infer::link ─▶ BaseState
+//! frontend_c ─▶ CArtifact ───┘        │
+//!                                     ▼
+//!                      infer::run (parallel worker pool)
+//!                                     │ InferArtifact
+//!                                     ▼
+//!                                 discharge ─▶ diagnostics in the Session
+//! ```
+//!
+//! * [`frontend_ml`] — registers parsed OCaml files in the type
+//!   repository and translates `external` signatures (Φ/ρ, Figure 4).
+//! * [`frontend_c`] — lowers parsed C units to the Figure 5 IR.
+//! * [`infer`] — seeds the function registry (`Γ_I`), binds externals to
+//!   their C definitions, then runs per-function flow-sensitive inference
+//!   on a worker pool ([`ffisafe_support::AnalysisOptions::jobs`]).
+//! * [`discharge`] — merges the workers' effect graphs, solves GC
+//!   reachability, checks `Ψ` bounds and the whole-program practice rules.
+//!
+//! # Parallelism and determinism
+//!
+//! Per-function inference mutates the type table (unification), so workers
+//! cannot share one table. Instead [`infer::run`] gives every function a
+//! *snapshot*: a clone of the post-link base state. Each worker's findings
+//! are reduced to plain data ([`infer::FunctionOutcome`]) whose effect ids
+//! are normalized against the base table ([`infer::EffectKey`]), and
+//! [`discharge`] merges them in function order. The result is byte-for-byte
+//! identical whatever the worker count — `jobs=1` and `jobs=8` produce the
+//! same report, which `crates/core/tests/parallel_determinism.rs` locks in.
+
+pub mod discharge;
+pub mod frontend_c;
+pub mod frontend_ml;
+pub mod infer;
+
+pub use discharge::DischargeSummary;
+pub use frontend_c::CArtifact;
+pub use frontend_ml::MlArtifact;
+pub use infer::{BaseState, EffectKey, FunctionOutcome, InferArtifact};

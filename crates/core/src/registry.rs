@@ -11,10 +11,14 @@
 //! * ordinary C functions (helpers, system libraries) — helpers get
 //!   `η`-translated declared types, unknown library functions get
 //!   unconstrained signatures and, absent effect edges, are `nogc`.
+//!
+//! The registry is keyed by interned [`Symbol`]s from the session's
+//! [`Interner`], so the hot `resolve_call` path in the inference engine
+//! hashes a `u32` instead of a string.
 
 use crate::eta::eta;
 use ffisafe_cil::CTypeExpr;
-use ffisafe_support::Span;
+use ffisafe_support::{Interner, Span, Symbol};
 use ffisafe_types::{CtId, GcId, TypeTable};
 use std::collections::HashMap;
 
@@ -55,9 +59,9 @@ pub struct FuncInfo {
 }
 
 /// The function environment shared by all per-function analyses.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Registry {
-    funcs: HashMap<String, FuncInfo>,
+    funcs: HashMap<Symbol, FuncInfo>,
 }
 
 impl Registry {
@@ -66,47 +70,52 @@ impl Registry {
         Registry::default()
     }
 
-    /// Looks up a function by name.
-    pub fn get(&self, name: &str) -> Option<&FuncInfo> {
-        self.funcs.get(name)
+    /// Looks up a function by name. Non-mutating: a name never interned
+    /// was never registered.
+    pub fn get(&self, interner: &Interner, name: &str) -> Option<&FuncInfo> {
+        self.funcs.get(&interner.get(name)?)
+    }
+
+    /// Looks up a function by its interned symbol.
+    pub fn get_sym(&self, sym: Symbol) -> Option<&FuncInfo> {
+        self.funcs.get(&sym)
     }
 
     /// Registers a function definition/prototype with `η`-translated
     /// declared types. Re-registration keeps the first entry (definitions
     /// are registered before prototypes by the driver).
+    #[allow(clippy::too_many_arguments)]
     pub fn register(
         &mut self,
         table: &mut TypeTable,
+        interner: &mut Interner,
         name: &str,
         ret: &CTypeExpr,
         params: &[CTypeExpr],
         origin: FuncOrigin,
         span: Span,
     ) -> &FuncInfo {
-        if !self.funcs.contains_key(name) {
+        let sym = interner.intern(name);
+        self.funcs.entry(sym).or_insert_with(|| {
             let params: Vec<CtId> = params.iter().map(|p| eta(table, p)).collect();
             let ret = eta(table, ret);
             let effect = table.fresh_gc();
-            self.funcs.insert(
-                name.to_string(),
-                FuncInfo {
-                    name: name.to_string(),
-                    params,
-                    ret,
-                    effect,
-                    origin,
-                    external_index: None,
-                    noreturn: false,
-                    span,
-                },
-            );
-        }
-        &self.funcs[name]
+            FuncInfo {
+                name: name.to_string(),
+                params,
+                ret,
+                effect,
+                origin,
+                external_index: None,
+                noreturn: false,
+                span,
+            }
+        })
     }
 
     /// Ties a registered function to its phase-1 `external` signature.
-    pub fn set_external_index(&mut self, name: &str, idx: usize) {
-        if let Some(f) = self.funcs.get_mut(name) {
+    pub fn set_external_index(&mut self, interner: &Interner, name: &str, idx: usize) {
+        if let Some(f) = interner.get(name).and_then(|s| self.funcs.get_mut(&s)) {
             f.external_index = Some(idx);
         }
     }
@@ -120,11 +129,13 @@ impl Registry {
     pub fn resolve_call(
         &mut self,
         table: &mut TypeTable,
+        interner: &mut Interner,
         name: &str,
         arity: usize,
         span: Span,
     ) -> FuncInfo {
-        if let Some(info) = self.funcs.get(name) {
+        let sym = interner.intern(name);
+        if let Some(info) = self.funcs.get(&sym) {
             return info.clone();
         }
         if let Some(info) = runtime_signature(table, name, arity, span) {
@@ -145,7 +156,7 @@ impl Registry {
             noreturn: false,
             span,
         };
-        self.funcs.insert(name.to_string(), info.clone());
+        self.funcs.insert(sym, info.clone());
         info
     }
 
@@ -224,11 +235,9 @@ fn runtime_signature(
         "caml_callback2" | "caml_callback2_exn" => {
             (vec![value(table), value(table), value(table)], value(table), gc(table))
         }
-        "caml_callback3" | "caml_callback3_exn" => (
-            vec![value(table), value(table), value(table), value(table)],
-            value(table),
-            gc(table),
-        ),
+        "caml_callback3" | "caml_callback3_exn" => {
+            (vec![value(table), value(table), value(table), value(table)], value(table), gc(table))
+        }
         "caml_failwith" | "caml_invalid_argument" => {
             (vec![charp(table)], table.ct_void(), gc(table))
         }
@@ -236,9 +245,7 @@ fn runtime_signature(
             (vec![], table.ct_void(), gc(table))
         }
         "caml_raise" | "caml_raise_constant" => (vec![value(table)], table.ct_void(), gc(table)),
-        "caml_raise_with_arg" => {
-            (vec![value(table), value(table)], table.ct_void(), gc(table))
-        }
+        "caml_raise_with_arg" => (vec![value(table), value(table)], table.ct_void(), gc(table)),
         "caml_named_value" => {
             let p = charp(table);
             let v = value(table);
@@ -257,11 +264,7 @@ fn runtime_signature(
         }
         "caml_alloc_custom" => {
             let ops = table.fresh_ct();
-            (
-                vec![ops, int(table), int(table), int(table)],
-                value(table),
-                gc(table),
-            )
+            (vec![ops, int(table), int(table), int(table)], value(table), gc(table))
         }
         "caml_enter_blocking_section" | "caml_leave_blocking_section" => {
             // other threads may collect while the lock is released
@@ -304,8 +307,9 @@ mod tests {
     #[test]
     fn runtime_alloc_is_gc() {
         let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
         let mut reg = Registry::new();
-        let f = reg.resolve_call(&mut tt, "caml_alloc", 2, Span::dummy()).clone();
+        let f = reg.resolve_call(&mut tt, &mut intern, "caml_alloc", 2, Span::dummy()).clone();
         assert_eq!(f.origin, FuncOrigin::Runtime);
         assert_eq!(tt.gc_node(f.effect), GcNode::Gc);
         assert_eq!(f.params.len(), 2);
@@ -314,24 +318,42 @@ mod tests {
     #[test]
     fn unknown_library_function_is_nogc_variable() {
         let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
         let mut reg = Registry::new();
-        let f = reg.resolve_call(&mut tt, "gzopen", 2, Span::dummy()).clone();
+        let f = reg.resolve_call(&mut tt, &mut intern, "gzopen", 2, Span::dummy()).clone();
         assert_eq!(f.origin, FuncOrigin::Unknown);
         assert_eq!(tt.gc_node(f.effect), GcNode::Var);
         // memoized
-        let again = reg.resolve_call(&mut tt, "gzopen", 2, Span::dummy()).clone();
+        let again = reg.resolve_call(&mut tt, &mut intern, "gzopen", 2, Span::dummy()).clone();
         assert_eq!(f.ret, again.ret);
     }
 
     #[test]
     fn defined_functions_keep_first_registration() {
         let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
         let mut reg = Registry::new();
         let r1 = reg
-            .register(&mut tt, "helper", &CTypeExpr::Int, &[CTypeExpr::Value], FuncOrigin::Defined, Span::dummy())
+            .register(
+                &mut tt,
+                &mut intern,
+                "helper",
+                &CTypeExpr::Int,
+                &[CTypeExpr::Value],
+                FuncOrigin::Defined,
+                Span::dummy(),
+            )
             .clone();
         let r2 = reg
-            .register(&mut tt, "helper", &CTypeExpr::Void, &[], FuncOrigin::Declared, Span::dummy())
+            .register(
+                &mut tt,
+                &mut intern,
+                "helper",
+                &CTypeExpr::Void,
+                &[],
+                FuncOrigin::Declared,
+                Span::dummy(),
+            )
             .clone();
         assert_eq!(r1.ret, r2.ret);
         assert_eq!(r2.origin, FuncOrigin::Defined);
@@ -341,8 +363,30 @@ mod tests {
     #[test]
     fn copy_string_returns_string_value() {
         let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
         let mut reg = Registry::new();
-        let f = reg.resolve_call(&mut tt, "caml_copy_string", 1, Span::dummy()).clone();
+        let f =
+            reg.resolve_call(&mut tt, &mut intern, "caml_copy_string", 1, Span::dummy()).clone();
         assert_eq!(tt.render_ct(f.ret), "string value");
+    }
+
+    #[test]
+    fn lookup_by_name_and_symbol_agree() {
+        let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
+        let mut reg = Registry::new();
+        reg.register(
+            &mut tt,
+            &mut intern,
+            "helper",
+            &CTypeExpr::Int,
+            &[],
+            FuncOrigin::Defined,
+            Span::dummy(),
+        );
+        let sym = intern.get("helper").unwrap();
+        assert_eq!(reg.get(&intern, "helper").unwrap().name, "helper");
+        assert_eq!(reg.get_sym(sym).unwrap().name, "helper");
+        assert!(reg.get(&intern, "missing").is_none());
     }
 }

@@ -1,0 +1,158 @@
+//! Cross-clone fact propagation under snapshot isolation.
+//!
+//! Each inference worker analyzes its function against a private clone of
+//! the post-link base state, so facts one function establishes about a
+//! *shared* identity (an opaque type's hidden representation, a signature
+//! slot's heap-ness) are invisible to its siblings' clones. The discharge
+//! stage must reunite them; these tests pin the scenarios a sequential
+//! shared-table run would catch trivially.
+
+use ffisafe_core::{AnalysisOptions, Analyzer};
+
+fn render(ml: &str, c: &str, jobs: usize) -> String {
+    let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    az.analyze().render_stable()
+}
+
+/// `ml_h` pins the opaque type `t` to the two-constructor sum `u`;
+/// `ml_g`'s `int_tag` test against 7 was recorded while `t`'s `Ψ` was
+/// still a variable in `ml_g`'s clone. Discharge must meet the bound with
+/// the sibling's pin and reject it.
+#[test]
+fn psi_bound_meets_sibling_pin() {
+    let ml = r#"
+type t
+type u = A | B
+external g : t -> int = "ml_g"
+external h : t -> u -> int = "ml_h"
+"#;
+    let c = r#"
+value ml_g(value x) {
+    switch (Int_val(x)) {
+    case 7: return Val_int(1);
+    }
+    return Val_int(0);
+}
+value ml_h(value a, value b) {
+    a = b;
+    return Val_int(0);
+}
+"#;
+    let report = render(ml, c, 1);
+    assert!(
+        report.contains("constructor number 7 used but the sum type has only 2"),
+        "cross-function Ψ violation missing:\n{report}"
+    );
+    for jobs in [2, 8] {
+        assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
+    }
+}
+
+/// Without a sibling pinning `t`, the same bound stays unresolved and
+/// must not be reported.
+#[test]
+fn psi_bound_without_pin_is_silent() {
+    let ml = r#"
+type t
+external g : t -> int = "ml_g"
+"#;
+    let c = r#"
+value ml_g(value x) {
+    switch (Int_val(x)) {
+    case 7: return Val_int(1);
+    }
+    return Val_int(0);
+}
+"#;
+    let report = render(ml, c, 1);
+    assert!(
+        !report.contains("constructor number 7"),
+        "unpinned Ψ bound should not fire:\n{report}"
+    );
+}
+
+/// `tmp` aliases the parameter `s` (assignment unifies their cts) and is
+/// live, unprotected, across a call that may collect. Its type is an
+/// unresolved variable in `ml_f`'s clone — only `ml_h`'s clone pins the
+/// shared opaque `t` to a heap block — so the unrooted-value report
+/// depends on the deferred slot check covering *aliases* of parameters,
+/// not just the parameters themselves.
+#[test]
+fn aliased_local_is_deferred_to_sibling_heap_pin() {
+    let ml = r#"
+type t
+external f : t -> t = "ml_f"
+external h : t -> int = "ml_h"
+"#;
+    let c = r#"
+value ml_f(value s) {
+    value tmp = s;
+    caml_alloc(1, 0);
+    return tmp;
+}
+value ml_h(value x) {
+    return Field(x, 0);
+}
+"#;
+    let report = render(ml, c, 1);
+    assert!(
+        report.contains("`tmp` holds a pointer into the OCaml heap"),
+        "deferred aliased-local check missing:\n{report}"
+    );
+    for jobs in [2, 8] {
+        assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
+    }
+}
+
+/// `y` is unified with `mystery`'s *return* slot, which only `mystery`'s
+/// own worker resolves to a heap string. The deferred check must cover
+/// callee return slots, not just the obligated function's parameters.
+#[test]
+fn callee_return_slot_is_deferred_to_sibling_heap_pin() {
+    let ml = r#"
+external f : unit -> unit = "ml_f"
+"#;
+    let c = r#"
+value mystery(void) {
+    return caml_copy_string("hi");
+}
+value ml_f(value u) {
+    value y = mystery();
+    caml_alloc(1, 0);
+    use_ptr(y);
+    return Val_unit;
+}
+"#;
+    let report = render(ml, c, 1);
+    assert!(
+        report.contains("`y` holds a pointer into the OCaml heap"),
+        "deferred callee-return check missing:\n{report}"
+    );
+    for jobs in [2, 8] {
+        assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
+    }
+}
+
+/// The same flow with `t` never proven heap stays silent: the deferred
+/// check must not fire on slots no sibling pinned.
+#[test]
+fn aliased_local_without_heap_pin_is_silent() {
+    let ml = r#"
+type t
+external f : t -> t = "ml_f"
+"#;
+    let c = r#"
+value ml_f(value s) {
+    value tmp = s;
+    caml_alloc(1, 0);
+    return tmp;
+}
+"#;
+    let report = render(ml, c, 1);
+    assert!(
+        !report.contains("`tmp` holds a pointer"),
+        "deferred check fired without a heap pin:\n{report}"
+    );
+}

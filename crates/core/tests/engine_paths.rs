@@ -338,11 +338,7 @@ fn static_helpers_require_registration_transitively() {
     );
     // ml_f registers correctly, but wrap itself holds `v` live across the
     // allocation without registering it
-    assert!(
-        report.diagnostics.with_code(C::UnrootedValue).count() >= 1,
-        "{}",
-        report.render()
-    );
+    assert!(report.diagnostics.with_code(C::UnrootedValue).count() >= 1, "{}", report.render());
 }
 
 #[test]

@@ -1,0 +1,66 @@
+//! The inference stage's determinism contract: whatever the worker count,
+//! analyzing the same corpus yields byte-identical rendered reports.
+//!
+//! This is the acceptance gate for the snapshot-isolation design of
+//! `pipeline::infer` — outcomes are merged in program order and every
+//! cross-clone identity (effect keys, signature slots) is normalized
+//! against the base state, so scheduling must never leak into the output.
+
+use ffisafe_bench::corpus::generate;
+use ffisafe_bench::spec::paper_benchmarks;
+use ffisafe_core::{AnalysisOptions, Analyzer};
+
+fn render_with_jobs(ml: &str, c: &str, jobs: usize) -> String {
+    let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
+    az.add_ml_source("lib.ml", ml);
+    az.add_c_source("glue.c", c);
+    let report = az.analyze();
+    assert_eq!(report.stats.jobs.min(jobs.max(1)), report.stats.jobs);
+    report.render_stable()
+}
+
+/// Every Figure 9 benchmark renders identically at `jobs=1` and `jobs=8`.
+#[test]
+fn figure9_corpus_is_jobs_invariant() {
+    for spec in paper_benchmarks() {
+        let bench = generate(&spec);
+        let serial = render_with_jobs(&bench.ml_source, &bench.c_source, 1);
+        let parallel = render_with_jobs(&bench.ml_source, &bench.c_source, 8);
+        assert_eq!(serial, parallel, "{}: jobs=1 and jobs=8 reports differ", spec.name);
+        // and re-running at the same width is stable too
+        let parallel2 = render_with_jobs(&bench.ml_source, &bench.c_source, 8);
+        assert_eq!(parallel, parallel2, "{}: jobs=8 is not stable", spec.name);
+    }
+}
+
+/// A diagnostic-dense corpus (every defect kind seeded) stays invariant
+/// across several worker counts.
+#[test]
+fn defect_dense_benchmark_is_jobs_invariant() {
+    let spec = paper_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "lablgtk-2.2.0")
+        .expect("lablgtk spec exists");
+    let bench = generate(&spec);
+    let baseline = render_with_jobs(&bench.ml_source, &bench.c_source, 1);
+    assert!(!baseline.is_empty());
+    for jobs in [2, 3, 8, 16] {
+        let got = render_with_jobs(&bench.ml_source, &bench.c_source, jobs);
+        assert_eq!(baseline, got, "jobs={jobs} diverged from jobs=1");
+    }
+}
+
+/// `jobs: 0` (auto) must agree with an explicit worker count as well.
+#[test]
+fn auto_jobs_matches_explicit_jobs() {
+    let spec = &paper_benchmarks()[3];
+    let bench = generate(spec);
+    let auto = {
+        let mut az = Analyzer::with_options(AnalysisOptions::default());
+        az.add_ml_source("lib.ml", &bench.ml_source);
+        az.add_c_source("glue.c", &bench.c_source);
+        az.analyze().render_stable()
+    };
+    let explicit = render_with_jobs(&bench.ml_source, &bench.c_source, 1);
+    assert_eq!(auto, explicit);
+}

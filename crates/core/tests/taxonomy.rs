@@ -122,10 +122,8 @@ fn custom_pointer_roundtrip_is_clean() {
 
 #[test]
 fn val_int_applied_to_value_is_reported() {
-    let report = run(
-        r#"external f : int -> int = "ml_f""#,
-        r#"value ml_f(value n) { return Val_int(n); }"#,
-    );
+    let report =
+        run(r#"external f : int -> int = "ml_f""#, r#"value ml_f(value n) { return Val_int(n); }"#);
     assert!(count(&report, C::TypeMismatch) >= 1, "{}", report.render());
 }
 
@@ -504,11 +502,7 @@ fn disguised_pointer_arithmetic_produces_spurious_mismatch() {
         }
         "#,
     );
-    assert!(
-        report.error_count() + count(&report, C::UnknownOffset) >= 1,
-        "{}",
-        report.render()
-    );
+    assert!(report.error_count() + count(&report, C::UnknownOffset) >= 1, "{}", report.render());
 }
 
 // ---- ablations (DESIGN.md E5) --------------------------------------------------------
@@ -538,6 +532,7 @@ fn ablation_no_flow_sensitivity_breaks_figure2() {
     let mut az = Analyzer::with_options(AnalysisOptions {
         flow_sensitive: false,
         gc_effects: true,
+        ..AnalysisOptions::default()
     });
     az.add_ml_source("lib.ml", ml);
     az.add_c_source("glue.c", c);
@@ -565,14 +560,10 @@ fn ablation_no_gc_effects_misses_unrooted_value() {
     let mut az = Analyzer::with_options(AnalysisOptions {
         flow_sensitive: true,
         gc_effects: false,
+        ..AnalysisOptions::default()
     });
     az.add_ml_source("lib.ml", ml);
     az.add_c_source("glue.c", c);
     let ablated = az.analyze();
-    assert_eq!(
-        ablated.diagnostics.with_code(C::UnrootedValue).count(),
-        0,
-        "{}",
-        ablated.render()
-    );
+    assert_eq!(ablated.diagnostics.with_code(C::UnrootedValue).count(), 0, "{}", ablated.render());
 }

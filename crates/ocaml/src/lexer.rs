@@ -231,8 +231,7 @@ impl<'a> Lexer<'a> {
 
     fn take_ident(&mut self) -> String {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\''))
-        {
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'\'')) {
             // identifiers may contain primes (x') but a prime followed by a
             // letter at the start of lexing is a tyvar, handled by caller
             self.bump();
@@ -282,12 +281,13 @@ impl<'a> Lexer<'a> {
 
     fn take_int(&mut self) -> i64 {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'x' | b'X' | b'a'..=b'f' | b'A'..=b'F' | b'_'))
-        {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'x' | b'X' | b'a'..=b'f' | b'A'..=b'F' | b'_')
+        ) {
             self.bump();
         }
-        let text: String = String::from_utf8_lossy(&self.src[start..self.pos])
-            .replace('_', "");
+        let text: String = String::from_utf8_lossy(&self.src[start..self.pos]).replace('_', "");
         if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
             i64::from_str_radix(hex, 16).unwrap_or(0)
         } else {

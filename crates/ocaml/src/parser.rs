@@ -35,8 +35,22 @@ pub fn parse(file: FileId, src: &str) -> ParsedFile {
 }
 
 const STOP_KEYWORDS: &[&str] = &[
-    "of", "and", "type", "external", "mutable", "let", "val", "module", "open", "exception",
-    "private", "rec", "end", "sig", "struct", "in",
+    "of",
+    "and",
+    "type",
+    "external",
+    "mutable",
+    "let",
+    "val",
+    "module",
+    "open",
+    "exception",
+    "private",
+    "rec",
+    "end",
+    "sig",
+    "struct",
+    "in",
 ];
 
 struct Parser {
@@ -676,10 +690,7 @@ mod tests {
     fn parses_postfix_applications() {
         let e = only_external(r#"external f : int list -> int array -> unit = "ml_f""#);
         let (params, _) = e.ty.arrow_spine();
-        assert_eq!(
-            params[0],
-            &TypeExpr::Constr(vec!["list".into()], vec![TypeExpr::named("int")])
-        );
+        assert_eq!(params[0], &TypeExpr::Constr(vec!["list".into()], vec![TypeExpr::named("int")]));
         assert_eq!(
             params[1],
             &TypeExpr::Constr(vec!["array".into()], vec![TypeExpr::named("int")])

@@ -86,9 +86,9 @@ impl Phase1 {
     /// Finds the signature bound to C function `c_name` (native or
     /// bytecode variant).
     pub fn signature_for_c(&self, c_name: &str) -> Option<&ExternalSignature> {
-        self.signatures.iter().find(|s| {
-            s.c_name == c_name || s.byte_c_name.as_deref() == Some(c_name)
-        })
+        self.signatures
+            .iter()
+            .find(|s| s.c_name == c_name || s.byte_c_name.as_deref() == Some(c_name))
     }
 }
 
@@ -133,12 +133,10 @@ impl<'a> Translator<'a> {
                 external: ext.ml_name.clone(),
             });
         }
-        let params: Vec<MtId> =
-            param_tys.iter().map(|t| self.rho(t, &poly, ext.span)).collect();
+        let params: Vec<MtId> = param_tys.iter().map(|t| self.rho(t, &poly, ext.span)).collect();
         let unit_params: Vec<bool> = param_tys.iter().map(|t| t.is_unit()).collect();
         let ret = self.rho(ret_ty, &poly, ext.span);
-        let param_cts: Vec<CtId> =
-            params.iter().map(|&mt| self.table.ct_value(mt)).collect();
+        let param_cts: Vec<CtId> = params.iter().map(|&mt| self.table.ct_value(mt)).collect();
         let ret_ct = self.table.ct_value(ret);
         let effect = self.table.fresh_gc();
         let fun_ct = self.table.ct_fun(param_cts, ret_ct, effect);
@@ -161,12 +159,7 @@ impl<'a> Translator<'a> {
     }
 
     /// The `ρ` of Figure 4, extended to the whole declaration language.
-    pub fn rho(
-        &mut self,
-        ty: &TypeExpr,
-        env: &HashMap<String, MtId>,
-        span: Span,
-    ) -> MtId {
+    pub fn rho(&mut self, ty: &TypeExpr, env: &HashMap<String, MtId>, span: Span) -> MtId {
         match ty {
             TypeExpr::Var(v) => match env.get(v) {
                 Some(&mt) => mt,
@@ -292,10 +285,8 @@ impl<'a> Translator<'a> {
         // Translate arguments, bind them to the declaration's parameters.
         let arg_mts: Vec<MtId> = args.iter().map(|t| self.rho(t, env, span)).collect();
         let key = {
-            let ids: Vec<String> = arg_mts
-                .iter()
-                .map(|m| self.table.find_mt(*m).as_raw().to_string())
-                .collect();
+            let ids: Vec<String> =
+                arg_mts.iter().map(|m| self.table.find_mt(*m).as_raw().to_string()).collect();
             format!("{name}({})", ids.join(","))
         };
         if let Some(&hit) = self.named.get(&key) {
@@ -340,10 +331,7 @@ impl<'a> Translator<'a> {
             // type is a unification error.
             TypeDeclKind::Opaque => self.table.fresh_mt(),
             TypeDeclKind::PolyVariant => {
-                self.issues.push(TranslateIssue::PolyVariant {
-                    span,
-                    external: name.to_string(),
-                });
+                self.issues.push(TranslateIssue::PolyVariant { span, external: name.to_string() });
                 self.table.mt_abstract("<poly-variant>", false)
             }
         };
@@ -383,8 +371,8 @@ pub fn translate_program(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::Item;
+    use crate::parser::parse;
     use ffisafe_support::FileId;
     use ffisafe_types::{MtNode, PsiNode, SigmaNode};
 

@@ -2,8 +2,8 @@
 //! unrecognized items rather than derail.
 
 use ffisafe_ocaml::{parser, TypeRepository};
+use ffisafe_support::rng::Rng64;
 use ffisafe_support::FileId;
-use proptest::prelude::*;
 
 fn pipeline(src: &str) {
     let parsed = parser::parse(FileId::from_raw(0), src);
@@ -11,56 +11,41 @@ fn pipeline(src: &str) {
     repo.register_file(&parsed);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Arbitrary text: lex + parse + register must not panic.
-    #[test]
-    fn prop_parser_never_panics_on_arbitrary_input(src in "\\PC{0,200}") {
-        pipeline(&src);
+/// Arbitrary text: lex + parse + register must not panic.
+#[test]
+fn prop_parser_never_panics_on_arbitrary_input() {
+    let mut rng = Rng64::seed_from_u64(0x0CA1);
+    for _ in 0..512 {
+        pipeline(&rng.arbitrary_text(200));
     }
+}
 
-    /// OCaml-shaped token soup.
-    #[test]
-    fn prop_parser_never_panics_on_ml_like_input(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("type".to_string()),
-                Just("external".to_string()),
-                Just("of".to_string()),
-                Just("and".to_string()),
-                Just("mutable".to_string()),
-                Just("let".to_string()),
-                Just("t".to_string()),
-                Just("A".to_string()),
-                Just("int".to_string()),
-                Just("'a".to_string()),
-                Just("->".to_string()),
-                Just("|".to_string()),
-                Just("*".to_string()),
-                Just("=".to_string()),
-                Just(":".to_string()),
-                Just(";".to_string()),
-                Just("(".to_string()),
-                Just(")".to_string()),
-                Just("{".to_string()),
-                Just("}".to_string()),
-                Just("[".to_string()),
-                Just("]".to_string()),
-                Just("`".to_string()),
-                Just("\"c_f\"".to_string()),
-            ],
-            0..60,
-        )
-    ) {
-        pipeline(&toks.join(" "));
+/// OCaml-shaped token soup.
+#[test]
+fn prop_parser_never_panics_on_ml_like_input() {
+    const TOKS: &[&str] = &[
+        "type", "external", "of", "and", "mutable", "let", "t", "A", "int", "'a", "->", "|", "*",
+        "=", ":", ";", "(", ")", "{", "}", "[", "]", "`", "\"c_f\"",
+    ];
+    let mut rng = Rng64::seed_from_u64(0x0CA2);
+    for _ in 0..512 {
+        let n = rng.gen_range(0..60usize);
+        let soup: Vec<&str> = (0..n).map(|_| TOKS[rng.gen_range(0..TOKS.len())]).collect();
+        pipeline(&soup.join(" "));
     }
+}
 
-    /// Declarations survive arbitrary surrounding junk (bracket-free —
-    /// an unbalanced opening bracket legitimately swallows what follows):
-    /// the declarations themselves must still be found.
-    #[test]
-    fn prop_declarations_survive_junk(junk in "[a-z0-9 \\n=+*;.]{0,80}") {
+/// Declarations survive arbitrary surrounding junk (bracket-free —
+/// an unbalanced opening bracket legitimately swallows what follows):
+/// the declarations themselves must still be found.
+#[test]
+fn prop_declarations_survive_junk() {
+    const JUNK_POOL: &[char] =
+        &['a', 'b', 'c', 'x', 'y', 'z', '0', '1', '9', ' ', '\n', '=', '+', '*', ';', '.'];
+    let mut rng = Rng64::seed_from_u64(0x0CA3);
+    for _ in 0..512 {
+        let n = rng.gen_range(0..80usize);
+        let junk: String = (0..n).map(|_| JUNK_POOL[rng.gen_range(0..JUNK_POOL.len())]).collect();
         let src = format!(
             "let junk = {junk}\ntype probe = P0 | P1 of int\nexternal pf : probe -> int = \"c_pf\"\n"
         );
@@ -75,8 +60,8 @@ proptest! {
             .iter()
             .filter(|i| matches!(i, ffisafe_ocaml::Item::External(e) if e.ml_name == "pf"))
             .count();
-        prop_assert_eq!(types, 1);
-        prop_assert_eq!(exts, 1);
+        assert_eq!(types, 1, "junk: {junk:?}");
+        assert_eq!(exts, 1, "junk: {junk:?}");
     }
 }
 

@@ -78,10 +78,7 @@ pub fn compatible(gamma: &Gamma, stores: &Stores) -> Result<(), TypeError> {
             return err(usize::MAX, format!("block {base} missing from Γ"));
         };
         if block.tag != *tag {
-            return err(
-                usize::MAX,
-                format!("block {base} has tag {} but Γ says {tag}", block.tag),
-            );
+            return err(usize::MAX, format!("block {base} has tag {} but Γ says {tag}", block.tag));
         }
         let Some(fields) = mt.product(*tag) else {
             return err(usize::MAX, format!("block {base} tag {tag} exceeds Σ"));
@@ -91,10 +88,7 @@ pub fn compatible(gamma: &Gamma, stores: &Stores) -> Result<(), TypeError> {
         }
         for (i, fty) in fields.iter().enumerate() {
             if !value_has_type(gamma, block.fields[i], &GCt::Value(fty.clone())) {
-                return err(
-                    usize::MAX,
-                    format!("block {base} field {i} does not inhabit `{fty}`"),
-                );
+                return err(usize::MAX, format!("block {base} field {i} does not inhabit `{fty}`"));
             }
         }
     }
@@ -116,12 +110,7 @@ pub fn compatible(gamma: &Gamma, stores: &Stores) -> Result<(), TypeError> {
 ///
 /// Returns the first rule violation found.
 pub fn check(program: &Program, gamma: &Gamma) -> Result<(), TypeError> {
-    let mut checker = Checker {
-        gamma,
-        program,
-        labels: HashMap::new(),
-        env: HashMap::new(),
-    };
+    let mut checker = Checker { gamma, program, labels: HashMap::new(), env: HashMap::new() };
     // fixpoint on label environments; rule applications are deterministic
     let mut guard = 0usize;
     loop {
@@ -153,12 +142,9 @@ impl<'a> Checker<'a> {
     }
 
     fn join_label(&mut self, label: &str, env: &HashMap<String, Shape>) -> bool {
-        let entry = self
-            .labels
-            .entry(label.to_string())
-            .or_insert_with(|| {
-                self.gamma.vars.keys().map(|k| (k.clone(), Shape::bottom())).collect()
-            });
+        let entry = self.labels.entry(label.to_string()).or_insert_with(|| {
+            self.gamma.vars.keys().map(|k| (k.clone(), Shape::bottom())).collect()
+        });
         let mut changed = false;
         for (k, s) in env {
             let g = entry.entry(k.clone()).or_insert_with(Shape::bottom);
@@ -249,25 +235,17 @@ impl<'a> Checker<'a> {
                     return err(at, format!("branch to unknown label `{l}`"));
                 }
                 let mut tenv = self.env.clone();
-                tenv.insert(
-                    x.clone(),
-                    Shape::new(Boxedness::Unboxed, FlatInt::Known(0), shape.t),
-                );
+                tenv.insert(x.clone(), Shape::new(Boxedness::Unboxed, FlatInt::Known(0), shape.t));
                 let changed = self.join_label(l, &tenv);
-                self.env.insert(
-                    x.clone(),
-                    Shape::new(Boxedness::Boxed, FlatInt::Known(0), shape.t),
-                );
+                self.env
+                    .insert(x.clone(), Shape::new(Boxedness::Boxed, FlatInt::Known(0), shape.t));
                 Ok(changed)
             }
             SStmt::IfSumTag(x, n, l) => {
                 let mt = self.var_value_type(at, x)?;
                 let shape = self.shape_of(x);
                 if shape.b != Boxedness::Boxed && shape.b != Boxedness::Bot {
-                    return err(
-                        at,
-                        format!("if sum_tag({x}): `{x}` is not known to be boxed"),
-                    );
+                    return err(at, format!("if sum_tag({x}): `{x}` is not known to be boxed"));
                 }
                 if !matches!(shape.i, FlatInt::Known(0) | FlatInt::Bot) {
                     return err(at, format!("if sum_tag({x}): `{x}` is not at offset 0"));
@@ -292,15 +270,14 @@ impl<'a> Checker<'a> {
                 let mt = self.var_value_type(at, x)?;
                 let shape = self.shape_of(x);
                 if shape.b != Boxedness::Unboxed && shape.b != Boxedness::Bot {
-                    return err(
-                        at,
-                        format!("if int_tag({x}): `{x}` is not known to be unboxed"),
-                    );
+                    return err(at, format!("if int_tag({x}): `{x}` is not known to be unboxed"));
                 }
                 if !mt.psi.admits(*n) {
                     return err(
                         at,
-                        format!("if int_tag({x}) == {n}: type `{mt}` has too few nullary constructors"),
+                        format!(
+                            "if int_tag({x}) == {n}: type `{mt}` has too few nullary constructors"
+                        ),
                     );
                 }
                 if self.program.label(l).is_none() {
@@ -376,8 +353,7 @@ impl<'a> Checker<'a> {
                         let Some(fields) = mt.product(m) else {
                             return err(at, format!("tag {m} exceeds `{mt}`"));
                         };
-                        let Some(field) =
-                            usize::try_from(n).ok().and_then(|i| fields.get(i))
+                        let Some(field) = usize::try_from(n).ok().and_then(|i| fields.get(i))
                         else {
                             return err(at, format!("field {n} exceeds product of tag {m}"));
                         };
@@ -392,10 +368,7 @@ impl<'a> Checker<'a> {
                 if cta != GCt::Int || ctb != GCt::Int {
                     return err(at, "arithmetic on non-integers");
                 }
-                Ok((
-                    GCt::Int,
-                    Shape::new(Boxedness::Top, FlatInt::Known(0), sa.t.aop(op, sb.t)),
-                ))
+                Ok((GCt::Int, Shape::new(Boxedness::Top, FlatInt::Known(0), sa.t.aop(op, sb.t))))
             }
             SExpr::PtrAdd(a, b) => {
                 let (cta, sa) = self.check_expr(at, a)?;
@@ -418,10 +391,7 @@ impl<'a> Checker<'a> {
                         };
                         let new_off = n + k;
                         if new_off < 0 || new_off as usize >= fields.len() {
-                            return err(
-                                at,
-                                format!("offset {new_off} exceeds product of tag {m}"),
-                            );
+                            return err(at, format!("offset {new_off} exceeds product of tag {m}"));
                         }
                         Ok((
                             GCt::Value(mt),
@@ -475,10 +445,7 @@ impl<'a> Checker<'a> {
                 {
                     return err(at, "Int_val of a value not known to be unboxed");
                 }
-                Ok((
-                    GCt::Int,
-                    Shape::new(Boxedness::Top, FlatInt::Known(0), shape.t),
-                ))
+                Ok((GCt::Int, Shape::new(Boxedness::Top, FlatInt::Known(0), shape.t)))
             }
         }
     }
@@ -591,10 +558,7 @@ mod tests {
         let (gamma, _) = world();
         use SExpr as E;
         use SStmt as S;
-        let p = Program::new(vec![S::AssignVar(
-            "r".into(),
-            E::IntVal(Box::new(E::var("x"))),
-        )]);
+        let p = Program::new(vec![S::AssignVar("r".into(), E::IntVal(Box::new(E::var("x"))))]);
         let e = check(&p, &gamma).unwrap_err();
         assert!(e.message.contains("unboxed"), "{e}");
     }
@@ -602,7 +566,10 @@ mod tests {
     #[test]
     fn tag_test_without_boxedness_proof_is_rejected() {
         let (gamma, _) = world();
-        let p = Program::new(vec![SStmt::IfSumTag("x".into(), 0, "l".into()), SStmt::Label("l".into())]);
+        let p = Program::new(vec![
+            SStmt::IfSumTag("x".into(), 0, "l".into()),
+            SStmt::Label("l".into()),
+        ]);
         let e = check(&p, &gamma).unwrap_err();
         assert!(e.message.contains("boxed"), "{e}");
     }
@@ -640,10 +607,8 @@ mod tests {
             E::ValInt(Box::new(E::cint(1)), two.clone()),
         )]);
         check(&ok, &gamma).unwrap();
-        let bad = Program::new(vec![S::AssignVar(
-            "e".into(),
-            E::ValInt(Box::new(E::cint(5)), two),
-        )]);
+        let bad =
+            Program::new(vec![S::AssignVar("e".into(), E::ValInt(Box::new(E::cint(5)), two))]);
         assert!(check(&bad, &gamma).is_err());
     }
 
@@ -659,10 +624,7 @@ mod tests {
         let p = Program::new(vec![
             S::AssignVar("i".into(), E::cint(3)),
             S::Label("head".into()),
-            S::If(
-                E::Aop("==", Box::new(E::var("i")), Box::new(E::cint(0))),
-                "end".into(),
-            ),
+            S::If(E::Aop("==", Box::new(E::var("i")), Box::new(E::cint(0))), "end".into()),
             S::AssignVar("i".into(), E::Aop("-", Box::new(E::var("i")), Box::new(E::cint(1)))),
             S::Goto("head".into()),
             S::Label("end".into()),

@@ -17,8 +17,7 @@ use crate::check::Gamma;
 use crate::machine::{Block, Stores};
 use crate::syntax::{Program, SExpr, SStmt, Value};
 use crate::types::{GCt, GMt, GPsi};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ffisafe_support::rng::Rng64 as StdRng;
 
 /// A generated world: typing, compatible stores, and handy indices.
 #[derive(Clone, Debug)]
@@ -62,10 +61,8 @@ pub fn gen_world(seed: u64) -> World {
         for tag in 0..mt.sigma.len() {
             let base = next_block;
             next_block += 1;
-            let fields: Vec<Value> = mt.sigma[tag]
-                .iter()
-                .map(|fty| initial_value(&mut rng, fty, &instances))
-                .collect();
+            let fields: Vec<Value> =
+                mt.sigma[tag].iter().map(|fty| initial_value(&mut rng, fty, &instances)).collect();
             stores.sml.insert(base, Block { tag: tag as i64, fields });
             gamma.blocks.insert(base, (mt.clone(), tag as i64));
             bases.push(base);
@@ -292,10 +289,8 @@ impl<'w, 'r> ProgGen<'w, 'r> {
             }
         } else if let Some(dst) = ints.first() {
             // an int-like value: Int_val directly (unboxed side)
-            self.stmts.push(SStmt::AssignVar(
-                dst.clone(),
-                SExpr::IntVal(Box::new(SExpr::var(&var))),
-            ));
+            self.stmts
+                .push(SStmt::AssignVar(dst.clone(), SExpr::IntVal(Box::new(SExpr::var(&var)))));
         }
         self.stmts.push(SStmt::Label(l_end));
     }
@@ -305,10 +300,7 @@ impl<'w, 'r> ProgGen<'w, 'r> {
         let ptrs = self.ptr_vars();
         let ints = self.int_vars();
         let (Some(p), Some(dst)) = (ptrs.first(), ints.first()) else { return };
-        self.stmts.push(SStmt::AssignVar(
-            dst.clone(),
-            SExpr::Deref(Box::new(SExpr::var(p))),
-        ));
+        self.stmts.push(SStmt::AssignVar(dst.clone(), SExpr::Deref(Box::new(SExpr::var(p)))));
         self.stmts.push(SStmt::AssignMem(
             SExpr::var(p),
             0,
@@ -338,11 +330,8 @@ impl<'w, 'r> ProgGen<'w, 'r> {
 
     /// Writes a well-typed immediate into a block field after a tag test.
     fn frag_write(&mut self) {
-        let candidates: Vec<(String, GMt)> = self
-            .value_vars()
-            .into_iter()
-            .filter(|(_, mt)| !mt.sigma.is_empty())
-            .collect();
+        let candidates: Vec<(String, GMt)> =
+            self.value_vars().into_iter().filter(|(_, mt)| !mt.sigma.is_empty()).collect();
         let Some((var, mt)) = candidates.first().cloned() else { return };
         let tag = self.rng.gen_range(0..mt.sigma.len());
         let fields = &mt.sigma[tag];
@@ -391,9 +380,7 @@ pub fn mutate(program: &Program, seed: u64) -> Program {
             1 => SStmt::AssignVar(x, SExpr::IntVal(Box::new(e))),
             _ => SStmt::AssignVar(x, SExpr::Deref(Box::new(e))),
         },
-        SStmt::AssignMem(base, n, rhs) => {
-            SStmt::AssignMem(base, n + rng.gen_range(1..4), rhs)
-        }
+        SStmt::AssignMem(base, n, rhs) => SStmt::AssignMem(base, n + rng.gen_range(1..4), rhs),
         SStmt::IfSumTag(x, n, l) => SStmt::IfSumTag(x, n + rng.gen_range(1..4), l),
         SStmt::IfIntTag(x, n, l) => SStmt::IfIntTag(x, n + rng.gen_range(1..9), l),
         SStmt::IfUnboxed(_, _) => SStmt::Skip, // drop a refinement
@@ -406,10 +393,7 @@ fn bump_offsets(e: SExpr, rng: &mut StdRng) -> SExpr {
     match e {
         SExpr::PtrAdd(a, b) => {
             let bump = rng.gen_range(1..5);
-            SExpr::PtrAdd(
-                a,
-                Box::new(SExpr::Aop("+", b, Box::new(SExpr::cint(bump)))),
-            )
+            SExpr::PtrAdd(a, Box::new(SExpr::Aop("+", b, Box::new(SExpr::cint(bump)))))
         }
         SExpr::Deref(inner) => SExpr::Deref(Box::new(bump_offsets(*inner, rng))),
         SExpr::IntVal(inner) => SExpr::IntVal(Box::new(bump_offsets(*inner, rng))),
@@ -427,8 +411,7 @@ mod tests {
     fn worlds_are_compatible_by_construction() {
         for seed in 0..50 {
             let w = gen_world(seed);
-            compatible(&w.gamma, &w.stores)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            compatible(&w.gamma, &w.stores).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

@@ -120,12 +120,9 @@ impl<'p> Machine<'p> {
                 self.stores.v.get(x).copied().ok_or_else(|| Stuck::UnboundVar(x.clone()))
             }
             SExpr::Deref(inner) => match self.eval(inner)? {
-                Value::CLoc(l) => {
-                    self.stores.sc.get(&l).copied().ok_or(Stuck::BadCLoc(l))
-                }
+                Value::CLoc(l) => self.stores.sc.get(&l).copied().ok_or(Stuck::BadCLoc(l)),
                 Value::MlLoc { base, off } => {
-                    let block =
-                        self.stores.sml.get(&base).ok_or(Stuck::BadMlLoc(base, off))?;
+                    let block = self.stores.sml.get(&base).ok_or(Stuck::BadMlLoc(base, off))?;
                     usize::try_from(off)
                         .ok()
                         .and_then(|o| block.fields.get(o))
@@ -177,10 +174,7 @@ impl<'p> Machine<'p> {
                 self.pc += 1;
             }
             SStmt::AssignMem(base, n, rhs) => {
-                let addr = self.eval(&SExpr::PtrAdd(
-                    Box::new(base),
-                    Box::new(SExpr::cint(n)),
-                ))?;
+                let addr = self.eval(&SExpr::PtrAdd(Box::new(base), Box::new(SExpr::cint(n))))?;
                 let v = self.eval(&rhs)?;
                 match addr {
                     // o-c-assign
@@ -225,12 +219,7 @@ impl<'p> Machine<'p> {
             SStmt::IfSumTag(x, n, l) => {
                 match *self.stores.v.get(&x).ok_or(Stuck::UnboundVar(x.clone()))? {
                     Value::MlLoc { base, off: 0 } => {
-                        let tag = self
-                            .stores
-                            .sml
-                            .get(&base)
-                            .ok_or(Stuck::BadMlLoc(base, -1))?
-                            .tag;
+                        let tag = self.stores.sml.get(&base).ok_or(Stuck::BadMlLoc(base, -1))?.tag;
                         if tag == n {
                             self.pc = self.program.label(&l).ok_or(Stuck::BadLabel(l))? + 1;
                         } else {
@@ -325,10 +314,7 @@ mod tests {
     fn val_int_int_val_roundtrip() {
         let p = Program::new(vec![]);
         let m = Machine::new(&p, world());
-        let e = SExpr::IntVal(Box::new(SExpr::ValInt(
-            Box::new(SExpr::var("i")),
-            GMt::int(),
-        )));
+        let e = SExpr::IntVal(Box::new(SExpr::ValInt(Box::new(SExpr::var("i")), GMt::int())));
         assert_eq!(m.eval(&e), Ok(Value::CInt(5)));
         // Int_val of a pointer is stuck
         let bad = SExpr::IntVal(Box::new(SExpr::var("x")));

@@ -151,11 +151,7 @@ mod tests {
 
     #[test]
     fn labels_map_to_indices() {
-        let p = Program::new(vec![
-            SStmt::Skip,
-            SStmt::Label("a".into()),
-            SStmt::Goto("a".into()),
-        ]);
+        let p = Program::new(vec![SStmt::Skip, SStmt::Label("a".into()), SStmt::Goto("a".into())]);
         assert_eq!(p.label("a"), Some(1));
         assert!(p.well_formed());
     }

@@ -49,10 +49,7 @@ fn examine() -> Program {
         S::AssignVar("r".into(), field(0)),
         S::Goto("end".into()),
         S::Label("tag_c".into()),
-        S::AssignVar(
-            "r".into(),
-            E::Aop("+", Box::new(field(0)), Box::new(field(1))),
-        ),
+        S::AssignVar("r".into(), E::Aop("+", Box::new(field(0)), Box::new(field(1)))),
         S::Goto("end".into()),
         S::Label("unboxed".into()),
         S::IfIntTag("x".into(), 0, "b".into()),
@@ -71,10 +68,10 @@ fn examine() -> Program {
 #[test]
 fn all_four_constructors_dispatch_correctly() {
     let cases = [
-        (Value::MlInt(0), 100),                      // B
-        (Value::MlInt(1), 200),                      // D
-        (Value::MlLoc { base: 0, off: 0 }, 7),       // A 7
-        (Value::MlLoc { base: 1, off: 0 }, 3 + 4),   // C (3, 4)
+        (Value::MlInt(0), 100),                    // B
+        (Value::MlInt(1), 200),                    // D
+        (Value::MlLoc { base: 0, off: 0 }, 7),     // A 7
+        (Value::MlLoc { base: 1, off: 0 }, 3 + 4), // C (3, 4)
     ];
     let program = examine();
     assert!(program.well_formed());

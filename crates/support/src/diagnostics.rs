@@ -295,16 +295,16 @@ impl DiagnosticBag {
 
     /// Sorts diagnostics by (file, position, code) for stable output.
     pub fn sort(&mut self) {
-        self.diags
-            .sort_by_key(|d| (d.span().file, d.span().lo, d.code()));
+        self.diags.sort_by_key(|d| (d.span().file, d.span().lo, d.code()));
     }
 
     /// Sorts, then removes exact duplicates (same code, span and message) —
     /// distinct rules can flag one offending expression identically.
     pub fn dedup(&mut self) {
         self.sort();
-        self.diags
-            .dedup_by(|a, b| a.code() == b.code() && a.span() == b.span() && a.message() == b.message());
+        self.diags.dedup_by(|a, b| {
+            a.code() == b.code() && a.span() == b.span() && a.message() == b.message()
+        });
     }
 }
 

@@ -29,11 +29,14 @@
 
 pub mod diagnostics;
 pub mod intern;
+pub mod rng;
+pub mod session;
 pub mod source_map;
 pub mod span;
 pub mod table;
 
 pub use diagnostics::{Diagnostic, DiagnosticBag, DiagnosticCode, Severity};
 pub use intern::{Interner, Symbol};
+pub use session::{AnalysisOptions, Phase, PhaseTimings, Session};
 pub use source_map::{FileId, Loc, SourceFile, SourceMap};
 pub use span::Span;

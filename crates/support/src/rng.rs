@@ -1,0 +1,186 @@
+//! A small, dependency-free, deterministic pseudo-random number generator.
+//!
+//! The soundness harness and the benchmark corpus both need reproducible
+//! randomness; vendoring a full `rand` stack for that is overkill (and the
+//! build environment is offline). This is `splitmix64` — 64 bits of state,
+//! passes practical statistical tests, and is stable across platforms, so
+//! seeded corpora are byte-identical everywhere.
+//!
+//! The API mirrors the subset of `rand` the workspace uses (`seed_from_u64`,
+//! `gen_range` over half-open and inclusive integer ranges, `gen_bool`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ffisafe_support::rng::Rng64;
+//!
+//! let mut a = Rng64::seed_from_u64(42);
+//! let mut b = Rng64::seed_from_u64(42);
+//! assert_eq!(a.gen_range(0..100usize), b.gen_range(0..100usize));
+//! let die = a.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic 64-bit PRNG (splitmix64).
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds produce equal streams
+    /// on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from an integer range; panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+
+    /// A random printable-ish string, including multi-byte chars and
+    /// control characters, up to `max_len` chars — the shared fuzz input
+    /// of the frontend robustness suites.
+    pub fn arbitrary_text(&mut self, max_len: usize) -> String {
+        let pool: Vec<char> = ('\u{20}'..'\u{7f}')
+            .chain(['\n', '\t', '\r', '\0', 'λ', 'é', '≤', '🦀', '\u{7}', '\u{1b}'])
+            .collect();
+        let len = self.gen_range(0..=max_len);
+        (0..len).map(|_| pool[self.gen_range(0..pool.len())]).collect()
+    }
+
+    /// Uniform `u64` below `bound` (> 0), by rejection to avoid modulo bias.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Integer scalars [`Rng64::gen_range`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[lo, hi]` (both inclusive, `lo <= hi`).
+    fn sample_inclusive(rng: &mut Rng64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(rng: &mut Rng64, lo: Self, hi: Self) -> Self {
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(width + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`Rng64::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+impl<T: SampleUniform + SubOne> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut Rng64) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_inclusive(rng, self.start, self.end.sub_one())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut Rng64) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range called with empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// Decrement by one, for converting a half-open bound to inclusive.
+pub trait SubOne {
+    /// `self - 1`.
+    fn sub_one(self) -> Self;
+}
+
+macro_rules! impl_sub_one {
+    ($($t:ty),*) => {$(
+        impl SubOne for $t {
+            fn sub_one(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_sub_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3..9i64);
+            assert!((-3..9).contains(&v));
+            let w = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&w));
+            let u = rng.gen_range(0..5usize);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng64::seed_from_u64(2);
+        assert!(!(0..50).any(|_| rng.gen_bool(0.0)));
+        assert!((0..50).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

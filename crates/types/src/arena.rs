@@ -457,6 +457,19 @@ impl TypeTable {
             + self.gcs.len()
     }
 
+    /// Number of GC effect nodes. Parallel inference workers use the base
+    /// table's count to tell shared (pre-snapshot) effect ids from ids they
+    /// allocated locally in their clone.
+    pub fn gc_count(&self) -> usize {
+        self.gcs.len()
+    }
+
+    /// Number of `mt` nodes, with the same shared/local reading as
+    /// [`TypeTable::gc_count`].
+    pub fn mt_count(&self) -> usize {
+        self.mts.len()
+    }
+
     // ---- structured queries -------------------------------------------------
 
     /// Number of products in a sum row, if the row is closed.
@@ -535,6 +548,98 @@ impl TypeTable {
     /// Whether `mt` resolved to something concrete (not a bare variable).
     pub fn mt_is_concrete(&self, mt: MtId) -> bool {
         !matches!(self.mt_node(mt), MtNode::Var)
+    }
+
+    /// Whether `mt` resolved to a fully *ground* type — no inference
+    /// variable of any sort anywhere inside. Ground types render without
+    /// variable indices, so two ground renders are equal iff the types are
+    /// structurally identical; the pipeline's interface-consistency check
+    /// relies on that.
+    pub fn mt_is_ground(&self, mt: MtId) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.mt_ground_rec(mt, &mut seen)
+    }
+
+    fn mt_ground_rec(&self, mt: MtId, seen: &mut std::collections::HashSet<u32>) -> bool {
+        let mt = self.find_mt(mt);
+        if !seen.insert(mt.as_raw()) {
+            return true; // equirecursive cycle: already being checked
+        }
+        match self.mt_node(mt) {
+            MtNode::Var => false,
+            MtNode::Abstract { .. } => true,
+            MtNode::Custom(ct) => self.ct_ground_rec(*ct, seen),
+            MtNode::Fun(params, ret) => {
+                params.clone().iter().all(|p| self.mt_ground_rec(*p, seen))
+                    && self.mt_ground_rec(*ret, seen)
+            }
+            MtNode::Rep(psi, sigma) => {
+                let psi_ok = !matches!(self.psi_node(*psi), PsiNode::Var);
+                psi_ok && self.sigma_ground_rec(*sigma, seen)
+            }
+            MtNode::Link(_) => unreachable!("resolved"),
+        }
+    }
+
+    fn sigma_ground_rec(&self, sigma: SigmaId, seen: &mut std::collections::HashSet<u32>) -> bool {
+        let mut cur = self.find_sigma(sigma);
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > self.sigmas.len() + 1 {
+                return true; // cyclic row
+            }
+            match self.sigma_node(cur) {
+                SigmaNode::Var => return false,
+                SigmaNode::Nil => return true,
+                SigmaNode::Cons(pi, rest) => {
+                    if !self.pi_ground_rec(pi, seen) {
+                        return false;
+                    }
+                    cur = self.find_sigma(rest);
+                }
+                SigmaNode::Link(_) => unreachable!("resolved"),
+            }
+        }
+    }
+
+    fn pi_ground_rec(&self, pi: PiId, seen: &mut std::collections::HashSet<u32>) -> bool {
+        let mut cur = self.find_pi(pi);
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > self.pis.len() + 1 {
+                return true; // cyclic row
+            }
+            match self.pi_node(cur) {
+                PiNode::Var => return false,
+                PiNode::Nil => return true,
+                PiNode::Array(mt) => return self.mt_ground_rec(mt, seen),
+                PiNode::Cons(mt, rest) => {
+                    if !self.mt_ground_rec(mt, seen) {
+                        return false;
+                    }
+                    cur = self.find_pi(rest);
+                }
+                PiNode::Link(_) => unreachable!("resolved"),
+            }
+        }
+    }
+
+    fn ct_ground_rec(&self, ct: CtId, seen: &mut std::collections::HashSet<u32>) -> bool {
+        let ct = self.find_ct(ct);
+        match self.ct_node(ct) {
+            CtNode::Var => false,
+            CtNode::Void | CtNode::Int | CtNode::Float | CtNode::Named(_) => true,
+            CtNode::Value(mt) => self.mt_ground_rec(*mt, seen),
+            CtNode::Ptr(inner) => self.ct_ground_rec(*inner, seen),
+            CtNode::Fun(params, ret, gc) => {
+                params.clone().iter().all(|p| self.ct_ground_rec(*p, seen))
+                    && self.ct_ground_rec(*ret, seen)
+                    && !matches!(self.gc_node(*gc), GcNode::Var)
+            }
+            CtNode::Link(_) => unreachable!("resolved"),
+        }
     }
 }
 

@@ -68,9 +68,19 @@ impl ConstraintSet {
         self.psi_bounds.len()
     }
 
+    /// All recorded `Ψ` bounds, in recording order.
+    pub fn psi_bounds(&self) -> &[PsiBound] {
+        &self.psi_bounds
+    }
+
     /// Number of recorded GC edges.
     pub fn gc_edge_count(&self) -> usize {
         self.gc_edges.len()
+    }
+
+    /// All recorded GC edges, in recording order.
+    pub fn gc_edges(&self) -> &[(GcId, GcId)] {
+        &self.gc_edges
     }
 
     /// Checks every `Ψ` bound against the resolved table (§3.3.3):

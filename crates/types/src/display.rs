@@ -56,8 +56,7 @@ impl TypeTable {
             CtNode::Ptr(inner) => format!("{} *", self.render_ct_rec(*inner, seen)),
             CtNode::Named(n) => n.clone(),
             CtNode::Fun(params, ret, gc) => {
-                let ps: Vec<String> =
-                    params.iter().map(|p| self.render_ct_rec(*p, seen)).collect();
+                let ps: Vec<String> = params.iter().map(|p| self.render_ct_rec(*p, seen)).collect();
                 format!(
                     "({}) →{} {}",
                     ps.join(" × "),

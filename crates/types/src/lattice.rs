@@ -213,7 +213,6 @@ impl fmt::Display for Shape {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn all_b() -> Vec<Boxedness> {
         vec![Boxedness::Bot, Boxedness::Boxed, Boxedness::Unboxed, Boxedness::Top]
@@ -264,8 +263,7 @@ mod tests {
         assert!(Shape::unknown().is_safe());
         assert!(Shape::int_const(7).is_safe());
         assert!(Shape::bottom().is_safe());
-        let unsafe_shape =
-            Shape::new(Boxedness::Boxed, FlatInt::Known(2), FlatInt::Known(0));
+        let unsafe_shape = Shape::new(Boxedness::Boxed, FlatInt::Known(2), FlatInt::Known(0));
         assert!(!unsafe_shape.is_safe());
         let unknown_off = Shape::new(Boxedness::Boxed, FlatInt::Top, FlatInt::Top);
         assert!(!unknown_off.is_safe());
@@ -287,69 +285,101 @@ mod tests {
         assert_eq!(Shape::bottom().to_string(), "[⊥{⊥}]{⊥}");
     }
 
-    fn arb_flat() -> impl Strategy<Value = FlatInt> {
-        prop_oneof![
-            Just(FlatInt::Bot),
-            Just(FlatInt::Top),
-            (-8i64..8).prop_map(FlatInt::Known),
-        ]
+    /// A representative sample of the (infinite) `FlatInt` domain; small
+    /// enough that the lattice laws below can be checked exhaustively.
+    fn all_flat() -> Vec<FlatInt> {
+        let mut out = vec![FlatInt::Bot, FlatInt::Top];
+        out.extend((-2i64..=2).map(FlatInt::Known));
+        out
     }
 
-    fn arb_b() -> impl Strategy<Value = Boxedness> {
-        prop_oneof![
-            Just(Boxedness::Bot),
-            Just(Boxedness::Boxed),
-            Just(Boxedness::Unboxed),
-            Just(Boxedness::Top),
-        ]
-    }
-
-    fn arb_shape() -> impl Strategy<Value = Shape> {
-        (arb_b(), arb_flat(), arb_flat()).prop_map(|(b, i, t)| Shape { b, i, t })
-    }
-
-    proptest! {
-        #[test]
-        fn prop_boxedness_join_lattice(xs in proptest::collection::vec(0usize..4, 3)) {
-            let all = all_b();
-            let (a, b, c) = (all[xs[0]], all[xs[1]], all[xs[2]]);
-            prop_assert_eq!(a.join(b), b.join(a));
-            prop_assert_eq!(a.join(a), a);
-            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
-            prop_assert!(a.leq(a.join(b)));
-        }
-
-        #[test]
-        fn prop_flatint_join_lattice(a in arb_flat(), b in arb_flat(), c in arb_flat()) {
-            prop_assert_eq!(a.join(b), b.join(a));
-            prop_assert_eq!(a.join(a), a);
-            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
-            prop_assert!(a.leq(a.join(b)));
-        }
-
-        #[test]
-        fn prop_shape_join_lattice(a in arb_shape(), b in arb_shape(), c in arb_shape()) {
-            prop_assert_eq!(a.join(b), b.join(a));
-            prop_assert_eq!(a.join(a), a);
-            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
-            prop_assert!(a.leq(a.join(b)));
-            prop_assert!(b.leq(a.join(b)));
-        }
-
-        #[test]
-        fn prop_leq_antisymmetric(a in arb_shape(), b in arb_shape()) {
-            if a.leq(b) && b.leq(a) {
-                prop_assert_eq!(a, b);
+    fn all_shapes() -> Vec<Shape> {
+        let mut out = Vec::new();
+        for &b in &all_b() {
+            for &i in &[FlatInt::Bot, FlatInt::Known(0), FlatInt::Known(1), FlatInt::Top] {
+                for &t in &[FlatInt::Bot, FlatInt::Known(0), FlatInt::Known(2), FlatInt::Top] {
+                    out.push(Shape { b, i, t });
+                }
             }
         }
+        out
+    }
 
-        #[test]
-        fn prop_aop_strictness(a in arb_flat(), b in arb_flat()) {
-            let r = a.aop("+", b);
-            if a == FlatInt::Bot || b == FlatInt::Bot {
-                prop_assert_eq!(r, FlatInt::Bot);
-            } else if a == FlatInt::Top || b == FlatInt::Top {
-                prop_assert_eq!(r, FlatInt::Top);
+    #[test]
+    fn prop_boxedness_join_lattice() {
+        let all = all_b();
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(a.join(b), b.join(a));
+                assert_eq!(a.join(a), a);
+                assert!(a.leq(a.join(b)));
+                for &c in &all {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_flatint_join_lattice() {
+        let all = all_flat();
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(a.join(b), b.join(a));
+                assert_eq!(a.join(a), a);
+                assert!(a.leq(a.join(b)));
+                for &c in &all {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_shape_join_lattice() {
+        let all = all_shapes();
+        for &a in &all {
+            for &b in &all {
+                assert_eq!(a.join(b), b.join(a));
+                assert_eq!(a.join(a), a);
+                assert!(a.leq(a.join(b)));
+                assert!(b.leq(a.join(b)));
+            }
+        }
+        // associativity over a coarser sample (the full cube is 64^3)
+        let sample: Vec<Shape> = all.iter().copied().step_by(5).collect();
+        for &a in &sample {
+            for &b in &sample {
+                for &c in &sample {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_leq_antisymmetric() {
+        let all = all_shapes();
+        for &a in &all {
+            for &b in &all {
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_aop_strictness() {
+        let all = all_flat();
+        for &a in &all {
+            for &b in &all {
+                let r = a.aop("+", b);
+                if a == FlatInt::Bot || b == FlatInt::Bot {
+                    assert_eq!(r, FlatInt::Bot);
+                } else if a == FlatInt::Top || b == FlatInt::Top {
+                    assert_eq!(r, FlatInt::Top);
+                }
             }
         }
     }

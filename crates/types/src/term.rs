@@ -26,6 +26,14 @@ macro_rules! define_id {
             pub fn as_raw(self) -> u32 {
                 self.0
             }
+
+            /// Rebuilds the id from a raw arena index. The index must come
+            /// from [`Self::as_raw`] against the same [`crate::TypeTable`]
+            /// (or a clone sharing its base prefix, as the parallel
+            /// inference workers do).
+            pub fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
         }
 
         impl std::fmt::Display for $name {

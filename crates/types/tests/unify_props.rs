@@ -3,8 +3,8 @@
 //! stability of failures (a failed unification must fail again — the
 //! engine's reporting pass depends on it).
 
+use ffisafe_support::rng::Rng64;
 use ffisafe_types::{MtId, PsiNode, TypeTable};
-use proptest::prelude::*;
 
 /// A recipe for building a random ground-ish `mt` in a table.
 #[derive(Clone, Debug)]
@@ -49,46 +49,60 @@ fn build(tt: &mut TypeTable, r: &MtRecipe) -> MtId {
     }
 }
 
-fn arb_leaf() -> impl Strategy<Value = MtRecipe> {
-    prop_oneof![
-        Just(MtRecipe::Int),
-        Just(MtRecipe::Unit),
-        (0u32..4).prop_map(MtRecipe::Enum),
-        Just(MtRecipe::Abstract("string")),
-        Just(MtRecipe::Abstract("float")),
-    ]
+fn gen_leaf(rng: &mut Rng64) -> MtRecipe {
+    match rng.gen_range(0..5u32) {
+        0 => MtRecipe::Int,
+        1 => MtRecipe::Unit,
+        2 => MtRecipe::Enum(rng.gen_range(0u32..4)),
+        3 => MtRecipe::Abstract("string"),
+        _ => MtRecipe::Abstract("float"),
+    }
 }
 
-fn arb_recipe() -> impl Strategy<Value = MtRecipe> {
-    arb_leaf().prop_recursive(3, 24, 4, |inner| {
-        (
-            0u32..3,
-            proptest::collection::vec(proptest::collection::vec(inner, 1..3), 1..3),
-        )
-            .prop_map(|(nullary, products)| MtRecipe::Sum { nullary, products })
-    })
+/// Random recipe with nesting depth up to 3 (mirrors the old
+/// `prop_recursive(3, 24, 4, …)` strategy).
+fn gen_recipe(rng: &mut Rng64, depth: u32) -> MtRecipe {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return gen_leaf(rng);
+    }
+    let nullary = rng.gen_range(0u32..3);
+    let n_products = rng.gen_range(1..3usize);
+    let products = (0..n_products)
+        .map(|_| {
+            let n_fields = rng.gen_range(1..3usize);
+            (0..n_fields).map(|_| gen_recipe(rng, depth - 1)).collect()
+        })
+        .collect();
+    MtRecipe::Sum { nullary, products }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    /// A type unifies with a structurally-identical copy of itself, and
-    /// re-unification is idempotent.
-    #[test]
-    fn prop_unify_reflexive_and_idempotent(r in arb_recipe()) {
+/// A type unifies with a structurally-identical copy of itself, and
+/// re-unification is idempotent.
+#[test]
+fn prop_unify_reflexive_and_idempotent() {
+    let mut rng = Rng64::seed_from_u64(0x0511F1);
+    for _ in 0..CASES {
+        let r = gen_recipe(&mut rng, 3);
         let mut tt = TypeTable::new();
         let a = build(&mut tt, &r);
         let b = build(&mut tt, &r);
-        prop_assert!(tt.unify_mt(a, b).is_ok());
-        prop_assert_eq!(tt.find_mt(a), tt.find_mt(b));
-        prop_assert!(tt.unify_mt(a, b).is_ok());
-        prop_assert!(tt.unify_mt(b, a).is_ok());
+        assert!(tt.unify_mt(a, b).is_ok(), "{r:?}");
+        assert_eq!(tt.find_mt(a), tt.find_mt(b));
+        assert!(tt.unify_mt(a, b).is_ok());
+        assert!(tt.unify_mt(b, a).is_ok());
     }
+}
 
-    /// Success is direction-independent: if a ∪ b succeeds in one table,
-    /// b ∪ a succeeds in a fresh one.
-    #[test]
-    fn prop_unify_symmetric(ra in arb_recipe(), rb in arb_recipe()) {
+/// Success is direction-independent: if a ∪ b succeeds in one table,
+/// b ∪ a succeeds in a fresh one.
+#[test]
+fn prop_unify_symmetric() {
+    let mut rng = Rng64::seed_from_u64(0x0511F2);
+    for _ in 0..CASES {
+        let ra = gen_recipe(&mut rng, 3);
+        let rb = gen_recipe(&mut rng, 3);
         let mut t1 = TypeTable::new();
         let a1 = build(&mut t1, &ra);
         let b1 = build(&mut t1, &rb);
@@ -97,37 +111,51 @@ proptest! {
         let a2 = build(&mut t2, &ra);
         let b2 = build(&mut t2, &rb);
         let bwd = t2.unify_mt(b2, a2).is_ok();
-        prop_assert_eq!(fwd, bwd);
+        assert_eq!(fwd, bwd, "{ra:?} vs {rb:?}");
     }
+}
 
-    /// Failures are stable: if unification fails once, re-running it fails
-    /// again (no partial merge may mask the error — the analysis reports
-    /// diagnostics on a second pass).
-    #[test]
-    fn prop_failed_unification_stays_failed(ra in arb_recipe(), rb in arb_recipe()) {
+/// Failures are stable: if unification fails once, re-running it fails
+/// again (no partial merge may mask the error — the analysis reports
+/// diagnostics on a second pass).
+#[test]
+fn prop_failed_unification_stays_failed() {
+    let mut rng = Rng64::seed_from_u64(0x0511F3);
+    for _ in 0..CASES {
+        let ra = gen_recipe(&mut rng, 3);
+        let rb = gen_recipe(&mut rng, 3);
         let mut tt = TypeTable::new();
         let a = build(&mut tt, &ra);
         let b = build(&mut tt, &rb);
         if tt.unify_mt(a, b).is_err() {
-            prop_assert!(tt.unify_mt(a, b).is_err(), "retry must fail too");
-            prop_assert_ne!(tt.find_mt(a), tt.find_mt(b));
+            assert!(tt.unify_mt(a, b).is_err(), "retry must fail too");
+            assert_ne!(tt.find_mt(a), tt.find_mt(b));
         }
     }
+}
 
-    /// A fresh variable unifies with anything and resolves to it.
-    #[test]
-    fn prop_variable_absorbs_any_type(r in arb_recipe()) {
+/// A fresh variable unifies with anything and resolves to it.
+#[test]
+fn prop_variable_absorbs_any_type() {
+    let mut rng = Rng64::seed_from_u64(0x0511F4);
+    for _ in 0..CASES {
+        let r = gen_recipe(&mut rng, 3);
         let mut tt = TypeTable::new();
         let v = tt.fresh_mt();
         let t = build(&mut tt, &r);
-        prop_assert!(tt.unify_mt(v, t).is_ok());
-        prop_assert_eq!(tt.find_mt(v), tt.find_mt(t));
+        assert!(tt.unify_mt(v, t).is_ok(), "{r:?}");
+        assert_eq!(tt.find_mt(v), tt.find_mt(t));
     }
+}
 
-    /// Open rows grown to arbitrary depth still unify with a declared sum
-    /// of sufficient size, and Ψ resolves to the declared count.
-    #[test]
-    fn prop_row_growth_consistent(tags in proptest::collection::vec(0usize..4, 1..6)) {
+/// Open rows grown to arbitrary depth still unify with a declared sum
+/// of sufficient size, and Ψ resolves to the declared count.
+#[test]
+fn prop_row_growth_consistent() {
+    let mut rng = Rng64::seed_from_u64(0x0511F5);
+    for _ in 0..CASES {
+        let n_tags = rng.gen_range(1..6usize);
+        let tags: Vec<usize> = (0..n_tags).map(|_| rng.gen_range(0..4usize)).collect();
         let mut tt = TypeTable::new();
         let sigma = tt.fresh_sigma();
         let psi = tt.fresh_psi();
@@ -151,14 +179,19 @@ proptest! {
             let p = tt.psi_count(2);
             tt.mt_rep(p, s)
         };
-        prop_assert!(tt.unify_mt(observed, declared).is_ok());
-        prop_assert!(matches!(tt.psi_node(psi), PsiNode::Count(2)));
-        prop_assert_eq!(tt.sigma_len(sigma), Some(max_tag + 1));
+        assert!(tt.unify_mt(observed, declared).is_ok());
+        assert!(matches!(tt.psi_node(psi), PsiNode::Count(2)));
+        assert_eq!(tt.sigma_len(sigma), Some(max_tag + 1));
     }
+}
 
-    /// `pi_at` never hands out different field types for the same index.
-    #[test]
-    fn prop_pi_at_deterministic(indices in proptest::collection::vec(0usize..6, 1..10)) {
+/// `pi_at` never hands out different field types for the same index.
+#[test]
+fn prop_pi_at_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x0511F6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..10usize);
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..6usize)).collect();
         let mut tt = TypeTable::new();
         let pi = tt.fresh_pi();
         let mut firsts = std::collections::HashMap::new();
@@ -166,14 +199,19 @@ proptest! {
             let f = tt.pi_at(pi, i).unwrap();
             let canon = tt.find_mt(f);
             let prev = firsts.entry(i).or_insert(canon);
-            prop_assert_eq!(*prev, canon, "index {} changed field identity", i);
+            assert_eq!(*prev, canon, "index {i} changed field identity");
         }
     }
+}
 
-    /// Unifying a type with a variable never changes what a *third*
-    /// structurally-distinct type does against it.
-    #[test]
-    fn prop_no_spooky_action(ra in arb_recipe(), rb in arb_recipe()) {
+/// Unifying a type with a variable never changes what a *third*
+/// structurally-distinct type does against it.
+#[test]
+fn prop_no_spooky_action() {
+    let mut rng = Rng64::seed_from_u64(0x0511F7);
+    for _ in 0..CASES {
+        let ra = gen_recipe(&mut rng, 3);
+        let rb = gen_recipe(&mut rng, 3);
         // expected outcome computed in a clean table
         let mut clean = TypeTable::new();
         let ca = build(&mut clean, &ra);
@@ -188,6 +226,6 @@ proptest! {
         }
         let a = build(&mut tt, &ra);
         let b = build(&mut tt, &rb);
-        prop_assert_eq!(tt.unify_mt(a, b).is_ok(), expected);
+        assert_eq!(tt.unify_mt(a, b).is_ok(), expected);
     }
 }

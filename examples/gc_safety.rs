@@ -81,6 +81,7 @@ fn main() {
     let mut az = Analyzer::with_options(AnalysisOptions {
         flow_sensitive: true,
         gc_effects: false,
+        ..AnalysisOptions::default()
     });
     az.add_ml_source("lib.ml", ML);
     az.add_c_source("glue.c", C);

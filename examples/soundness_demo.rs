@@ -24,9 +24,7 @@ fn world() -> (Gamma, Stores) {
     gamma.vars.insert("x".into(), GCt::Value(t));
     gamma.vars.insert("r".into(), GCt::Int);
     let mut stores = Stores::default();
-    stores
-        .sml
-        .insert(0, Block { tag: 1, fields: vec![Value::MlInt(3), Value::MlInt(4)] });
+    stores.sml.insert(0, Block { tag: 1, fields: vec![Value::MlInt(3), Value::MlInt(4)] });
     stores.v.insert("x".into(), Value::MlLoc { base: 0, off: 0 });
     stores.v.insert("r".into(), Value::CInt(0));
     (gamma, stores)

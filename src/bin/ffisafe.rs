@@ -1,27 +1,63 @@
 //! The `ffisafe` command-line tool: analyze OCaml + C glue sources.
 //!
 //! ```text
-//! ffisafe [--no-flow] [--no-gc] <file.ml|file.c>...
+//! ffisafe [--no-flow] [--no-gc] [--jobs N] [--timings] <file.ml|file.c>...
 //! ```
 //!
-//! Exit status is 1 when errors are found, 0 otherwise.
+//! Exit status is 1 when errors are found, 2 on usage or I/O problems,
+//! 0 otherwise.
 
 use ffisafe::{AnalysisOptions, Analyzer};
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: ffisafe [options] <file.ml|file.c>...
+
+Checks type and GC safety of OCaml-to-C foreign function calls
+(Furr & Foster, PLDI 2005).
+
+options:
+  --no-flow     disable the flow-sensitive dataflow analysis
+  --no-gc       disable GC effect tracking and registration checks
+  --jobs N, -j N
+                inference worker threads (default: all cores)
+  --timings     print per-phase wall-clock timings to stderr
+  --version     print version and exit
+  --help, -h    print this help";
+
 fn main() -> ExitCode {
     let mut options = AnalysisOptions::default();
+    let mut timings = false;
     let mut files = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-flow" => options.flow_sensitive = false,
             "--no-gc" => options.gc_effects = false,
-            "--help" | "-h" => {
-                eprintln!("usage: ffisafe [--no-flow] [--no-gc] <file.ml|file.c>...");
-                eprintln!();
-                eprintln!("Checks type and GC safety of OCaml-to-C foreign function calls");
-                eprintln!("(Furr & Foster, PLDI 2005).");
+            "--timings" => timings = true,
+            "--jobs" | "-j" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("ffisafe: --jobs requires a positive integer");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("ffisafe: --jobs requires a positive integer");
+                    return ExitCode::from(2);
+                }
+                options.jobs = n;
+            }
+            "--version" | "-V" => {
+                println!("ffisafe {}", env!("CARGO_PKG_VERSION"));
                 return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') && other.len() > 1 => {
+                eprintln!("ffisafe: unknown option `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
             }
             other => files.push(other.to_string()),
         }
@@ -49,6 +85,12 @@ fn main() -> ExitCode {
     }
     let report = az.analyze();
     print!("{}", report.render());
+    if timings {
+        for (phase, t) in report.timings.iter() {
+            eprintln!("{phase:>12}: {:.3}s", t.as_secs_f64());
+        }
+        eprintln!("{:>12}: {}", "jobs", report.stats.jobs);
+    }
     if report.error_count() > 0 {
         ExitCode::FAILURE
     } else {

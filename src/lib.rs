@@ -69,4 +69,4 @@ pub use ffisafe_support as support;
 pub use ffisafe_types as types;
 
 pub use ffisafe_core::{AnalysisOptions, AnalysisReport, AnalysisStats, Analyzer};
-pub use ffisafe_support::{Diagnostic, DiagnosticCode, Severity};
+pub use ffisafe_support::{Diagnostic, DiagnosticCode, Phase, PhaseTimings, Session, Severity};

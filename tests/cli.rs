@@ -14,19 +14,10 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 
 #[test]
 fn cli_reports_errors_and_exits_nonzero() {
-    let ml = write_temp(
-        "lib.ml",
-        r#"external f : int -> int = "ml_f""#,
-    );
-    let c = write_temp(
-        "glue.c",
-        r#"value ml_f(value n) { return Val_int(n); }"#,
-    );
-    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
-        .arg(&ml)
-        .arg(&c)
-        .output()
-        .expect("binary runs");
+    let ml = write_temp("lib.ml", r#"external f : int -> int = "ml_f""#);
+    let c = write_temp("glue.c", r#"value ml_f(value n) { return Val_int(n); }"#);
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg(&ml).arg(&c).output().expect("binary runs");
     assert!(!out.status.success(), "buggy input must fail");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("E001"), "{stdout}");
@@ -35,19 +26,13 @@ fn cli_reports_errors_and_exits_nonzero() {
 
 #[test]
 fn cli_accepts_clean_input() {
-    let ml = write_temp(
-        "ok.ml",
-        r#"external add : int -> int -> int = "ml_add""#,
-    );
+    let ml = write_temp("ok.ml", r#"external add : int -> int -> int = "ml_add""#);
     let c = write_temp(
         "ok.c",
         r#"value ml_add(value a, value b) { return Val_int(Int_val(a) + Int_val(b)); }"#,
     );
-    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
-        .arg(&ml)
-        .arg(&c)
-        .output()
-        .expect("binary runs");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg(&ml).arg(&c).output().expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("0 error(s)"), "{stdout}");
@@ -55,10 +40,7 @@ fn cli_accepts_clean_input() {
 
 #[test]
 fn cli_no_gc_flag_suppresses_gc_errors() {
-    let ml = write_temp(
-        "gc.ml",
-        r#"external wrap : string -> string ref = "ml_wrap""#,
-    );
+    let ml = write_temp("gc.ml", r#"external wrap : string -> string ref = "ml_wrap""#);
     let c = write_temp(
         "gc.c",
         r#"
@@ -69,11 +51,7 @@ value ml_wrap(value s) {
 }
 "#,
     );
-    let strict = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
-        .arg(&ml)
-        .arg(&c)
-        .output()
-        .unwrap();
+    let strict = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg(&ml).arg(&c).output().unwrap();
     assert!(!strict.status.success());
     let relaxed = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
         .arg("--no-gc")
@@ -90,9 +68,66 @@ fn cli_help_and_missing_files() {
     assert!(help.status.success());
     let none = Command::new(env!("CARGO_BIN_EXE_ffisafe")).output().unwrap();
     assert_eq!(none.status.code(), Some(2));
-    let missing = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
-        .arg("/definitely/not/here.c")
+    let missing =
+        Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("/definitely/not/here.c").output().unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+}
+
+#[test]
+fn cli_version_prints_and_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("--version").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("ffisafe "), "{stdout}");
+    assert!(stdout.trim().len() > "ffisafe ".len(), "{stdout}");
+}
+
+#[test]
+fn cli_unknown_flag_is_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn cli_jobs_flag_parses_and_rejects_garbage() {
+    let ml = write_temp("j.ml", r#"external add : int -> int = "ml_add""#);
+    let c = write_temp("j.c", r#"value ml_add(value a) { return Val_int(Int_val(a)); }"#);
+    let ok = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .args(["--jobs", "2"])
+        .arg(&ml)
+        .arg(&c)
         .output()
         .unwrap();
-    assert_eq!(missing.status.code(), Some(2));
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    let short = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .args(["-j", "1"])
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .unwrap();
+    assert!(short.status.success());
+    for bad in [&["--jobs", "zero"][..], &["--jobs", "0"][..], &["--jobs"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ffisafe")).args(bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+}
+
+#[test]
+fn cli_timings_flag_reports_phases() {
+    let ml = write_temp("t.ml", r#"external id : int -> int = "ml_id""#);
+    let c = write_temp("t.c", r#"value ml_id(value a) { return a; }"#);
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .arg("--timings")
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for phase in ["frontend_ml", "frontend_c", "infer", "discharge", "jobs"] {
+        assert!(stderr.contains(phase), "missing {phase} in: {stderr}");
+    }
 }

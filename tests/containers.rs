@@ -228,10 +228,8 @@ fn mutually_recursive_types_via_and_chain() {
 fn wide_sum_with_many_constructors() {
     // 6 nullary + 6 non-nullary constructors, dispatched exhaustively
     let mut ml = String::from("type wide = ");
-    let parts: Vec<String> = (0..6)
-        .map(|i| format!("N{i}"))
-        .chain((0..6).map(|i| format!("B{i} of int")))
-        .collect();
+    let parts: Vec<String> =
+        (0..6).map(|i| format!("N{i}")).chain((0..6).map(|i| format!("B{i} of int"))).collect();
     ml.push_str(&parts.join(" | "));
     ml.push_str("\nexternal pick : wide -> int = \"ml_pick\"\n");
     let mut c = String::from(
@@ -249,8 +247,10 @@ fn wide_sum_with_many_constructors() {
     assert_eq!(report.error_count(), 0, "{}", report.render());
 
     // one constructor beyond the declared sum, both unboxed and boxed
-    let bad_c = c.replace("    }\n    return Val_int(-2);",
-        "    case 6: return Field(w, 0);\n    }\n    return Val_int(-2);");
+    let bad_c = c.replace(
+        "    }\n    return Val_int(-2);",
+        "    case 6: return Field(w, 0);\n    }\n    return Val_int(-2);",
+    );
     let report = run(&ml, &bad_c);
     assert!(report.error_count() >= 1, "{}", report.render());
 }

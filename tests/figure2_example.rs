@@ -90,11 +90,7 @@ fn figure8_constraints_reject_third_nullary_constructor() {
     );
     let report = az.analyze();
     assert!(
-        report
-            .diagnostics
-            .with_code(ffisafe::DiagnosticCode::ConstructorRange)
-            .count()
-            >= 1,
+        report.diagnostics.with_code(ffisafe::DiagnosticCode::ConstructorRange).count() >= 1,
         "{}",
         report.render()
     );
@@ -119,11 +115,7 @@ fn boxedness_misuse_rejected() {
     );
     let report = az.analyze();
     assert!(
-        report
-            .diagnostics
-            .with_code(ffisafe::DiagnosticCode::BoxednessMismatch)
-            .count()
-            >= 1,
+        report.diagnostics.with_code(ffisafe::DiagnosticCode::BoxednessMismatch).count() >= 1,
         "{}",
         report.render()
     );

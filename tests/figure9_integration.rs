@@ -48,7 +48,11 @@ fn gc_ablation_misses_exactly_the_gc_errors() {
     // disabling effect tracking must lose the registration errors (E006)
     // but keep the pure type errors
     let with = run_all(AnalysisOptions::default());
-    let without = run_all(AnalysisOptions { flow_sensitive: true, gc_effects: false });
+    let without = run_all(AnalysisOptions {
+        flow_sensitive: true,
+        gc_effects: false,
+        ..AnalysisOptions::default()
+    });
     let with_errors: usize = with.iter().map(|r| r.errors).sum();
     let without_errors: usize = without.iter().map(|r| r.errors).sum();
     // missing-registration seeds: ftplib 1 + lablgl 1 + lablgtk 1 = 3

@@ -122,10 +122,8 @@ fn record_field_types_are_enforced() {
 #[test]
 fn arity_and_unit_interplay() {
     // arity mismatch that is NOT a trailing-unit case must be an error
-    let report = run(
-        r#"external f : int -> int -> int = "ml_f""#,
-        r#"value ml_f(value a) { return a; }"#,
-    );
+    let report =
+        run(r#"external f : int -> int -> int = "ml_f""#, r#"value ml_f(value a) { return a; }"#);
     assert!(
         report.diagnostics.with_code(DiagnosticCode::ArityMismatch).count() >= 1,
         "{}",
@@ -176,6 +174,7 @@ fn ablations_change_behaviour_in_opposite_directions() {
         let mut az = Analyzer::with_options(AnalysisOptions {
             flow_sensitive: false,
             gc_effects: true,
+            ..AnalysisOptions::default()
         });
         az.add_ml_source("l.ml", ml);
         az.add_c_source("g.c", c);
@@ -186,10 +185,8 @@ fn ablations_change_behaviour_in_opposite_directions() {
 
 #[test]
 fn report_rendering_contains_locations_and_codes() {
-    let report = run(
-        r#"external f : int -> int = "ml_f""#,
-        r#"value ml_f(value n) { return Val_int(n); }"#,
-    );
+    let report =
+        run(r#"external f : int -> int = "ml_f""#, r#"value ml_f(value n) { return Val_int(n); }"#);
     let rendered = report.render();
     assert!(rendered.contains("glue.c:1:"), "{rendered}");
     assert!(rendered.contains("[E001]"), "{rendered}");
