@@ -1,20 +1,22 @@
 //! `cargo bench --bench pipeline_bench` — measures the analysis pipeline
 //! at `jobs = 1` vs `jobs = available parallelism` over the Figure 9
-//! corpus plus a 12k-LoC scaling workload, and writes the machine-readable
-//! `BENCH_pipeline.json` at the workspace root.
+//! corpus plus a 12k-LoC scaling workload, adds a cold-vs-warm cache pair
+//! per workload, and writes the machine-readable `BENCH_pipeline.json` at
+//! the workspace root.
 
 use ffisafe_bench::pipeline_bench;
 
 fn main() {
     let wide = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let widths: Vec<usize> = if wide > 1 { vec![1, wide] } else { vec![1, 8] };
-    eprintln!("pipeline bench: jobs widths {widths:?}");
+    eprintln!("pipeline bench: jobs widths {widths:?} + cold/warm cache pair");
     let result = pipeline_bench::run(&widths);
     for row in &result.rows {
         eprintln!(
-            "{:>16} jobs={:<2} {:>7.3}s (infer {:>7.3}s) {:>5} fns {:>6} passes {:>4} diags",
+            "{:>16} jobs={:<2} cache={:<4} {:>7.3}s (infer {:>7.3}s) {:>5} fns {:>6} passes {:>4} diags",
             row.name,
             row.jobs,
+            row.cache,
             row.seconds,
             row.infer_seconds,
             row.functions,
@@ -24,6 +26,13 @@ fn main() {
     }
     eprintln!("overall speedup: {:.2}x (host cores: {wide})", result.overall_speedup());
     eprintln!("work/critical-path bound: {:.2}x", result.work_speedup_bound());
+    eprintln!("warm-over-cold speedup: {:.2}x", result.warm_speedup());
+    let regressions = result.warm_regressions();
+    if regressions.is_empty() {
+        eprintln!("warm run strictly faster than cold on every workload");
+    } else {
+        eprintln!("WARNING: warm run not faster on: {}", regressions.join(", "));
+    }
 
     let json = result.to_json();
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

@@ -1,15 +1,20 @@
 //! The pipeline benchmark: wall-clock comparison of the inference stage
-//! across worker counts, emitted as machine-readable `BENCH_pipeline.json`
-//! so successive PRs accumulate a perf trajectory.
+//! across worker counts **and across cache temperatures**, emitted as
+//! machine-readable `BENCH_pipeline.json` so successive PRs accumulate a
+//! perf trajectory.
 //!
 //! Workloads: every Figure 9 benchmark (the paper's corpus, synthesized)
 //! plus a large parametric scaling corpus, each analyzed at `jobs = 1` and
-//! `jobs = available parallelism`.
+//! `jobs = available parallelism` with caching off, then once *cold*
+//! (populating a fresh `--cache-dir`) and once *warm* (replaying it) — the
+//! cold/warm delta is the incremental-reanalysis subsystem's headline
+//! number.
 
 use crate::corpus::generate;
 use crate::runner::scaling_benchmark;
 use crate::spec::paper_benchmarks;
 use ffisafe_core::{AnalysisOptions, Analyzer};
+use std::path::Path;
 
 /// One measured configuration.
 #[derive(Clone, Debug)]
@@ -24,17 +29,27 @@ pub struct PipelineMeasurement {
     pub passes: usize,
     /// Worker threads used.
     pub jobs: usize,
+    /// Cache temperature: `"off"`, `"cold"` (populating) or `"warm"`
+    /// (replaying the run before it).
+    pub cache: &'static str,
     /// Wall-clock seconds for the whole analysis.
     pub seconds: f64,
     /// Wall-clock seconds of the inference stage alone.
     pub infer_seconds: f64,
-    /// Sum of per-function inference work (jobs-independent).
+    /// Sum of per-function inference work (jobs-independent; replayed
+    /// cache hits contribute zero).
     pub work_seconds: f64,
     /// Slowest single function — the parallel lower bound.
     pub critical_path_seconds: f64,
+    /// Functions replayed from the tier-1 cache. Note an unchanged warm
+    /// run short-circuits at the report tier *before* tier 1 is
+    /// consulted, so this is nonzero only for partially-invalidated runs.
+    pub cache_fn_hits: usize,
+    /// Whether the whole report came from the tier-2 report cache.
+    pub report_hit: bool,
     /// Findings (errors + warnings + imprecision — context notes excluded,
     /// so the trajectory is comparable across note-emission changes;
-    /// sanity: must match across jobs).
+    /// sanity: must match across jobs and cache temperatures).
     pub diagnostics: usize,
 }
 
@@ -45,8 +60,17 @@ pub struct PipelineBench {
     pub rows: Vec<PipelineMeasurement>,
 }
 
-fn measure(name: &str, ml: &str, c: &str, jobs: usize) -> PipelineMeasurement {
+fn measure(
+    name: &str,
+    ml: &str,
+    c: &str,
+    jobs: usize,
+    cache: Option<(&Path, &'static str)>,
+) -> PipelineMeasurement {
     let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
+    if let Some((dir, _)) = cache {
+        az.set_cache_dir(Some(dir.to_path_buf()));
+    }
     az.add_ml_source("lib.ml", ml);
     az.add_c_source("glue.c", c);
     let report = az.analyze();
@@ -55,41 +79,76 @@ fn measure(name: &str, ml: &str, c: &str, jobs: usize) -> PipelineMeasurement {
         c_loc: report.stats.c_loc,
         functions: report.stats.c_functions,
         passes: report.stats.passes,
-        jobs: report.stats.jobs,
+        // A report-tier hit never starts the pool, so stats.jobs is 0;
+        // record the width the row was *requested* at for grouping.
+        jobs: if report.stats.cache_report_hit { jobs } else { report.stats.jobs },
+        cache: cache.map(|(_, mode)| mode).unwrap_or("off"),
         seconds: report.stats.seconds,
         infer_seconds: report.timings.get(ffisafe_core::Phase::Infer).as_secs_f64(),
         work_seconds: report.stats.infer_work_seconds,
         critical_path_seconds: report.stats.infer_critical_path_seconds,
+        cache_fn_hits: report.stats.cache_fn_hits,
+        report_hit: report.stats.cache_report_hit,
         diagnostics: report.error_count() + report.warning_count() + report.imprecision_count(),
     }
 }
 
-/// Runs every workload at each worker count in `jobs_list`.
+/// Measures one workload: uncached at every width in `jobs_list`, then a
+/// cold/warm cache pair at `jobs = 1`.
+fn measure_workload(
+    rows: &mut Vec<PipelineMeasurement>,
+    name: &str,
+    ml: &str,
+    c: &str,
+    jobs_list: &[usize],
+) {
+    for &jobs in jobs_list {
+        rows.push(measure(name, ml, c, jobs, None));
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "ffisafe-bench-cache-{}-{}",
+        name.replace('/', "_"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = measure(name, ml, c, 1, Some((&dir, "cold")));
+    let mut warm = measure(name, ml, c, 1, Some((&dir, "warm")));
+    // A warm report-tier hit skips analysis, so it cannot re-measure the
+    // workload's shape; backfill it from the cold row so trajectory
+    // tooling sees matching functions/passes across temperatures.
+    if warm.report_hit {
+        warm.functions = cold.functions;
+        warm.passes = cold.passes;
+    }
+    rows.push(cold);
+    rows.push(warm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs every workload at each worker count in `jobs_list`, plus the
+/// cold/warm cache pair per workload.
 pub fn run(jobs_list: &[usize]) -> PipelineBench {
     let mut rows = Vec::new();
     for spec in paper_benchmarks() {
         let bench = generate(&spec);
-        for &jobs in jobs_list {
-            rows.push(measure(spec.name, &bench.ml_source, &bench.c_source, jobs));
-        }
+        measure_workload(&mut rows, spec.name, &bench.ml_source, &bench.c_source, jobs_list);
     }
     let scale = scaling_benchmark(12_000);
-    for &jobs in jobs_list {
-        rows.push(measure("scale-12k", &scale.ml_source, &scale.c_source, jobs));
-    }
+    measure_workload(&mut rows, "scale-12k", &scale.ml_source, &scale.c_source, jobs_list);
     PipelineBench { rows }
 }
 
 impl PipelineBench {
     /// Wall-clock speedup of the widest configuration over `jobs = 1`,
-    /// summed over every workload. Meaningful only when the host has more
-    /// than one core; see [`PipelineBench::work_speedup_bound`] for the
+    /// summed over every workload (cache-off rows only). Meaningful only
+    /// when the host has more than one core; see
+    /// [`PipelineBench::work_speedup_bound`] for the
     /// hardware-independent number.
     pub fn overall_speedup(&self) -> f64 {
-        let serial: f64 = self.rows.iter().filter(|r| r.jobs == 1).map(|r| r.seconds).sum();
-        let max_jobs = self.rows.iter().map(|r| r.jobs).max().unwrap_or(1);
-        let parallel: f64 =
-            self.rows.iter().filter(|r| r.jobs == max_jobs).map(|r| r.seconds).sum();
+        let off = || self.rows.iter().filter(|r| r.cache == "off");
+        let serial: f64 = off().filter(|r| r.jobs == 1).map(|r| r.seconds).sum();
+        let max_jobs = off().map(|r| r.jobs).max().unwrap_or(1);
+        let parallel: f64 = off().filter(|r| r.jobs == max_jobs).map(|r| r.seconds).sum();
         if parallel > 0.0 {
             serial / parallel
         } else {
@@ -98,17 +157,44 @@ impl PipelineBench {
     }
 
     /// The measured work/critical-path ratio of the inference stage over
-    /// the `jobs = 1` runs: the wall-clock speedup an unbounded worker
-    /// pool achieves on this corpus, independent of the host's core count.
+    /// the uncached `jobs = 1` runs: the wall-clock speedup an unbounded
+    /// worker pool achieves on this corpus, independent of the host's
+    /// core count.
     pub fn work_speedup_bound(&self) -> f64 {
-        let work: f64 = self.rows.iter().filter(|r| r.jobs == 1).map(|r| r.work_seconds).sum();
-        let critical: f64 =
-            self.rows.iter().filter(|r| r.jobs == 1).map(|r| r.critical_path_seconds).sum();
+        let serial = || self.rows.iter().filter(|r| r.cache == "off").filter(|r| r.jobs == 1);
+        let work: f64 = serial().map(|r| r.work_seconds).sum();
+        let critical: f64 = serial().map(|r| r.critical_path_seconds).sum();
         if critical > 0.0 {
             work / critical
         } else {
             1.0
         }
+    }
+
+    /// Wall-clock speedup of warm (cached) runs over cold (populating)
+    /// runs, summed over every workload — the incremental-reanalysis win.
+    pub fn warm_speedup(&self) -> f64 {
+        let cold: f64 = self.rows.iter().filter(|r| r.cache == "cold").map(|r| r.seconds).sum();
+        let warm: f64 = self.rows.iter().filter(|r| r.cache == "warm").map(|r| r.seconds).sum();
+        if warm > 0.0 {
+            cold / warm
+        } else {
+            1.0
+        }
+    }
+
+    /// Workloads whose warm run was *not* strictly faster than its cold
+    /// run — the regression signal CI watches for (empty when healthy).
+    pub fn warm_regressions(&self) -> Vec<String> {
+        let cold: Vec<&PipelineMeasurement> =
+            self.rows.iter().filter(|r| r.cache == "cold").collect();
+        let warm: Vec<&PipelineMeasurement> =
+            self.rows.iter().filter(|r| r.cache == "warm").collect();
+        cold.iter()
+            .zip(&warm)
+            .filter(|(c, w)| w.seconds >= c.seconds)
+            .map(|(c, _)| c.name.clone())
+            .collect()
     }
 
     /// Serializes to the `BENCH_pipeline.json` format (no external JSON
@@ -118,22 +204,26 @@ impl PipelineBench {
         let mut out = String::from("{\n  \"benchmark\": \"pipeline\",\n");
         out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
         out.push_str(&format!(
-            "  \"overall_speedup\": {:.3},\n  \"work_speedup_bound\": {:.3},\n  \"rows\": [\n",
+            "  \"overall_speedup\": {:.3},\n  \"work_speedup_bound\": {:.3},\n  \"warm_speedup\": {:.3},\n  \"rows\": [\n",
             self.overall_speedup(),
-            self.work_speedup_bound()
+            self.work_speedup_bound(),
+            self.warm_speedup()
         ));
         for (i, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"diagnostics\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
                 json_escape(&r.name),
                 r.c_loc,
                 r.functions,
                 r.passes,
                 r.jobs,
+                r.cache,
                 r.seconds,
                 r.infer_seconds,
                 r.work_seconds,
                 r.critical_path_seconds,
+                r.cache_fn_hits,
+                r.report_hit,
                 r.diagnostics,
                 if i + 1 == self.rows.len() { "" } else { "," }
             ));
@@ -156,17 +246,40 @@ mod tests {
         // one tiny workload at two widths, via the internal measure()
         let spec = &paper_benchmarks()[0];
         let bench = generate(spec);
-        let serial = measure(spec.name, &bench.ml_source, &bench.c_source, 1);
-        let parallel = measure(spec.name, &bench.ml_source, &bench.c_source, 4);
+        let serial = measure(spec.name, &bench.ml_source, &bench.c_source, 1, None);
+        let parallel = measure(spec.name, &bench.ml_source, &bench.c_source, 4, None);
         assert_eq!(serial.diagnostics, parallel.diagnostics, "jobs changed results");
         assert_eq!(serial.passes, parallel.passes);
         assert_eq!(serial.jobs, 1);
+        assert_eq!(serial.cache, "off");
         assert!(parallel.jobs >= 1);
         let pb = PipelineBench { rows: vec![serial, parallel] };
         let json = pb.to_json();
         assert!(json.contains("\"benchmark\": \"pipeline\""));
         assert!(json.contains("\"overall_speedup\""));
+        assert!(json.contains("\"warm_speedup\""));
+        assert!(json.contains("\"cache\": \"off\""));
         assert!(json.contains(&format!("\"name\": \"{}\"", spec.name)));
+    }
+
+    #[test]
+    fn cold_warm_pair_replays_and_matches() {
+        let spec = &paper_benchmarks()[0];
+        let bench = generate(spec);
+        let dir =
+            std::env::temp_dir().join(format!("ffisafe-bench-unit-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = measure(spec.name, &bench.ml_source, &bench.c_source, 1, Some((&dir, "cold")));
+        let warm = measure(spec.name, &bench.ml_source, &bench.c_source, 1, Some((&dir, "warm")));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cold.cache, "cold");
+        assert_eq!(warm.cache, "warm");
+        assert!(!cold.report_hit);
+        assert!(warm.report_hit, "unchanged corpus must hit the report tier");
+        assert_eq!(cold.diagnostics, warm.diagnostics, "cache changed results");
+        let pb = PipelineBench { rows: vec![cold, warm] };
+        assert_eq!(pb.warm_regressions(), Vec::<String>::new(), "warm must beat cold");
+        assert!(pb.warm_speedup() > 1.0);
     }
 
     #[test]

@@ -1,0 +1,552 @@
+//! The on-disk content-addressed store behind `--cache-dir`.
+//!
+//! Layout (all inside one cache directory):
+//!
+//! ```text
+//! <cache-dir>/
+//!   index.bin        header: magic, format version, analyzer version,
+//!                    LRU clock; then one row per entry
+//!                    (tier, fingerprint, size, last-used)
+//!   fn-<hex32>.bin   tier-1: one memoized per-function outcome
+//!   rp-<hex32>.bin   tier-2: one rendered whole-corpus report
+//! ```
+//!
+//! Every entry file carries its own magic, format version, payload length
+//! and a trailing content checksum; a truncated, bit-flipped or
+//! wrong-version entry fails validation and is **treated as a miss** (and
+//! deleted), never an error. The index header pins the analyzer version —
+//! opening the store with a different version wipes it wholesale, which is
+//! how analyzer upgrades invalidate stale results. Entries whose options
+//! differ never collide because the options digest is folded into every
+//! fingerprint by the caller.
+//!
+//! Eviction is LRU by a monotonic clock persisted in the index: whenever
+//! [`CacheStore::flush`] finds the store over its size cap, least-recently
+//! used entries are deleted until it fits.
+
+use crate::codec::{Decoder, Encoder};
+use ffisafe_support::{Fingerprint, FingerprintHasher};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of entry files.
+const ENTRY_MAGIC: [u8; 4] = *b"FFSE";
+/// Magic prefix of the index file.
+const INDEX_MAGIC: [u8; 4] = *b"FFSX";
+/// Bump when the entry/index binary layout changes.
+const FORMAT_VERSION: u32 = 1;
+/// Default size cap: plenty for per-function outcomes of large corpora.
+const DEFAULT_CAP_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Which cache tier an entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Tier 1: memoized per-function inference outcomes.
+    Function,
+    /// Tier 2: rendered whole-corpus reports.
+    Report,
+}
+
+impl Tier {
+    fn prefix(self) -> &'static str {
+        match self {
+            Tier::Function => "fn",
+            Tier::Report => "rp",
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Tier::Function => 0,
+            Tier::Report => 1,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Tier> {
+        match v {
+            0 => Some(Tier::Function),
+            1 => Some(Tier::Report),
+            _ => None,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters for one store lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Tier-1 lookups that replayed a memoized function outcome.
+    pub fn_hits: usize,
+    /// Tier-1 lookups that fell through to a live inference worker.
+    pub fn_misses: usize,
+    /// Tier-2 lookups that served a whole rendered report.
+    pub report_hits: usize,
+    /// Tier-2 lookups that fell through to a full analysis.
+    pub report_misses: usize,
+    /// Entries deleted by the LRU size-cap sweep.
+    pub evictions: usize,
+    /// Entries dropped because validation failed (corrupt/truncated).
+    pub corrupt: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct EntryMeta {
+    size: u64,
+    last_used: u64,
+}
+
+/// A two-tier content-addressed cache rooted at one directory.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    analyzer_version: String,
+    cap_bytes: u64,
+    clock: u64,
+    entries: HashMap<(u8, Fingerprint), EntryMeta>,
+    stats: CacheStats,
+}
+
+impl CacheStore {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// `analyzer_version` identifies the producer; if the on-disk index was
+    /// written by a different version — or is missing or unreadable — every
+    /// existing entry is deleted and the store starts empty.
+    pub fn open(dir: &Path, analyzer_version: &str) -> io::Result<CacheStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut store = CacheStore {
+            dir: dir.to_path_buf(),
+            analyzer_version: analyzer_version.to_string(),
+            cap_bytes: DEFAULT_CAP_BYTES,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        };
+        if !store.load_index() {
+            store.wipe();
+        } else {
+            store.remove_orphans();
+        }
+        Ok(store)
+    }
+
+    /// Overrides the size cap enforced by [`CacheStore::flush`].
+    pub fn set_cap_bytes(&mut self, cap: u64) {
+        self.cap_bytes = cap;
+    }
+
+    /// Counters accumulated since the store was opened.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of entries currently indexed.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total indexed payload-file bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|m| m.size).sum()
+    }
+
+    /// Whether an entry is indexed (no validation, no LRU touch).
+    pub fn contains(&self, tier: Tier, fp: Fingerprint) -> bool {
+        self.entries.contains_key(&(tier.as_u8(), fp))
+    }
+
+    fn entry_path(&self, tier: Tier, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{}-{}.bin", tier.prefix(), fp.to_hex()))
+    }
+
+    fn count_get(&mut self, tier: Tier, hit: bool) {
+        match (tier, hit) {
+            (Tier::Function, true) => self.stats.fn_hits += 1,
+            (Tier::Function, false) => self.stats.fn_misses += 1,
+            (Tier::Report, true) => self.stats.report_hits += 1,
+            (Tier::Report, false) => self.stats.report_misses += 1,
+        }
+    }
+
+    /// Looks up an entry. A hit returns the validated payload and touches
+    /// the LRU clock; any validation failure deletes the entry and reports
+    /// a miss.
+    pub fn get(&mut self, tier: Tier, fp: Fingerprint) -> Option<Vec<u8>> {
+        let key = (tier.as_u8(), fp);
+        if !self.entries.contains_key(&key) {
+            self.count_get(tier, false);
+            return None;
+        }
+        let path = self.entry_path(tier, fp);
+        match std::fs::read(&path).ok().and_then(|bytes| validate_entry(&bytes)) {
+            Some(payload) => {
+                self.clock += 1;
+                let clock = self.clock;
+                self.entries.get_mut(&key).expect("checked above").last_used = clock;
+                self.count_get(tier, true);
+                Some(payload)
+            }
+            None => {
+                self.entries.remove(&key);
+                let _ = std::fs::remove_file(&path);
+                self.stats.corrupt += 1;
+                self.count_get(tier, false);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry. The write is atomic: a temp file is
+    /// renamed into place, so readers never observe a half-written entry.
+    pub fn put(&mut self, tier: Tier, fp: Fingerprint, payload: &[u8]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(payload.len() + 32);
+        bytes.extend_from_slice(&ENTRY_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let sum = Fingerprint::of_bytes(payload);
+        bytes.extend_from_slice(&sum.0.to_le_bytes());
+        bytes.extend_from_slice(&sum.1.to_le_bytes());
+
+        let path = self.entry_path(tier, fp);
+        write_atomic(&path, &bytes)?;
+        self.clock += 1;
+        self.entries.insert(
+            (tier.as_u8(), fp),
+            EntryMeta { size: bytes.len() as u64, last_used: self.clock },
+        );
+        Ok(())
+    }
+
+    /// Enforces the size cap (evicting LRU entries) and persists the index.
+    pub fn flush(&mut self) -> io::Result<()> {
+        while self.total_bytes() > self.cap_bytes && !self.entries.is_empty() {
+            let (&key, _) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, m)| m.last_used)
+                .expect("non-empty checked above");
+            let (tier_u8, fp) = key;
+            let tier = Tier::from_u8(tier_u8).expect("only valid tiers are inserted");
+            let _ = std::fs::remove_file(self.entry_path(tier, fp));
+            self.entries.remove(&key);
+            self.stats.evictions += 1;
+        }
+        self.write_index()
+    }
+
+    /// Deletes every entry file and resets the index.
+    pub fn wipe(&mut self) {
+        if let Ok(read) = std::fs::read_dir(&self.dir) {
+            for dirent in read.flatten() {
+                let name = dirent.file_name();
+                let name = name.to_string_lossy();
+                let is_cache_file = name == "index.bin"
+                    || ((name.starts_with("fn-") || name.starts_with("rp-"))
+                        && name.ends_with(".bin"));
+                if is_cache_file {
+                    let _ = std::fs::remove_file(dirent.path());
+                }
+            }
+        }
+        self.entries.clear();
+        self.clock = 0;
+    }
+
+    /// Loads `index.bin`. Returns `false` when the store must be wiped
+    /// (missing/corrupt index, format or analyzer-version mismatch). An
+    /// empty directory with no index loads as an empty store.
+    fn load_index(&mut self) -> bool {
+        let path = self.dir.join("index.bin");
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            // No index at all: fresh only if there are no orphaned entries.
+            Err(_) => return !self.has_entry_files(),
+        };
+        let Some((version, clock, entries)) = decode_index(&bytes) else {
+            return false;
+        };
+        if version != self.analyzer_version {
+            return false;
+        }
+        self.clock = clock;
+        self.entries = entries;
+        true
+    }
+
+    /// Deletes entry files present on disk but absent from the index —
+    /// leftovers of a run that died between `put` and `flush`. Without
+    /// this they would be invisible to `total_bytes` and the LRU sweep
+    /// and leak disk unboundedly across interrupted runs.
+    fn remove_orphans(&self) {
+        let Ok(read) = std::fs::read_dir(&self.dir) else { return };
+        for dirent in read.flatten() {
+            let name = dirent.file_name();
+            let name = name.to_string_lossy();
+            let Some((prefix, rest)) = name.split_once('-') else { continue };
+            let tier = match prefix {
+                "fn" => Tier::Function,
+                "rp" => Tier::Report,
+                _ => continue,
+            };
+            let Some(hex) = rest.strip_suffix(".bin") else { continue };
+            let indexed = Fingerprint::parse_hex(hex)
+                .is_some_and(|fp| self.entries.contains_key(&(tier.as_u8(), fp)));
+            if !indexed {
+                let _ = std::fs::remove_file(dirent.path());
+            }
+        }
+    }
+
+    fn has_entry_files(&self) -> bool {
+        std::fs::read_dir(&self.dir)
+            .map(|read| {
+                read.flatten().any(|dirent| {
+                    let name = dirent.file_name();
+                    let name = name.to_string_lossy();
+                    (name.starts_with("fn-") || name.starts_with("rp-")) && name.ends_with(".bin")
+                })
+            })
+            .unwrap_or(false)
+    }
+
+    fn write_index(&self) -> io::Result<()> {
+        let mut e = Encoder::new();
+        e.put_u32(u32::from_le_bytes(INDEX_MAGIC));
+        e.put_u32(FORMAT_VERSION);
+        e.put_str(&self.analyzer_version);
+        e.put_u64(self.clock);
+        e.put_len(self.entries.len());
+        // Stable order keeps repeated flushes byte-identical.
+        let mut rows: Vec<(&(u8, Fingerprint), &EntryMeta)> = self.entries.iter().collect();
+        rows.sort_by_key(|(k, _)| **k);
+        for (&(tier, fp), meta) in rows {
+            e.put_u8(tier);
+            e.put_u64(fp.0);
+            e.put_u64(fp.1);
+            e.put_u64(meta.size);
+            e.put_u64(meta.last_used);
+        }
+        write_atomic(&self.dir.join("index.bin"), &e.into_bytes())
+    }
+}
+
+/// Validates one entry file, returning its payload.
+fn validate_entry(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut d = Decoder::new(bytes);
+    if d.get_u32().ok()? != u32::from_le_bytes(ENTRY_MAGIC) {
+        return None;
+    }
+    if d.get_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    let len = d.get_len().ok()?;
+    if d.remaining() != len + 16 {
+        return None;
+    }
+    let payload = bytes[bytes.len() - 16 - len..bytes.len() - 16].to_vec();
+    let mut tail = Decoder::new(&bytes[bytes.len() - 16..]);
+    let sum = Fingerprint(tail.get_u64().ok()?, tail.get_u64().ok()?);
+    if Fingerprint::of_bytes(&payload) != sum {
+        return None;
+    }
+    Some(payload)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_index(bytes: &[u8]) -> Option<(String, u64, HashMap<(u8, Fingerprint), EntryMeta>)> {
+    let mut d = Decoder::new(bytes);
+    if d.get_u32().ok()? != u32::from_le_bytes(INDEX_MAGIC) {
+        return None;
+    }
+    if d.get_u32().ok()? != FORMAT_VERSION {
+        return None;
+    }
+    let version = d.get_str().ok()?;
+    let clock = d.get_u64().ok()?;
+    let n = d.get_len().ok()?;
+    let mut entries = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let tier = d.get_u8().ok()?;
+        Tier::from_u8(tier)?;
+        let fp = Fingerprint(d.get_u64().ok()?, d.get_u64().ok()?);
+        let size = d.get_u64().ok()?;
+        let last_used = d.get_u64().ok()?;
+        entries.insert((tier, fp), EntryMeta { size, last_used });
+    }
+    d.finish().ok()?;
+    Some((version, clock, entries))
+}
+
+/// Writes `bytes` to `path` via a same-directory temp file + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    let stem = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = parent.join(format!(".{}.tmp-{}", stem, std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// A convenience fingerprint over several labelled parts (used by tests).
+pub fn fingerprint_parts(parts: &[&[u8]]) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    for p in parts {
+        h.write_u64(p.len() as u64);
+        h.write_bytes(p);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ffisafe-cache-store-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint(n, n.wrapping_mul(0x9e37_79b9))
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_persistence() {
+        let dir = temp_store_dir("roundtrip");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(store.get(Tier::Function, fp(1)), None);
+        store.put(Tier::Function, fp(1), b"outcome-bytes").unwrap();
+        store.put(Tier::Report, fp(1), b"report-bytes").unwrap();
+        assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"outcome-bytes");
+        // same fingerprint, different tier: distinct entries
+        assert_eq!(store.get(Tier::Report, fp(1)).unwrap(), b"report-bytes");
+        store.flush().unwrap();
+        assert_eq!(store.stats().fn_hits, 1);
+        assert_eq!(store.stats().fn_misses, 1);
+
+        // reopen: index persisted both entries
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(store.entry_count(), 2);
+        assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"outcome-bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyzer_version_change_wipes_everything() {
+        let dir = temp_store_dir("version");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        store.put(Tier::Function, fp(1), b"old").unwrap();
+        store.flush().unwrap();
+        drop(store);
+
+        let mut store = CacheStore::open(&dir, "v2").unwrap();
+        assert_eq!(store.entry_count(), 0);
+        assert_eq!(store.get(Tier::Function, fp(1)), None);
+        // the stale entry file itself is gone, not merely unindexed
+        assert!(!dir.join(format!("fn-{}.bin", fp(1).to_hex())).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_misses() {
+        let dir = temp_store_dir("corrupt");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        store.put(Tier::Function, fp(1), b"payload-one").unwrap();
+        store.put(Tier::Function, fp(2), b"payload-two").unwrap();
+        store.flush().unwrap();
+
+        // bit-flip one entry, truncate the other
+        let p1 = dir.join(format!("fn-{}.bin", fp(1).to_hex()));
+        let mut bytes = std::fs::read(&p1).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&p1, &bytes).unwrap();
+        let p2 = dir.join(format!("fn-{}.bin", fp(2).to_hex()));
+        let bytes = std::fs::read(&p2).unwrap();
+        std::fs::write(&p2, &bytes[..bytes.len() / 2]).unwrap();
+
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(store.get(Tier::Function, fp(1)), None);
+        assert_eq!(store.get(Tier::Function, fp(2)), None);
+        assert_eq!(store.stats().corrupt, 2);
+        assert_eq!(store.stats().fn_misses, 2);
+        // the bad files were dropped; a re-put works again
+        store.put(Tier::Function, fp(1), b"fresh").unwrap();
+        assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphans_next_to_a_valid_index_are_removed_at_open() {
+        let dir = temp_store_dir("orphan-next-to-index");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        store.put(Tier::Function, fp(1), b"indexed").unwrap();
+        store.flush().unwrap();
+        // a later run dies between put and flush: entry on disk, not indexed
+        store.put(Tier::Function, fp(2), b"orphan").unwrap();
+        drop(store);
+
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(store.entry_count(), 1, "only the flushed entry survives");
+        assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"indexed");
+        assert!(
+            !dir.join(format!("fn-{}.bin", fp(2).to_hex())).exists(),
+            "orphan file deleted so it cannot leak past the size cap"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_index_with_orphan_entries_wipes() {
+        let dir = temp_store_dir("orphans");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        store.put(Tier::Function, fp(7), b"orphan").unwrap();
+        drop(store); // never flushed: entry file exists, no index
+
+        let store = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(store.entry_count(), 0);
+        assert!(!dir.join(format!("fn-{}.bin", fp(7).to_hex())).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let dir = temp_store_dir("lru");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let payload = vec![0u8; 100];
+        for i in 0..10u64 {
+            store.put(Tier::Function, fp(i), &payload).unwrap();
+        }
+        // touch the two oldest so they become the most recent
+        assert!(store.get(Tier::Function, fp(0)).is_some());
+        assert!(store.get(Tier::Function, fp(1)).is_some());
+        // cap to roughly 4 entries (each file = payload + 32B header/sum)
+        store.set_cap_bytes(4 * 132);
+        store.flush().unwrap();
+        assert!(store.entry_count() <= 4);
+        assert!(store.contains(Tier::Function, fp(0)), "recently used survives");
+        assert!(store.contains(Tier::Function, fp(1)), "recently used survives");
+        assert!(!store.contains(Tier::Function, fp(2)), "cold entry evicted");
+        assert!(store.stats().evictions >= 6);
+        // evicted files are really gone
+        assert!(!dir.join(format!("fn-{}.bin", fp(2).to_hex())).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_parts_separates_fields() {
+        assert_ne!(fingerprint_parts(&[b"ab", b"c"]), fingerprint_parts(&[b"a", b"bc"]));
+        assert_eq!(fingerprint_parts(&[b"ab", b"c"]), fingerprint_parts(&[b"ab", b"c"]));
+    }
+}

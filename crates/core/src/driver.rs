@@ -12,12 +12,20 @@
 //! [`pipeline::discharge`]: crate::pipeline::discharge
 
 use crate::engine::AnalysisOptions;
+use crate::pipeline::cache::{self, CachedReport, PipelineCache};
 use crate::pipeline::{discharge, frontend_c, frontend_ml, infer};
+use ffisafe_cache::Tier;
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
 use ffisafe_support::{DiagnosticBag, DiagnosticCode, Phase, PhaseTimings, Session, SourceMap};
 use ffisafe_types::TypeTable;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Input-file kind tag folded into the tier-2 corpus digest (the name
+/// alone need not determine how a file was parsed).
+const KIND_ML: u8 = 0;
+/// See [`KIND_ML`].
+const KIND_C: u8 = 1;
 
 /// Whole-run statistics (benchmark metrics and the Figure 9 columns).
 #[derive(Clone, Debug, Default)]
@@ -41,10 +49,18 @@ pub struct AnalysisStats {
     /// Wall-clock analysis time in seconds.
     pub seconds: f64,
     /// Sum of per-function inference wall-clock (total parallelizable
-    /// work).
+    /// work). Cache replays contribute zero.
     pub infer_work_seconds: f64,
     /// Slowest single function (lower bound on parallel inference time).
     pub infer_critical_path_seconds: f64,
+    /// Functions replayed from the tier-1 (per-function) cache.
+    pub cache_fn_hits: usize,
+    /// Functions that missed the tier-1 cache (0 with caching disabled).
+    pub cache_fn_misses: usize,
+    /// Functions analyzed by a live inference worker this run.
+    pub workers_executed: usize,
+    /// Whether the whole report was served from the tier-2 (report) cache.
+    pub cache_report_hit: bool,
 }
 
 /// A concrete run-time check that would make an imprecise site safe
@@ -62,30 +78,43 @@ pub struct RuntimeCheckSuggestion {
 /// The result of one whole-program analysis.
 #[derive(Clone, Debug)]
 pub struct AnalysisReport {
-    /// All findings, sorted by position.
+    /// All findings, sorted by position — populated on cold runs and on
+    /// tier-2 cache hits alike (the cache stores the structured
+    /// diagnostics next to the rendered report).
     pub diagnostics: DiagnosticBag,
     /// Run statistics.
     pub stats: AnalysisStats,
     /// Cumulative wall-clock time per pipeline phase.
     pub timings: PhaseTimings,
     source_map: SourceMap,
+    /// Set when this report was served from the tier-2 report cache.
+    cached: Option<CachedReport>,
 }
 
 impl AnalysisReport {
     /// Number of error findings (Figure 9 "Errors" + false positives —
     /// ground-truth classification is the harness's job).
     pub fn error_count(&self) -> usize {
-        self.diagnostics.count_errors()
+        match &self.cached {
+            Some(c) => c.errors,
+            None => self.diagnostics.count_errors(),
+        }
     }
 
     /// Number of questionable-practice warnings.
     pub fn warning_count(&self) -> usize {
-        self.diagnostics.count_warnings()
+        match &self.cached {
+            Some(c) => c.warnings,
+            None => self.diagnostics.count_warnings(),
+        }
     }
 
     /// Number of imprecision reports.
     pub fn imprecision_count(&self) -> usize {
-        self.diagnostics.count_imprecision()
+        match &self.cached {
+            Some(c) => c.imprecision,
+            None => self.diagnostics.count_imprecision(),
+        }
     }
 
     /// The source map used to resolve diagnostic spans.
@@ -137,8 +166,12 @@ impl AnalysisReport {
 
     /// Like [`AnalysisReport::render`], but without the trailing timing
     /// line — byte-identical across runs and worker counts, which the
-    /// determinism tests rely on.
+    /// determinism tests rely on. The tier-2 cache stores exactly this
+    /// string, so cache hits replay it verbatim.
     pub fn render_stable(&self) -> String {
+        if let Some(c) = &self.cached {
+            return c.rendered.clone();
+        }
         let mut out = String::new();
         for d in self.diagnostics.iter() {
             let loc = self.source_map.resolve(d.span());
@@ -182,6 +215,9 @@ pub struct Analyzer {
     session: Session,
     ml_files: Vec<ocaml::ParsedFile>,
     c_units: Vec<cil::CUnit>,
+    /// [`KIND_ML`]/[`KIND_C`] per registered source file, in registration
+    /// order (parallel to the session source map).
+    file_kinds: Vec<u8>,
     ml_loc: usize,
     c_loc: usize,
 }
@@ -203,11 +239,18 @@ impl Analyzer {
         &self.session
     }
 
+    /// Enables (`Some`) or disables (`None`) the on-disk two-tier
+    /// incremental-reanalysis cache rooted at `dir`.
+    pub fn set_cache_dir(&mut self, dir: Option<std::path::PathBuf>) {
+        self.session.set_cache_dir(dir);
+    }
+
     /// Adds and parses one OCaml source file.
     pub fn add_ml_source(&mut self, name: &str, src: &str) {
         self.ml_loc += src.lines().count();
         let parsed = frontend_ml::parse(&mut self.session, name, src);
         self.ml_files.push(parsed);
+        self.file_kinds.push(KIND_ML);
     }
 
     /// Adds and parses one C source file.
@@ -215,22 +258,78 @@ impl Analyzer {
         self.c_loc += src.lines().count();
         let unit = frontend_c::parse(&mut self.session, name, src);
         self.c_units.push(unit);
+        self.file_kinds.push(KIND_C);
     }
 
     /// Runs the full pipeline: both frontends, linking, parallel
     /// inference, and discharge.
+    ///
+    /// With a cache directory configured ([`Analyzer::set_cache_dir`] /
+    /// the session's `cache_dir`), the run consults the two-tier
+    /// incremental cache: an unchanged corpus is served straight from the
+    /// report tier, and otherwise unchanged *functions* replay their
+    /// memoized outcomes instead of re-running inference workers. Cached
+    /// or not, the rendered stable report is byte-identical.
     pub fn analyze(&mut self) -> AnalysisReport {
         let start = Instant::now();
         // Work on a copy of the session so `analyze` can be called again
         // after adding more sources.
         let mut session = self.session.clone();
 
+        // A cache that fails to open (unwritable dir, I/O error) disables
+        // caching for the run; it never fails the analysis.
+        let mut pcache: Option<PipelineCache> =
+            session.cache_dir().and_then(|dir| PipelineCache::open(dir).ok());
+
+        // Tier-2 probe: an already-analyzed (corpus, options) pair skips
+        // the pipeline entirely. The digest is only worth computing when a
+        // cache is actually open.
+        let corpus_fp = pcache.as_ref().map(|_| {
+            cache::corpus_digest(
+                session
+                    .source_map()
+                    .files()
+                    .zip(&self.file_kinds)
+                    .map(|((_, f), &kind)| (kind, f.name(), f.src())),
+                session.options(),
+            )
+        });
+        if let (Some(pc), Some(fp)) = (pcache.as_mut(), corpus_fp) {
+            if let Some(cached) =
+                pc.store.get(Tier::Report, fp).and_then(|b| cache::decode_report(&b))
+            {
+                let _ = pc.store.flush();
+                let stats = AnalysisStats {
+                    ml_loc: self.ml_loc,
+                    c_loc: self.c_loc,
+                    seconds: start.elapsed().as_secs_f64(),
+                    cache_report_hit: true,
+                    ..AnalysisStats::default()
+                };
+                return AnalysisReport {
+                    diagnostics: cached.diagnostics.clone(),
+                    stats,
+                    timings: *session.timings(),
+                    source_map: session.source_map().clone(),
+                    cached: Some(cached),
+                };
+            }
+        }
+
         let mut table = TypeTable::new();
         let ml =
             session.time(Phase::FrontendMl, |s| frontend_ml::run(s, &self.ml_files, &mut table));
         let c = session.time(Phase::FrontendC, |s| frontend_c::run(s, &self.c_units));
         let mut base = session.time(Phase::Infer, |s| infer::link(s, table, &ml, &c.program));
-        let inferred = session.time(Phase::Infer, |s| infer::run(s, &base, &c.program, &ml.phase1));
+        if let Some(pc) = pcache.as_mut() {
+            pc.base_digest =
+                cache::base_surface_digest(session.options(), &self.ml_files, &c.program);
+        }
+        let inferred = session
+            .time(Phase::Infer, |s| infer::run(s, &base, &c.program, &ml.phase1, pcache.as_mut()));
+        session
+            .timings_mut()
+            .set_work(Phase::Infer, Duration::from_secs_f64(inferred.work_seconds));
         session.time(Phase::Discharge, |s| discharge::run(s, &mut base, &inferred, &ml.phase1));
 
         let mut diags = session.take_diagnostics();
@@ -247,12 +346,29 @@ impl Analyzer {
             seconds: start.elapsed().as_secs_f64(),
             infer_work_seconds: inferred.work_seconds,
             infer_critical_path_seconds: inferred.critical_path_seconds,
+            cache_fn_hits: inferred.cache_hits,
+            cache_fn_misses: inferred.cache_misses,
+            workers_executed: inferred.workers_executed,
+            cache_report_hit: false,
         };
-        AnalysisReport {
+        let report = AnalysisReport {
             diagnostics: diags,
             stats,
             timings: *session.timings(),
             source_map: session.source_map().clone(),
+            cached: None,
+        };
+        if let (Some(pc), Some(fp)) = (pcache.as_mut(), corpus_fp) {
+            let entry = CachedReport {
+                rendered: report.render_stable(),
+                errors: report.error_count(),
+                warnings: report.warning_count(),
+                imprecision: report.imprecision_count(),
+                diagnostics: report.diagnostics.clone(),
+            };
+            let _ = pc.store.put(Tier::Report, fp, &cache::encode_report(&entry));
+            let _ = pc.store.flush();
         }
+        report
     }
 }

@@ -1,0 +1,839 @@
+//! Fingerprint recipes and payload codecs for the incremental cache.
+//!
+//! The storage layer ([`ffisafe_cache`]) is analysis-agnostic; this module
+//! defines what the cached bytes *mean* for the pipeline:
+//!
+//! * **Fingerprints.** [`base_surface_digest`] hashes everything the
+//!   frozen post-link [`super::infer::BaseState`] is built from — the
+//!   parsed `.ml` declarations, every C function *signature*, prototype
+//!   and global, the semantic analysis options and the analyzer version.
+//!   [`function_fingerprint`] then folds in one function's complete
+//!   lowered IR (spans included, since diagnostics carry them). A worker
+//!   reads nothing else — sibling function *bodies* are invisible behind
+//!   snapshot isolation — so two runs agreeing on a function's
+//!   fingerprint produce identical [`FunctionOutcome`]s by construction.
+//! * **Codecs.** [`encode_outcome`]/[`decode_outcome`] serialize the
+//!   plain-data [`FunctionOutcome`] for tier 1;
+//!   [`encode_report`]/[`decode_report`] serialize the rendered stable
+//!   report for tier 2. Decoding is total: any malformed payload yields
+//!   `None` and the caller treats it as a miss.
+//!
+//! Clone-local [`EffectKey::Local`] ids are encoded *without* their
+//! function index and re-bound to the replaying run's index on decode.
+//! This is defense in depth rather than a reachable codepath today:
+//! adding or removing *any* function changes [`base_surface_digest`]
+//! (every signature is part of the surface workers observe through the
+//! registry), so whenever a fingerprint matches, the function's index
+//! necessarily matches too. Rebinding keeps the payload format honest —
+//! an index is derivable context, not content — should the surface digest
+//! ever become insensitive to unrelated signatures.
+
+use super::infer::{
+    DeferredPsiBound, EffectKey, FunctionOutcome, InterfacePin, ResolvedObligation,
+};
+use ffisafe_cache::{CacheStore, Decoder, Encoder};
+use ffisafe_cil as cil;
+use ffisafe_ocaml as ocaml;
+use ffisafe_support::{
+    AnalysisOptions, Diagnostic, DiagnosticBag, DiagnosticCode, Fingerprint, FingerprintHasher,
+    Severity,
+};
+use ffisafe_types::{FlatInt, PsiBound, PsiId, PsiNode, PsiViolation};
+
+/// Bumped whenever the meaning or layout of cached payloads or the
+/// fingerprint recipes change; folded into the store's analyzer version so
+/// a bump wipes stale caches wholesale.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// The producer identity pinned in the cache index: crate version plus
+/// payload schema version.
+pub fn analyzer_cache_version() -> String {
+    format!("ffisafe {} schema {}", env!("CARGO_PKG_VERSION"), CACHE_SCHEMA_VERSION)
+}
+
+/// An opened store plus the digests the pipeline keys it with.
+#[derive(Debug)]
+pub struct PipelineCache {
+    /// The on-disk two-tier store.
+    pub store: CacheStore,
+    /// Digest of the base-state surface; [`function_fingerprint`] extends
+    /// it per function. Set by the driver once linking inputs are known.
+    pub base_digest: Fingerprint,
+}
+
+impl PipelineCache {
+    /// Opens the store under `dir`, keyed to this analyzer build.
+    pub fn open(dir: &std::path::Path) -> std::io::Result<PipelineCache> {
+        let store = CacheStore::open(dir, &analyzer_cache_version())?;
+        Ok(PipelineCache { store, base_digest: Fingerprint(0, 0) })
+    }
+}
+
+/// Digest of one registered source file for the tier-2 corpus key.
+///
+/// `kind` distinguishes how the driver parsed the file (OCaml vs C), since
+/// the file name alone need not determine it for library users.
+pub fn hash_source_file(h: &mut FingerprintHasher, kind: u8, name: &str, src: &str) {
+    h.write_u8(kind);
+    h.write_str(name);
+    h.write_str(src);
+}
+
+/// Streams `v`'s `Debug` rendering into the hash without materializing a
+/// `String`, then delimits the field with its streamed byte count (a
+/// length *suffix* is as collision-proof as a prefix, and unlike a prefix
+/// it does not require knowing the length up front).
+fn hash_debug<T: std::fmt::Debug>(h: &mut FingerprintHasher, v: &T) {
+    use std::fmt::Write as _;
+    let before = h.bytes_written();
+    let _ = write!(h, "{v:?}");
+    let streamed = h.bytes_written() - before;
+    h.write_u64(streamed);
+}
+
+/// The tier-2 report key: every input file (kind, name, content) in
+/// registration order plus the semantic options. The analyzer version is
+/// enforced store-wide by the index header, not per key.
+pub fn corpus_digest<'a>(
+    files: impl Iterator<Item = (u8, &'a str, &'a str)>,
+    options: &AnalysisOptions,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("ffisafe-corpus");
+    h.write_fingerprint(options.semantic_digest());
+    for (kind, name, src) in files {
+        hash_source_file(&mut h, kind, name, src);
+    }
+    h.finish()
+}
+
+/// Digest of everything the frozen post-link base state is built from.
+///
+/// Per C function only the *signature surface* (name, types, linkage,
+/// header span) is included — bodies are what tier 1 varies over, so a
+/// body edit must leave this digest unchanged for sibling entries to
+/// survive. Spans are hashed because registry/diagnostic notes reference
+/// declaration sites across functions.
+pub fn base_surface_digest(
+    options: &AnalysisOptions,
+    ml_files: &[ocaml::ParsedFile],
+    program: &cil::IrProgram,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("ffisafe-base-surface");
+    h.write_fingerprint(options.semantic_digest());
+
+    h.write_u64(ml_files.len() as u64);
+    for file in ml_files {
+        // The parsed items determine the repository, the Φ/ρ translation
+        // and hence the whole pre-link type table.
+        hash_debug(&mut h, &file.items);
+        hash_debug(&mut h, &file.errors);
+    }
+
+    h.write_u64(program.functions.len() as u64);
+    for f in &program.functions {
+        h.write_str(&f.name);
+        hash_debug(&mut h, &f.ret);
+        h.write_u64(f.n_params as u64);
+        for local in &f.locals[..f.n_params] {
+            hash_debug(&mut h, &local.ty);
+        }
+        h.write_bool(f.is_static);
+        hash_debug(&mut h, &f.span);
+    }
+    h.write_u64(program.prototypes.len() as u64);
+    for p in &program.prototypes {
+        hash_debug(&mut h, p);
+    }
+    h.write_u64(program.globals.len() as u64);
+    for g in &program.globals {
+        hash_debug(&mut h, g);
+    }
+    h.finish()
+}
+
+/// The tier-1 key: the base-surface digest plus one function's complete
+/// lowered IR. `address_taken` is a `HashSet`, whose iteration order is
+/// process-random, so it is sorted before hashing — everything else
+/// derives from `Debug` of plain vectors and enums, which is stable.
+pub fn function_fingerprint(base_digest: Fingerprint, func: &cil::ir::IrFunction) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("ffisafe-function");
+    h.write_fingerprint(base_digest);
+    h.write_str(&func.name);
+    hash_debug(&mut h, &func.ret);
+    hash_debug(&mut h, &func.locals);
+    h.write_u64(func.n_params as u64);
+    hash_debug(&mut h, &func.body);
+    h.write_u64(func.n_labels as u64);
+    let mut taken: Vec<u32> = func.address_taken.iter().map(|v| v.0).collect();
+    taken.sort_unstable();
+    h.write_u64(taken.len() as u64);
+    for v in taken {
+        h.write_u32(v);
+    }
+    h.write_bool(func.is_static);
+    hash_debug(&mut h, &func.span);
+    h.finish()
+}
+
+// ---- severity / code tags ----------------------------------------------
+
+fn severity_tag(s: Severity) -> u8 {
+    match s {
+        Severity::Error => 0,
+        Severity::Warning => 1,
+        Severity::Imprecision => 2,
+        Severity::Note => 3,
+    }
+}
+
+fn severity_from_tag(t: u8) -> Option<Severity> {
+    Some(match t {
+        0 => Severity::Error,
+        1 => Severity::Warning,
+        2 => Severity::Imprecision,
+        3 => Severity::Note,
+        _ => return None,
+    })
+}
+
+fn code_tag(c: DiagnosticCode) -> u8 {
+    use DiagnosticCode::*;
+    match c {
+        TypeMismatch => 0,
+        BoxednessMismatch => 1,
+        ConstructorRange => 2,
+        TagRange => 3,
+        FieldRange => 4,
+        UnrootedValue => 5,
+        MissingCamlReturn => 6,
+        SpuriousCamlReturn => 7,
+        UnsafeValue => 8,
+        ArityMismatch => 9,
+        TrailingUnitParameter => 10,
+        PolymorphicAbuse => 11,
+        SuspiciousCast => 12,
+        UnknownOffset => 13,
+        GlobalValue => 14,
+        AddressOfValue => 15,
+        FunctionPointerCall => 16,
+        PolymorphicVariant => 17,
+        Context => 18,
+    }
+}
+
+fn code_from_tag(t: u8) -> Option<DiagnosticCode> {
+    use DiagnosticCode::*;
+    Some(match t {
+        0 => TypeMismatch,
+        1 => BoxednessMismatch,
+        2 => ConstructorRange,
+        3 => TagRange,
+        4 => FieldRange,
+        5 => UnrootedValue,
+        6 => MissingCamlReturn,
+        7 => SpuriousCamlReturn,
+        8 => UnsafeValue,
+        9 => ArityMismatch,
+        10 => TrailingUnitParameter,
+        11 => PolymorphicAbuse,
+        12 => SuspiciousCast,
+        13 => UnknownOffset,
+        14 => GlobalValue,
+        15 => AddressOfValue,
+        16 => FunctionPointerCall,
+        17 => PolymorphicVariant,
+        18 => Context,
+        _ => return None,
+    })
+}
+
+// ---- field codecs -------------------------------------------------------
+
+fn put_diagnostics(e: &mut Encoder, bag: &DiagnosticBag) {
+    e.put_len(bag.len());
+    for d in bag.iter() {
+        e.put_u8(code_tag(d.code()));
+        e.put_u8(severity_tag(d.severity()));
+        e.put_span(d.span());
+        e.put_str(d.message());
+        e.put_len(d.notes().len());
+        for (span, note) in d.notes() {
+            e.put_span(*span);
+            e.put_str(note);
+        }
+    }
+}
+
+fn get_diagnostics(d: &mut Decoder) -> Option<DiagnosticBag> {
+    let n = d.get_len().ok()?;
+    let mut bag = DiagnosticBag::new();
+    for _ in 0..n {
+        let code = code_from_tag(d.get_u8().ok()?)?;
+        let severity = severity_from_tag(d.get_u8().ok()?)?;
+        let span = d.get_span().ok()?;
+        let message = d.get_str().ok()?;
+        let mut diag = Diagnostic::new(code, span, message).with_severity(severity);
+        let notes = d.get_len().ok()?;
+        for _ in 0..notes {
+            let nspan = d.get_span().ok()?;
+            let note = d.get_str().ok()?;
+            diag = diag.with_note(nspan, note);
+        }
+        bag.push(diag);
+    }
+    Some(bag)
+}
+
+fn put_effect_key(e: &mut Encoder, key: EffectKey, own_idx: u32) {
+    match key {
+        EffectKey::Base(raw) => {
+            e.put_u8(0);
+            e.put_u32(raw);
+        }
+        EffectKey::Local { func, raw } => {
+            debug_assert_eq!(func, own_idx, "a worker only mints local keys for its own clone");
+            e.put_u8(1);
+            e.put_u32(raw);
+        }
+    }
+}
+
+fn get_effect_key(d: &mut Decoder, func_idx: u32) -> Option<EffectKey> {
+    Some(match d.get_u8().ok()? {
+        0 => EffectKey::Base(d.get_u32().ok()?),
+        1 => EffectKey::Local { func: func_idx, raw: d.get_u32().ok()? },
+        _ => return None,
+    })
+}
+
+fn put_flat_int(e: &mut Encoder, t: FlatInt) {
+    match t {
+        FlatInt::Bot => e.put_u8(0),
+        FlatInt::Known(n) => {
+            e.put_u8(1);
+            e.put_i64(n);
+        }
+        FlatInt::Top => e.put_u8(2),
+    }
+}
+
+fn get_flat_int(d: &mut Decoder) -> Option<FlatInt> {
+    Some(match d.get_u8().ok()? {
+        0 => FlatInt::Bot,
+        1 => FlatInt::Known(d.get_i64().ok()?),
+        2 => FlatInt::Top,
+        _ => return None,
+    })
+}
+
+// ---- tier-1 payload -----------------------------------------------------
+
+/// Serializes one function outcome, or `None` for an outcome that cannot
+/// be replayed faithfully (an unresolved Ψ pin, which infer should never
+/// export — skipping the put keeps warm runs byte-identical even if an
+/// upstream bug ever produces one). `own_idx` is the function's index in
+/// the producing run, used only to strip the redundant index from local
+/// effect keys.
+///
+/// Scalar counters (`passes`, `new_nodes`, …) use `put_u64`, not
+/// `put_len`: `Decoder::get_len`'s corruption guard caps values at the
+/// payload byte length, which collection lengths always satisfy but a
+/// large clean function's node counter need not.
+pub fn encode_outcome(o: &FunctionOutcome, own_idx: u32) -> Option<Vec<u8>> {
+    if o.psi_pins.iter().any(|(_, n)| matches!(n, PsiNode::Var | PsiNode::Link(_))) {
+        return None;
+    }
+    let mut e = Encoder::new();
+    e.put_str(&o.name);
+    put_diagnostics(&mut e, &o.diagnostics);
+    e.put_u64(o.passes as u64);
+    e.put_u64(o.new_nodes as u64);
+    e.put_len(o.gc_edges.len());
+    for &(lo, hi) in &o.gc_edges {
+        put_effect_key(&mut e, lo, own_idx);
+        put_effect_key(&mut e, hi, own_idx);
+    }
+    e.put_u64(o.recorded_gc_edges as u64);
+    e.put_len(o.gc_roots.len());
+    for &k in &o.gc_roots {
+        put_effect_key(&mut e, k, own_idx);
+    }
+    e.put_len(o.obligations.len());
+    for ob in &o.obligations {
+        e.put_str(&ob.callee);
+        put_effect_key(&mut e, ob.effect, own_idx);
+        e.put_bool(ob.effect_is_gc);
+        e.put_len(ob.unprotected_heap_ptrs.len());
+        for p in &ob.unprotected_heap_ptrs {
+            e.put_str(p);
+        }
+        e.put_len(ob.deferred_ptrs.len());
+        for (name, keys) in &ob.deferred_ptrs {
+            e.put_str(name);
+            e.put_len(keys.len());
+            for (func, slot) in keys {
+                e.put_str(func);
+                e.put_len(*slot);
+            }
+        }
+        e.put_span(ob.span);
+    }
+    e.put_len(o.psi_violations.len());
+    for v in &o.psi_violations {
+        put_flat_int(&mut e, v.bound.t);
+        e.put_u32(v.bound.psi.as_raw());
+        e.put_span(v.bound.span);
+        e.put_str(&v.bound.context);
+        e.put_str(&v.reason);
+    }
+    e.put_len(o.psi_pins.len());
+    for &(raw, node) in &o.psi_pins {
+        e.put_u32(raw);
+        match node {
+            PsiNode::Count(k) => {
+                e.put_u8(0);
+                e.put_u32(k);
+            }
+            PsiNode::Top => e.put_u8(1),
+            // rejected by the guard at the top of this function
+            PsiNode::Var | PsiNode::Link(_) => unreachable!("unresolved pins are not cached"),
+        }
+    }
+    e.put_len(o.deferred_psi_bounds.len());
+    for b in &o.deferred_psi_bounds {
+        e.put_u32(b.mt_key);
+        put_flat_int(&mut e, b.t);
+        e.put_span(b.span);
+        e.put_str(&b.context);
+    }
+    e.put_len(o.pinned_polys.len());
+    for (sig, param, rendered) in &o.pinned_polys {
+        e.put_len(*sig);
+        e.put_len(*param);
+        e.put_str(rendered);
+    }
+    e.put_len(o.interface_pins.len());
+    for pin in &o.interface_pins {
+        e.put_len(pin.sig_idx);
+        e.put_len(pin.slot);
+        e.put_u32(pin.mt_key);
+        e.put_str(&pin.rendered);
+        e.put_span(pin.func_span);
+        e.put_str(&pin.func_name);
+    }
+    e.put_len(o.heap_slots.len());
+    for (func, slot) in &o.heap_slots {
+        e.put_str(func);
+        e.put_len(*slot);
+    }
+    Some(e.into_bytes())
+}
+
+/// Decodes a tier-1 payload, re-binding local effect keys to `func_idx`.
+///
+/// Returns `None` on any structural problem, including a function-name or
+/// signature-index mismatch — callers treat that as a cache miss. The
+/// replayed outcome reports zero seconds: no work was performed.
+pub fn decode_outcome(
+    bytes: &[u8],
+    func_idx: u32,
+    expect_name: &str,
+    n_sigs: usize,
+) -> Option<FunctionOutcome> {
+    let mut d = Decoder::new(bytes);
+    let name = d.get_str().ok()?;
+    if name != expect_name {
+        return None;
+    }
+    let diagnostics = get_diagnostics(&mut d)?;
+    let passes = d.get_u64().ok()? as usize;
+    let new_nodes = d.get_u64().ok()? as usize;
+    let n = d.get_len().ok()?;
+    let mut gc_edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lo = get_effect_key(&mut d, func_idx)?;
+        let hi = get_effect_key(&mut d, func_idx)?;
+        gc_edges.push((lo, hi));
+    }
+    let recorded_gc_edges = d.get_u64().ok()? as usize;
+    let n = d.get_len().ok()?;
+    let mut gc_roots = Vec::with_capacity(n);
+    for _ in 0..n {
+        gc_roots.push(get_effect_key(&mut d, func_idx)?);
+    }
+    let n = d.get_len().ok()?;
+    let mut obligations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let callee = d.get_str().ok()?;
+        let effect = get_effect_key(&mut d, func_idx)?;
+        let effect_is_gc = d.get_bool().ok()?;
+        let m = d.get_len().ok()?;
+        let mut unprotected_heap_ptrs = Vec::with_capacity(m);
+        for _ in 0..m {
+            unprotected_heap_ptrs.push(d.get_str().ok()?);
+        }
+        let m = d.get_len().ok()?;
+        let mut deferred_ptrs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let name = d.get_str().ok()?;
+            let k = d.get_len().ok()?;
+            let mut keys = Vec::with_capacity(k);
+            for _ in 0..k {
+                let func = d.get_str().ok()?;
+                let slot = d.get_len().ok()?;
+                keys.push((func, slot));
+            }
+            deferred_ptrs.push((name, keys));
+        }
+        let span = d.get_span().ok()?;
+        obligations.push(ResolvedObligation {
+            callee,
+            effect,
+            effect_is_gc,
+            unprotected_heap_ptrs,
+            deferred_ptrs,
+            span,
+        });
+    }
+    let n = d.get_len().ok()?;
+    let mut psi_violations = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = get_flat_int(&mut d)?;
+        let psi = PsiId::from_raw(d.get_u32().ok()?);
+        let span = d.get_span().ok()?;
+        let context = d.get_str().ok()?;
+        let reason = d.get_str().ok()?;
+        psi_violations.push(PsiViolation { bound: PsiBound { t, psi, span, context }, reason });
+    }
+    let n = d.get_len().ok()?;
+    let mut psi_pins = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = d.get_u32().ok()?;
+        let node = match d.get_u8().ok()? {
+            0 => PsiNode::Count(d.get_u32().ok()?),
+            1 => PsiNode::Top,
+            _ => return None,
+        };
+        psi_pins.push((raw, node));
+    }
+    let n = d.get_len().ok()?;
+    let mut deferred_psi_bounds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mt_key = d.get_u32().ok()?;
+        let t = get_flat_int(&mut d)?;
+        let span = d.get_span().ok()?;
+        let context = d.get_str().ok()?;
+        deferred_psi_bounds.push(DeferredPsiBound { mt_key, t, span, context });
+    }
+    let n = d.get_len().ok()?;
+    let mut pinned_polys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sig = d.get_len().ok()?;
+        let param = d.get_len().ok()?;
+        let rendered = d.get_str().ok()?;
+        if sig >= n_sigs {
+            return None;
+        }
+        pinned_polys.push((sig, param, rendered));
+    }
+    let n = d.get_len().ok()?;
+    let mut interface_pins = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sig_idx = d.get_len().ok()?;
+        let slot = d.get_len().ok()?;
+        let mt_key = d.get_u32().ok()?;
+        let rendered = d.get_str().ok()?;
+        let func_span = d.get_span().ok()?;
+        let func_name = d.get_str().ok()?;
+        if sig_idx >= n_sigs {
+            return None;
+        }
+        interface_pins.push(InterfacePin { sig_idx, slot, mt_key, rendered, func_span, func_name });
+    }
+    let n = d.get_len().ok()?;
+    let mut heap_slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        let func = d.get_str().ok()?;
+        let slot = d.get_len().ok()?;
+        heap_slots.push((func, slot));
+    }
+    d.finish().ok()?;
+    Some(FunctionOutcome {
+        name,
+        diagnostics,
+        passes,
+        new_nodes,
+        gc_edges,
+        recorded_gc_edges,
+        gc_roots,
+        obligations,
+        psi_violations,
+        psi_pins,
+        deferred_psi_bounds,
+        pinned_polys,
+        interface_pins,
+        heap_slots,
+        seconds: 0.0,
+    })
+}
+
+// ---- tier-2 payload -----------------------------------------------------
+
+/// The tier-2 cached value: the stable rendering, the counts the report
+/// API and the CLI exit status are derived from, and the full structured
+/// diagnostics — so a served report keeps `AnalysisReport::diagnostics`
+/// populated and APIs like `suggest_runtime_checks` behave identically at
+/// any cache temperature.
+#[derive(Clone, Debug)]
+pub struct CachedReport {
+    /// [`crate::AnalysisReport::render_stable`] output of the cold run.
+    pub rendered: String,
+    /// Error findings in the cold run.
+    pub errors: usize,
+    /// Questionable-practice warnings in the cold run.
+    pub warnings: usize,
+    /// Imprecision reports in the cold run.
+    pub imprecision: usize,
+    /// The cold run's full diagnostics (sorted/deduped).
+    pub diagnostics: DiagnosticBag,
+}
+
+/// Serializes a tier-2 report entry.
+pub fn encode_report(r: &CachedReport) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_len(r.errors);
+    e.put_len(r.warnings);
+    e.put_len(r.imprecision);
+    e.put_str(&r.rendered);
+    put_diagnostics(&mut e, &r.diagnostics);
+    e.into_bytes()
+}
+
+/// Decodes a tier-2 report entry; `None` is a cache miss.
+pub fn decode_report(bytes: &[u8]) -> Option<CachedReport> {
+    let mut d = Decoder::new(bytes);
+    let errors = d.get_len().ok()?;
+    let warnings = d.get_len().ok()?;
+    let imprecision = d.get_len().ok()?;
+    let rendered = d.get_str().ok()?;
+    let diagnostics = get_diagnostics(&mut d)?;
+    d.finish().ok()?;
+    Some(CachedReport { rendered, errors, warnings, imprecision, diagnostics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffisafe_cil::ir::{IrExpr, IrFunction, IrStmt, IrStmtKind, VarId};
+    use ffisafe_cil::CTypeExpr;
+    use ffisafe_support::Span;
+
+    fn sample_function(name: &str, ret_const: i64) -> IrFunction {
+        IrFunction {
+            name: name.to_string(),
+            ret: CTypeExpr::Value,
+            locals: vec![],
+            n_params: 0,
+            body: vec![IrStmt::new(
+                IrStmtKind::Return(Some(IrExpr::int(ret_const, Span::dummy()))),
+                Span::dummy(),
+            )],
+            n_labels: 0,
+            address_taken: [VarId(3), VarId(1), VarId(2)].into_iter().collect(),
+            is_static: false,
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn function_fingerprint_is_stable_and_body_sensitive() {
+        let base = Fingerprint(11, 22);
+        let a1 = function_fingerprint(base, &sample_function("f", 1));
+        let a2 = function_fingerprint(base, &sample_function("f", 1));
+        assert_eq!(a1, a2, "same IR, same fingerprint (HashSet order must not leak)");
+        assert_ne!(a1, function_fingerprint(base, &sample_function("f", 2)), "body change");
+        assert_ne!(a1, function_fingerprint(base, &sample_function("g", 1)), "name change");
+        assert_ne!(a1, function_fingerprint(Fingerprint(11, 23), &sample_function("f", 1)));
+    }
+
+    #[test]
+    fn base_surface_digest_ignores_function_bodies() {
+        let options = AnalysisOptions::default();
+        let mk = |ret_const| cil::IrProgram {
+            functions: vec![sample_function("f", ret_const)],
+            prototypes: vec![],
+            globals: vec![],
+            notes: vec![],
+        };
+        let a = base_surface_digest(&options, &[], &mk(1));
+        let b = base_surface_digest(&options, &[], &mk(2));
+        assert_eq!(a, b, "body edits must not invalidate siblings");
+        let mut other = mk(1);
+        other.functions[0].name = "g".into();
+        assert_ne!(a, base_surface_digest(&options, &[], &other), "signature change");
+        let no_flow = AnalysisOptions { flow_sensitive: false, ..options };
+        assert_ne!(a, base_surface_digest(&no_flow, &[], &mk(1)), "options change");
+    }
+
+    #[test]
+    fn outcome_roundtrip_rebinds_local_keys() {
+        let outcome = FunctionOutcome {
+            name: "ml_f".into(),
+            diagnostics: {
+                let mut bag = DiagnosticBag::new();
+                bag.push(
+                    Diagnostic::new(DiagnosticCode::TypeMismatch, Span::dummy(), "boom")
+                        .with_note(Span::dummy(), "declared here"),
+                );
+                bag.push(
+                    Diagnostic::new(DiagnosticCode::UnknownOffset, Span::dummy(), "offset")
+                        .with_severity(Severity::Note),
+                );
+                bag
+            },
+            passes: 3,
+            new_nodes: 17,
+            gc_edges: vec![
+                (EffectKey::Base(4), EffectKey::Local { func: 9, raw: 80 }),
+                (EffectKey::Local { func: 9, raw: 80 }, EffectKey::Base(5)),
+            ],
+            recorded_gc_edges: 2,
+            gc_roots: vec![EffectKey::Base(4)],
+            obligations: vec![ResolvedObligation {
+                callee: "caml_alloc".into(),
+                effect: EffectKey::Base(4),
+                effect_is_gc: true,
+                unprotected_heap_ptrs: vec!["tmp".into()],
+                deferred_ptrs: vec![("x".into(), vec![("ml_f".into(), 0), ("helper".into(), 2)])],
+                span: Span::dummy(),
+            }],
+            psi_violations: vec![PsiViolation {
+                bound: PsiBound {
+                    t: FlatInt::Known(5),
+                    psi: PsiId::from_raw(7),
+                    span: Span::dummy(),
+                    context: "switch".into(),
+                },
+                reason: "too many".into(),
+            }],
+            psi_pins: vec![(3, PsiNode::Count(2)), (4, PsiNode::Top)],
+            deferred_psi_bounds: vec![DeferredPsiBound {
+                mt_key: 3,
+                t: FlatInt::Top,
+                span: Span::dummy(),
+                context: "Val_int".into(),
+            }],
+            pinned_polys: vec![(0, 1, "int".into())],
+            interface_pins: vec![InterfacePin {
+                sig_idx: 0,
+                slot: 2,
+                mt_key: 44,
+                rendered: "WindowT *".into(),
+                func_span: Span::dummy(),
+                func_name: "ml_f".into(),
+            }],
+            heap_slots: vec![("ml_f".into(), 1)],
+            seconds: 1.25,
+        };
+        let bytes = encode_outcome(&outcome, 9).expect("resolved pins encode");
+        let back = decode_outcome(&bytes, 13, "ml_f", 1).expect("decodes");
+        assert_eq!(back.name, outcome.name);
+        assert_eq!(back.diagnostics.len(), 2);
+        assert_eq!(back.diagnostics.iter().next().unwrap().notes().len(), 1);
+        assert_eq!(back.passes, 3);
+        assert_eq!(
+            back.gc_edges[0],
+            (EffectKey::Base(4), EffectKey::Local { func: 13, raw: 80 }),
+            "local keys re-bound to the replaying index"
+        );
+        assert_eq!(back.obligations[0].deferred_ptrs, outcome.obligations[0].deferred_ptrs);
+        assert_eq!(back.psi_pins, outcome.psi_pins);
+        assert_eq!(back.interface_pins[0].rendered, "WindowT *");
+        assert_eq!(back.seconds, 0.0, "replayed outcomes report zero work");
+
+        // wrong function name or too few signatures: miss, not garbage
+        assert!(decode_outcome(&bytes, 13, "ml_g", 1).is_none());
+        assert!(decode_outcome(&bytes, 13, "ml_f", 0).is_none());
+        // truncation at every prefix: miss, never a panic
+        for cut in 0..bytes.len() {
+            assert!(decode_outcome(&bytes[..cut], 13, "ml_f", 1).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn counters_larger_than_payload_still_decode() {
+        // Regression: `get_len`'s corruption guard caps values at the
+        // payload byte length. A big clean function allocates far more
+        // nodes than its tiny outcome payload has bytes; its counters
+        // must not be read through that guard.
+        let outcome = FunctionOutcome {
+            name: "ml_big".into(),
+            diagnostics: DiagnosticBag::new(),
+            passes: 5_000,
+            new_nodes: 250_000,
+            gc_edges: vec![],
+            recorded_gc_edges: 0,
+            gc_roots: vec![],
+            obligations: vec![],
+            psi_violations: vec![],
+            psi_pins: vec![],
+            deferred_psi_bounds: vec![],
+            pinned_polys: vec![],
+            interface_pins: vec![],
+            heap_slots: vec![],
+            seconds: 0.5,
+        };
+        let bytes = encode_outcome(&outcome, 0).expect("encodes");
+        assert!(outcome.new_nodes > bytes.len(), "test premise: counter exceeds payload");
+        let back = decode_outcome(&bytes, 0, "ml_big", 0).expect("large counters decode");
+        assert_eq!(back.passes, 5_000);
+        assert_eq!(back.new_nodes, 250_000);
+    }
+
+    #[test]
+    fn unresolved_psi_pins_are_not_cached() {
+        let outcome = FunctionOutcome {
+            name: "ml_odd".into(),
+            diagnostics: DiagnosticBag::new(),
+            passes: 1,
+            new_nodes: 0,
+            gc_edges: vec![],
+            recorded_gc_edges: 0,
+            gc_roots: vec![],
+            obligations: vec![],
+            psi_violations: vec![],
+            psi_pins: vec![(7, PsiNode::Var)],
+            deferred_psi_bounds: vec![],
+            pinned_polys: vec![],
+            interface_pins: vec![],
+            heap_slots: vec![],
+            seconds: 0.0,
+        };
+        assert!(encode_outcome(&outcome, 0).is_none(), "unreplayable outcome must not cache");
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut diagnostics = DiagnosticBag::new();
+        diagnostics.push(Diagnostic::new(DiagnosticCode::TypeMismatch, Span::dummy(), "boom"));
+        diagnostics.push(Diagnostic::new(DiagnosticCode::UnknownOffset, Span::dummy(), "offset"));
+        let r = CachedReport {
+            rendered: "glue.c:3:5: error [E001]: boom\n1 error(s)\n".into(),
+            errors: 1,
+            warnings: 0,
+            imprecision: 2,
+            diagnostics,
+        };
+        let bytes = encode_report(&r);
+        let back = decode_report(&bytes).expect("decodes");
+        assert_eq!(back.rendered, r.rendered);
+        assert_eq!((back.errors, back.warnings, back.imprecision), (1, 0, 2));
+        assert_eq!(back.diagnostics.len(), 2);
+        assert_eq!(back.diagnostics.iter().next().unwrap().code(), DiagnosticCode::TypeMismatch);
+        assert!(decode_report(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_report(b"").is_none());
+    }
+}

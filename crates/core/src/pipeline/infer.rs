@@ -22,11 +22,15 @@
 //! restricting both to the state a function actually touches is the
 //! incremental-reanalysis item on the ROADMAP.
 
+use super::cache::PipelineCache;
 use crate::engine::{analyze_function, AnalysisOptions};
 use crate::registry::{FuncOrigin, Registry};
+use ffisafe_cache::Tier;
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
-use ffisafe_support::{Diagnostic, DiagnosticBag, DiagnosticCode, Interner, Session, Span};
+use ffisafe_support::{
+    Diagnostic, DiagnosticBag, DiagnosticCode, Fingerprint, Interner, Session, Span,
+};
 use ffisafe_types::{
     ConstraintSet, CtId, CtNode, FlatInt, GcId, GcNode, MtId, MtNode, PsiNode, PsiViolation,
     TypeTable,
@@ -225,10 +229,18 @@ pub struct InferArtifact {
     /// Worker threads actually used.
     pub jobs: usize,
     /// Sum of per-function analysis wall-clock (the stage's total work).
+    /// Replayed cache hits contribute zero.
     pub work_seconds: f64,
     /// The slowest single function (the stage's critical path — a lower
     /// bound on parallel wall-clock whatever the worker count).
     pub critical_path_seconds: f64,
+    /// Functions whose outcome was replayed from the tier-1 cache.
+    pub cache_hits: usize,
+    /// Functions whose fingerprint missed the tier-1 cache (0 when the
+    /// cache is disabled).
+    pub cache_misses: usize,
+    /// Functions actually analyzed by a live worker this run.
+    pub workers_executed: usize,
 }
 
 /// Builds `Γ_I` and binds externals: registers every defined function and
@@ -439,39 +451,112 @@ fn bind_externals(
 /// Runs per-function inference over `program` on a worker pool sized by
 /// [`AnalysisOptions::jobs`]. Outcomes are collected in program order, so
 /// the artifact is identical for any worker count.
+///
+/// With a [`PipelineCache`], every function is first fingerprinted against
+/// the cache's base-surface digest; hits replay the memoized
+/// [`FunctionOutcome`] and **no worker runs for them**. Only misses reach
+/// the pool, and their fresh outcomes are stored back. Because a replayed
+/// outcome is byte-for-byte the plain data a worker would have produced,
+/// warm runs stay report-identical to cold runs at any worker count.
 pub fn run(
     session: &Session,
     base: &BaseState,
     program: &cil::IrProgram,
     phase1: &ocaml::translate::Phase1,
+    mut cache: Option<&mut PipelineCache>,
 ) -> InferArtifact {
     let options = *session.options();
     let n = program.functions.len();
     if n == 0 {
         return InferArtifact { jobs: 0, ..InferArtifact::default() };
     }
-    let jobs = options.effective_jobs().clamp(1, n);
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<FunctionOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
+    // Tier-1 probe: replay every hit, queue every miss. Fingerprinting
+    // walks each function's whole IR, so it runs on the worker pool; only
+    // the store lookups (small file reads) stay serial.
+    let mut slots: Vec<Option<FunctionOutcome>> = (0..n).map(|_| None).collect();
+    let mut fingerprints: Vec<Option<Fingerprint>> = vec![None; n];
+    if let Some(pc) = cache.as_deref_mut() {
+        let base_digest = pc.base_digest;
+        let fp_jobs = options.effective_jobs().clamp(1, n);
+        if fp_jobs > 1 {
+            let next = AtomicUsize::new(0);
+            let cells: Vec<Mutex<Option<Fingerprint>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..fp_jobs {
+                    scope.spawn(|| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let fp = super::cache::function_fingerprint(
+                            base_digest,
+                            &program.functions[idx],
+                        );
+                        *cells[idx].lock().unwrap() = Some(fp);
+                    });
                 }
-                let outcome =
-                    analyze_one(base, &program.functions[idx], phase1, idx as u32, &options);
-                *results[idx].lock().unwrap() = Some(outcome);
             });
+            for (slot, cell) in fingerprints.iter_mut().zip(cells) {
+                *slot = cell.into_inner().unwrap();
+            }
+        } else {
+            for (slot, func) in fingerprints.iter_mut().zip(&program.functions) {
+                *slot = Some(super::cache::function_fingerprint(base_digest, func));
+            }
         }
-    });
+        for (idx, func) in program.functions.iter().enumerate() {
+            let fp = fingerprints[idx].expect("computed above");
+            if let Some(bytes) = pc.store.get(Tier::Function, fp) {
+                slots[idx] = super::cache::decode_outcome(
+                    &bytes,
+                    idx as u32,
+                    &func.name,
+                    phase1.signatures.len(),
+                );
+            }
+        }
+    }
+    let cache_hits = slots.iter().filter(|s| s.is_some()).count();
+    let todo: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+    let cache_misses = if cache.is_some() { todo.len() } else { 0 };
+    let workers_executed = todo.len();
 
-    let outcomes: Vec<FunctionOutcome> = results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker completed every claimed index"))
-        .collect();
+    let jobs = options.effective_jobs().clamp(1, todo.len().max(1));
+    if !todo.is_empty() {
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<FunctionOutcome>>> =
+            todo.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= todo.len() {
+                        break;
+                    }
+                    let idx = todo[t];
+                    let outcome =
+                        analyze_one(base, &program.functions[idx], phase1, idx as u32, &options);
+                    *results[t].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        for (t, cell) in results.into_iter().enumerate() {
+            let outcome = cell.into_inner().unwrap().expect("worker completed every claimed index");
+            let idx = todo[t];
+            if let (Some(pc), Some(fp)) = (cache.as_deref_mut(), fingerprints[idx]) {
+                // An unencodable outcome or failed write only loses future
+                // warm hits; never fail the analysis over it.
+                if let Some(payload) = super::cache::encode_outcome(&outcome, idx as u32) {
+                    let _ = pc.store.put(Tier::Function, fp, &payload);
+                }
+            }
+            slots[idx] = Some(outcome);
+        }
+    }
+
+    let outcomes: Vec<FunctionOutcome> =
+        slots.into_iter().map(|s| s.expect("every function replayed or analyzed")).collect();
     InferArtifact {
         passes: outcomes.iter().map(|o| o.passes).sum(),
         new_nodes: outcomes.iter().map(|o| o.new_nodes).sum(),
@@ -479,6 +564,9 @@ pub fn run(
         jobs,
         work_seconds: outcomes.iter().map(|o| o.seconds).sum(),
         critical_path_seconds: outcomes.iter().map(|o| o.seconds).fold(0.0, f64::max),
+        cache_hits,
+        cache_misses,
+        workers_executed,
         outcomes,
     }
 }

@@ -35,12 +35,26 @@
 //! [`discharge`] merges them in function order. The result is byte-for-byte
 //! identical whatever the worker count — `jobs=1` and `jobs=8` produce the
 //! same report, which `crates/core/tests/parallel_determinism.rs` locks in.
+//!
+//! # Incremental reanalysis
+//!
+//! Snapshot isolation is also what makes the pipeline cacheable: a worker
+//! reads *only* the frozen base state plus its own function's IR, so a
+//! stable fingerprint of those two inputs ([`cache`]) keys its
+//! [`infer::FunctionOutcome`] exactly. With a `--cache-dir`, [`infer::run`]
+//! replays memoized outcomes for fingerprint hits (zero workers on a warm
+//! unchanged corpus) and the driver short-circuits repeated corpora
+//! entirely via a report-level tier. Replay feeds [`discharge`] the same
+//! plain data a live worker would have produced, so warm reports are
+//! byte-identical to cold ones at any `--jobs`.
 
+pub mod cache;
 pub mod discharge;
 pub mod frontend_c;
 pub mod frontend_ml;
 pub mod infer;
 
+pub use cache::{CachedReport, PipelineCache, CACHE_SCHEMA_VERSION};
 pub use discharge::DischargeSummary;
 pub use frontend_c::CArtifact;
 pub use frontend_ml::MlArtifact;

@@ -58,10 +58,54 @@ pub struct FuncInfo {
     pub span: Span,
 }
 
+/// The immutable classification of one OCaml runtime entry point: which
+/// slot shapes to instantiate, its effect constant and whether it returns.
+///
+/// Runtime functions are *polymorphic* — every call site must get fresh
+/// inference variables — so the [`FuncInfo`] itself cannot be cached. What
+/// never changes per name is this shape, which used to be re-derived from
+/// scratch (a long string-match chain) at every call site. The registry
+/// memoizes it per interned [`Symbol`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeShape {
+    params: Vec<SlotShape>,
+    ret: SlotShape,
+    /// `true` for the `gc` effect constant, `false` for `nogc`.
+    may_gc: bool,
+    noreturn: bool,
+}
+
+/// Type shapes a runtime signature slot can take; instantiated with fresh
+/// table nodes per call site by [`RuntimeShape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotShape {
+    /// Any C integer.
+    Int,
+    /// Any C float.
+    Float,
+    /// `char *`.
+    CharPtr,
+    /// A fresh `value`.
+    Value,
+    /// Pointer to a fresh `value`.
+    PtrValue,
+    /// A fully unconstrained fresh `ct` (e.g. `custom_operations *`).
+    Fresh,
+    /// `void`.
+    Void,
+    /// `value` of a boxed abstract type (`string`, `float`, `int64`, …).
+    Abstract(&'static str),
+}
+
 /// The function environment shared by all per-function analyses.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
     funcs: HashMap<Symbol, FuncInfo>,
+    /// Memoized per-name runtime classification (`None` = not a runtime
+    /// function). Keyed by interned symbol; the expensive fresh
+    /// *instantiation* still happens per call site, preserving runtime
+    /// polymorphism.
+    runtime_shapes: HashMap<Symbol, Option<RuntimeShape>>,
 }
 
 impl Registry {
@@ -134,12 +178,16 @@ impl Registry {
         arity: usize,
         span: Span,
     ) -> FuncInfo {
+        let _ = arity; // runtime classification is name-driven
         let sym = interner.intern(name);
         if let Some(info) = self.funcs.get(&sym) {
             return info.clone();
         }
-        if let Some(info) = runtime_signature(table, name, arity, span) {
-            return info; // fresh per call site, never cached
+        // The shape (the immutable part) is memoized; the instantiation
+        // stays fresh per call site, keeping runtime functions polymorphic.
+        let shape = self.runtime_shapes.entry(sym).or_insert_with(|| runtime_shape(name));
+        if let Some(shape) = shape {
+            return shape.instantiate(table, name, span);
         }
         // unknown library function: unconstrained, nogc unless edges prove
         // otherwise; monomorphic, so memoized
@@ -176,107 +224,92 @@ impl Registry {
     }
 }
 
-/// Builds the signature of a known OCaml runtime function, or `None`.
+impl RuntimeShape {
+    /// Instantiates the shape with fresh table nodes for one call site.
+    fn instantiate(&self, table: &mut TypeTable, name: &str, span: Span) -> FuncInfo {
+        let slot = |table: &mut TypeTable, s: SlotShape| -> CtId {
+            match s {
+                SlotShape::Int => table.ct_int(),
+                SlotShape::Float => table.ct_float(),
+                SlotShape::CharPtr => {
+                    let i = table.ct_int();
+                    table.ct_ptr(i)
+                }
+                SlotShape::Value => table.ct_fresh_value(),
+                SlotShape::PtrValue => {
+                    let v = table.ct_fresh_value();
+                    table.ct_ptr(v)
+                }
+                SlotShape::Fresh => table.fresh_ct(),
+                SlotShape::Void => table.ct_void(),
+                SlotShape::Abstract(n) => {
+                    let m = table.mt_abstract(n, true);
+                    table.ct_value(m)
+                }
+            }
+        };
+        let params: Vec<CtId> = self.params.iter().map(|&s| slot(table, s)).collect();
+        let ret = slot(table, self.ret);
+        let effect: GcId = if self.may_gc { table.gc_gc() } else { table.gc_nogc() };
+        FuncInfo {
+            name: name.to_string(),
+            params,
+            ret,
+            effect,
+            origin: FuncOrigin::Runtime,
+            external_index: None,
+            noreturn: self.noreturn,
+            span,
+        }
+    }
+}
+
+/// Classifies a known OCaml runtime function by name, or `None`.
 ///
 /// Effects follow §2/§5: allocation and callbacks may trigger the
-/// collector; root registration and field writes do not.
-fn runtime_signature(
-    table: &mut TypeTable,
-    name: &str,
-    arity: usize,
-    span: Span,
-) -> Option<FuncInfo> {
-    let gc = |table: &mut TypeTable| table.gc_gc();
-    let nogc = |table: &mut TypeTable| table.gc_nogc();
-    let value = |table: &mut TypeTable| table.ct_fresh_value();
-    let int = |table: &mut TypeTable| table.ct_int();
-    let charp = |table: &mut TypeTable| {
-        let i = table.ct_int();
-        table.ct_ptr(i)
+/// collector; root registration and field writes do not. This is the pure,
+/// table-free part of the old `runtime_signature`; the registry memoizes
+/// its result so the string-match chain runs once per distinct name
+/// instead of once per call site.
+fn runtime_shape(name: &str) -> Option<RuntimeShape> {
+    use SlotShape::*;
+    let shape = |params: Vec<SlotShape>, ret: SlotShape, may_gc: bool| RuntimeShape {
+        params,
+        ret,
+        may_gc,
+        noreturn: false,
     };
-    let (params, ret, effect): (Vec<CtId>, CtId, GcId) = match name {
-        "caml_alloc" | "caml_alloc_small" | "caml_alloc_shr" => {
-            (vec![int(table), int(table)], value(table), gc(table))
-        }
-        "caml_alloc_tuple" | "caml_alloc_string" => (vec![int(table)], value(table), gc(table)),
-        "caml_copy_string" => {
-            let p = charp(table);
-            let s = table.mt_abstract("string", true);
-            let r = table.ct_value(s);
-            (vec![p], r, gc(table))
-        }
-        "caml_copy_double" => {
-            let f = table.ct_float();
-            let m = table.mt_abstract("float", true);
-            let r = table.ct_value(m);
-            (vec![f], r, gc(table))
-        }
-        "caml_copy_int32" => {
-            let i = int(table);
-            let m = table.mt_abstract("int32", true);
-            let r = table.ct_value(m);
-            (vec![i], r, gc(table))
-        }
-        "caml_copy_int64" => {
-            let i = int(table);
-            let m = table.mt_abstract("int64", true);
-            let r = table.ct_value(m);
-            (vec![i], r, gc(table))
-        }
-        "caml_copy_nativeint" => {
-            let i = int(table);
-            let m = table.mt_abstract("nativeint", true);
-            let r = table.ct_value(m);
-            (vec![i], r, gc(table))
-        }
-        "caml_callback" | "caml_callback_exn" => {
-            (vec![value(table), value(table)], value(table), gc(table))
-        }
-        "caml_callback2" | "caml_callback2_exn" => {
-            (vec![value(table), value(table), value(table)], value(table), gc(table))
-        }
+    let mut out = match name {
+        "caml_alloc" | "caml_alloc_small" | "caml_alloc_shr" => shape(vec![Int, Int], Value, true),
+        "caml_alloc_tuple" | "caml_alloc_string" => shape(vec![Int], Value, true),
+        "caml_copy_string" => shape(vec![CharPtr], Abstract("string"), true),
+        "caml_copy_double" => shape(vec![Float], Abstract("float"), true),
+        "caml_copy_int32" => shape(vec![Int], Abstract("int32"), true),
+        "caml_copy_int64" => shape(vec![Int], Abstract("int64"), true),
+        "caml_copy_nativeint" => shape(vec![Int], Abstract("nativeint"), true),
+        "caml_callback" | "caml_callback_exn" => shape(vec![Value, Value], Value, true),
+        "caml_callback2" | "caml_callback2_exn" => shape(vec![Value, Value, Value], Value, true),
         "caml_callback3" | "caml_callback3_exn" => {
-            (vec![value(table), value(table), value(table), value(table)], value(table), gc(table))
+            shape(vec![Value, Value, Value, Value], Value, true)
         }
-        "caml_failwith" | "caml_invalid_argument" => {
-            (vec![charp(table)], table.ct_void(), gc(table))
-        }
+        "caml_failwith" | "caml_invalid_argument" => shape(vec![CharPtr], Void, true),
         "caml_raise_out_of_memory" | "caml_raise_stack_overflow" | "caml_raise_not_found" => {
-            (vec![], table.ct_void(), gc(table))
+            shape(vec![], Void, true)
         }
-        "caml_raise" | "caml_raise_constant" => (vec![value(table)], table.ct_void(), gc(table)),
-        "caml_raise_with_arg" => (vec![value(table), value(table)], table.ct_void(), gc(table)),
-        "caml_named_value" => {
-            let p = charp(table);
-            let v = value(table);
-            let pv = table.ct_ptr(v);
-            (vec![p], pv, nogc(table))
-        }
+        "caml_raise" | "caml_raise_constant" => shape(vec![Value], Void, true),
+        "caml_raise_with_arg" => shape(vec![Value, Value], Void, true),
+        "caml_named_value" => shape(vec![CharPtr], PtrValue, false),
         "caml_register_global_root" | "caml_remove_global_root" => {
-            let v = value(table);
-            let pv = table.ct_ptr(v);
-            (vec![pv], table.ct_void(), nogc(table))
+            shape(vec![PtrValue], Void, false)
         }
-        "caml_modify" => {
-            let v1 = value(table);
-            let pv = table.ct_ptr(v1);
-            (vec![pv, value(table)], table.ct_void(), nogc(table))
-        }
-        "caml_alloc_custom" => {
-            let ops = table.fresh_ct();
-            (vec![ops, int(table), int(table), int(table)], value(table), gc(table))
-        }
-        "caml_enter_blocking_section" | "caml_leave_blocking_section" => {
-            // other threads may collect while the lock is released
-            (vec![], table.ct_void(), gc(table))
-        }
-        "caml_gc_full_major" | "caml_gc_minor" | "caml_gc_compaction" => {
-            (vec![], table.ct_void(), gc(table))
-        }
-        _ if arity == usize::MAX => return None, // unreachable guard
+        "caml_modify" => shape(vec![PtrValue, Value], Void, false),
+        "caml_alloc_custom" => shape(vec![Fresh, Int, Int, Int], Value, true),
+        // other threads may collect while the lock is released
+        "caml_enter_blocking_section" | "caml_leave_blocking_section" => shape(vec![], Void, true),
+        "caml_gc_full_major" | "caml_gc_minor" | "caml_gc_compaction" => shape(vec![], Void, true),
         _ => return None,
     };
-    let noreturn = matches!(
+    out.noreturn = matches!(
         name,
         "caml_failwith"
             | "caml_invalid_argument"
@@ -287,16 +320,7 @@ fn runtime_signature(
             | "caml_raise_stack_overflow"
             | "caml_raise_not_found"
     );
-    Some(FuncInfo {
-        name: name.to_string(),
-        params,
-        ret,
-        effect,
-        origin: FuncOrigin::Runtime,
-        external_index: None,
-        noreturn,
-        span,
-    })
+    Some(out)
 }
 
 #[cfg(test)]
@@ -368,6 +392,66 @@ mod tests {
         let f =
             reg.resolve_call(&mut tt, &mut intern, "caml_copy_string", 1, Span::dummy()).clone();
         assert_eq!(tt.render_ct(f.ret), "string value");
+    }
+
+    #[test]
+    fn runtime_shape_memoized_but_instantiation_fresh() {
+        let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
+        let mut reg = Registry::new();
+        let a = reg.resolve_call(&mut tt, &mut intern, "caml_alloc", 2, Span::dummy());
+        let b = reg.resolve_call(&mut tt, &mut intern, "caml_alloc", 2, Span::dummy());
+        // one classification, memoized by symbol…
+        assert_eq!(reg.runtime_shapes.len(), 1);
+        let sym = intern.get("caml_alloc").unwrap();
+        assert!(reg.runtime_shapes.get(&sym).unwrap().is_some());
+        // …but polymorphic per call site: distinct fresh nodes every time
+        assert_ne!(a.ret, b.ret, "each call site must get a fresh instantiation");
+        assert_ne!(a.params[0], b.params[0]);
+        assert_eq!(tt.gc_node(a.effect), GcNode::Gc);
+        assert_eq!(tt.gc_node(b.effect), GcNode::Gc);
+        // non-runtime names are memoized as `None` and stay Unknown
+        let g = reg.resolve_call(&mut tt, &mut intern, "gzopen", 1, Span::dummy());
+        assert_eq!(g.origin, FuncOrigin::Unknown);
+        let gz = intern.get("gzopen").unwrap();
+        assert!(reg.runtime_shapes.get(&gz).unwrap().is_none());
+    }
+
+    #[test]
+    fn runtime_shapes_match_legacy_signatures() {
+        // regression for the shape refactor: spot-check every slot kind
+        let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
+        let mut reg = Registry::new();
+        let case = |reg: &mut Registry, tt: &mut TypeTable, intern: &mut Interner, name: &str| {
+            reg.resolve_call(tt, intern, name, 0, Span::dummy())
+        };
+        let f = case(&mut reg, &mut tt, &mut intern, "caml_copy_double");
+        assert_eq!(tt.render_ct(f.params[0]), "double");
+        assert_eq!(tt.render_ct(f.ret), "float value");
+        assert_eq!(tt.gc_node(f.effect), GcNode::Gc);
+        assert!(!f.noreturn);
+
+        let f = case(&mut reg, &mut tt, &mut intern, "caml_failwith");
+        assert_eq!(tt.render_ct(f.params[0]), "int *");
+        assert_eq!(tt.render_ct(f.ret), "void");
+        assert!(f.noreturn);
+
+        let f = case(&mut reg, &mut tt, &mut intern, "caml_named_value");
+        assert_eq!(tt.gc_node(f.effect), GcNode::NoGc);
+        assert!(!f.noreturn);
+
+        let f = case(&mut reg, &mut tt, &mut intern, "caml_modify");
+        assert_eq!(tt.gc_node(f.effect), GcNode::NoGc);
+        assert_eq!(f.params.len(), 2);
+
+        let f = case(&mut reg, &mut tt, &mut intern, "caml_enter_blocking_section");
+        assert_eq!(tt.gc_node(f.effect), GcNode::Gc);
+        assert!(f.params.is_empty());
+
+        let f = case(&mut reg, &mut tt, &mut intern, "caml_raise_not_found");
+        assert!(f.noreturn);
+        assert_eq!(f.origin, FuncOrigin::Runtime);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   practice warnings, imprecision warnings).
 //! * [`Interner`] / [`Symbol`] — cheap interned identifiers shared by the
 //!   OCaml and C frontends.
+//! * [`Fingerprint`] / [`FingerprintHasher`] — platform-stable 128-bit
+//!   content hashes keying the incremental-reanalysis cache.
 //! * [`table`] — a small plain-text table renderer used by the Figure 9
 //!   harness and the CLI.
 //!
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod diagnostics;
+pub mod fingerprint;
 pub mod intern;
 pub mod rng;
 pub mod session;
@@ -36,6 +39,7 @@ pub mod span;
 pub mod table;
 
 pub use diagnostics::{Diagnostic, DiagnosticBag, DiagnosticCode, Severity};
+pub use fingerprint::{Fingerprint, FingerprintHasher};
 pub use intern::{Interner, Symbol};
 pub use session::{AnalysisOptions, Phase, PhaseTimings, Session};
 pub use source_map::{FileId, Loc, SourceFile, SourceMap};

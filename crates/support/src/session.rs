@@ -26,9 +26,11 @@
 //! ```
 
 use crate::diagnostics::{Diagnostic, DiagnosticBag};
+use crate::fingerprint::{Fingerprint, FingerprintHasher};
 use crate::intern::{Interner, Symbol};
 use crate::source_map::{FileId, SourceMap};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Tunable analysis switches, shared by every pipeline stage.
@@ -68,6 +70,19 @@ impl AnalysisOptions {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
         self
+    }
+
+    /// Fingerprint of every option that can change analysis *results*.
+    ///
+    /// `jobs` is deliberately excluded: reports are byte-identical at any
+    /// worker count (the parallel-determinism invariant), so a cache entry
+    /// written at `--jobs 1` must hit at `--jobs 8` and vice versa.
+    pub fn semantic_digest(&self) -> Fingerprint {
+        let mut h = FingerprintHasher::new();
+        h.write_str("AnalysisOptions");
+        h.write_bool(self.flow_sensitive);
+        h.write_bool(self.gc_effects);
+        h.finish()
     }
 }
 
@@ -115,29 +130,49 @@ impl fmt::Display for Phase {
     }
 }
 
-/// Cumulative wall-clock time per [`Phase`].
+/// Cumulative wall-clock and work time per [`Phase`].
+///
+/// *Wall* is elapsed time; *work* is the total compute the phase performed.
+/// For serial phases the two coincide, so [`PhaseTimings::record`] charges
+/// both. The parallel inference stage overrides its work total with the sum
+/// of per-function analysis time ([`PhaseTimings::set_work`]) — on a warm
+/// cached run that sum drops to (near) zero while wall still includes
+/// fingerprinting and replay, which is exactly the signal `--timings`
+/// surfaces.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
     totals: [Duration; 4],
+    work: [Duration; 4],
 }
 
 impl PhaseTimings {
-    /// Adds `elapsed` to `phase`'s total.
+    /// Adds `elapsed` to `phase`'s wall and work totals.
     pub fn record(&mut self, phase: Phase, elapsed: Duration) {
         self.totals[phase.index()] += elapsed;
+        self.work[phase.index()] += elapsed;
     }
 
-    /// Cumulative time spent in `phase`.
+    /// Cumulative wall-clock time spent in `phase`.
     pub fn get(&self, phase: Phase) -> Duration {
         self.totals[phase.index()]
     }
 
-    /// Sum over all phases.
+    /// Cumulative work performed by `phase` (= wall for serial phases).
+    pub fn get_work(&self, phase: Phase) -> Duration {
+        self.work[phase.index()]
+    }
+
+    /// Replaces `phase`'s work total (parallel stages report true work).
+    pub fn set_work(&mut self, phase: Phase, work: Duration) {
+        self.work[phase.index()] = work;
+    }
+
+    /// Sum of wall-clock over all phases.
     pub fn total(&self) -> Duration {
         self.totals.iter().sum()
     }
 
-    /// `(phase, cumulative time)` pairs in pipeline order.
+    /// `(phase, cumulative wall-clock)` pairs in pipeline order.
     pub fn iter(&self) -> impl Iterator<Item = (Phase, Duration)> + '_ {
         Phase::ALL.iter().map(move |&p| (p, self.get(p)))
     }
@@ -156,6 +191,13 @@ pub struct Session {
     diagnostics: DiagnosticBag,
     options: AnalysisOptions,
     timings: PhaseTimings,
+    /// On-disk incremental-reanalysis cache root; `None` disables caching.
+    ///
+    /// This lives on the session rather than in [`AnalysisOptions`] because
+    /// options are `Copy` plain data folded into cache keys, while the
+    /// cache directory is where those keys are *stored* — it must never
+    /// influence analysis results.
+    cache_dir: Option<PathBuf>,
 }
 
 impl Session {
@@ -237,6 +279,22 @@ impl Session {
     pub fn timings(&self) -> &PhaseTimings {
         &self.timings
     }
+
+    /// Mutable access to the timings (drivers that record true parallel
+    /// work totals).
+    pub fn timings_mut(&mut self) -> &mut PhaseTimings {
+        &mut self.timings
+    }
+
+    /// The incremental-reanalysis cache root, if caching is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Enables (`Some`) or disables (`None`) the on-disk cache.
+    pub fn set_cache_dir(&mut self, dir: Option<PathBuf>) {
+        self.cache_dir = dir;
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +346,38 @@ mod tests {
         assert_eq!(s.timings().get(Phase::FrontendMl), Duration::ZERO);
         let names: Vec<_> = s.timings().iter().map(|(p, _)| p.name()).collect();
         assert_eq!(names, ["frontend_ml", "frontend_c", "infer", "discharge"]);
+    }
+
+    #[test]
+    fn work_defaults_to_wall_and_can_be_overridden() {
+        let mut t = PhaseTimings::default();
+        t.record(Phase::Infer, Duration::from_millis(10));
+        assert_eq!(t.get_work(Phase::Infer), t.get(Phase::Infer));
+        t.set_work(Phase::Infer, Duration::from_millis(3));
+        assert_eq!(t.get_work(Phase::Infer), Duration::from_millis(3));
+        assert_eq!(t.get(Phase::Infer), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn semantic_digest_ignores_jobs_but_not_switches() {
+        let base = AnalysisOptions::default();
+        assert_eq!(base.semantic_digest(), base.with_jobs(8).semantic_digest());
+        let mut no_flow = base;
+        no_flow.flow_sensitive = false;
+        assert_ne!(base.semantic_digest(), no_flow.semantic_digest());
+        let mut no_gc = base;
+        no_gc.gc_effects = false;
+        assert_ne!(base.semantic_digest(), no_gc.semantic_digest());
+        assert_ne!(no_flow.semantic_digest(), no_gc.semantic_digest());
+    }
+
+    #[test]
+    fn cache_dir_round_trips() {
+        let mut s = Session::new();
+        assert!(s.cache_dir().is_none());
+        s.set_cache_dir(Some(PathBuf::from("/tmp/ffisafe-cache")));
+        assert_eq!(s.cache_dir(), Some(Path::new("/tmp/ffisafe-cache")));
+        s.set_cache_dir(None);
+        assert!(s.cache_dir().is_none());
     }
 }

@@ -1,7 +1,8 @@
 //! The `ffisafe` command-line tool: analyze OCaml + C glue sources.
 //!
 //! ```text
-//! ffisafe [--no-flow] [--no-gc] [--jobs N] [--timings] <file.ml|file.c>...
+//! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR] [--no-cache]
+//!         [--timings] <file.ml|file.c>...
 //! ```
 //!
 //! Exit status is 1 when errors are found, 2 on usage or I/O problems,
@@ -20,13 +21,20 @@ options:
   --no-gc       disable GC effect tracking and registration checks
   --jobs N, -j N
                 inference worker threads (default: all cores)
-  --timings     print per-phase wall-clock timings to stderr
+  --cache-dir DIR
+                two-tier incremental-reanalysis cache: unchanged corpora
+                replay their report, unchanged functions skip inference
+  --no-cache    ignore --cache-dir (force a cold run)
+  --timings     print per-phase wall-clock/work timings and cache
+                hit/miss counts to stderr
   --version     print version and exit
   --help, -h    print this help";
 
 fn main() -> ExitCode {
     let mut options = AnalysisOptions::default();
     let mut timings = false;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut no_cache = false;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +42,15 @@ fn main() -> ExitCode {
             "--no-flow" => options.flow_sensitive = false,
             "--no-gc" => options.gc_effects = false,
             "--timings" => timings = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("ffisafe: --cache-dir requires a directory");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                cache_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--jobs" | "-j" => {
                 let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("ffisafe: --jobs requires a positive integer");
@@ -67,6 +84,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let mut az = Analyzer::with_options(options);
+    if !no_cache {
+        az.set_cache_dir(cache_dir);
+    }
     for path in &files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -86,10 +106,23 @@ fn main() -> ExitCode {
     let report = az.analyze();
     print!("{}", report.render());
     if timings {
+        eprintln!("{:>12}  {:>8}  {:>8}", "phase", "wall", "work");
         for (phase, t) in report.timings.iter() {
-            eprintln!("{phase:>12}: {:.3}s", t.as_secs_f64());
+            let work = report.timings.get_work(phase);
+            eprintln!("{phase:>12}: {:>7.3}s {:>7.3}s", t.as_secs_f64(), work.as_secs_f64());
         }
         eprintln!("{:>12}: {}", "jobs", report.stats.jobs);
+        if report.stats.cache_report_hit {
+            eprintln!("{:>12}: report tier hit (analysis skipped)", "cache");
+        } else {
+            eprintln!(
+                "{:>12}: {} function hit(s), {} miss(es), {} worker(s) run",
+                "cache",
+                report.stats.cache_fn_hits,
+                report.stats.cache_fn_misses,
+                report.stats.workers_executed
+            );
+        }
     }
     if report.error_count() > 0 {
         ExitCode::FAILURE

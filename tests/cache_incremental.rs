@@ -1,0 +1,239 @@
+//! Integration tests for the two-tier incremental-reanalysis cache:
+//!
+//! * a warm run on an unchanged corpus executes **zero** inference workers
+//!   and renders a byte-identical report, at `--jobs 1` and `--jobs 8`;
+//! * editing one C function invalidates exactly that function's tier-1
+//!   entry — its siblings replay;
+//! * changing `AnalysisOptions` (or the analyzer version) invalidates
+//!   everything;
+//! * a corrupted or truncated cache file is a miss, never a crash.
+
+use ffisafe::{AnalysisOptions, Analyzer};
+use std::path::{Path, PathBuf};
+
+const ML: &str = r#"
+type handle
+external a : int -> int = "ml_a"
+external b : int -> int = "ml_b"
+external c : int -> int = "ml_c"
+"#;
+
+/// The global `value` yields a P002 imprecision report with a runtime
+/// check suggestion, so suggestion replay is exercised too.
+const A_C: &str = r#"
+value stashed;
+value ml_a(value n) { return Val_int(Int_val(n) + 1); }
+"#;
+
+const B_C_CLEAN: &str = r#"
+value ml_b(value n) { return Val_int(Int_val(n) * 2); }
+"#;
+
+/// `Val_int` applied to something that is already a `value`: E001.
+const B_C_BUGGY: &str = r#"
+value ml_b(value n) { return Val_int(n); }
+"#;
+
+/// Buggy from the start, so the corpus always has at least one finding.
+const C_C: &str = r#"
+value ml_c(value n) { return Val_int(n); }
+"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffisafe-cache-it-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn analyze(
+    corpus: &[(&str, &str)],
+    options: AnalysisOptions,
+    cache: Option<&Path>,
+) -> ffisafe::AnalysisReport {
+    let mut az = Analyzer::with_options(options);
+    az.set_cache_dir(cache.map(Path::to_path_buf));
+    for (name, src) in corpus {
+        if name.ends_with(".ml") {
+            az.add_ml_source(name, src);
+        } else {
+            az.add_c_source(name, src);
+        }
+    }
+    az.analyze()
+}
+
+fn corpus(b_src: &str) -> Vec<(&'static str, String)> {
+    vec![
+        ("lib.ml", ML.to_string()),
+        ("a.c", A_C.to_string()),
+        ("b.c", b_src.to_string()),
+        ("c.c", C_C.to_string()),
+    ]
+}
+
+fn as_refs<'a>(v: &'a [(&'static str, String)]) -> Vec<(&'a str, &'a str)> {
+    v.iter().map(|(n, s)| (*n, s.as_str())).collect()
+}
+
+#[test]
+fn warm_unchanged_corpus_runs_zero_workers_and_is_byte_identical() {
+    let dir = temp_dir("warm");
+    let files = corpus(B_C_CLEAN);
+
+    let cold = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!cold.stats.cache_report_hit);
+    assert_eq!(cold.stats.cache_fn_hits, 0);
+    assert_eq!(cold.stats.workers_executed, 3, "cold run analyzes every function");
+    let reference = cold.render_stable();
+    assert!(reference.contains("E001"), "corpus must produce findings:\n{reference}");
+
+    for jobs in [1, 8] {
+        let warm =
+            analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(jobs), Some(&dir));
+        assert!(warm.stats.cache_report_hit, "unchanged corpus is a report-tier hit");
+        assert_eq!(warm.stats.workers_executed, 0, "warm run must execute zero workers");
+        assert_eq!(warm.render_stable(), reference, "jobs={jobs} must be byte-identical");
+        assert_eq!(warm.error_count(), cold.error_count());
+        assert_eq!(warm.warning_count(), cold.warning_count());
+        assert_eq!(warm.imprecision_count(), cold.imprecision_count());
+        // Structured diagnostics are replayed too, so downstream APIs
+        // behave identically at any cache temperature.
+        assert_eq!(warm.diagnostics.len(), cold.diagnostics.len());
+        let cold_suggestions = cold.suggest_runtime_checks();
+        assert!(!cold_suggestions.is_empty(), "global value must yield a suggestion");
+        assert_eq!(warm.suggest_runtime_checks().len(), cold_suggestions.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn editing_one_function_invalidates_exactly_that_entry() {
+    let before = corpus(B_C_CLEAN);
+    let after = corpus(B_C_BUGGY);
+
+    // One fresh cache per worker width: prime with the clean corpus, then
+    // edit `ml_b`'s body only — siblings must replay, `ml_b` must re-run.
+    for jobs in [1, 8] {
+        let dir = temp_dir(&format!("edit-j{jobs}"));
+        let cold = analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(1), Some(&dir));
+        let errors_before = cold.error_count();
+
+        let warm =
+            analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(jobs), Some(&dir));
+        assert!(!warm.stats.cache_report_hit, "changed corpus must miss the report tier");
+        assert_eq!(warm.stats.cache_fn_hits, 2, "ml_a and ml_c replay (jobs={jobs})");
+        assert_eq!(warm.stats.cache_fn_misses, 1, "only ml_b re-runs (jobs={jobs})");
+        assert_eq!(warm.stats.workers_executed, 1);
+        assert_eq!(warm.error_count(), errors_before + 1, "the new bug is found");
+
+        // byte-identical to an uncached run of the edited corpus
+        let fresh = analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(1), None);
+        assert_eq!(warm.render_stable(), fresh.render_stable());
+
+        // Reverting the edit replays everything again (entries for the
+        // clean body were written by the cold run, so the report tier
+        // hits and the output matches the original run exactly).
+        let reverted =
+            analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(1), Some(&dir));
+        assert!(reverted.stats.cache_report_hit);
+        assert_eq!(reverted.render_stable(), cold.render_stable());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn options_change_invalidates_everything() {
+    let dir = temp_dir("options");
+    let files = corpus(B_C_CLEAN);
+
+    let cold = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert_eq!(cold.stats.cache_fn_misses, 3);
+
+    // Different semantic options: nothing may be reused.
+    let mut no_flow = AnalysisOptions::default().with_jobs(1);
+    no_flow.flow_sensitive = false;
+    let other = analyze(&as_refs(&files), no_flow, Some(&dir));
+    assert!(!other.stats.cache_report_hit, "options are part of the report key");
+    assert_eq!(other.stats.cache_fn_hits, 0, "options are part of every fingerprint");
+    assert_eq!(other.stats.workers_executed, 3);
+
+    // The original options still hit: the two keyspaces coexist.
+    let warm = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(warm.stats.cache_report_hit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyzer_version_change_invalidates_everything() {
+    let dir = temp_dir("version");
+    let files = corpus(B_C_CLEAN);
+    analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+
+    // Reopening the same directory as a different analyzer build wipes it.
+    let store = ffisafe_cache::CacheStore::open(&dir, "ffisafe 99.0.0 schema 999").unwrap();
+    assert_eq!(store.entry_count(), 0, "version mismatch wipes the store");
+    drop(store);
+
+    // The real analyzer then treats everything as a miss and recovers.
+    let warm = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!warm.stats.cache_report_hit);
+    assert_eq!(warm.stats.cache_fn_hits, 0);
+    assert_eq!(warm.stats.workers_executed, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_files_are_misses_not_crashes() {
+    let dir = temp_dir("corrupt");
+    let files = corpus(B_C_CLEAN);
+    let cold = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    let reference = cold.render_stable();
+
+    // Damage every entry: truncate function entries, bit-flip the report
+    // entry, and scribble over the index for good measure.
+    let mut damaged = 0;
+    for dirent in std::fs::read_dir(&dir).unwrap().flatten() {
+        let path = dirent.path();
+        let name = dirent.file_name().to_string_lossy().into_owned();
+        let bytes = std::fs::read(&path).unwrap();
+        if name.starts_with("fn-") {
+            std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+            damaged += 1;
+        } else if name.starts_with("rp-") {
+            let mut b = bytes.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0xff;
+            std::fs::write(&path, &b).unwrap();
+            damaged += 1;
+        }
+    }
+    assert!(damaged >= 4, "expected 3 function entries and 1 report entry, found {damaged}");
+
+    let warm = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!warm.stats.cache_report_hit, "corrupt report entry must miss");
+    assert_eq!(warm.stats.cache_fn_hits, 0, "corrupt function entries must miss");
+    assert_eq!(warm.stats.workers_executed, 3);
+    assert_eq!(warm.render_stable(), reference, "recovered run is still correct");
+
+    // The recovery run rewrote good entries: the next run hits again.
+    let again = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(again.stats.cache_report_hit);
+    assert_eq!(again.render_stable(), reference);
+
+    // A trashed index alone must also degrade gracefully.
+    std::fs::write(dir.join("index.bin"), b"not an index at all").unwrap();
+    let rebuilt = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!rebuilt.stats.cache_report_hit, "wiped store starts cold");
+    assert_eq!(rebuilt.render_stable(), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_disabled_runs_are_unaffected() {
+    let files = corpus(B_C_CLEAN);
+    let report = analyze(&as_refs(&files), AnalysisOptions::default().with_jobs(2), None);
+    assert!(!report.stats.cache_report_hit);
+    assert_eq!(report.stats.cache_fn_hits, 0);
+    assert_eq!(report.stats.cache_fn_misses, 0, "no cache, no misses counted");
+    assert_eq!(report.stats.workers_executed, 3, "every function analyzed live");
+}

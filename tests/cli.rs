@@ -127,7 +127,48 @@ fn cli_timings_flag_reports_phases() {
         .unwrap();
     assert!(out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for phase in ["frontend_ml", "frontend_c", "infer", "discharge", "jobs"] {
+    for phase in ["frontend_ml", "frontend_c", "infer", "discharge", "jobs", "work", "cache"] {
         assert!(stderr.contains(phase), "missing {phase} in: {stderr}");
     }
+}
+
+#[test]
+fn cli_cache_dir_warm_run_is_identical_and_observable() {
+    let ml = write_temp("cache.ml", r#"external f : int -> int = "ml_f""#);
+    let c = write_temp("cache.c", r#"value ml_f(value n) { return Val_int(n); }"#);
+    let cache = std::env::temp_dir().join(format!("ffisafe-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_ffisafe"));
+        cmd.args(["--cache-dir", cache.to_str().unwrap(), "--timings"]);
+        cmd.args(extra);
+        cmd.arg(&ml).arg(&c);
+        cmd.output().unwrap()
+    };
+
+    let cold = run(&[]);
+    assert_eq!(cold.status.code(), Some(1), "buggy input exits 1");
+    let warm = run(&[]);
+    assert_eq!(warm.status.code(), Some(1), "cached error count drives the exit status");
+    // Identical findings modulo the timing suffix on the summary line.
+    let strip = |out: &std::process::Output| {
+        let s = String::from_utf8_lossy(&out.stdout).into_owned();
+        s.rsplit_once(", ").map(|(head, _)| head.to_string()).unwrap_or(s)
+    };
+    assert_eq!(strip(&cold), strip(&warm));
+    let warm_err = String::from_utf8_lossy(&warm.stderr).into_owned();
+    assert!(warm_err.contains("report tier hit"), "{warm_err}");
+
+    // --no-cache forces a cold run even with --cache-dir present.
+    let forced = run(&["--no-cache"]);
+    assert_eq!(forced.status.code(), Some(1));
+    let forced_err = String::from_utf8_lossy(&forced.stderr).into_owned();
+    assert!(!forced_err.contains("report tier hit"), "{forced_err}");
+    assert_eq!(strip(&cold), strip(&forced));
+
+    // --cache-dir without a directory is a usage error.
+    let bad = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("--cache-dir").output().unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&cache);
 }
