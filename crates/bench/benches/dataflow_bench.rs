@@ -4,7 +4,7 @@
 
 use ffisafe_bench::harness::Criterion;
 use ffisafe_bench::{criterion_group, criterion_main};
-use ffisafe_core::{AnalysisOptions, Analyzer};
+use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus};
 use std::hint::black_box;
 
 const FIG2_ML: &str = r#"
@@ -42,10 +42,11 @@ fn deep_branches(n: usize) -> String {
 }
 
 fn analyze(ml: &str, c: &str, options: AnalysisOptions) -> usize {
-    let mut az = Analyzer::with_options(options);
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze().diagnostics.len()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    let report = AnalysisService::new()
+        .analyze(&AnalysisRequest::new(corpus).options(options))
+        .expect("in-memory corpus analysis cannot fail");
+    report.diagnostics.len()
 }
 
 fn bench_dataflow(c: &mut Criterion) {

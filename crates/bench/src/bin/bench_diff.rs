@@ -1,0 +1,163 @@
+//! `bench_diff` — the perf-trajectory regression gate.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json>
+//! ```
+//!
+//! Compares two `BENCH_pipeline.json` artifacts (the committed baseline
+//! vs the one the bench just wrote) and fails when the trajectory
+//! regresses:
+//!
+//! * **warm ≥ cold** — any workload in the *current* artifact whose warm
+//!   (cached) run was not strictly faster than its cold run: the
+//!   incremental-reanalysis subsystem stopped paying for itself;
+//! * **total-work blow-up** — the current artifact's total inference work
+//!   (`work_seconds` summed over the uncached `jobs = 1` rows — the sum of
+//!   per-function analysis time, independent of worker count) exceeds the
+//!   baseline's by more than 25%.
+//!
+//! `work_seconds` is jobs-independent but still wall-clock-derived, so
+//! runs on different hardware (or a noisy shared runner) drift even with
+//! identical code; the 25% budget is deliberately wide to absorb that.
+//! CI diffs against the previous run's artifact from the same runner
+//! class (carried in the actions cache), not a cross-machine baseline. A
+//! red gate on an innocuous change means the runner was an outlier —
+//! re-run the job before hunting a regression.
+//!
+//! Exit status: `0` healthy, `1` regression detected, `2` usage/IO/parse
+//! problem.
+
+use ffisafe_support::json::{self, Json};
+use std::process::ExitCode;
+
+/// Total-work budget: current may cost at most this factor of baseline.
+const MAX_WORK_RATIO: f64 = 1.25;
+
+struct Row {
+    name: String,
+    jobs: u64,
+    cache: String,
+    seconds: f64,
+    work_seconds: f64,
+}
+
+fn rows(doc: &Json, which: &str) -> Result<Vec<Row>, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{which}: no `rows` array"))?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let field =
+                |key: &str| r.get(key).ok_or_else(|| format!("{which}: rows[{i}] missing `{key}`"));
+            Ok(Row {
+                name: field("name")?
+                    .as_str()
+                    .ok_or_else(|| format!("{which}: rows[{i}].name not a string"))?
+                    .to_string(),
+                jobs: field("jobs")?
+                    .as_u64()
+                    .ok_or_else(|| format!("{which}: rows[{i}].jobs not an integer"))?,
+                cache: field("cache")?
+                    .as_str()
+                    .ok_or_else(|| format!("{which}: rows[{i}].cache not a string"))?
+                    .to_string(),
+                seconds: field("seconds")?
+                    .as_f64()
+                    .ok_or_else(|| format!("{which}: rows[{i}].seconds not a number"))?,
+                work_seconds: field("work_seconds")?
+                    .as_f64()
+                    .ok_or_else(|| format!("{which}: rows[{i}].work_seconds not a number"))?,
+            })
+        })
+        .collect()
+}
+
+/// Sum of `work_seconds` over the uncached serial rows — the
+/// hardware-independent total-compute number the gate budgets.
+fn total_work(rows: &[Row]) -> f64 {
+    rows.iter().filter(|r| r.cache == "off" && r.jobs == 1).map(|r| r.work_seconds).sum()
+}
+
+/// Workloads whose warm run was not strictly faster than its cold run.
+fn warm_regressions(rows: &[Row]) -> Vec<String> {
+    rows.iter()
+        .filter(|r| r.cache == "cold")
+        .filter_map(|cold| {
+            let warm = rows.iter().find(|r| r.cache == "warm" && r.name == cold.name)?;
+            (warm.seconds >= cold.seconds).then(|| {
+                format!("{}: warm {:.4}s >= cold {:.4}s", cold.name, warm.seconds, cold.seconds)
+            })
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline_rows, current_rows) =
+        match (rows(&baseline, "baseline"), rows(&current, "current")) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+    let mut failed = false;
+
+    let regressions = warm_regressions(&current_rows);
+    if regressions.is_empty() {
+        println!("warm < cold on every workload ({} cold/warm pairs)", {
+            current_rows.iter().filter(|r| r.cache == "cold").count()
+        });
+    } else {
+        failed = true;
+        println!("REGRESSION: warm run not strictly faster than cold:");
+        for r in &regressions {
+            println!("  {r}");
+        }
+    }
+
+    let old_work = total_work(&baseline_rows);
+    let new_work = total_work(&current_rows);
+    if old_work <= 0.0 {
+        println!("baseline has no uncached jobs=1 work rows; skipping the work budget");
+    } else {
+        let ratio = new_work / old_work;
+        println!(
+            "total work: baseline {old_work:.4}s -> current {new_work:.4}s ({ratio:.3}x, budget {MAX_WORK_RATIO:.2}x)"
+        );
+        if ratio > MAX_WORK_RATIO {
+            failed = true;
+            println!(
+                "REGRESSION: total inference work blew up by {:.1}% (> {:.0}% allowed)",
+                (ratio - 1.0) * 100.0,
+                (MAX_WORK_RATIO - 1.0) * 100.0
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench trajectory healthy");
+        ExitCode::SUCCESS
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::corpus::{generate, Benchmark, SeedKind};
 use crate::spec::{paper_benchmarks, BenchSpec};
-use ffisafe_core::{AnalysisOptions, AnalysisReport, Analyzer};
+use ffisafe_core::{AnalysisOptions, AnalysisReport, AnalysisRequest, AnalysisService, Corpus};
 use ffisafe_support::table::{Align, Table};
 use ffisafe_support::Severity;
 use std::collections::HashSet;
@@ -41,12 +41,19 @@ pub fn run_benchmark(spec: &BenchSpec, options: AnalysisOptions) -> Figure9Row {
     score(spec, &bench, &report)
 }
 
+/// The synthesized benchmark as an immutable analysis [`Corpus`].
+pub fn benchmark_corpus(bench: &Benchmark) -> Corpus {
+    Corpus::builder()
+        .ml_source("lib.ml", &bench.ml_source)
+        .c_source("glue.c", &bench.c_source)
+        .build()
+}
+
 /// Runs the analyzer over a synthesized benchmark.
 pub fn analyze_benchmark(bench: &Benchmark, options: AnalysisOptions) -> AnalysisReport {
-    let mut az = Analyzer::with_options(options);
-    az.add_ml_source("lib.ml", &bench.ml_source);
-    az.add_c_source("glue.c", &bench.c_source);
-    az.analyze()
+    AnalysisService::new()
+        .analyze(&AnalysisRequest::new(benchmark_corpus(bench)).options(options))
+        .expect("in-memory corpus analysis cannot fail")
 }
 
 /// Classifies a report against the benchmark's ground truth.

@@ -13,7 +13,7 @@
 use crate::corpus::generate;
 use crate::runner::scaling_benchmark;
 use crate::spec::paper_benchmarks;
-use ffisafe_core::{AnalysisOptions, Analyzer};
+use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, ServiceConfig};
 use std::path::Path;
 
 /// One measured configuration.
@@ -67,13 +67,14 @@ fn measure(
     jobs: usize,
     cache: Option<(&Path, &'static str)>,
 ) -> PipelineMeasurement {
-    let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
-    if let Some((dir, _)) = cache {
-        az.set_cache_dir(Some(dir.to_path_buf()));
-    }
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    let report = az.analyze();
+    let service = AnalysisService::with_config(ServiceConfig {
+        cache_dir: cache.map(|(dir, _)| dir.to_path_buf()),
+        batch_jobs: 0,
+    })
+    .expect("bench cache dir under temp_dir must open");
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    let request = AnalysisRequest::new(corpus).options(AnalysisOptions::default().with_jobs(jobs));
+    let report = service.analyze(&request).expect("in-memory corpus analysis cannot fail");
     PipelineMeasurement {
         name: name.to_string(),
         c_loc: report.stats.c_loc,

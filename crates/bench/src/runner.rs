@@ -3,8 +3,9 @@
 //! column).
 
 use crate::corpus::{generate, Benchmark};
+use crate::figure9::analyze_benchmark;
 use crate::spec::{BenchSpec, PaperRow, SeedPlan};
-use ffisafe_core::{AnalysisOptions, Analyzer};
+use ffisafe_core::AnalysisOptions;
 
 /// Builds a defect-free benchmark with roughly `c_loc` lines of C.
 pub fn scaling_spec(c_loc: usize) -> BenchSpec {
@@ -32,10 +33,7 @@ pub fn scaling_benchmark(c_loc: usize) -> Benchmark {
 /// Analyzes a benchmark and returns (C LoC, wall-clock seconds,
 /// diagnostics count).
 pub fn measure(bench: &Benchmark) -> (usize, f64, usize) {
-    let mut az = Analyzer::with_options(AnalysisOptions::default());
-    az.add_ml_source("lib.ml", &bench.ml_source);
-    az.add_c_source("glue.c", &bench.c_source);
-    let report = az.analyze();
+    let report = analyze_benchmark(bench, AnalysisOptions::default());
     (report.stats.c_loc, report.stats.seconds, report.diagnostics.len())
 }
 

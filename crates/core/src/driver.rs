@@ -1,31 +1,31 @@
-//! The analyzer driver: the public entry point over the staged pipeline.
+//! The analysis report and the deprecated single-corpus facade.
 //!
-//! [`Analyzer`] owns a [`Session`] (source map + interner + diagnostic
-//! sink + options + per-phase timings) and the parsed inputs. `analyze`
-//! runs the four pipeline stages — [`pipeline::frontend_ml`],
-//! [`pipeline::frontend_c`], [`pipeline::infer`] (parallel),
-//! [`pipeline::discharge`] — and assembles the [`AnalysisReport`].
+//! The engine itself lives in [`crate::api`]: [`crate::api::AnalysisService`]
+//! parses a [`crate::api::Corpus`] and runs the four pipeline stages —
+//! [`pipeline::frontend_ml`], [`pipeline::frontend_c`], [`pipeline::infer`]
+//! (parallel), [`pipeline::discharge`]. This module holds what comes *out*:
+//! [`AnalysisReport`] with its stable rendering and versioned
+//! [`AnalysisReport::to_json`] form, plus [`Analyzer`], the original
+//! mutable one-shot entry point, kept as a thin deprecated facade over a
+//! single-corpus service.
 //!
 //! [`pipeline::frontend_ml`]: crate::pipeline::frontend_ml
 //! [`pipeline::frontend_c`]: crate::pipeline::frontend_c
 //! [`pipeline::infer`]: crate::pipeline::infer
 //! [`pipeline::discharge`]: crate::pipeline::discharge
 
+use crate::api::{AnalysisRequest, AnalysisService, Corpus, SourceKind};
 use crate::engine::AnalysisOptions;
-use crate::pipeline::cache::{self, CachedReport, PipelineCache};
-use crate::pipeline::{discharge, frontend_c, frontend_ml, infer};
-use ffisafe_cache::Tier;
-use ffisafe_cil as cil;
-use ffisafe_ocaml as ocaml;
-use ffisafe_support::{DiagnosticBag, DiagnosticCode, Phase, PhaseTimings, Session, SourceMap};
-use ffisafe_types::TypeTable;
-use std::time::{Duration, Instant};
+use crate::pipeline::cache::CachedReport;
+use ffisafe_support::json::escape_into;
+use ffisafe_support::{DiagnosticBag, DiagnosticCode, Loc, PhaseTimings, SourceMap};
+use std::path::PathBuf;
 
-/// Input-file kind tag folded into the tier-2 corpus digest (the name
-/// alone need not determine how a file was parsed).
-const KIND_ML: u8 = 0;
-/// See [`KIND_ML`].
-const KIND_C: u8 = 1;
+/// Version of the structured report schema emitted by
+/// [`AnalysisReport::to_json`]. Bumped whenever a field changes meaning,
+/// moves or disappears; adding fields is backward-compatible and does not
+/// bump it.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 /// Whole-run statistics (benchmark metrics and the Figure 9 columns).
 #[derive(Clone, Debug, Default)]
@@ -86,9 +86,9 @@ pub struct AnalysisReport {
     pub stats: AnalysisStats,
     /// Cumulative wall-clock time per pipeline phase.
     pub timings: PhaseTimings,
-    source_map: SourceMap,
+    pub(crate) source_map: SourceMap,
     /// Set when this report was served from the tier-2 report cache.
-    cached: Option<CachedReport>,
+    pub(crate) cached: Option<CachedReport>,
 }
 
 impl AnalysisReport {
@@ -191,13 +191,144 @@ impl AnalysisReport {
         ));
         out
     }
+
+    /// The versioned machine-readable report: stable JSON a shard reducer
+    /// or CI job can consume without parsing rendered text.
+    ///
+    /// Schema (v1, see [`REPORT_SCHEMA_VERSION`]):
+    ///
+    /// ```text
+    /// {
+    ///   "schema_version": 1,
+    ///   "tool": "ffisafe",
+    ///   "tool_version": "<crate version>",
+    ///   "summary": { "errors": N, "warnings": N, "imprecision": N,
+    ///                "notes": N, "diagnostics": N },
+    ///   "diagnostics": [ { "file", "line", "column", "severity", "code",
+    ///                      "message", "notes": [ {file,line,column,message} ] } ],
+    ///   "stats": { "ml_loc", "c_loc", "externals", "c_functions", "passes",
+    ///              "type_nodes", "gc_edges", "jobs", "seconds",
+    ///              "infer_work_seconds", "infer_critical_path_seconds",
+    ///              "cache": { "fn_hits", "fn_misses", "workers_executed",
+    ///                         "report_hit" } },
+    ///   "timings": [ { "phase", "wall_seconds", "work_seconds" } ]
+    /// }
+    /// ```
+    ///
+    /// Key order is fixed; counts and the per-diagnostic fields are
+    /// independent of `--jobs` and cache temperature. `seconds`-type
+    /// fields are wall-clock measurements and naturally vary between runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA_VERSION},\n"));
+        out.push_str("  \"tool\": \"ffisafe\",\n");
+        out.push_str(&format!("  \"tool_version\": \"{}\",\n", env!("CARGO_PKG_VERSION")));
+
+        let notes = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity() == ffisafe_support::Severity::Note)
+            .count();
+        out.push_str(&format!(
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"imprecision\": {}, \"notes\": {}, \"diagnostics\": {}}},\n",
+            self.error_count(),
+            self.warning_count(),
+            self.imprecision_count(),
+            notes,
+            self.diagnostics.len(),
+        ));
+
+        out.push_str("  \"diagnostics\": [");
+        let mut first = true;
+        for d in self.diagnostics.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    {");
+            push_loc_fields(&mut out, &self.source_map.resolve(d.span()));
+            out.push_str(&format!(
+                ", \"severity\": \"{}\", \"code\": \"{}\", \"message\": \"",
+                d.severity(),
+                d.code()
+            ));
+            escape_into(&mut out, d.message());
+            out.push_str("\", \"notes\": [");
+            let mut first_note = true;
+            for (nspan, note) in d.notes() {
+                if !first_note {
+                    out.push_str(", ");
+                }
+                first_note = false;
+                out.push('{');
+                push_loc_fields(&mut out, &self.source_map.resolve(*nspan));
+                out.push_str(", \"message\": \"");
+                escape_into(&mut out, note);
+                out.push_str("\"}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+
+        let s = &self.stats;
+        out.push_str(&format!(
+            "  \"stats\": {{\"ml_loc\": {}, \"c_loc\": {}, \"externals\": {}, \"c_functions\": {}, \"passes\": {}, \"type_nodes\": {}, \"gc_edges\": {}, \"jobs\": {}, \"seconds\": {:.6}, \"infer_work_seconds\": {:.6}, \"infer_critical_path_seconds\": {:.6}, \"cache\": {{\"fn_hits\": {}, \"fn_misses\": {}, \"workers_executed\": {}, \"report_hit\": {}}}}},\n",
+            s.ml_loc,
+            s.c_loc,
+            s.externals,
+            s.c_functions,
+            s.passes,
+            s.type_nodes,
+            s.gc_edges,
+            s.jobs,
+            s.seconds,
+            s.infer_work_seconds,
+            s.infer_critical_path_seconds,
+            s.cache_fn_hits,
+            s.cache_fn_misses,
+            s.workers_executed,
+            s.cache_report_hit,
+        ));
+
+        out.push_str("  \"timings\": [\n");
+        let phases: Vec<String> = self
+            .timings
+            .iter()
+            .map(|(phase, wall)| {
+                format!(
+                    "    {{\"phase\": \"{}\", \"wall_seconds\": {:.6}, \"work_seconds\": {:.6}}}",
+                    phase.name(),
+                    wall.as_secs_f64(),
+                    self.timings.get_work(phase).as_secs_f64()
+                )
+            })
+            .collect();
+        out.push_str(&phases.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
 }
 
-/// Multi-lingual type inference for OCaml→C foreign function calls.
+fn push_loc_fields(out: &mut String, loc: &Loc) {
+    out.push_str("\"file\": \"");
+    escape_into(out, &loc.file);
+    out.push_str(&format!("\", \"line\": {}, \"column\": {}", loc.line, loc.col));
+}
+
+/// Multi-lingual type inference for OCaml→C foreign function calls — the
+/// original one-shot entry point, now a thin facade over a single-corpus
+/// [`AnalysisService`].
+///
+/// Prefer the service API: build an immutable [`Corpus`], submit
+/// [`AnalysisRequest`]s to a long-lived [`AnalysisService`]. This facade
+/// remains for source compatibility and produces byte-identical reports
+/// (it delegates to the same engine).
 ///
 /// # Examples
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use ffisafe_core::Analyzer;
 ///
 /// let mut az = Analyzer::new();
@@ -210,18 +341,18 @@ impl AnalysisReport {
 /// let report = az.analyze();
 /// assert_eq!(report.error_count(), 0);
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `Corpus` and submit an `AnalysisRequest` to an `AnalysisService` instead"
+)]
 #[derive(Debug, Default)]
 pub struct Analyzer {
-    session: Session,
-    ml_files: Vec<ocaml::ParsedFile>,
-    c_units: Vec<cil::CUnit>,
-    /// [`KIND_ML`]/[`KIND_C`] per registered source file, in registration
-    /// order (parallel to the session source map).
-    file_kinds: Vec<u8>,
-    ml_loc: usize,
-    c_loc: usize,
+    options: AnalysisOptions,
+    cache_dir: Option<PathBuf>,
+    files: Vec<(SourceKind, String, String)>,
 }
 
+#[allow(deprecated)]
 impl Analyzer {
     /// Creates an analyzer with default options.
     pub fn new() -> Self {
@@ -231,144 +362,51 @@ impl Analyzer {
     /// Creates an analyzer with explicit options (ablation experiments,
     /// worker-pool sizing).
     pub fn with_options(options: AnalysisOptions) -> Self {
-        Analyzer { session: Session::with_options(options), ..Analyzer::default() }
-    }
-
-    /// The session shared by every pipeline stage.
-    pub fn session(&self) -> &Session {
-        &self.session
+        Analyzer { options, ..Analyzer::default() }
     }
 
     /// Enables (`Some`) or disables (`None`) the on-disk two-tier
     /// incremental-reanalysis cache rooted at `dir`.
     pub fn set_cache_dir(&mut self, dir: Option<std::path::PathBuf>) {
-        self.session.set_cache_dir(dir);
+        self.cache_dir = dir;
     }
 
-    /// Adds and parses one OCaml source file.
+    /// Adds one OCaml source file.
     pub fn add_ml_source(&mut self, name: &str, src: &str) {
-        self.ml_loc += src.lines().count();
-        let parsed = frontend_ml::parse(&mut self.session, name, src);
-        self.ml_files.push(parsed);
-        self.file_kinds.push(KIND_ML);
+        self.files.push((SourceKind::Ml, name.to_string(), src.to_string()));
     }
 
-    /// Adds and parses one C source file.
+    /// Adds one C source file.
     pub fn add_c_source(&mut self, name: &str, src: &str) {
-        self.c_loc += src.lines().count();
-        let unit = frontend_c::parse(&mut self.session, name, src);
-        self.c_units.push(unit);
-        self.file_kinds.push(KIND_C);
+        self.files.push((SourceKind::C, name.to_string(), src.to_string()));
     }
 
     /// Runs the full pipeline: both frontends, linking, parallel
     /// inference, and discharge.
     ///
-    /// With a cache directory configured ([`Analyzer::set_cache_dir`] /
-    /// the session's `cache_dir`), the run consults the two-tier
-    /// incremental cache: an unchanged corpus is served straight from the
-    /// report tier, and otherwise unchanged *functions* replay their
-    /// memoized outcomes instead of re-running inference workers. Cached
-    /// or not, the rendered stable report is byte-identical.
+    /// Delegates to a single-corpus [`AnalysisService`]: the recorded
+    /// sources become a [`Corpus`], the cache directory (if any) becomes
+    /// the service's shared store. A cache directory that cannot be
+    /// opened degrades to an uncached run, preserving this facade's
+    /// historical leniency — the service API reports that condition as
+    /// [`crate::api::ApiError::Cache`] instead.
     pub fn analyze(&mut self) -> AnalysisReport {
-        let start = Instant::now();
-        // Work on a copy of the session so `analyze` can be called again
-        // after adding more sources.
-        let mut session = self.session.clone();
-
-        // A cache that fails to open (unwritable dir, I/O error) disables
-        // caching for the run; it never fails the analysis.
-        let mut pcache: Option<PipelineCache> =
-            session.cache_dir().and_then(|dir| PipelineCache::open(dir).ok());
-
-        // Tier-2 probe: an already-analyzed (corpus, options) pair skips
-        // the pipeline entirely. The digest is only worth computing when a
-        // cache is actually open.
-        let corpus_fp = pcache.as_ref().map(|_| {
-            cache::corpus_digest(
-                session
-                    .source_map()
-                    .files()
-                    .zip(&self.file_kinds)
-                    .map(|((_, f), &kind)| (kind, f.name(), f.src())),
-                session.options(),
-            )
-        });
-        if let (Some(pc), Some(fp)) = (pcache.as_mut(), corpus_fp) {
-            if let Some(cached) =
-                pc.store.get(Tier::Report, fp).and_then(|b| cache::decode_report(&b))
-            {
-                let _ = pc.store.flush();
-                let stats = AnalysisStats {
-                    ml_loc: self.ml_loc,
-                    c_loc: self.c_loc,
-                    seconds: start.elapsed().as_secs_f64(),
-                    cache_report_hit: true,
-                    ..AnalysisStats::default()
-                };
-                return AnalysisReport {
-                    diagnostics: cached.diagnostics.clone(),
-                    stats,
-                    timings: *session.timings(),
-                    source_map: session.source_map().clone(),
-                    cached: Some(cached),
-                };
-            }
-        }
-
-        let mut table = TypeTable::new();
-        let ml =
-            session.time(Phase::FrontendMl, |s| frontend_ml::run(s, &self.ml_files, &mut table));
-        let c = session.time(Phase::FrontendC, |s| frontend_c::run(s, &self.c_units));
-        let mut base = session.time(Phase::Infer, |s| infer::link(s, table, &ml, &c.program));
-        if let Some(pc) = pcache.as_mut() {
-            pc.base_digest =
-                cache::base_surface_digest(session.options(), &self.ml_files, &c.program);
-        }
-        let inferred = session
-            .time(Phase::Infer, |s| infer::run(s, &base, &c.program, &ml.phase1, pcache.as_mut()));
-        session
-            .timings_mut()
-            .set_work(Phase::Infer, Duration::from_secs_f64(inferred.work_seconds));
-        session.time(Phase::Discharge, |s| discharge::run(s, &mut base, &inferred, &ml.phase1));
-
-        let mut diags = session.take_diagnostics();
-        diags.dedup();
-        let stats = AnalysisStats {
-            ml_loc: self.ml_loc,
-            c_loc: self.c_loc,
-            externals: ml.phase1.signatures.len(),
-            c_functions: c.program.functions.len(),
-            passes: inferred.passes,
-            type_nodes: base.table.node_count() + inferred.new_nodes,
-            gc_edges: base.constraints.gc_edge_count() + inferred.new_gc_edges,
-            jobs: inferred.jobs,
-            seconds: start.elapsed().as_secs_f64(),
-            infer_work_seconds: inferred.work_seconds,
-            infer_critical_path_seconds: inferred.critical_path_seconds,
-            cache_fn_hits: inferred.cache_hits,
-            cache_fn_misses: inferred.cache_misses,
-            workers_executed: inferred.workers_executed,
-            cache_report_hit: false,
-        };
-        let report = AnalysisReport {
-            diagnostics: diags,
-            stats,
-            timings: *session.timings(),
-            source_map: session.source_map().clone(),
-            cached: None,
-        };
-        if let (Some(pc), Some(fp)) = (pcache.as_mut(), corpus_fp) {
-            let entry = CachedReport {
-                rendered: report.render_stable(),
-                errors: report.error_count(),
-                warnings: report.warning_count(),
-                imprecision: report.imprecision_count(),
-                diagnostics: report.diagnostics.clone(),
+        let mut builder = Corpus::builder();
+        for (kind, name, src) in &self.files {
+            builder = match kind {
+                SourceKind::Ml => builder.ml_source(name, src),
+                SourceKind::C => builder.c_source(name, src),
             };
-            let _ = pc.store.put(Tier::Report, fp, &cache::encode_report(&entry));
-            let _ = pc.store.flush();
         }
-        report
+        let corpus = builder.build();
+        let service = match &self.cache_dir {
+            Some(dir) => {
+                AnalysisService::with_cache_dir(dir).unwrap_or_else(|_| AnalysisService::new())
+            }
+            None => AnalysisService::new(),
+        };
+        service
+            .analyze(&AnalysisRequest::new(corpus).options(self.options))
+            .expect("analyzing an in-memory corpus cannot fail")
     }
 }

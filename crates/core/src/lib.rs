@@ -15,61 +15,73 @@
 //!    offsets and tags (`ct [B{I}]{T}`), and GC effects ensuring every
 //!    live heap pointer is registered before a collection can happen.
 //!
-//! The entry point is [`Analyzer`]:
+//! The entry point is the service API ([`api`]): an immutable
+//! content-addressed [`Corpus`], submitted as an [`AnalysisRequest`] to a
+//! long-lived [`AnalysisService`]:
 //!
 //! ```
-//! use ffisafe_core::Analyzer;
+//! use ffisafe_core::{AnalysisRequest, AnalysisService, Corpus};
 //!
-//! let mut az = Analyzer::new();
-//! az.add_ml_source("lib.ml", r#"
-//!     type t = A of int | B | C of int * int | D
-//!     external examine : t -> int = "ml_examine"
-//! "#);
-//! az.add_c_source("glue.c", r#"
-//!     value ml_examine(value x) {
-//!         if (Is_long(x)) {
-//!             switch (Int_val(x)) {
-//!             case 0: return Val_int(10); /* B */
-//!             case 1: return Val_int(11); /* D */
+//! let corpus = Corpus::builder()
+//!     .ml_source("lib.ml", r#"
+//!         type t = A of int | B | C of int * int | D
+//!         external examine : t -> int = "ml_examine"
+//!     "#)
+//!     .c_source("glue.c", r#"
+//!         value ml_examine(value x) {
+//!             if (Is_long(x)) {
+//!                 switch (Int_val(x)) {
+//!                 case 0: return Val_int(10); /* B */
+//!                 case 1: return Val_int(11); /* D */
+//!                 }
+//!             } else {
+//!                 switch (Tag_val(x)) {
+//!                 case 0: return Field(x, 0);            /* A of int */
+//!                 case 1: return Field(x, 1);            /* C of int * int */
+//!                 }
 //!             }
-//!         } else {
-//!             switch (Tag_val(x)) {
-//!             case 0: return Field(x, 0);            /* A of int */
-//!             case 1: return Field(x, 1);            /* C of int * int */
-//!             }
+//!             return Val_int(0);
 //!         }
-//!         return Val_int(0);
-//!     }
-//! "#);
-//! let report = az.analyze();
+//!     "#)
+//!     .build();
+//! let service = AnalysisService::new();
+//! let report = service.analyze(&AnalysisRequest::new(corpus)).unwrap();
 //! assert_eq!(report.error_count(), 0, "{}", report.render());
 //! ```
 //!
 //! Misuse is caught:
 //!
 //! ```
-//! use ffisafe_core::Analyzer;
+//! use ffisafe_core::{AnalysisRequest, AnalysisService, Corpus};
 //! use ffisafe_support::DiagnosticCode;
 //!
-//! let mut az = Analyzer::new();
-//! az.add_ml_source("lib.ml", r#"external f : int -> int = "ml_f""#);
-//! // Bug: the C code applies Val_int to something that is already a value.
-//! az.add_c_source("glue.c", r#"
-//!     value ml_f(value n) { return Val_int(n); }
-//! "#);
-//! let report = az.analyze();
+//! let corpus = Corpus::builder()
+//!     .ml_source("lib.ml", r#"external f : int -> int = "ml_f""#)
+//!     // Bug: the C code applies Val_int to something that is already a value.
+//!     .c_source("glue.c", r#"
+//!         value ml_f(value n) { return Val_int(n); }
+//!     "#)
+//!     .build();
+//! let report = AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap();
 //! assert!(report.diagnostics.with_code(DiagnosticCode::TypeMismatch).count() > 0);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod driver;
 pub mod engine;
 pub mod eta;
 pub mod pipeline;
 pub mod registry;
 
-pub use driver::{AnalysisReport, AnalysisStats, Analyzer, RuntimeCheckSuggestion};
+pub use api::{
+    AnalysisRequest, AnalysisService, ApiError, CacheMode, Corpus, CorpusBuilder, CorpusFile,
+    ServiceConfig, SourceKind,
+};
+#[allow(deprecated)]
+pub use driver::Analyzer;
+pub use driver::{AnalysisReport, AnalysisStats, RuntimeCheckSuggestion, REPORT_SCHEMA_VERSION};
 pub use engine::{AnalysisOptions, GcObligation};
 pub use ffisafe_support::{Phase, PhaseTimings, Session};
 pub use registry::{FuncInfo, FuncOrigin, Registry};

@@ -31,7 +31,7 @@
 use super::infer::{
     DeferredPsiBound, EffectKey, FunctionOutcome, InterfacePin, ResolvedObligation,
 };
-use ffisafe_cache::{CacheStore, Decoder, Encoder};
+use ffisafe_cache::{CacheStore, Decoder, Encoder, Tier};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
 use ffisafe_support::{
@@ -39,11 +39,17 @@ use ffisafe_support::{
     Severity,
 };
 use ffisafe_types::{FlatInt, PsiBound, PsiId, PsiNode, PsiViolation};
+use std::sync::{Arc, Mutex};
 
 /// Bumped whenever the meaning or layout of cached payloads or the
 /// fingerprint recipes change; folded into the store's analyzer version so
 /// a bump wipes stale caches wholesale.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the tier-2 key became `report_key(corpus content digest, options)` —
+/// the corpus digest no longer folds the options in directly, so corpora
+/// fingerprinted once (the [`crate::api::Corpus`] flow) can be probed under
+/// any options.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// The producer identity pinned in the cache index: crate version plus
 /// payload schema version.
@@ -51,21 +57,56 @@ pub fn analyzer_cache_version() -> String {
     format!("ffisafe {} schema {}", env!("CARGO_PKG_VERSION"), CACHE_SCHEMA_VERSION)
 }
 
-/// An opened store plus the digests the pipeline keys it with.
+/// One analysis run's view of the (possibly shared) two-tier store.
+///
+/// The store sits behind `Arc<Mutex<..>>` because an [`AnalysisService`]
+/// opens it once and lends it to every request in a batch — concurrent
+/// pipelines interleave their `get`/`put` calls entry by entry. Each
+/// `PipelineCache` additionally carries the run's base-surface digest,
+/// which is per-request state.
+///
+/// [`AnalysisService`]: crate::api::AnalysisService
 #[derive(Debug)]
 pub struct PipelineCache {
-    /// The on-disk two-tier store.
-    pub store: CacheStore,
+    /// The on-disk two-tier store, shareable across concurrent runs.
+    store: Arc<Mutex<CacheStore>>,
     /// Digest of the base-state surface; [`function_fingerprint`] extends
     /// it per function. Set by the driver once linking inputs are known.
     pub base_digest: Fingerprint,
 }
 
 impl PipelineCache {
-    /// Opens the store under `dir`, keyed to this analyzer build.
+    /// Opens a store under `dir`, keyed to this analyzer build, private to
+    /// one run.
     pub fn open(dir: &std::path::Path) -> std::io::Result<PipelineCache> {
         let store = CacheStore::open(dir, &analyzer_cache_version())?;
-        Ok(PipelineCache { store, base_digest: Fingerprint(0, 0) })
+        Ok(PipelineCache::from_shared(Arc::new(Mutex::new(store))))
+    }
+
+    /// Wraps an already-open store shared with other runs.
+    pub fn from_shared(store: Arc<Mutex<CacheStore>>) -> PipelineCache {
+        PipelineCache { store, base_digest: Fingerprint(0, 0) }
+    }
+
+    fn store(&self) -> std::sync::MutexGuard<'_, CacheStore> {
+        // A panic while holding the lock cannot corrupt the store (entry
+        // files are validated on read), so poison is recoverable.
+        self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Fetches one validated entry; `None` is a miss.
+    pub fn get(&self, tier: Tier, fp: Fingerprint) -> Option<Vec<u8>> {
+        self.store().get(tier, fp)
+    }
+
+    /// Stores one entry; failures only cost future hits.
+    pub fn put(&self, tier: Tier, fp: Fingerprint, payload: &[u8]) {
+        let _ = self.store().put(tier, fp, payload);
+    }
+
+    /// Persists the index (best-effort, like `put`).
+    pub fn flush(&self) {
+        let _ = self.store().flush();
     }
 }
 
@@ -91,19 +132,30 @@ fn hash_debug<T: std::fmt::Debug>(h: &mut FingerprintHasher, v: &T) {
     h.write_u64(streamed);
 }
 
-/// The tier-2 report key: every input file (kind, name, content) in
-/// registration order plus the semantic options. The analyzer version is
-/// enforced store-wide by the index header, not per key.
-pub fn corpus_digest<'a>(
+/// Content digest of a whole corpus: every input file (kind, name,
+/// content) in registration order, and nothing else. This is what
+/// [`crate::api::Corpus`] is fingerprinted with once at build time;
+/// combine it with the options via [`report_key`] to address the tier-2
+/// report cache.
+pub fn corpus_content_digest<'a>(
     files: impl Iterator<Item = (u8, &'a str, &'a str)>,
-    options: &AnalysisOptions,
 ) -> Fingerprint {
     let mut h = FingerprintHasher::new();
-    h.write_str("ffisafe-corpus");
-    h.write_fingerprint(options.semantic_digest());
+    h.write_str("ffisafe-corpus-content");
     for (kind, name, src) in files {
         hash_source_file(&mut h, kind, name, src);
     }
+    h.finish()
+}
+
+/// The tier-2 report key: corpus content digest plus the semantic options.
+/// The analyzer version is enforced store-wide by the index header, not
+/// per key.
+pub fn report_key(content: Fingerprint, options: &AnalysisOptions) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("ffisafe-report-key");
+    h.write_fingerprint(content);
+    h.write_fingerprint(options.semantic_digest());
     h.finish()
 }
 
@@ -646,6 +698,26 @@ mod tests {
             is_static: false,
             span: Span::dummy(),
         }
+    }
+
+    #[test]
+    fn content_digest_ignores_options_report_key_does_not() {
+        let files = [(0u8, "lib.ml", "external f : int -> int = \"ml_f\"")];
+        let content = corpus_content_digest(files.iter().copied());
+        assert_eq!(content, corpus_content_digest(files.iter().copied()), "stable");
+
+        let defaults = AnalysisOptions::default();
+        let mut no_flow = defaults;
+        no_flow.flow_sensitive = false;
+        // One corpus fingerprint serves every options configuration…
+        let key_a = report_key(content, &defaults);
+        let key_b = report_key(content, &no_flow);
+        // …but the report keys still separate the keyspaces.
+        assert_ne!(key_a, key_b, "options must split the report tier");
+        assert_eq!(key_a, report_key(content, &defaults.with_jobs(8)), "jobs excluded");
+
+        let other = corpus_content_digest([(1u8, "lib.ml", "x")].iter().copied());
+        assert_ne!(report_key(other, &defaults), key_a, "content splits the report tier");
     }
 
     #[test]

@@ -463,7 +463,7 @@ pub fn run(
     base: &BaseState,
     program: &cil::IrProgram,
     phase1: &ocaml::translate::Phase1,
-    mut cache: Option<&mut PipelineCache>,
+    cache: Option<&PipelineCache>,
 ) -> InferArtifact {
     let options = *session.options();
     let n = program.functions.len();
@@ -476,7 +476,7 @@ pub fn run(
     // the store lookups (small file reads) stay serial.
     let mut slots: Vec<Option<FunctionOutcome>> = (0..n).map(|_| None).collect();
     let mut fingerprints: Vec<Option<Fingerprint>> = vec![None; n];
-    if let Some(pc) = cache.as_deref_mut() {
+    if let Some(pc) = cache {
         let base_digest = pc.base_digest;
         let fp_jobs = options.effective_jobs().clamp(1, n);
         if fp_jobs > 1 {
@@ -507,7 +507,7 @@ pub fn run(
         }
         for (idx, func) in program.functions.iter().enumerate() {
             let fp = fingerprints[idx].expect("computed above");
-            if let Some(bytes) = pc.store.get(Tier::Function, fp) {
+            if let Some(bytes) = pc.get(Tier::Function, fp) {
                 slots[idx] = super::cache::decode_outcome(
                     &bytes,
                     idx as u32,
@@ -544,11 +544,11 @@ pub fn run(
         for (t, cell) in results.into_iter().enumerate() {
             let outcome = cell.into_inner().unwrap().expect("worker completed every claimed index");
             let idx = todo[t];
-            if let (Some(pc), Some(fp)) = (cache.as_deref_mut(), fingerprints[idx]) {
+            if let (Some(pc), Some(fp)) = (cache, fingerprints[idx]) {
                 // An unencodable outcome or failed write only loses future
                 // warm hits; never fail the analysis over it.
                 if let Some(payload) = super::cache::encode_outcome(&outcome, idx as u32) {
-                    let _ = pc.store.put(Tier::Function, fp, &payload);
+                    pc.put(Tier::Function, fp, &payload);
                 }
             }
             slots[idx] = Some(outcome);

@@ -264,6 +264,50 @@ impl RuntimeShape {
     }
 }
 
+/// Every OCaml runtime entry point [`runtime_shape`] classifies.
+///
+/// The [`crate::api::AnalysisService`] pre-interns these into the interner
+/// seed it clones into each request's session, so the names glue code
+/// calls hottest resolve to already-interned symbols on every run.
+pub fn runtime_names() -> &'static [&'static str] {
+    &[
+        "caml_alloc",
+        "caml_alloc_small",
+        "caml_alloc_shr",
+        "caml_alloc_tuple",
+        "caml_alloc_string",
+        "caml_copy_string",
+        "caml_copy_double",
+        "caml_copy_int32",
+        "caml_copy_int64",
+        "caml_copy_nativeint",
+        "caml_callback",
+        "caml_callback_exn",
+        "caml_callback2",
+        "caml_callback2_exn",
+        "caml_callback3",
+        "caml_callback3_exn",
+        "caml_failwith",
+        "caml_invalid_argument",
+        "caml_raise_out_of_memory",
+        "caml_raise_stack_overflow",
+        "caml_raise_not_found",
+        "caml_raise",
+        "caml_raise_constant",
+        "caml_raise_with_arg",
+        "caml_named_value",
+        "caml_register_global_root",
+        "caml_remove_global_root",
+        "caml_modify",
+        "caml_alloc_custom",
+        "caml_enter_blocking_section",
+        "caml_leave_blocking_section",
+        "caml_gc_full_major",
+        "caml_gc_minor",
+        "caml_gc_compaction",
+    ]
+}
+
 /// Classifies a known OCaml runtime function by name, or `None`.
 ///
 /// Effects follow §2/§5: allocation and callbacks may trigger the
@@ -472,5 +516,18 @@ mod tests {
         assert_eq!(reg.get(&intern, "helper").unwrap().name, "helper");
         assert_eq!(reg.get_sym(sym).unwrap().name, "helper");
         assert!(reg.get(&intern, "missing").is_none());
+    }
+
+    #[test]
+    fn runtime_names_list_matches_classifier() {
+        // Every advertised name classifies; the list has no duplicates.
+        let names = runtime_names();
+        for name in names {
+            assert!(runtime_shape(name).is_some(), "{name} must classify as a runtime function");
+        }
+        let mut sorted: Vec<_> = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate entries in runtime_names()");
     }
 }

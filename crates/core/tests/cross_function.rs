@@ -7,13 +7,12 @@
 //! stage must reunite them; these tests pin the scenarios a sequential
 //! shared-table run would catch trivially.
 
-use ffisafe_core::{AnalysisOptions, Analyzer};
+use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus};
 
 fn render(ml: &str, c: &str, jobs: usize) -> String {
-    let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze().render_stable()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    let request = AnalysisRequest::new(corpus).options(AnalysisOptions::default().with_jobs(jobs));
+    AnalysisService::new().analyze(&request).unwrap().render_stable()
 }
 
 /// `ml_h` pins the opaque type `t` to the two-constructor sum `u`;

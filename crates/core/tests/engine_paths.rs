@@ -2,14 +2,12 @@
 //! casts and their heuristics, shape propagation through C operators,
 //! address-taken pinning, and control-flow corner cases.
 
-use ffisafe_core::Analyzer;
+use ffisafe_core::{AnalysisRequest, AnalysisService, Corpus};
 use ffisafe_support::DiagnosticCode as C;
 
 fn run(ml: &str, c: &str) -> ffisafe_core::AnalysisReport {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap()
 }
 
 fn count(report: &ffisafe_core::AnalysisReport, code: C) -> usize {

@@ -8,13 +8,12 @@
 
 use ffisafe_bench::corpus::generate;
 use ffisafe_bench::spec::paper_benchmarks;
-use ffisafe_core::{AnalysisOptions, Analyzer};
+use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus};
 
 fn render_with_jobs(ml: &str, c: &str, jobs: usize) -> String {
-    let mut az = Analyzer::with_options(AnalysisOptions::default().with_jobs(jobs));
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    let report = az.analyze();
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    let request = AnalysisRequest::new(corpus).options(AnalysisOptions::default().with_jobs(jobs));
+    let report = AnalysisService::new().analyze(&request).unwrap();
     assert_eq!(report.stats.jobs.min(jobs.max(1)), report.stats.jobs);
     report.render_stable()
 }
@@ -56,10 +55,11 @@ fn auto_jobs_matches_explicit_jobs() {
     let spec = &paper_benchmarks()[3];
     let bench = generate(spec);
     let auto = {
-        let mut az = Analyzer::with_options(AnalysisOptions::default());
-        az.add_ml_source("lib.ml", &bench.ml_source);
-        az.add_c_source("glue.c", &bench.c_source);
-        az.analyze().render_stable()
+        let corpus = Corpus::builder()
+            .ml_source("lib.ml", &bench.ml_source)
+            .c_source("glue.c", &bench.c_source)
+            .build();
+        AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap().render_stable()
     };
     let explicit = render_with_jobs(&bench.ml_source, &bench.c_source, 1);
     assert_eq!(auto, explicit);

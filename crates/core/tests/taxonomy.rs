@@ -4,14 +4,12 @@
 //! practice the paper reports in its benchmarks must be detected by the
 //! analysis, and idiomatic correct glue code must analyze clean.
 
-use ffisafe_core::{AnalysisOptions, Analyzer};
+use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus};
 use ffisafe_support::DiagnosticCode as C;
 
 fn run(ml: &str, c: &str) -> ffisafe_core::AnalysisReport {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap()
 }
 
 fn count(report: &ffisafe_core::AnalysisReport, code: C) -> usize {
@@ -529,14 +527,13 @@ fn ablation_no_flow_sensitivity_breaks_figure2() {
             return Val_int(0);
         }
     "#;
-    let mut az = Analyzer::with_options(AnalysisOptions {
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    let request = AnalysisRequest::new(corpus).options(AnalysisOptions {
         flow_sensitive: false,
         gc_effects: true,
         ..AnalysisOptions::default()
     });
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    let ablated = az.analyze();
+    let ablated = AnalysisService::new().analyze(&request).unwrap();
     // without B/I/T tracking the tag-dependent field accesses cannot be
     // validated and spurious reports appear
     assert!(
@@ -557,13 +554,12 @@ fn ablation_no_gc_effects_misses_unrooted_value() {
             return res;
         }
     "#;
-    let mut az = Analyzer::with_options(AnalysisOptions {
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    let request = AnalysisRequest::new(corpus).options(AnalysisOptions {
         flow_sensitive: true,
         gc_effects: false,
         ..AnalysisOptions::default()
     });
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    let ablated = az.analyze();
+    let ablated = AnalysisService::new().analyze(&request).unwrap();
     assert_eq!(ablated.diagnostics.with_code(C::UnrootedValue).count(), 0, "{}", ablated.render());
 }

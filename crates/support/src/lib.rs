@@ -32,6 +32,7 @@
 pub mod diagnostics;
 pub mod fingerprint;
 pub mod intern;
+pub mod json;
 pub mod rng;
 pub mod session;
 pub mod source_map;

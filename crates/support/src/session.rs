@@ -30,7 +30,6 @@ use crate::fingerprint::{Fingerprint, FingerprintHasher};
 use crate::intern::{Interner, Symbol};
 use crate::source_map::{FileId, SourceMap};
 use std::fmt;
-use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Tunable analysis switches, shared by every pipeline stage.
@@ -191,13 +190,6 @@ pub struct Session {
     diagnostics: DiagnosticBag,
     options: AnalysisOptions,
     timings: PhaseTimings,
-    /// On-disk incremental-reanalysis cache root; `None` disables caching.
-    ///
-    /// This lives on the session rather than in [`AnalysisOptions`] because
-    /// options are `Copy` plain data folded into cache keys, while the
-    /// cache directory is where those keys are *stored* — it must never
-    /// influence analysis results.
-    cache_dir: Option<PathBuf>,
 }
 
 impl Session {
@@ -285,16 +277,6 @@ impl Session {
     pub fn timings_mut(&mut self) -> &mut PhaseTimings {
         &mut self.timings
     }
-
-    /// The incremental-reanalysis cache root, if caching is enabled.
-    pub fn cache_dir(&self) -> Option<&Path> {
-        self.cache_dir.as_deref()
-    }
-
-    /// Enables (`Some`) or disables (`None`) the on-disk cache.
-    pub fn set_cache_dir(&mut self, dir: Option<PathBuf>) {
-        self.cache_dir = dir;
-    }
 }
 
 #[cfg(test)]
@@ -369,15 +351,5 @@ mod tests {
         no_gc.gc_effects = false;
         assert_ne!(base.semantic_digest(), no_gc.semantic_digest());
         assert_ne!(no_flow.semantic_digest(), no_gc.semantic_digest());
-    }
-
-    #[test]
-    fn cache_dir_round_trips() {
-        let mut s = Session::new();
-        assert!(s.cache_dir().is_none());
-        s.set_cache_dir(Some(PathBuf::from("/tmp/ffisafe-cache")));
-        assert_eq!(s.cache_dir(), Some(Path::new("/tmp/ffisafe-cache")));
-        s.set_cache_dir(None);
-        assert!(s.cache_dir().is_none());
     }
 }

@@ -10,7 +10,7 @@
 //! cargo run --example gc_safety
 //! ```
 
-use ffisafe::{AnalysisOptions, Analyzer, DiagnosticCode};
+use ffisafe::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, DiagnosticCode};
 
 const ML: &str = r#"
 external remember : string -> unit = "ml_remember"
@@ -60,10 +60,9 @@ value ml_remember(value s) {
 "#;
 
 fn run(label: &str, c_src: &str) -> usize {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", ML);
-    az.add_c_source("glue.c", c_src);
-    let report = az.analyze();
+    let corpus = Corpus::builder().ml_source("lib.ml", ML).c_source("glue.c", c_src).build();
+    let report =
+        AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).expect("in-memory corpus");
     println!("--- {label} ---");
     print!("{}", report.render());
     println!();
@@ -78,14 +77,13 @@ fn main() {
     assert_eq!(fixed, 0, "registration silences the GC error");
 
     // Ablation: without effect tracking the bug is invisible.
-    let mut az = Analyzer::with_options(AnalysisOptions {
+    let corpus = Corpus::builder().ml_source("lib.ml", ML).c_source("glue.c", C).build();
+    let request = AnalysisRequest::new(corpus).options(AnalysisOptions {
         flow_sensitive: true,
         gc_effects: false,
         ..AnalysisOptions::default()
     });
-    az.add_ml_source("lib.ml", ML);
-    az.add_c_source("glue.c", C);
-    let report = az.analyze();
+    let report = AnalysisService::new().analyze(&request).expect("in-memory corpus");
     let missed = report.diagnostics.with_code(DiagnosticCode::UnrootedValue).count();
     println!("--- with GC effects disabled (ablation) ---");
     println!("unrooted-value reports: {missed} (the bug goes unnoticed)");

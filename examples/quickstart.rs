@@ -4,24 +4,22 @@
 //! cargo run --example quickstart
 //! ```
 
-use ffisafe::Analyzer;
+use ffisafe::{AnalysisRequest, AnalysisService, Corpus};
 
 fn main() {
-    let mut az = Analyzer::new();
-
-    az.add_ml_source(
-        "counter.ml",
-        r#"
+    let corpus = Corpus::builder()
+        .ml_source(
+            "counter.ml",
+            r#"
 (* A tiny binding: a counter stored in an OCaml ref cell. *)
 external make  : int -> int ref   = "ml_counter_make"
 external bump  : int ref -> int   = "ml_counter_bump"
 external broken : int -> int      = "ml_counter_broken"
 "#,
-    );
-
-    az.add_c_source(
-        "counter.c",
-        r#"
+        )
+        .c_source(
+            "counter.c",
+            r#"
 /* Correct: registers its argument before allocating. */
 value ml_counter_make(value n) {
     CAMLparam1(n);
@@ -43,9 +41,11 @@ value ml_counter_broken(value n) {
     return Val_int(n);
 }
 "#,
-    );
+        )
+        .build();
 
-    let report = az.analyze();
+    let service = AnalysisService::new();
+    let report = service.analyze(&AnalysisRequest::new(corpus)).expect("in-memory corpus");
     print!("{}", report.render());
 
     println!();

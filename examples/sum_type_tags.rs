@@ -10,7 +10,7 @@
 //! cargo run --example sum_type_tags
 //! ```
 
-use ffisafe::{Analyzer, DiagnosticCode};
+use ffisafe::{AnalysisRequest, AnalysisService, Corpus, DiagnosticCode};
 use ffisafe_ocaml::{parser, translate, TypeRepository};
 use ffisafe_support::SourceMap;
 use ffisafe_types::TypeTable;
@@ -71,18 +71,15 @@ fn main() {
     println!("        (2 nullary constructors; products for A and C)\n");
 
     // 2. The Figure 2 code type-checks.
-    let mut az = Analyzer::new();
-    az.add_ml_source("t.ml", ML);
-    az.add_c_source("good.c", GOOD_C);
-    let report = az.analyze();
+    let service = AnalysisService::new();
+    let good = Corpus::builder().ml_source("t.ml", ML).c_source("good.c", GOOD_C).build();
+    let report = service.analyze(&AnalysisRequest::new(good)).expect("in-memory corpus");
     println!("Figure 2 idiom: {} error(s)", report.error_count());
     assert_eq!(report.error_count(), 0, "{}", report.render());
 
     // 3. Testing a nonexistent tag is caught.
-    let mut az = Analyzer::new();
-    az.add_ml_source("t.ml", ML);
-    az.add_c_source("bad.c", BAD_C);
-    let report = az.analyze();
+    let bad = Corpus::builder().ml_source("t.ml", ML).c_source("bad.c", BAD_C).build();
+    let report = service.analyze(&AnalysisRequest::new(bad)).expect("in-memory corpus");
     println!("\nbroken variant:");
     print!("{}", report.render());
     assert!(report.diagnostics.with_code(DiagnosticCode::TagRange).count() > 0);

@@ -2,13 +2,23 @@
 //!
 //! ```text
 //! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR] [--no-cache]
-//!         [--timings] <file.ml|file.c>...
+//!         [--format text|json] [--timings] <file.ml|file.c>...
 //! ```
 //!
-//! Exit status is 1 when errors are found, 2 on usage or I/O problems,
-//! 0 otherwise.
+//! Exit-code policy (also documented in `--help` and the README):
+//!
+//! * `0` — analysis ran and found no errors;
+//! * `1` — analysis ran and found errors;
+//! * `2` — usage or I/O problem (bad flag, unreadable input, unknown file
+//!   kind, unopenable cache directory); the analysis did not complete.
+//!
+//! stdout carries the report and nothing else — with `--format json` it is
+//! exactly one parseable JSON document. All progress, timing and
+//! diagnostic chatter goes to stderr.
 
-use ffisafe::{AnalysisOptions, Analyzer};
+use ffisafe::{
+    AnalysisOptions, AnalysisRequest, AnalysisService, CacheMode, Corpus, ServiceConfig,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: ffisafe [options] <file.ml|file.c>...
@@ -25,16 +35,38 @@ options:
                 two-tier incremental-reanalysis cache: unchanged corpora
                 replay their report, unchanged functions skip inference
   --no-cache    ignore --cache-dir (force a cold run)
+  --format text|json
+                report format on stdout (default: text); json emits the
+                versioned structured report (schema_version 1) and
+                nothing else on stdout
   --timings     print per-phase wall-clock/work timings and cache
                 hit/miss counts to stderr
   --version     print version and exit
-  --help, -h    print this help";
+  --help, -h    print this help
+
+exit status:
+  0  analysis completed, no errors found
+  1  analysis completed, errors found
+  2  usage or I/O problem (analysis did not complete)";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("ffisafe: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let mut options = AnalysisOptions::default();
     let mut timings = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut no_cache = false;
+    let mut format = Format::Text;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,17 +77,25 @@ fn main() -> ExitCode {
             "--no-cache" => no_cache = true,
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
-                    eprintln!("ffisafe: --cache-dir requires a directory");
-                    eprintln!("{USAGE}");
-                    return ExitCode::from(2);
+                    return usage_error("--cache-dir requires a directory");
                 };
                 cache_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(other) => {
+                        return usage_error(&format!(
+                            "--format expects `text` or `json`, got `{other}`"
+                        ));
+                    }
+                    None => return usage_error("--format requires `text` or `json`"),
+                };
+            }
             "--jobs" | "-j" => {
                 let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    eprintln!("ffisafe: --jobs requires a positive integer");
-                    eprintln!("{USAGE}");
-                    return ExitCode::from(2);
+                    return usage_error("--jobs requires a positive integer");
                 };
                 if n == 0 {
                     eprintln!("ffisafe: --jobs requires a positive integer");
@@ -68,13 +108,11 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                eprintln!("{USAGE}");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') && other.len() > 1 => {
-                eprintln!("ffisafe: unknown option `{other}`");
-                eprintln!("{USAGE}");
-                return ExitCode::from(2);
+                return usage_error(&format!("unknown option `{other}`"));
             }
             other => files.push(other.to_string()),
         }
@@ -83,28 +121,47 @@ fn main() -> ExitCode {
         eprintln!("ffisafe: no input files (try --help)");
         return ExitCode::from(2);
     }
-    let mut az = Analyzer::with_options(options);
-    if !no_cache {
-        az.set_cache_dir(cache_dir);
-    }
+
+    let mut builder = Corpus::builder();
     for path in &files {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
+        builder = match builder.source_path(path) {
+            Ok(b) => b,
             Err(e) => {
-                eprintln!("ffisafe: cannot read {path}: {e}");
+                eprintln!("ffisafe: {e}");
                 return ExitCode::from(2);
             }
         };
-        if path.ends_with(".ml") || path.ends_with(".mli") {
-            az.add_ml_source(path, &src);
-        } else if path.ends_with(".c") || path.ends_with(".h") {
-            az.add_c_source(path, &src);
-        } else {
-            eprintln!("ffisafe: skipping {path}: unknown extension");
-        }
     }
-    let report = az.analyze();
-    print!("{}", report.render());
+    let corpus = builder.build();
+
+    let service = match AnalysisService::with_config(ServiceConfig {
+        cache_dir: if no_cache { None } else { cache_dir },
+        batch_jobs: 0,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ffisafe: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let request = AnalysisRequest::new(corpus).options(options).cache_mode(if no_cache {
+        CacheMode::Bypass
+    } else {
+        CacheMode::Shared
+    });
+    let report = match service.analyze(&request) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ffisafe: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => print!("{}", report.render()),
+        Format::Json => print!("{}", report.to_json()),
+    }
     if timings {
         eprintln!("{:>12}  {:>8}  {:>8}", "phase", "wall", "work");
         for (phase, t) in report.timings.iter() {

@@ -24,37 +24,93 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use ffisafe::Analyzer;
+//! Build an immutable, content-addressed [`Corpus`] and submit it to an
+//! [`AnalysisService`] — a long-lived engine that can hold one shared
+//! incremental cache and run many corpora concurrently:
 //!
-//! let mut az = Analyzer::new();
-//! az.add_ml_source("stack.ml", r#"
-//!     type t = Empty | Node of int * t
-//!     external depth : t -> int = "ml_depth"
-//! "#);
-//! az.add_c_source("stack.c", r#"
-//!     value ml_depth(value v) {
-//!         int n = 0;
-//!         while (Is_block(v)) {
-//!             n = n + 1;
-//!             v = Field(v, 1);
-//!         }
-//!         return Val_int(n);
-//!     }
-//! "#);
-//! let report = az.analyze();
-//! assert_eq!(report.error_count(), 0, "{}", report.render());
 //! ```
+//! use ffisafe::{AnalysisRequest, AnalysisService, Corpus};
+//!
+//! let corpus = Corpus::builder()
+//!     .ml_source("stack.ml", r#"
+//!         type t = Empty | Node of int * t
+//!         external depth : t -> int = "ml_depth"
+//!     "#)
+//!     .c_source("stack.c", r#"
+//!         value ml_depth(value v) {
+//!             int n = 0;
+//!             while (Is_block(v)) {
+//!                 n = n + 1;
+//!                 v = Field(v, 1);
+//!             }
+//!             return Val_int(n);
+//!         }
+//!     "#)
+//!     .build();
+//!
+//! let service = AnalysisService::new();
+//! let report = service.analyze(&AnalysisRequest::new(corpus)).unwrap();
+//! assert_eq!(report.error_count(), 0, "{}", report.render());
+//!
+//! // The versioned machine-readable form (schema_version 1):
+//! let json = report.to_json();
+//! assert!(json.contains("\"schema_version\": 1"));
+//! ```
+//!
+//! Batches share the service's worker pool and cache store, and results
+//! come back in submission order at any width:
+//!
+//! ```
+//! use ffisafe::{AnalysisRequest, AnalysisService, Corpus};
+//!
+//! let service = AnalysisService::new();
+//! let requests: Vec<AnalysisRequest> = (0..3)
+//!     .map(|i| {
+//!         let corpus = Corpus::builder()
+//!             .ml_source("lib.ml", format!(r#"external f{i} : int -> int = "ml_f{i}""#))
+//!             .c_source(
+//!                 "glue.c",
+//!                 format!("value ml_f{i}(value n) {{ return Val_int(Int_val(n) + {i}); }}"),
+//!             )
+//!             .build();
+//!         AnalysisRequest::new(corpus)
+//!     })
+//!     .collect();
+//! for result in service.analyze_batch(&requests) {
+//!     assert_eq!(result.unwrap().error_count(), 0);
+//! }
+//! ```
+//!
+//! ## Migrating from the deprecated [`Analyzer`]
+//!
+//! The original mutable one-shot [`Analyzer`] still works (it now
+//! delegates to a single-corpus service and produces byte-identical
+//! reports), but new code should use the service API:
+//!
+//! | Deprecated `Analyzer` call | Service API equivalent |
+//! |----------------------------|------------------------|
+//! | `Analyzer::new()` | `AnalysisService::new()` + `Corpus::builder()` |
+//! | `Analyzer::with_options(opts)` | `AnalysisRequest::new(corpus).options(opts)` |
+//! | `az.add_ml_source(name, src)` | `builder.ml_source(name, src)` |
+//! | `az.add_c_source(name, src)` | `builder.c_source(name, src)` |
+//! | `az.set_cache_dir(Some(dir))` | `AnalysisService::with_cache_dir(dir)?` |
+//! | `az.set_cache_dir(None)` on one run | `request.cache_mode(CacheMode::Bypass)` |
+//! | `az.analyze()` | `service.analyze(&request)?` |
+//! | (N analyzers in a loop) | `service.analyze_batch(&requests)` |
+//!
+//! Error handling changes shape too: the facade silently degraded on an
+//! unopenable cache directory, while the service reports a typed
+//! [`ApiError`] (`Io`, `UnknownFileKind`, `Cache`).
 //!
 //! ## Crate map
 //!
 //! | Crate | Role |
 //! |-------|------|
-//! | [`ffisafe_support`] | spans, diagnostics, interning |
+//! | [`ffisafe_support`] | spans, diagnostics, interning, JSON |
 //! | [`ffisafe_types`] | the multi-lingual type language + unification |
 //! | [`ffisafe_ocaml`] | OCaml frontend, type repository, `ρ`/`Φ` |
 //! | [`ffisafe_cil`] | C frontend, Figure 5 IR, liveness |
-//! | [`ffisafe_core`] | the inference engine and [`Analyzer`] |
+//! | [`ffisafe_core`] | the inference engine and [`AnalysisService`] |
 //! | [`ffisafe_semantics`] | executable semantics + soundness harness |
 //! | [`ffisafe_bench`] | Figure 9 corpus and measurement harness |
 
@@ -68,5 +124,10 @@ pub use ffisafe_semantics as semantics;
 pub use ffisafe_support as support;
 pub use ffisafe_types as types;
 
-pub use ffisafe_core::{AnalysisOptions, AnalysisReport, AnalysisStats, Analyzer};
+#[allow(deprecated)]
+pub use ffisafe_core::Analyzer;
+pub use ffisafe_core::{
+    AnalysisOptions, AnalysisReport, AnalysisRequest, AnalysisService, AnalysisStats, ApiError,
+    CacheMode, Corpus, CorpusBuilder, CorpusFile, ServiceConfig, SourceKind, REPORT_SCHEMA_VERSION,
+};
 pub use ffisafe_support::{Diagnostic, DiagnosticCode, Phase, PhaseTimings, Session, Severity};

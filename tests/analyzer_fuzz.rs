@@ -2,16 +2,14 @@
 //! is fed — including byte-level corruptions of realistic glue code. Real
 //! deployments run it over code the tool authors never saw.
 
-use ffisafe::Analyzer;
+use ffisafe::{AnalysisRequest, AnalysisService, Corpus};
 use ffisafe_bench::corpus::generate;
 use ffisafe_bench::spec::paper_benchmarks;
 use ffisafe_support::rng::Rng64;
 
 fn analyze(ml: &str, c: &str) -> usize {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze().diagnostics.len()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap().diagnostics.len()
 }
 
 /// Deterministically corrupts a string: deletes, duplicates or replaces a
@@ -70,21 +68,23 @@ fn empty_and_whitespace_inputs() {
 
 #[test]
 fn ml_only_and_c_only() {
+    let service = AnalysisService::new();
     // external with no C definition: nothing to check
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", r#"external f : int -> int = "ml_f""#);
-    assert_eq!(az.analyze().error_count(), 0);
+    let ml_only =
+        Corpus::builder().ml_source("lib.ml", r#"external f : int -> int = "ml_f""#).build();
+    assert_eq!(service.analyze(&AnalysisRequest::new(ml_only)).unwrap().error_count(), 0);
     // C with no OCaml side: helpers type-check among themselves
-    let mut az = Analyzer::new();
-    az.add_c_source("glue.c", "int twice(int x) { return x + x; }");
-    assert_eq!(az.analyze().error_count(), 0);
+    let c_only = Corpus::builder().c_source("glue.c", "int twice(int x) { return x + x; }").build();
+    assert_eq!(service.analyze(&AnalysisRequest::new(c_only)).unwrap().error_count(), 0);
 }
 
 #[test]
 fn duplicate_function_definitions_do_not_panic() {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", r#"external f : int -> int = "ml_f""#);
-    az.add_c_source("a.c", "value ml_f(value n) { return n; }");
-    az.add_c_source("b.c", "value ml_f(value n, value m) { return m; }");
-    let _ = az.analyze(); // arity conflict must be reported, not panic
+    let corpus = Corpus::builder()
+        .ml_source("lib.ml", r#"external f : int -> int = "ml_f""#)
+        .c_source("a.c", "value ml_f(value n) { return n; }")
+        .c_source("b.c", "value ml_f(value n, value m) { return m; }")
+        .build();
+    // arity conflict must be reported, not panic
+    let _ = AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap();
 }

@@ -8,7 +8,7 @@
 //!   everything;
 //! * a corrupted or truncated cache file is a miss, never a crash.
 
-use ffisafe::{AnalysisOptions, Analyzer};
+use ffisafe::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus};
 use std::path::{Path, PathBuf};
 
 const ML: &str = r#"
@@ -50,16 +50,19 @@ fn analyze(
     options: AnalysisOptions,
     cache: Option<&Path>,
 ) -> ffisafe::AnalysisReport {
-    let mut az = Analyzer::with_options(options);
-    az.set_cache_dir(cache.map(Path::to_path_buf));
+    let mut builder = Corpus::builder();
     for (name, src) in corpus {
-        if name.ends_with(".ml") {
-            az.add_ml_source(name, src);
+        builder = if name.ends_with(".ml") {
+            builder.ml_source(*name, *src)
         } else {
-            az.add_c_source(name, src);
-        }
+            builder.c_source(*name, *src)
+        };
     }
-    az.analyze()
+    let service = match cache {
+        Some(dir) => AnalysisService::with_cache_dir(dir).expect("temp cache dir opens"),
+        None => AnalysisService::new(),
+    };
+    service.analyze(&AnalysisRequest::new(builder.build()).options(options)).unwrap()
 }
 
 fn corpus(b_src: &str) -> Vec<(&'static str, String)> {

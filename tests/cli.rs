@@ -66,11 +66,71 @@ value ml_wrap(value s) {
 fn cli_help_and_missing_files() {
     let help = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("--help").output().unwrap();
     assert!(help.status.success());
+    let help_out = String::from_utf8_lossy(&help.stdout);
+    assert!(help_out.contains("exit status"), "--help documents the exit-code policy: {help_out}");
+    assert!(help_out.contains("--format"), "{help_out}");
     let none = Command::new(env!("CARGO_BIN_EXE_ffisafe")).output().unwrap();
     assert_eq!(none.status.code(), Some(2));
     let missing =
         Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg("/definitely/not/here.c").output().unwrap();
     assert_eq!(missing.status.code(), Some(2));
+}
+
+#[test]
+fn cli_unknown_extension_is_usage_error() {
+    // Exit-code policy: an input the tool cannot classify is a usage
+    // error (2), not a silent skip.
+    let txt = write_temp("notes.txt", "not glue code");
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe")).arg(&txt).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown file kind"), "{stderr}");
+}
+
+#[test]
+fn cli_format_json_stdout_is_pure_json() {
+    let ml = write_temp("fmt.ml", r#"external f : int -> int = "ml_f""#);
+    let c = write_temp("fmt.c", r#"value ml_f(value n) { return Val_int(n); }"#);
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .args(["--format", "json", "--timings"])
+        .arg(&ml)
+        .arg(&c)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "errors found still drive the exit code");
+    let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+    let doc = ffisafe_support::json::parse(&stdout)
+        .expect("stdout must be exactly one parseable JSON document");
+    assert_eq!(doc.get("schema_version").and_then(ffisafe_support::json::Json::as_u64), Some(1));
+    let summary = doc.get("summary").expect("summary present");
+    assert_eq!(summary.get("errors").and_then(ffisafe_support::json::Json::as_u64), Some(1));
+    let diags = doc.get("diagnostics").and_then(ffisafe_support::json::Json::as_array).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].get("code").and_then(ffisafe_support::json::Json::as_str), Some("E001"));
+    // --timings chatter went to stderr, not into the JSON
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("infer"), "{stderr}");
+}
+
+#[test]
+fn cli_format_rejects_garbage() {
+    for bad in [&["--format"][..], &["--format", "xml"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_ffisafe")).args(bad).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+    }
+}
+
+#[test]
+fn cli_unwritable_cache_dir_is_io_error() {
+    let ml = write_temp("cd.ml", r#"external f : int -> int = "ml_f""#);
+    let out = Command::new(env!("CARGO_BIN_EXE_ffisafe"))
+        .args(["--cache-dir", "/proc/definitely-unwritable/x"])
+        .arg(&ml)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unopenable cache dir is an I/O error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cache"), "{stderr}");
 }
 
 #[test]

@@ -2,13 +2,11 @@
 //! lists, arrays, refs, results and nested combinations, each exercised
 //! from realistic C.
 
-use ffisafe::Analyzer;
+use ffisafe::{AnalysisRequest, AnalysisService, Corpus};
 
 fn run(ml: &str, c: &str) -> ffisafe::AnalysisReport {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap()
 }
 
 #[test]

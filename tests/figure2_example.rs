@@ -4,7 +4,7 @@
 //! `(2, (⊤,∅) + (⊤,∅) × (⊤,∅))`, and the Figure 2 examination code
 //! type-checks with the flow-sensitive facts of Figure 8.
 
-use ffisafe::Analyzer;
+use ffisafe::{AnalysisRequest, AnalysisService, Corpus};
 use ffisafe_ocaml::{parser, translate, Item, TypeRepository};
 use ffisafe_support::{FileId, SourceMap};
 use ffisafe_types::TypeTable;
@@ -13,6 +13,11 @@ const ML: &str = r#"
 type t = A of int | B | C of int * int | D
 external examine : t -> int = "ml_examine"
 "#;
+
+fn analyze_examine(c_src: &str) -> ffisafe::AnalysisReport {
+    let corpus = Corpus::builder().ml_source("t.ml", ML).c_source("examine.c", c_src).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap()
+}
 
 fn phase1() -> (TypeTable, translate::Phase1) {
     let mut sm = SourceMap::new();
@@ -46,10 +51,7 @@ fn representational_type_matches_section2() {
 
 #[test]
 fn figure2_code_type_checks() {
-    let mut az = Analyzer::new();
-    az.add_ml_source("t.ml", ML);
-    az.add_c_source(
-        "examine.c",
+    let report = analyze_examine(
         r#"
         value ml_examine(value x) {
             if (Is_long(x)) {
@@ -67,7 +69,6 @@ fn figure2_code_type_checks() {
         }
         "#,
     );
-    let report = az.analyze();
     assert_eq!(report.diagnostics.len(), 0, "{}", report.render());
 }
 
@@ -75,10 +76,7 @@ fn figure2_code_type_checks() {
 fn figure8_constraints_reject_third_nullary_constructor() {
     // testing int_tag 2 on a type with exactly 2 nullary constructors
     // violates 2 + 1 ≤ Ψ once unified with t
-    let mut az = Analyzer::new();
-    az.add_ml_source("t.ml", ML);
-    az.add_c_source(
-        "examine.c",
+    let report = analyze_examine(
         r#"
         value ml_examine(value x) {
             if (Is_long(x)) {
@@ -88,7 +86,6 @@ fn figure8_constraints_reject_third_nullary_constructor() {
         }
         "#,
     );
-    let report = az.analyze();
     assert!(
         report.diagnostics.with_code(ffisafe::DiagnosticCode::ConstructorRange).count() >= 1,
         "{}",
@@ -99,10 +96,7 @@ fn figure8_constraints_reject_third_nullary_constructor() {
 #[test]
 fn boxedness_misuse_rejected() {
     // Int_val on the boxed branch of the test
-    let mut az = Analyzer::new();
-    az.add_ml_source("t.ml", ML);
-    az.add_c_source(
-        "examine.c",
+    let report = analyze_examine(
         r#"
         value ml_examine(value x) {
             if (Is_long(x)) {
@@ -113,7 +107,6 @@ fn boxedness_misuse_rejected() {
         }
         "#,
     );
-    let report = az.analyze();
     assert!(
         report.diagnostics.with_code(ffisafe::DiagnosticCode::BoxednessMismatch).count() >= 1,
         "{}",

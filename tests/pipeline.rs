@@ -1,45 +1,51 @@
 //! Cross-crate integration: whole-pipeline behaviours that span the
 //! OCaml frontend, the C frontend, the type system and the engine.
 
-use ffisafe::{AnalysisOptions, Analyzer, DiagnosticCode, Severity};
+use ffisafe::{
+    AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, DiagnosticCode, Severity,
+};
 
 fn run(ml: &str, c: &str) -> ffisafe::AnalysisReport {
-    let mut az = Analyzer::new();
-    az.add_ml_source("lib.ml", ml);
-    az.add_c_source("glue.c", c);
-    az.analyze()
+    let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap()
+}
+
+fn run_with_options(ml: &str, c: &str, options: AnalysisOptions) -> ffisafe::AnalysisReport {
+    let corpus = Corpus::builder().ml_source("l.ml", ml).c_source("g.c", c).build();
+    AnalysisService::new().analyze(&AnalysisRequest::new(corpus).options(options)).unwrap()
 }
 
 #[test]
 fn multi_file_programs_share_one_type_table() {
-    let mut az = Analyzer::new();
-    az.add_ml_source("types.ml", "type handle\n");
-    az.add_ml_source(
-        "api.ml",
-        r#"
+    let corpus = Corpus::builder()
+        .ml_source("types.ml", "type handle\n")
+        .ml_source(
+            "api.ml",
+            r#"
         external open_h : string -> handle = "ml_open"
         external close_h : handle -> unit = "ml_close"
         "#,
-    );
-    az.add_c_source(
-        "open.c",
-        r#"
+        )
+        .c_source(
+            "open.c",
+            r#"
         value ml_open(value path) {
             winT *w = make_window(String_val(path));
             return (value) w;
         }
         "#,
-    );
-    az.add_c_source(
-        "close.c",
-        r#"
+        )
+        .c_source(
+            "close.c",
+            r#"
         value ml_close(value h) {
             destroy_window((winT *) h);
             return Val_unit;
         }
         "#,
-    );
-    let report = az.analyze();
+        )
+        .build();
+    let report = AnalysisService::new().analyze(&AnalysisRequest::new(corpus)).unwrap();
     assert_eq!(report.error_count(), 0, "{}", report.render());
 }
 
@@ -163,23 +169,13 @@ fn ablations_change_behaviour_in_opposite_directions() {
             return Val_int(0);
         }
     "#;
-    let full = {
-        let mut az = Analyzer::new();
-        az.add_ml_source("l.ml", ml);
-        az.add_c_source("g.c", c);
-        az.analyze()
-    };
+    let full = run_with_options(ml, c, AnalysisOptions::default());
     assert_eq!(full.error_count(), 0, "{}", full.render());
-    let no_flow = {
-        let mut az = Analyzer::with_options(AnalysisOptions {
-            flow_sensitive: false,
-            gc_effects: true,
-            ..AnalysisOptions::default()
-        });
-        az.add_ml_source("l.ml", ml);
-        az.add_c_source("g.c", c);
-        az.analyze()
-    };
+    let no_flow = run_with_options(
+        ml,
+        c,
+        AnalysisOptions { flow_sensitive: false, gc_effects: true, ..AnalysisOptions::default() },
+    );
     assert!(no_flow.error_count() > 0, "{}", no_flow.render());
 }
 

@@ -1,0 +1,196 @@
+//! Concurrent service use: one [`AnalysisService`] with a shared
+//! `--cache-dir` running `analyze_batch` over several corpora.
+//!
+//! The contract under test:
+//!
+//! * per-corpus reports are **byte-identical** to sequential
+//!   single-corpus runs, at `jobs ∈ {1, 8}` and any batch width;
+//! * results come back in submission order;
+//! * the shared store's cache hit/miss counters add up — a cold batch
+//!   misses once per function, a warm batch is all report-tier hits, and
+//!   a batch is exactly as warm as the sequential runs that preceded it.
+
+use ffisafe::{
+    AnalysisOptions, AnalysisRequest, AnalysisService, CacheMode, Corpus, ServiceConfig,
+};
+use std::path::PathBuf;
+
+/// Three distinct corpora with known shapes: clean, type-error, GC-error.
+fn corpora() -> Vec<(Corpus, usize)> {
+    let clean = Corpus::builder()
+        .ml_source("a.ml", r#"external add : int -> int -> int = "ml_add""#)
+        .c_source(
+            "a.c",
+            r#"value ml_add(value a, value b) { return Val_int(Int_val(a) + Int_val(b)); }"#,
+        )
+        .build();
+    let type_error = Corpus::builder()
+        .ml_source("b.ml", r#"external f : int -> int = "ml_f""#)
+        .c_source("b.c", r#"value ml_f(value n) { return Val_int(n); }"#)
+        .build();
+    let gc_error = Corpus::builder()
+        .ml_source("c.ml", r#"external wrap : string -> string ref = "ml_wrap""#)
+        .c_source(
+            "c.c",
+            r#"
+value ml_wrap(value s) {
+    value cell = caml_alloc(1, 0);
+    Store_field(cell, 0, s);
+    return cell;
+}
+"#,
+        )
+        .build();
+    // (corpus, expected error count)
+    vec![(clean, 0), (type_error, 1), (gc_error, 1)]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ffisafe-svc-batch-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn batch_over_shared_cache_matches_sequential_runs() {
+    for jobs in [1usize, 8] {
+        let dir = temp_dir(&format!("j{jobs}"));
+        let sets = corpora();
+
+        // Reference: sequential single-corpus runs on a *separate* cold
+        // service (bypassing any cache) — the ground truth output.
+        let reference_service = AnalysisService::new();
+        let reference: Vec<String> = sets
+            .iter()
+            .map(|(corpus, _)| {
+                reference_service
+                    .analyze(
+                        &AnalysisRequest::new(corpus.clone())
+                            .options(AnalysisOptions::default().with_jobs(jobs)),
+                    )
+                    .unwrap()
+                    .render_stable()
+            })
+            .collect();
+
+        // One long-lived service with a shared store, wide batch pool.
+        let service = AnalysisService::with_config(ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            batch_jobs: 4,
+        })
+        .unwrap();
+        let requests: Vec<AnalysisRequest> = sets
+            .iter()
+            .map(|(corpus, _)| {
+                AnalysisRequest::new(corpus.clone())
+                    .options(AnalysisOptions::default().with_jobs(jobs))
+            })
+            .collect();
+
+        // Cold batch: all misses, every function analyzed live.
+        let cold = service.analyze_batch(&requests);
+        assert_eq!(cold.len(), sets.len());
+        let mut total_functions = 0;
+        let mut total_misses = 0;
+        let mut total_workers = 0;
+        for (i, result) in cold.iter().enumerate() {
+            let report = result.as_ref().unwrap();
+            assert_eq!(
+                report.render_stable(),
+                reference[i],
+                "jobs={jobs}: batch slot {i} differs from its sequential run"
+            );
+            assert_eq!(report.error_count(), sets[i].1, "slot {i} expected errors");
+            assert!(!report.stats.cache_report_hit, "cold batch cannot hit the report tier");
+            assert_eq!(report.stats.cache_fn_hits, 0, "cold batch has no tier-1 hits");
+            total_functions += report.stats.c_functions;
+            total_misses += report.stats.cache_fn_misses;
+            total_workers += report.stats.workers_executed;
+        }
+        assert_eq!(total_misses, total_functions, "jobs={jobs}: every function missed once");
+        assert_eq!(total_workers, total_functions, "jobs={jobs}: every function ran live");
+
+        // Warm batch: every corpus is a report-tier hit, zero workers.
+        let warm = service.analyze_batch(&requests);
+        for (i, result) in warm.iter().enumerate() {
+            let report = result.as_ref().unwrap();
+            assert!(report.stats.cache_report_hit, "jobs={jobs}: slot {i} must replay");
+            assert_eq!(report.stats.workers_executed, 0);
+            assert_eq!(report.render_stable(), reference[i], "warm replay must be byte-identical");
+        }
+
+        // Counters add up against sequential runs over the same store: a
+        // fresh sequential pass is served exactly like the warm batch.
+        for (i, (corpus, _)) in sets.iter().enumerate() {
+            let seq = service
+                .analyze(
+                    &AnalysisRequest::new(corpus.clone())
+                        .options(AnalysisOptions::default().with_jobs(jobs)),
+                )
+                .unwrap();
+            assert!(seq.stats.cache_report_hit);
+            assert_eq!(seq.render_stable(), reference[i]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn batch_results_ignore_submission_order() {
+    let sets = corpora();
+    let service =
+        AnalysisService::with_config(ServiceConfig { cache_dir: None, batch_jobs: 3 }).unwrap();
+    let forward: Vec<AnalysisRequest> =
+        sets.iter().map(|(c, _)| AnalysisRequest::new(c.clone())).collect();
+    let reversed: Vec<AnalysisRequest> =
+        sets.iter().rev().map(|(c, _)| AnalysisRequest::new(c.clone())).collect();
+    let fwd_reports = service.analyze_batch(&forward);
+    let rev_reports = service.analyze_batch(&reversed);
+    for (i, fwd) in fwd_reports.iter().enumerate() {
+        let mirrored = &rev_reports[sets.len() - 1 - i];
+        assert_eq!(
+            fwd.as_ref().unwrap().render_stable(),
+            mirrored.as_ref().unwrap().render_stable(),
+            "slot {i} must depend only on its corpus, not its position"
+        );
+    }
+}
+
+#[test]
+fn bypass_requests_share_a_batch_with_cached_ones() {
+    let dir = temp_dir("mixed");
+    let sets = corpora();
+    let service =
+        AnalysisService::with_config(ServiceConfig { cache_dir: Some(dir.clone()), batch_jobs: 4 })
+            .unwrap();
+    let requests: Vec<AnalysisRequest> =
+        sets.iter().map(|(c, _)| AnalysisRequest::new(c.clone())).collect();
+    let _ = service.analyze_batch(&requests); // prime the store
+
+    let mixed: Vec<AnalysisRequest> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, (c, _))| {
+            let req = AnalysisRequest::new(c.clone());
+            if i == 1 {
+                req.cache_mode(CacheMode::Bypass)
+            } else {
+                req
+            }
+        })
+        .collect();
+    let results = service.analyze_batch(&mixed);
+    assert!(results[0].as_ref().unwrap().stats.cache_report_hit);
+    assert!(
+        !results[1].as_ref().unwrap().stats.cache_report_hit,
+        "the bypass request must run cold"
+    );
+    assert!(results[2].as_ref().unwrap().stats.cache_report_hit);
+    // and the outputs still agree
+    assert_eq!(
+        results[1].as_ref().unwrap().render_stable(),
+        service.analyze(&requests[1]).unwrap().render_stable()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
