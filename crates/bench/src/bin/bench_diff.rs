@@ -24,10 +24,18 @@
 //! red gate on an innocuous change means the runner was an outlier —
 //! re-run the job before hunting a regression.
 //!
+//! Workloads **added or removed** between the two artifacts are
+//! *informational*, never fatal: the total-work budget is computed over
+//! the workload names the artifacts share, so landing a new workload row
+//! (or retiring one) cannot trip the gate on its first run. A new
+//! workload's warm-beats-cold invariant is still enforced immediately —
+//! that check needs only the current artifact.
+//!
 //! Exit status: `0` healthy, `1` regression detected, `2` usage/IO/parse
 //! problem.
 
 use ffisafe_support::json::{self, Json};
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 /// Total-work budget: current may cost at most this factor of baseline.
@@ -74,10 +82,15 @@ fn rows(doc: &Json, which: &str) -> Result<Vec<Row>, String> {
         .collect()
 }
 
-/// Sum of `work_seconds` over the uncached serial rows — the
-/// hardware-independent total-compute number the gate budgets.
-fn total_work(rows: &[Row]) -> f64 {
-    rows.iter().filter(|r| r.cache == "off" && r.jobs == 1).map(|r| r.work_seconds).sum()
+/// Sum of `work_seconds` over the uncached serial rows of workloads in
+/// `names` — the hardware-independent total-compute number the gate
+/// budgets. Restricting to the shared name set keeps added/removed
+/// workloads from masquerading as work regressions.
+fn total_work(rows: &[Row], names: &BTreeSet<&str>) -> f64 {
+    rows.iter()
+        .filter(|r| names.contains(r.name.as_str()) && r.cache == "off" && r.jobs == 1)
+        .map(|r| r.work_seconds)
+        .sum()
 }
 
 /// Workloads whose warm run was not strictly faster than its cold run.
@@ -135,10 +148,22 @@ fn main() -> ExitCode {
         }
     }
 
-    let old_work = total_work(&baseline_rows);
-    let new_work = total_work(&current_rows);
+    let baseline_names: BTreeSet<&str> = baseline_rows.iter().map(|r| r.name.as_str()).collect();
+    let current_names: BTreeSet<&str> = current_rows.iter().map(|r| r.name.as_str()).collect();
+    let added: Vec<&&str> = current_names.difference(&baseline_names).collect();
+    if !added.is_empty() {
+        println!("workloads added since baseline (informational): {added:?}");
+    }
+    let removed: Vec<&&str> = baseline_names.difference(&current_names).collect();
+    if !removed.is_empty() {
+        println!("workloads removed since baseline (informational): {removed:?}");
+    }
+    let shared: BTreeSet<&str> = baseline_names.intersection(&current_names).copied().collect();
+
+    let old_work = total_work(&baseline_rows, &shared);
+    let new_work = total_work(&current_rows, &shared);
     if old_work <= 0.0 {
-        println!("baseline has no uncached jobs=1 work rows; skipping the work budget");
+        println!("no shared uncached jobs=1 work rows with the baseline; skipping the work budget");
     } else {
         let ratio = new_work / old_work;
         println!(

@@ -14,6 +14,7 @@ use crate::corpus::generate;
 use crate::runner::scaling_benchmark;
 use crate::spec::paper_benchmarks;
 use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, ServiceConfig};
+use ffisafe_shard::{sweep, SweepConfig};
 use std::path::Path;
 
 /// One measured configuration.
@@ -126,8 +127,73 @@ fn measure_workload(
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// One sweep run over a multi-library tree, folded into the same row
+/// shape as the single-corpus workloads. The work/hit numbers come from
+/// the map executor's accounting; the critical path is not tracked at
+/// sweep granularity and reports zero.
+fn measure_sweep_once(
+    root: &Path,
+    config: &SweepConfig,
+    cache: &'static str,
+) -> PipelineMeasurement {
+    let output = sweep(root, config).expect("bench sweep over a temp tree cannot fail");
+    assert_eq!(output.stats.libraries_failed, 0, "bench sweep libraries must analyze");
+    let total = output.report.summary();
+    let s = &output.stats;
+    PipelineMeasurement {
+        name: "sweep-4lib".to_string(),
+        c_loc: s.c_loc,
+        functions: s.functions,
+        passes: s.passes,
+        jobs: 1,
+        cache,
+        seconds: s.wall_seconds,
+        infer_seconds: s.work_seconds,
+        work_seconds: s.work_seconds,
+        critical_path_seconds: 0.0,
+        cache_fn_hits: s.cache_fn_hits,
+        report_hit: s.report_hits == output.library_count,
+        diagnostics: total.errors + total.warnings + total.imprecision,
+    }
+}
+
+/// The sweep workload: the four smallest Figure 9 libraries written to a
+/// temp tree (one subdirectory each), swept at `--shards 2` cold then
+/// warm over one shared store — the map/reduce subsystem's cold/warm
+/// pair in the trajectory.
+fn measure_sweep(rows: &mut Vec<PipelineMeasurement>) {
+    let root = std::env::temp_dir().join(format!("ffisafe-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for spec in paper_benchmarks().iter().take(4) {
+        let bench = generate(spec);
+        let dir = root.join(spec.name);
+        std::fs::create_dir_all(&dir).expect("bench temp tree");
+        std::fs::write(dir.join("lib.ml"), &bench.ml_source).expect("bench temp tree");
+        std::fs::write(dir.join("glue.c"), &bench.c_source).expect("bench temp tree");
+    }
+    let config = SweepConfig {
+        shards: 2,
+        jobs: 1,
+        cache_dir: Some(root.join(".cache")),
+        options: AnalysisOptions::default().with_jobs(1),
+        ..SweepConfig::default()
+    };
+    let cold = measure_sweep_once(&root, &config, "cold");
+    let mut warm = measure_sweep_once(&root, &config, "warm");
+    // Warm report-tier hits skip the pipeline, so backfill the workload
+    // shape from the cold sibling (same convention as measure_workload).
+    if warm.report_hit {
+        warm.functions = cold.functions;
+        warm.passes = cold.passes;
+    }
+    rows.push(cold);
+    rows.push(warm);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Runs every workload at each worker count in `jobs_list`, plus the
-/// cold/warm cache pair per workload.
+/// cold/warm cache pair per workload and the sharded-sweep cold/warm
+/// pair.
 pub fn run(jobs_list: &[usize]) -> PipelineBench {
     let mut rows = Vec::new();
     for spec in paper_benchmarks() {
@@ -136,6 +202,7 @@ pub fn run(jobs_list: &[usize]) -> PipelineBench {
     }
     let scale = scaling_benchmark(12_000);
     measure_workload(&mut rows, "scale-12k", &scale.ml_source, &scale.c_source, jobs_list);
+    measure_sweep(&mut rows);
     PipelineBench { rows }
 }
 
@@ -286,5 +353,22 @@ mod tests {
     #[test]
     fn json_escape_handles_quotes() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn sweep_pair_replays_warm_and_matches() {
+        let mut rows = Vec::new();
+        measure_sweep(&mut rows);
+        assert_eq!(rows.len(), 2);
+        let (cold, warm) = (&rows[0], &rows[1]);
+        assert_eq!((cold.cache, warm.cache), ("cold", "warm"));
+        assert_eq!(cold.name, "sweep-4lib");
+        assert!(cold.functions > 0 && cold.c_loc > 0);
+        assert!(!cold.report_hit);
+        assert!(warm.report_hit, "unchanged tree must be served from the report tier");
+        assert_eq!(cold.diagnostics, warm.diagnostics, "cache changed sweep results");
+        assert_eq!(cold.functions, warm.functions, "warm row backfilled from cold");
+        let pb = PipelineBench { rows };
+        assert_eq!(pb.warm_regressions(), Vec::<String>::new(), "warm must beat cold");
     }
 }

@@ -23,6 +23,14 @@
 //! Eviction is LRU by a monotonic clock persisted in the index: whenever
 //! [`CacheStore::flush`] finds the store over its size cap, least-recently
 //! used entries are deleted until it fits.
+//!
+//! One directory may be shared by several processes (sharded sweeps run
+//! many `ffisafe` children over one `--cache-dir`). Entry writes are
+//! atomic and content-addressed, so concurrency can only race on
+//! `index.bin` — and a lost index row merely turns the entry into a valid
+//! *orphan*, which the next [`CacheStore::open`] validates and adopts back
+//! into the index (invalid orphans are deleted). No entry a process wrote
+//! is ever silently lost to an index race.
 
 use crate::codec::{Decoder, Encoder};
 use ffisafe_support::{Fingerprint, FingerprintHasher};
@@ -72,7 +80,9 @@ impl Tier {
     }
 }
 
-/// Hit/miss/eviction counters for one store lifetime.
+/// Hit/miss/eviction counters for one store lifetime, plus the store's
+/// current occupancy (entry count and live bytes) at the moment
+/// [`CacheStore::stats`] was called.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Tier-1 lookups that replayed a memoized function outcome.
@@ -87,6 +97,10 @@ pub struct CacheStats {
     pub evictions: usize,
     /// Entries dropped because validation failed (corrupt/truncated).
     pub corrupt: usize,
+    /// Entries currently indexed (occupancy, not a counter).
+    pub entries: usize,
+    /// Total indexed payload-file bytes (occupancy, not a counter).
+    pub live_bytes: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -125,7 +139,15 @@ impl CacheStore {
         if !store.load_index() {
             store.wipe();
         } else {
-            store.remove_orphans();
+            store.adopt_orphans();
+        }
+        // Persist the index right away if it is not on disk. Entry files
+        // next to a *missing* index read as an interrupted unversioned
+        // store and trigger a wipe, so without this a second process
+        // opening a fresh directory could destroy entries the first
+        // process had already written but not yet flushed.
+        if !dir.join("index.bin").exists() {
+            store.write_index()?;
         }
         Ok(store)
     }
@@ -135,9 +157,10 @@ impl CacheStore {
         self.cap_bytes = cap;
     }
 
-    /// Counters accumulated since the store was opened.
+    /// Counters accumulated since the store was opened, with the current
+    /// occupancy (entry count, live bytes) filled in at call time.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats { entries: self.entry_count(), live_bytes: self.total_bytes(), ..self.stats }
     }
 
     /// Number of entries currently indexed.
@@ -274,11 +297,22 @@ impl CacheStore {
         true
     }
 
-    /// Deletes entry files present on disk but absent from the index —
-    /// leftovers of a run that died between `put` and `flush`. Without
-    /// this they would be invisible to `total_bytes` and the LRU sweep
-    /// and leak disk unboundedly across interrupted runs.
-    fn remove_orphans(&self) {
+    /// Reconciles entry files present on disk but absent from the index.
+    ///
+    /// Such orphans arise two ways: a run died between `put` and `flush`,
+    /// or — since sweeps shard one `--cache-dir` across concurrent
+    /// `ffisafe` processes — a sibling process's index flush raced ours
+    /// and dropped rows for entries that are perfectly valid on disk. The
+    /// entry files are self-validating (magic, version, length, checksum)
+    /// and content-addressed, and only same-version producers ever write
+    /// next to a matching index (a version mismatch wipes wholesale), so a
+    /// *valid* orphan is always safe to **adopt** back into the index;
+    /// only files failing validation are deleted. Adoption is what keeps
+    /// shared-store occupancy deterministic and warm sweeps complete no
+    /// matter how concurrent index writes interleaved. Adopted entries
+    /// join at the cold end of the LRU (`last_used = 0`), so under cap
+    /// pressure they are the first to go.
+    fn adopt_orphans(&mut self) {
         let Ok(read) = std::fs::read_dir(&self.dir) else { return };
         for dirent in read.flatten() {
             let name = dirent.file_name();
@@ -290,10 +324,26 @@ impl CacheStore {
                 _ => continue,
             };
             let Some(hex) = rest.strip_suffix(".bin") else { continue };
-            let indexed = Fingerprint::parse_hex(hex)
-                .is_some_and(|fp| self.entries.contains_key(&(tier.as_u8(), fp)));
-            if !indexed {
+            let Some(fp) = Fingerprint::parse_hex(hex) else {
+                // An entry-shaped name that does not address anything can
+                // never be indexed or evicted — delete it so it cannot
+                // leak disk past the size cap.
                 let _ = std::fs::remove_file(dirent.path());
+                continue;
+            };
+            if self.entries.contains_key(&(tier.as_u8(), fp)) {
+                continue;
+            }
+            let bytes = std::fs::read(dirent.path()).unwrap_or_default();
+            match validate_entry(&bytes) {
+                Some(_) => {
+                    let size = bytes.len() as u64;
+                    self.entries.insert((tier.as_u8(), fp), EntryMeta { size, last_used: 0 });
+                }
+                None => {
+                    let _ = std::fs::remove_file(dirent.path());
+                    self.stats.corrupt += 1;
+                }
             }
         }
     }
@@ -488,35 +538,97 @@ mod tests {
     }
 
     #[test]
-    fn orphans_next_to_a_valid_index_are_removed_at_open() {
+    fn valid_orphans_next_to_a_valid_index_are_adopted_at_open() {
         let dir = temp_store_dir("orphan-next-to-index");
         let mut store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(1), b"indexed").unwrap();
         store.flush().unwrap();
-        // a later run dies between put and flush: entry on disk, not indexed
+        // A sibling process's index flush raced ours (or a run died between
+        // put and flush): the entry is on disk and valid, just unindexed.
         store.put(Tier::Function, fp(2), b"orphan").unwrap();
         drop(store);
 
         let mut store = CacheStore::open(&dir, "v1").unwrap();
-        assert_eq!(store.entry_count(), 1, "only the flushed entry survives");
+        assert_eq!(store.entry_count(), 2, "valid orphans are adopted, not lost");
         assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"indexed");
-        assert!(
-            !dir.join(format!("fn-{}.bin", fp(2).to_hex())).exists(),
-            "orphan file deleted so it cannot leak past the size cap"
-        );
+        assert_eq!(store.get(Tier::Function, fp(2)).unwrap(), b"orphan");
+        // Adopted entries are indexed, so they are visible to the size cap…
+        assert!(store.total_bytes() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_orphans_are_deleted_at_open_and_adoptees_are_coldest() {
+        let dir = temp_store_dir("orphan-invalid");
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        store.put(Tier::Function, fp(1), b"indexed").unwrap();
+        store.flush().unwrap();
+        store.put(Tier::Function, fp(2), b"orphan-valid").unwrap();
+        drop(store);
+        // a truncated orphan must not be adopted
+        let bad = dir.join(format!("fn-{}.bin", fp(3).to_hex()));
+        std::fs::write(&bad, b"FFSE-too-short").unwrap();
+
+        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(store.entry_count(), 2);
+        assert!(!bad.exists(), "invalid orphan deleted");
+        assert_eq!(store.stats().corrupt, 1);
+        assert_eq!(store.stats().entries, 2, "stats() reports occupancy");
+        assert_eq!(store.stats().live_bytes, store.total_bytes());
+        // under cap pressure the adopted (last_used = 0) entry goes first
+        store.set_cap_bytes(50);
+        store.flush().unwrap();
+        assert!(store.contains(Tier::Function, fp(1)), "indexed entry survives");
+        assert!(!store.contains(Tier::Function, fp(2)), "adoptee evicted first");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_persists_an_index_immediately_so_siblings_cannot_wipe() {
+        let dir = temp_store_dir("fresh-index");
+        let store = CacheStore::open(&dir, "v1").unwrap();
+        assert!(dir.join("index.bin").exists(), "fresh open writes the (empty) index");
+        // process A writes an entry but has not flushed yet…
+        let mut a = store;
+        a.put(Tier::Function, fp(7), b"in-flight").unwrap();
+        // …when process B opens the same directory: the persisted index
+        // keeps B from reading "entries without an index" as an
+        // interrupted store, and A's entry is adopted, not destroyed.
+        let mut b = CacheStore::open(&dir, "v1").unwrap();
+        assert_eq!(b.get(Tier::Function, fp(7)).unwrap(), b"in-flight");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_index_with_orphan_entries_wipes() {
+        // An index-less directory containing entry files can only come
+        // from an unknown producer (open() persists an index up front),
+        // so nothing in it can be trusted: wipe.
         let dir = temp_store_dir("orphans");
         let mut store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(7), b"orphan").unwrap();
-        drop(store); // never flushed: entry file exists, no index
+        drop(store);
+        std::fs::remove_file(dir.join("index.bin")).unwrap();
 
         let store = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(store.entry_count(), 0);
         assert!(!dir.join(format!("fn-{}.bin", fp(7).to_hex())).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_shaped_files_with_unparseable_names_are_deleted_at_open() {
+        let dir = temp_store_dir("badname");
+        let store = CacheStore::open(&dir, "v1").unwrap();
+        drop(store);
+        let junk = dir.join("fn-not-hex-at-all.bin");
+        std::fs::write(&junk, b"whatever").unwrap();
+        let unrelated = dir.join("README");
+        std::fs::write(&unrelated, b"keep me").unwrap();
+
+        let _ = CacheStore::open(&dir, "v1").unwrap();
+        assert!(!junk.exists(), "unaddressable entry-shaped files cannot be evicted; delete");
+        assert!(unrelated.exists(), "non-entry files are left alone");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

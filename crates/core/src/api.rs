@@ -118,8 +118,9 @@ impl SourceKind {
         }
     }
 
-    /// Classifies a file name by extension.
-    fn from_name(name: &str) -> Option<SourceKind> {
+    /// Classifies a file name by extension: `.ml`/`.mli` are OCaml,
+    /// `.c`/`.h` are C, anything else is `None` (not an FFI source).
+    pub fn from_name(name: &str) -> Option<SourceKind> {
         if name.ends_with(".ml") || name.ends_with(".mli") {
             Some(SourceKind::Ml)
         } else if name.ends_with(".c") || name.ends_with(".h") {
@@ -175,6 +176,16 @@ impl Corpus {
     /// Starts building a corpus.
     pub fn builder() -> CorpusBuilder {
         CorpusBuilder::default()
+    }
+
+    /// Loads every FFI source (`.ml`/`.mli`/`.c`/`.h`) under `dir`,
+    /// recursively, in deterministic (sorted-path) order. Files of any
+    /// other kind are skipped, never [`ApiError::UnknownFileKind`] — a
+    /// library directory full of build scripts and READMEs loads cleanly.
+    /// Both the sweep planner and the CLI's directory arguments go through
+    /// this.
+    pub fn from_dir(dir: impl AsRef<Path>) -> Result<Corpus, ApiError> {
+        Ok(CorpusBuilder::default().dir(dir)?.build())
     }
 
     /// The 128-bit content digest: every file's kind, name and text, in
@@ -256,6 +267,16 @@ impl CorpusBuilder {
         self.source(name, src)
     }
 
+    /// Adds every FFI source under `dir` (the builder form of
+    /// [`Corpus::from_dir`]): recursive, deterministic sorted-path order,
+    /// non-FFI files skipped.
+    pub fn dir(mut self, dir: impl AsRef<Path>) -> Result<Self, ApiError> {
+        for path in source_files_under(dir.as_ref())? {
+            self = self.source_path(path)?;
+        }
+        Ok(self)
+    }
+
     /// Freezes the bundle: counts lines and computes the content
     /// fingerprint.
     pub fn build(self) -> Corpus {
@@ -272,6 +293,40 @@ impl CorpusBuilder {
         );
         Corpus { files: self.files, fingerprint, ml_loc, c_loc }
     }
+}
+
+/// Every FFI source file (`.ml`/`.mli`/`.c`/`.h`) under `root`,
+/// recursively, sorted by path string — the one deterministic file order
+/// [`Corpus::from_dir`], the CLI's directory arguments and the sweep
+/// planner all share, so the same tree always produces the same corpus
+/// fingerprint.
+///
+/// Directories that cannot be read surface as [`ApiError::Io`]; non-FFI
+/// files are skipped silently.
+pub fn source_files_under(root: &Path) -> Result<Vec<PathBuf>, ApiError> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ApiError> {
+        let read = std::fs::read_dir(dir).map_err(|e| ApiError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        for dirent in read {
+            let dirent = dirent.map_err(|e| ApiError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let path = dirent.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if SourceKind::from_name(&path.display().to_string()).is_some() {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort_by_key(|p| p.display().to_string());
+    Ok(files)
 }
 
 // ---- requests -----------------------------------------------------------
@@ -419,6 +474,16 @@ impl AnalysisService {
         self.cache
             .as_ref()
             .map(|store| store.lock().unwrap_or_else(PoisonError::into_inner).entry_count())
+    }
+
+    /// Hit/miss counters and current occupancy (entry count, live bytes,
+    /// evictions) of the shared store; `None` without a cache. This is
+    /// what `--cache-stats` and the sweep report's `cache_store` section
+    /// read.
+    pub fn cache_stats(&self) -> Option<ffisafe_cache::CacheStats> {
+        self.cache
+            .as_ref()
+            .map(|store| store.lock().unwrap_or_else(PoisonError::into_inner).stats())
     }
 
     /// Analyzes one request.
@@ -733,6 +798,27 @@ mod tests {
         }
         let err = Corpus::builder().source_path("/anything.xyz").unwrap_err();
         assert!(matches!(err, ApiError::UnknownFileKind { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn from_dir_loads_ffi_files_in_sorted_order_and_skips_the_rest() {
+        let dir = std::env::temp_dir().join(format!("ffisafe-api-fromdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("zz.ml"), "external f : int -> int = \"ml_f\"\n").unwrap();
+        std::fs::write(dir.join("sub/glue.c"), "value ml_f(value n) { return n; }\n").unwrap();
+        std::fs::write(dir.join("README.txt"), "not a source\n").unwrap();
+        std::fs::write(dir.join("build.sh"), "make\n").unwrap();
+
+        let corpus = Corpus::from_dir(&dir).unwrap();
+        let names: Vec<&str> = corpus.files().map(|f| f.name()).collect();
+        assert_eq!(corpus.file_count(), 2, "non-FFI files are skipped: {names:?}");
+        assert!(names[0].ends_with("glue.c") && names[1].ends_with("zz.ml"), "{names:?}");
+        assert_eq!(corpus.fingerprint(), Corpus::from_dir(&dir).unwrap().fingerprint());
+
+        let missing = Corpus::from_dir(dir.join("nope"));
+        assert!(matches!(missing, Err(ApiError::Io { .. })), "{missing:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

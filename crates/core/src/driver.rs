@@ -63,6 +63,24 @@ pub struct AnalysisStats {
     pub cache_report_hit: bool,
 }
 
+/// The count rollup of one report — the structured equivalent of the
+/// `summary` object in [`AnalysisReport::to_json`], so in-process shard
+/// reducers aggregate counts without re-parsing the JSON they would have
+/// emitted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Error findings.
+    pub errors: usize,
+    /// Questionable-practice warnings.
+    pub warnings: usize,
+    /// Imprecision reports.
+    pub imprecision: usize,
+    /// Context notes (severity [`ffisafe_support::Severity::Note`]).
+    pub notes: usize,
+    /// All diagnostics, every severity.
+    pub diagnostics: usize,
+}
+
 /// A concrete run-time check that would make an imprecise site safe
 /// (§5.2's future-work direction, made actionable).
 #[derive(Clone, Debug)]
@@ -120,6 +138,24 @@ impl AnalysisReport {
     /// The source map used to resolve diagnostic spans.
     pub fn source_map(&self) -> &SourceMap {
         &self.source_map
+    }
+
+    /// The count rollup, identical to the `summary` object of
+    /// [`AnalysisReport::to_json`] — and identical at any cache
+    /// temperature (tier-2 hits store the structured diagnostics).
+    pub fn summary(&self) -> ReportSummary {
+        let notes = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity() == ffisafe_support::Severity::Note)
+            .count();
+        ReportSummary {
+            errors: self.error_count(),
+            warnings: self.warning_count(),
+            imprecision: self.imprecision_count(),
+            notes,
+            diagnostics: self.diagnostics.len(),
+        }
     }
 
     /// For every imprecision report, the run-time check that would make
@@ -225,18 +261,11 @@ impl AnalysisReport {
         out.push_str("  \"tool\": \"ffisafe\",\n");
         out.push_str(&format!("  \"tool_version\": \"{}\",\n", env!("CARGO_PKG_VERSION")));
 
-        let notes = self
-            .diagnostics
-            .iter()
-            .filter(|d| d.severity() == ffisafe_support::Severity::Note)
-            .count();
+        let summary = self.summary();
         out.push_str(&format!(
             "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"imprecision\": {}, \"notes\": {}, \"diagnostics\": {}}},\n",
-            self.error_count(),
-            self.warning_count(),
-            self.imprecision_count(),
-            notes,
-            self.diagnostics.len(),
+            summary.errors, summary.warnings, summary.imprecision, summary.notes,
+            summary.diagnostics,
         ));
 
         out.push_str("  \"diagnostics\": [");

@@ -76,12 +76,14 @@ pub mod pipeline;
 pub mod registry;
 
 pub use api::{
-    AnalysisRequest, AnalysisService, ApiError, CacheMode, Corpus, CorpusBuilder, CorpusFile,
-    ServiceConfig, SourceKind,
+    source_files_under, AnalysisRequest, AnalysisService, ApiError, CacheMode, Corpus,
+    CorpusBuilder, CorpusFile, ServiceConfig, SourceKind,
 };
 #[allow(deprecated)]
 pub use driver::Analyzer;
-pub use driver::{AnalysisReport, AnalysisStats, RuntimeCheckSuggestion, REPORT_SCHEMA_VERSION};
+pub use driver::{
+    AnalysisReport, AnalysisStats, ReportSummary, RuntimeCheckSuggestion, REPORT_SCHEMA_VERSION,
+};
 pub use engine::{AnalysisOptions, GcObligation};
 pub use ffisafe_support::{Phase, PhaseTimings, Session};
 pub use registry::{FuncInfo, FuncOrigin, Registry};

@@ -1,0 +1,2 @@
+(* gadgets — array walk with a statically-unknown offset (imprecision) *)
+external sum : int array -> int -> int = "ml_gadgets_sum"

@@ -1,0 +1,11 @@
+/* gadgets glue — the loop index into Field(arr, i) is unknown
+ * statically, so the analysis reports imprecision here. */
+
+value ml_gadgets_sum(value arr, value n) {
+    int total = 0;
+    int i;
+    for (i = 0; i < Int_val(n); i++) {
+        total += Int_val(Field(arr, i));
+    }
+    return Val_int(total);
+}

@@ -1,0 +1,3 @@
+(* intcalc — clean integer glue: no findings expected *)
+external add : int -> int -> int = "ml_intcalc_add"
+external scale : int -> int -> int = "ml_intcalc_scale"

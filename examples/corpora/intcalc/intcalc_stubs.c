@@ -1,0 +1,12 @@
+/* intcalc glue — correct conversions on every path */
+
+value ml_intcalc_add(value a, value b) {
+    long x = Int_val(a);
+    long y = Int_val(b);
+    return Val_int(x + y);
+}
+
+value ml_intcalc_scale(value n, value k) {
+    long r = Int_val(n) * Int_val(k);
+    return Val_int(r);
+}

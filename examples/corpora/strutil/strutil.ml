@@ -1,0 +1,3 @@
+(* strutil — seeded with a Val_int/Int_val confusion (one error) *)
+external length_twice : int -> int = "ml_strutil_length_twice"
+external measure : string -> int = "ml_strutil_measure"

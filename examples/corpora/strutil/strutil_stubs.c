@@ -1,0 +1,13 @@
+/* strutil glue — ml_strutil_length_twice re-wraps an already-wrapped
+ * value (Val_int where Int_val belongs): a type error the analysis
+ * must report. ml_strutil_measure is correct. */
+
+value ml_strutil_length_twice(value n) {
+    return Val_int(n);
+}
+
+value ml_strutil_measure(value s) {
+    const char *p = String_val(s);
+    int n = strutil_measure_impl(p);
+    return Val_int(n);
+}

@@ -1,53 +1,79 @@
-//! The `ffisafe` command-line tool: analyze OCaml + C glue sources.
+//! The `ffisafe` command-line tool: analyze OCaml + C glue sources, or
+//! sweep a whole directory tree of libraries.
 //!
 //! ```text
 //! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR] [--no-cache]
-//!         [--format text|json] [--timings] <file.ml|file.c>...
+//!         [--cache-stats] [--format text|json] [--timings]
+//!         <file.ml|file.c|dir>...
+//! ffisafe sweep [--shards N] [--jobs N] [--cache-dir DIR] [--no-cache]
+//!         [--mode in-process|child] [--manifest FILE] [--retries N]
+//!         [--no-flow] [--no-gc] [--format text|json] [--timings] <root>
 //! ```
 //!
 //! Exit-code policy (also documented in `--help` and the README):
 //!
 //! * `0` — analysis ran and found no errors;
-//! * `1` — analysis ran and found errors;
+//! * `1` — analysis ran and found errors (for `sweep`: in any library);
 //! * `2` — usage or I/O problem (bad flag, unreadable input, unknown file
-//!   kind, unopenable cache directory); the analysis did not complete.
+//!   kind, unopenable cache directory), or — for `sweep` — a library that
+//!   still failed after every retry; the analysis did not fully complete.
 //!
 //! stdout carries the report and nothing else — with `--format json` it is
-//! exactly one parseable JSON document. All progress, timing and
-//! diagnostic chatter goes to stderr.
+//! exactly one parseable JSON document (`schema_version` for single runs,
+//! `sweep_schema_version` for sweeps), byte-identical for a sweep at any
+//! `--shards`, `--jobs` or `--mode`. All progress, timing and diagnostic
+//! chatter goes to stderr.
 
+use ffisafe::shard::{sweep, MapMode, SweepConfig};
 use ffisafe::{
     AnalysisOptions, AnalysisRequest, AnalysisService, CacheMode, Corpus, ServiceConfig,
 };
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ffisafe [options] <file.ml|file.c>...
+const USAGE: &str = "usage: ffisafe [options] <file.ml|file.c|dir>...
+       ffisafe sweep [options] <root>
 
 Checks type and GC safety of OCaml-to-C foreign function calls
-(Furr & Foster, PLDI 2005).
+(Furr & Foster, PLDI 2005). A directory argument loads every .ml/.c
+file under it; `ffisafe sweep` analyzes a directory *of libraries*
+(one subdirectory each) with sharded map/reduce execution.
 
 options:
   --no-flow     disable the flow-sensitive dataflow analysis
   --no-gc       disable GC effect tracking and registration checks
   --jobs N, -j N
-                inference worker threads (default: all cores)
+                inference worker threads (default: all cores); for sweep:
+                concurrent shards
   --cache-dir DIR
                 two-tier incremental-reanalysis cache: unchanged corpora
-                replay their report, unchanged functions skip inference
+                replay their report, unchanged functions skip inference;
+                sweeps share it across every shard and child process
   --no-cache    ignore --cache-dir (force a cold run)
+  --cache-stats print cache store occupancy (entries, live bytes,
+                evictions) and hit/miss counters to stderr
   --format text|json
                 report format on stdout (default: text); json emits the
-                versioned structured report (schema_version 1) and
-                nothing else on stdout
+                versioned structured report (schema_version 1 / sweep
+                schema 1) and nothing else on stdout
   --timings     print per-phase wall-clock/work timings and cache
                 hit/miss counts to stderr
   --version     print version and exit
   --help, -h    print this help
 
+sweep options:
+  --shards N    shard count (default 0 = one shard per library)
+  --mode in-process|child
+                run shards in this process (default) or as child
+                ffisafe processes over the shared --cache-dir
+  --manifest FILE
+                where to write sweep-manifest.json (default:
+                <cache-dir>/sweep-manifest.json when --cache-dir is set)
+  --retries N   extra attempts per failed library (default 2)
+
 exit status:
   0  analysis completed, no errors found
   1  analysis completed, errors found
-  2  usage or I/O problem (analysis did not complete)";
+  2  usage or I/O problem, or a library failed after every retry";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -61,19 +87,48 @@ fn usage_error(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+fn print_cache_stats(stats: Option<ffisafe::cache::CacheStats>) {
+    match stats {
+        Some(s) => {
+            eprintln!(
+                "{:>12}: {} entry(ies), {} live byte(s), {} eviction(s)",
+                "cache store", s.entries, s.live_bytes, s.evictions
+            );
+            eprintln!(
+                "{:>12}: fn {}/{} hit/miss, report {}/{} hit/miss, {} corrupt",
+                "cache ops", s.fn_hits, s.fn_misses, s.report_hits, s.report_misses, s.corrupt
+            );
+        }
+        None => eprintln!("{:>12}: disabled (no --cache-dir)", "cache store"),
+    }
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&args[1..])
+    } else {
+        analyze_main(&args)
+    }
+}
+
+// ---- `ffisafe <files-or-dirs>` ------------------------------------------
+
+fn analyze_main(args: &[String]) -> ExitCode {
     let mut options = AnalysisOptions::default();
     let mut timings = false;
+    let mut cache_stats = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut no_cache = false;
     let mut format = Format::Text;
     let mut files = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-flow" => options.flow_sensitive = false,
             "--no-gc" => options.gc_effects = false,
             "--timings" => timings = true,
+            "--cache-stats" => cache_stats = true,
             "--no-cache" => no_cache = true,
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
@@ -82,15 +137,9 @@ fn main() -> ExitCode {
                 cache_dir = Some(std::path::PathBuf::from(dir));
             }
             "--format" => {
-                format = match args.next().as_deref() {
-                    Some("text") => Format::Text,
-                    Some("json") => Format::Json,
-                    Some(other) => {
-                        return usage_error(&format!(
-                            "--format expects `text` or `json`, got `{other}`"
-                        ));
-                    }
-                    None => return usage_error("--format requires `text` or `json`"),
+                format = match parse_format(args.next().as_deref()) {
+                    Ok(f) => f,
+                    Err(code) => return code,
                 };
             }
             "--jobs" | "-j" => {
@@ -124,7 +173,29 @@ fn main() -> ExitCode {
 
     let mut builder = Corpus::builder();
     for path in &files {
-        builder = match builder.source_path(path) {
+        // A directory loads every FFI source under it (sorted); a file is
+        // added as-is. A directory with *no* FFI sources is almost always
+        // a typo'd path — reporting "no errors found" for it would be a
+        // lie, so it is a usage error like an unknown file kind.
+        let result = if std::path::Path::new(path).is_dir() {
+            match ffisafe::core::source_files_under(std::path::Path::new(path)) {
+                Ok(dir_files) if dir_files.is_empty() => {
+                    eprintln!("ffisafe: {path}: no .ml/.mli/.c/.h files under directory");
+                    return ExitCode::from(2);
+                }
+                Ok(dir_files) => {
+                    let mut b = Ok(builder);
+                    for file in dir_files {
+                        b = b.and_then(|b| b.source_path(file));
+                    }
+                    b
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            builder.source_path(path)
+        };
+        builder = match result {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("ffisafe: {e}");
@@ -181,9 +252,166 @@ fn main() -> ExitCode {
             );
         }
     }
+    if cache_stats {
+        print_cache_stats(service.cache_stats());
+    }
     if report.error_count() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+// ---- `ffisafe sweep <root>` ---------------------------------------------
+
+fn sweep_main(args: &[String]) -> ExitCode {
+    let mut config = SweepConfig::default();
+    let mut no_cache = false;
+    let mut format = Format::Text;
+    let mut timings = false;
+    let mut cache_stats = false;
+    let mut child_mode = false;
+    let mut roots = Vec::new();
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--no-flow" => config.options.flow_sensitive = false,
+            "--no-gc" => config.options.gc_effects = false,
+            "--timings" => timings = true,
+            "--cache-stats" => cache_stats = true,
+            "--no-cache" => no_cache = true,
+            "--version" | "-V" => {
+                println!("ffisafe {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            "--shards" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage_error("--shards requires an integer");
+                };
+                config.shards = n;
+            }
+            "--jobs" | "-j" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage_error("--jobs requires a positive integer");
+                };
+                if n == 0 {
+                    eprintln!("ffisafe: --jobs requires a positive integer");
+                    return ExitCode::from(2);
+                }
+                config.jobs = n;
+            }
+            "--retries" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage_error("--retries requires an integer");
+                };
+                config.retries = n;
+            }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    return usage_error("--cache-dir requires a directory");
+                };
+                config.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--manifest" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--manifest requires a file path");
+                };
+                config.manifest_path = Some(std::path::PathBuf::from(path));
+            }
+            "--mode" => match args.next().as_deref() {
+                Some("in-process") => child_mode = false,
+                Some("child") => child_mode = true,
+                Some(other) => {
+                    return usage_error(&format!(
+                        "--mode expects `in-process` or `child`, got `{other}`"
+                    ));
+                }
+                None => return usage_error("--mode requires `in-process` or `child`"),
+            },
+            "--format" => {
+                format = match parse_format(args.next().as_deref()) {
+                    Ok(f) => f,
+                    Err(code) => return code,
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') && other.len() > 1 => {
+                return usage_error(&format!("unknown option `{other}`"));
+            }
+            other => roots.push(other.to_string()),
+        }
+    }
+    let [root] = roots.as_slice() else {
+        return usage_error("sweep expects exactly one corpus root directory");
+    };
+    if no_cache {
+        config.cache_dir = None;
+    }
+    if child_mode {
+        let program = std::env::current_exe().unwrap_or_else(|_| "ffisafe".into());
+        config.mode = MapMode::ChildProcess { program };
+    }
+
+    let output = match sweep(std::path::Path::new(root), &config) {
+        Ok(output) => output,
+        Err(e) => {
+            eprintln!("ffisafe: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => print!("{}", output.report.render()),
+        Format::Json => print!("{}", output.report.to_json()),
+    }
+    if timings {
+        let s = &output.stats;
+        eprintln!(
+            "{:>12}: {} planned, {} executed, {} warm",
+            "shards", output.shard_count, s.shards_executed, s.shards_warm
+        );
+        eprintln!(
+            "{:>12}: {} analyzed, {} failed, {} retry(ies)",
+            "libraries",
+            output.library_count - s.libraries_failed,
+            s.libraries_failed,
+            s.retries_used
+        );
+        eprintln!(
+            "{:>12}: {} function hit(s), {} miss(es), {} report hit(s), {} worker(s) run",
+            "cache", s.cache_fn_hits, s.cache_fn_misses, s.report_hits, s.workers_executed
+        );
+        eprintln!(
+            "{:>12}: {:.3}s wall, {:.3}s inference work, {} function(s), {} pass(es)",
+            "sweep", s.wall_seconds, s.work_seconds, s.functions, s.passes
+        );
+        print_cache_stats(output.report.cache_store);
+    }
+    if cache_stats && !timings {
+        print_cache_stats(output.report.cache_store);
+    }
+    for failure in &output.report.failures {
+        eprintln!("ffisafe: {}: {}", failure.library, failure.error);
+    }
+    if !output.report.failures.is_empty() {
+        ExitCode::from(2)
+    } else if output.report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_format(value: Option<&str>) -> Result<Format, ExitCode> {
+    match value {
+        Some("text") => Ok(Format::Text),
+        Some("json") => Ok(Format::Json),
+        Some(other) => {
+            Err(usage_error(&format!("--format expects `text` or `json`, got `{other}`")))
+        }
+        None => Err(usage_error("--format requires `text` or `json`")),
     }
 }

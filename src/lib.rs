@@ -107,16 +107,19 @@
 //! | Crate | Role |
 //! |-------|------|
 //! | [`ffisafe_support`] | spans, diagnostics, interning, JSON |
+//! | [`ffisafe_cache`] | content-addressed two-tier incremental store |
 //! | [`ffisafe_types`] | the multi-lingual type language + unification |
 //! | [`ffisafe_ocaml`] | OCaml frontend, type repository, `ρ`/`Φ` |
 //! | [`ffisafe_cil`] | C frontend, Figure 5 IR, liveness |
 //! | [`ffisafe_core`] | the inference engine and [`AnalysisService`] |
+//! | [`ffisafe_shard`] | map/reduce sharded sweeps over library trees |
 //! | [`ffisafe_semantics`] | executable semantics + soundness harness |
 //! | [`ffisafe_bench`] | Figure 9 corpus and measurement harness |
 
 #![warn(missing_docs)]
 
 pub use ffisafe_bench as bench;
+pub use ffisafe_cache as cache;
 pub use ffisafe_cil as cil;
 pub use ffisafe_core as core;
 pub use ffisafe_ocaml as ocaml;
@@ -128,6 +131,11 @@ pub use ffisafe_types as types;
 pub use ffisafe_core::Analyzer;
 pub use ffisafe_core::{
     AnalysisOptions, AnalysisReport, AnalysisRequest, AnalysisService, AnalysisStats, ApiError,
-    CacheMode, Corpus, CorpusBuilder, CorpusFile, ServiceConfig, SourceKind, REPORT_SCHEMA_VERSION,
+    CacheMode, Corpus, CorpusBuilder, CorpusFile, ReportSummary, ServiceConfig, SourceKind,
+    REPORT_SCHEMA_VERSION,
+};
+pub use ffisafe_shard as shard;
+pub use ffisafe_shard::{
+    MapMode, SweepConfig, SweepOutput, SweepReport, MANIFEST_SCHEMA_VERSION, SWEEP_SCHEMA_VERSION,
 };
 pub use ffisafe_support::{Diagnostic, DiagnosticCode, Phase, PhaseTimings, Session, Severity};
