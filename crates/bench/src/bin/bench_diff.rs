@@ -14,7 +14,13 @@
 //! * **total-work blow-up** — the current artifact's total inference work
 //!   (`work_seconds` summed over the uncached `jobs = 1` rows — the sum of
 //!   per-function analysis time, independent of worker count) exceeds the
-//!   baseline's by more than 25%.
+//!   baseline's by more than 25%;
+//! * **parallel work inflation** — on any workload in the *current*
+//!   artifact with uncached rows at several worker counts, the widest
+//!   row's `work_seconds` exceeds the `jobs = 1` row's by more than 1.5×:
+//!   adding workers should not multiply the work itself, and a blow-up
+//!   here means per-worker setup (the old snapshot-clone tax) or
+//!   contention is scaling with the worker count.
 //!
 //! `work_seconds` is jobs-independent but still wall-clock-derived, so
 //! runs on different hardware (or a noisy shared runner) drift even with
@@ -40,6 +46,17 @@ use std::process::ExitCode;
 
 /// Total-work budget: current may cost at most this factor of baseline.
 const MAX_WORK_RATIO: f64 = 1.25;
+
+/// Parallel inflation budget: the widest uncached run of one workload may
+/// do at most this factor of its serial run's work.
+const MAX_JOBS_INFLATION: f64 = 1.5;
+
+/// Absolute floor (seconds) for the jobs-inflation gate: work totals come
+/// from per-thread CPU counters whose boundary reads are accurate to a
+/// scheduler event, so sub-millisecond workloads can show large *ratios*
+/// from sub-tick noise. A real inflation regression must also exceed this
+/// many seconds of extra work.
+const MIN_JOBS_INFLATION_EXCESS: f64 = 0.010;
 
 struct Row {
     name: String,
@@ -106,6 +123,34 @@ fn warm_regressions(rows: &[Row]) -> Vec<String> {
         .collect()
 }
 
+/// Workloads whose widest uncached run does over [`MAX_JOBS_INFLATION`]×
+/// the work of their serial uncached run, by more than
+/// [`MIN_JOBS_INFLATION_EXCESS`] seconds. Needs only the current
+/// artifact; workloads without both a `jobs = 1` and a wider uncached row
+/// are skipped.
+fn jobs_inflations(rows: &[Row]) -> Vec<String> {
+    let names: BTreeSet<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+    names
+        .iter()
+        .filter_map(|name| {
+            let uncached = |r: &&Row| r.name == *name && r.cache == "off" && r.work_seconds > 0.0;
+            let serial = rows.iter().filter(uncached).find(|r| r.jobs == 1)?;
+            let widest = rows.iter().filter(uncached).max_by_key(|r| r.jobs)?;
+            if widest.jobs == 1 {
+                return None;
+            }
+            let ratio = widest.work_seconds / serial.work_seconds;
+            let excess = widest.work_seconds - serial.work_seconds;
+            (ratio > MAX_JOBS_INFLATION && excess > MIN_JOBS_INFLATION_EXCESS).then(|| {
+                format!(
+                    "{name}: jobs={} work {:.4}s is {ratio:.3}x the jobs=1 work {:.4}s",
+                    widest.jobs, widest.work_seconds, serial.work_seconds
+                )
+            })
+        })
+        .collect()
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -144,6 +189,19 @@ fn main() -> ExitCode {
         failed = true;
         println!("REGRESSION: warm run not strictly faster than cold:");
         for r in &regressions {
+            println!("  {r}");
+        }
+    }
+
+    let inflations = jobs_inflations(&current_rows);
+    if inflations.is_empty() {
+        println!(
+            "parallel work within {MAX_JOBS_INFLATION:.1}x of serial on every multi-jobs workload"
+        );
+    } else {
+        failed = true;
+        println!("REGRESSION: parallel runs inflate total work (budget {MAX_JOBS_INFLATION:.1}x):");
+        for r in &inflations {
             println!("  {r}");
         }
     }

@@ -40,6 +40,9 @@ pub struct PipelineMeasurement {
     /// Sum of per-function inference work (jobs-independent; replayed
     /// cache hits contribute zero).
     pub work_seconds: f64,
+    /// Portion of `work_seconds` spent building per-worker overlay views
+    /// — the former snapshot-clone tax the frozen arena eliminates.
+    pub setup_seconds: f64,
     /// Slowest single function — the parallel lower bound.
     pub critical_path_seconds: f64,
     /// Functions replayed from the tier-1 cache. Note an unchanged warm
@@ -88,6 +91,7 @@ fn measure(
         seconds: report.stats.seconds,
         infer_seconds: report.timings.get(ffisafe_core::Phase::Infer).as_secs_f64(),
         work_seconds: report.stats.infer_work_seconds,
+        setup_seconds: report.stats.infer_setup_seconds,
         critical_path_seconds: report.stats.infer_critical_path_seconds,
         cache_fn_hits: report.stats.cache_fn_hits,
         report_hit: report.stats.cache_report_hit,
@@ -150,6 +154,7 @@ fn measure_sweep_once(
         seconds: s.wall_seconds,
         infer_seconds: s.work_seconds,
         work_seconds: s.work_seconds,
+        setup_seconds: 0.0,
         critical_path_seconds: 0.0,
         cache_fn_hits: s.cache_fn_hits,
         report_hit: s.report_hits == output.library_count,
@@ -279,7 +284,7 @@ impl PipelineBench {
         ));
         for (i, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"setup_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
                 json_escape(&r.name),
                 r.c_loc,
                 r.functions,
@@ -289,6 +294,7 @@ impl PipelineBench {
                 r.seconds,
                 r.infer_seconds,
                 r.work_seconds,
+                r.setup_seconds,
                 r.critical_path_seconds,
                 r.cache_fn_hits,
                 r.report_hit,

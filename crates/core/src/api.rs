@@ -677,7 +677,7 @@ pub(crate) fn execute(
     let c = session.time(Phase::FrontendC, |s| frontend_c::run(s, &c_units));
     let mut base = session.time(Phase::Infer, |s| infer::link(s, table, &ml, &c.program));
     if let Some(pc) = pcache.as_mut() {
-        pc.base_digest = cache::base_surface_digest(session.options(), &ml_files, &c.program);
+        pc.base_digest = cache::base_state_digest(session.options(), &base, &ml.phase1);
     }
     let inferred = session
         .time(Phase::Infer, |s| infer::run(s, &base, &c.program, &ml.phase1, pcache.as_ref()));
@@ -697,6 +697,7 @@ pub(crate) fn execute(
         jobs: inferred.jobs,
         seconds: start.elapsed().as_secs_f64(),
         infer_work_seconds: inferred.work_seconds,
+        infer_setup_seconds: inferred.setup_seconds,
         infer_critical_path_seconds: inferred.critical_path_seconds,
         cache_fn_hits: inferred.cache_hits,
         cache_fn_misses: inferred.cache_misses,

@@ -51,6 +51,10 @@ pub struct AnalysisStats {
     /// Sum of per-function inference wall-clock (total parallelizable
     /// work). Cache replays contribute zero.
     pub infer_work_seconds: f64,
+    /// Portion of `infer_work_seconds` spent building per-worker overlay
+    /// views (the former snapshot-clone tax). Cache replays contribute
+    /// zero.
+    pub infer_setup_seconds: f64,
     /// Slowest single function (lower bound on parallel inference time).
     pub infer_critical_path_seconds: f64,
     /// Functions replayed from the tier-1 (per-function) cache.
@@ -244,7 +248,8 @@ impl AnalysisReport {
     ///                      "message", "notes": [ {file,line,column,message} ] } ],
     ///   "stats": { "ml_loc", "c_loc", "externals", "c_functions", "passes",
     ///              "type_nodes", "gc_edges", "jobs", "seconds",
-    ///              "infer_work_seconds", "infer_critical_path_seconds",
+    ///              "infer_work_seconds", "infer_setup_seconds",
+    ///              "infer_critical_path_seconds",
     ///              "cache": { "fn_hits", "fn_misses", "workers_executed",
     ///                         "report_hit" } },
     ///   "timings": [ { "phase", "wall_seconds", "work_seconds" } ]
@@ -302,7 +307,7 @@ impl AnalysisReport {
 
         let s = &self.stats;
         out.push_str(&format!(
-            "  \"stats\": {{\"ml_loc\": {}, \"c_loc\": {}, \"externals\": {}, \"c_functions\": {}, \"passes\": {}, \"type_nodes\": {}, \"gc_edges\": {}, \"jobs\": {}, \"seconds\": {:.6}, \"infer_work_seconds\": {:.6}, \"infer_critical_path_seconds\": {:.6}, \"cache\": {{\"fn_hits\": {}, \"fn_misses\": {}, \"workers_executed\": {}, \"report_hit\": {}}}}},\n",
+            "  \"stats\": {{\"ml_loc\": {}, \"c_loc\": {}, \"externals\": {}, \"c_functions\": {}, \"passes\": {}, \"type_nodes\": {}, \"gc_edges\": {}, \"jobs\": {}, \"seconds\": {:.6}, \"infer_work_seconds\": {:.6}, \"infer_setup_seconds\": {:.6}, \"infer_critical_path_seconds\": {:.6}, \"cache\": {{\"fn_hits\": {}, \"fn_misses\": {}, \"workers_executed\": {}, \"report_hit\": {}}}}},\n",
             s.ml_loc,
             s.c_loc,
             s.externals,
@@ -313,6 +318,7 @@ impl AnalysisReport {
             s.jobs,
             s.seconds,
             s.infer_work_seconds,
+            s.infer_setup_seconds,
             s.infer_critical_path_seconds,
             s.cache_fn_hits,
             s.cache_fn_misses,

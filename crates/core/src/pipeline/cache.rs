@@ -3,15 +3,19 @@
 //! The storage layer ([`ffisafe_cache`]) is analysis-agnostic; this module
 //! defines what the cached bytes *mean* for the pipeline:
 //!
-//! * **Fingerprints.** [`base_surface_digest`] hashes everything the
-//!   frozen post-link [`super::infer::BaseState`] is built from — the
-//!   parsed `.ml` declarations, every C function *signature*, prototype
-//!   and global, the semantic analysis options and the analyzer version.
-//!   [`function_fingerprint`] then folds in one function's complete
-//!   lowered IR (spans included, since diagnostics carry them). A worker
-//!   reads nothing else — sibling function *bodies* are invisible behind
-//!   snapshot isolation — so two runs agreeing on a function's
-//!   fingerprint produce identical [`FunctionOutcome`]s by construction.
+//! * **Fingerprints.** [`base_state_digest`] hashes the frozen post-link
+//!   [`super::infer::BaseState`] *itself* — the six immutable type-node
+//!   arenas, the registry `Γ_I`, the post-link constraint set and the
+//!   Φ-translated external signatures — plus the semantic analysis
+//!   options and the analyzer version. [`function_fingerprint`] then
+//!   folds in one function's complete lowered IR (spans included, since
+//!   diagnostics carry them). A worker's overlay reads nothing else —
+//!   sibling function *bodies* never reach the link stage and are
+//!   invisible behind overlay isolation — so two runs agreeing on a
+//!   function's fingerprint produce identical [`FunctionOutcome`]s by
+//!   construction. Because the digest is taken over the frozen state
+//!   rather than the input surface, it is by construction identical
+//!   across `--jobs` widths and across cold/warm runs of one corpus.
 //! * **Codecs.** [`encode_outcome`]/[`decode_outcome`] serialize the
 //!   plain-data [`FunctionOutcome`] for tier 1;
 //!   [`encode_report`]/[`decode_report`] serialize the rendered stable
@@ -21,10 +25,10 @@
 //! Clone-local [`EffectKey::Local`] ids are encoded *without* their
 //! function index and re-bound to the replaying run's index on decode.
 //! This is defense in depth rather than a reachable codepath today:
-//! adding or removing *any* function changes [`base_surface_digest`]
-//! (every signature is part of the surface workers observe through the
-//! registry), so whenever a fingerprint matches, the function's index
-//! necessarily matches too. Rebinding keeps the payload format honest —
+//! adding or removing *any* function changes [`base_state_digest`]
+//! (every signature lands in the frozen registry workers observe), so
+//! whenever a fingerprint matches, the function's index necessarily
+//! matches too. Rebinding keeps the payload format honest —
 //! an index is derivable context, not content — should the surface digest
 //! ever become insensitive to unrelated signatures.
 
@@ -49,7 +53,12 @@ use std::sync::{Arc, Mutex};
 /// the corpus digest no longer folds the options in directly, so corpora
 /// fingerprinted once (the [`crate::api::Corpus`] flow) can be probed under
 /// any options.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the tier-1 base digest is taken over the *frozen* post-link base
+/// state ([`base_state_digest`]) instead of the pre-link input surface —
+/// same invalidation behavior, but computed from what workers actually
+/// read.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// The producer identity pinned in the cache index: crate version plus
 /// payload schema version.
@@ -159,49 +168,63 @@ pub fn report_key(content: Fingerprint, options: &AnalysisOptions) -> Fingerprin
     h.finish()
 }
 
-/// Digest of everything the frozen post-link base state is built from.
+/// Digest of the frozen post-link base state: everything a worker's
+/// overlay can observe besides its own function's lowered IR.
 ///
-/// Per C function only the *signature surface* (name, types, linkage,
-/// header span) is included — bodies are what tier 1 varies over, so a
-/// body edit must leave this digest unchanged for sibling entries to
-/// survive. Spans are hashed because registry/diagnostic notes reference
-/// declaration sites across functions.
-pub fn base_surface_digest(
+/// Hashes the six immutable type-node arenas in id order, the registry in
+/// symbol order (a `HashMap` walk would be process-random), the post-link
+/// constraint set, and the Φ-translated external signatures. Every
+/// auxiliary field of [`super::infer::BaseState`] (canonical-id tables,
+/// open variables, heap-slot candidates, …) is a pure function of those
+/// four inputs, so this digest determines the whole state workers read.
+///
+/// Function *bodies* never reach the link stage, so a body edit leaves
+/// this digest unchanged and sibling tier-1 entries survive; signature,
+/// prototype and `.ml` declaration edits all reshape the frozen arenas or
+/// the registry and invalidate everything. The digest is computed from
+/// the frozen state — not the input files — so it is identical across
+/// `--jobs` widths and across cold/warm runs by construction.
+pub fn base_state_digest(
     options: &AnalysisOptions,
-    ml_files: &[ocaml::ParsedFile],
-    program: &cil::IrProgram,
+    base: &super::infer::BaseState,
+    phase1: &ocaml::translate::Phase1,
 ) -> Fingerprint {
     let mut h = FingerprintHasher::new();
-    h.write_str("ffisafe-base-surface");
+    h.write_str("ffisafe-base-state");
     h.write_fingerprint(options.semantic_digest());
 
-    h.write_u64(ml_files.len() as u64);
-    for file in ml_files {
-        // The parsed items determine the repository, the Φ/ρ translation
-        // and hence the whole pre-link type table.
-        hash_debug(&mut h, &file.items);
-        hash_debug(&mut h, &file.errors);
+    // The frozen arena, sort by sort, id order. Node enums hold only
+    // plain data (ids, strings, vectors), so `Debug` is stable.
+    h.write_u64(base.frozen.node_count() as u64);
+    hash_debug(&mut h, &base.frozen.mts());
+    hash_debug(&mut h, &base.frozen.cts());
+    hash_debug(&mut h, &base.frozen.psis());
+    hash_debug(&mut h, &base.frozen.sigmas());
+    hash_debug(&mut h, &base.frozen.pis());
+    hash_debug(&mut h, &base.frozen.gcs());
+
+    // Γ_I in symbol order, with the name↔symbol binding made explicit.
+    let funcs = base.registry.iter_stable();
+    h.write_u64(funcs.len() as u64);
+    for (sym, info) in funcs {
+        h.write_u32(sym.as_raw());
+        hash_debug(&mut h, info);
     }
 
-    h.write_u64(program.functions.len() as u64);
-    for f in &program.functions {
-        h.write_str(&f.name);
-        hash_debug(&mut h, &f.ret);
-        h.write_u64(f.n_params as u64);
-        for local in &f.locals[..f.n_params] {
-            hash_debug(&mut h, &local.ty);
-        }
-        h.write_bool(f.is_static);
-        hash_debug(&mut h, &f.span);
+    // Post-link constraints: the base GC effect edges and Ψ bounds.
+    h.write_u64(base.constraints.gc_edge_count() as u64);
+    for (lo, hi) in base.constraints.gc_edges_from(0) {
+        h.write_u32(lo.as_raw());
+        h.write_u32(hi.as_raw());
     }
-    h.write_u64(program.prototypes.len() as u64);
-    for p in &program.prototypes {
-        hash_debug(&mut h, p);
+    h.write_u64(base.constraints.psi_bound_count() as u64);
+    for b in base.constraints.psi_bounds_from(0) {
+        hash_debug(&mut h, b);
     }
-    h.write_u64(program.globals.len() as u64);
-    for g in &program.globals {
-        hash_debug(&mut h, g);
-    }
+
+    // The Φ-translated signatures workers key interface pins and
+    // polymorphic-abuse slots by (spans included: diagnostics carry them).
+    hash_debug(&mut h, &phase1.signatures);
     h.finish()
 }
 
@@ -629,6 +652,7 @@ pub fn decode_outcome(
         interface_pins,
         heap_slots,
         seconds: 0.0,
+        setup_seconds: 0.0,
     })
 }
 
@@ -731,23 +755,43 @@ mod tests {
         assert_ne!(a1, function_fingerprint(Fingerprint(11, 23), &sample_function("f", 1)));
     }
 
+    /// Links `ml_src` + `program` through the real frontend/link stages
+    /// and digests the resulting frozen base state.
+    fn digest_of(options: &AnalysisOptions, ml_src: &str, program: cil::IrProgram) -> Fingerprint {
+        use crate::pipeline::{frontend_ml, infer};
+        let mut session = ffisafe_support::Session::new();
+        let parsed = frontend_ml::parse(&mut session, "lib.ml", ml_src);
+        let mut table = ffisafe_types::TypeTable::new();
+        let ml = frontend_ml::run(&mut session, &[parsed], &mut table);
+        let base = infer::link(&mut session, table, &ml, &program);
+        base_state_digest(options, &base, &ml.phase1)
+    }
+
     #[test]
-    fn base_surface_digest_ignores_function_bodies() {
+    fn base_state_digest_ignores_function_bodies() {
         let options = AnalysisOptions::default();
+        let ml = r#"external f : int -> int = "f""#;
         let mk = |ret_const| cil::IrProgram {
             functions: vec![sample_function("f", ret_const)],
             prototypes: vec![],
             globals: vec![],
             notes: vec![],
         };
-        let a = base_surface_digest(&options, &[], &mk(1));
-        let b = base_surface_digest(&options, &[], &mk(2));
-        assert_eq!(a, b, "body edits must not invalidate siblings");
+        let a = digest_of(&options, ml, mk(1));
+        assert_eq!(a, digest_of(&options, ml, mk(1)), "stable across separate links");
+        assert_eq!(a, digest_of(&options, ml, mk(2)), "body edits must not invalidate siblings");
+        assert_eq!(a, digest_of(&options.with_jobs(8), ml, mk(1)), "jobs width is not semantic");
+
         let mut other = mk(1);
         other.functions[0].name = "g".into();
-        assert_ne!(a, base_surface_digest(&options, &[], &other), "signature change");
+        assert_ne!(a, digest_of(&options, ml, other), "signature change reshapes Γ_I");
+        assert_ne!(
+            a,
+            digest_of(&options, r#"external f : unit -> int = "f""#, mk(1)),
+            "ml declaration change reshapes the frozen arena"
+        );
         let no_flow = AnalysisOptions { flow_sensitive: false, ..options };
-        assert_ne!(a, base_surface_digest(&no_flow, &[], &mk(1)), "options change");
+        assert_ne!(a, digest_of(&no_flow, ml, mk(1)), "options change");
     }
 
     #[test]
@@ -809,6 +853,7 @@ mod tests {
             }],
             heap_slots: vec![("ml_f".into(), 1)],
             seconds: 1.25,
+            setup_seconds: 0.0,
         };
         let bytes = encode_outcome(&outcome, 9).expect("resolved pins encode");
         let back = decode_outcome(&bytes, 13, "ml_f", 1).expect("decodes");
@@ -857,6 +902,7 @@ mod tests {
             interface_pins: vec![],
             heap_slots: vec![],
             seconds: 0.5,
+            setup_seconds: 0.0,
         };
         let bytes = encode_outcome(&outcome, 0).expect("encodes");
         assert!(outcome.new_nodes > bytes.len(), "test premise: counter exceeds payload");
@@ -883,6 +929,7 @@ mod tests {
             interface_pins: vec![],
             heap_slots: vec![],
             seconds: 0.0,
+            setup_seconds: 0.0,
         };
         assert!(encode_outcome(&outcome, 0).is_none(), "unreplayable outcome must not cache");
     }

@@ -45,7 +45,7 @@ pub fn run(
     // ---- merged GC effect solve ----------------------------------------
     let mut adj: HashMap<EffectKey, Vec<EffectKey>> = HashMap::new();
     let mut roots: HashSet<EffectKey> = HashSet::new();
-    let base_edges: Vec<_> = base.constraints.gc_edges().to_vec();
+    let base_edges: Vec<_> = base.constraints.gc_edges_from(0).collect();
     for (lo, hi) in base_edges {
         let kl = base_key(base, lo);
         let kh = base_key(base, hi);

@@ -3,24 +3,30 @@
 //! [`link`] seeds the function registry (`Γ_I`) from the lowered program,
 //! binds every Φ-translated `external` signature to its C definition
 //! (checking arity and the trailing-`unit` practice), and freezes the
-//! result as the [`BaseState`] snapshot.
+//! result as the [`BaseState`] snapshot: the type table becomes an
+//! `Arc`-shared, fully path-compressed [`FrozenTypeTable`] arena, and the
+//! constraints, registry and interner are frozen behind `Arc`s alongside
+//! it.
 //!
 //! [`run`] then analyzes every function against that snapshot on a
 //! `std::thread` worker pool. Unification mutates the type table, so
-//! workers cannot share it; each function instead gets a *clone* of the
-//! base state. That choice is what makes the stage deterministic: every
-//! function sees exactly the post-link types, never a sibling's in-flight
-//! unifications, so the outcome is independent of scheduling and of
-//! [`AnalysisOptions::jobs`]. Cross-function facts still flow — GC effect
-//! edges are exported as [`EffectKey`]s meaningful across clones and merged
-//! by the discharge stage into one whole-program reachability solve.
+//! workers cannot share one mutable table; each function instead gets an
+//! O(1) copy-on-write *overlay* of the frozen base. Reads fall through to
+//! the shared arena; writes — re-bound base nodes, fresh allocations,
+//! local constraint appends — stay private to the worker. An overlay
+//! issues exactly the ids a deep clone would, so the stage stays
+//! deterministic: every function sees exactly the post-link types, never
+//! a sibling's in-flight unifications, and the outcome is independent of
+//! scheduling and of [`AnalysisOptions::jobs`]. Cross-function facts
+//! still flow — GC effect edges are exported as [`EffectKey`]s meaningful
+//! across overlays and merged by the discharge stage into one
+//! whole-program reachability solve.
 //!
-//! Each worker's post-pass rescans the shared identities (candidate
-//! signature slots, open `mt`s, base effect classes) to normalize what its
-//! clone resolved. Those scans are `O(base state)` per function, but so is
-//! the clone of the base state itself, which dominates them in practice;
-//! restricting both to the state a function actually touches is the
-//! incremental-reanalysis item on the ROADMAP.
+//! Each worker's post-pass normalizes what its overlay resolved. The
+//! effect-class export walks the overlay's *delta* (the base GC ids the
+//! worker actually re-bound) rather than rescanning every base class, so
+//! per-function cost tracks what the function touched, not the size of
+//! the whole base state.
 
 use super::cache::PipelineCache;
 use crate::engine::{analyze_function, AnalysisOptions};
@@ -32,23 +38,37 @@ use ffisafe_support::{
     Diagnostic, DiagnosticBag, DiagnosticCode, Fingerprint, Interner, Session, Span,
 };
 use ffisafe_types::{
-    ConstraintSet, CtId, CtNode, FlatInt, GcId, GcNode, MtId, MtNode, PsiNode, PsiViolation,
-    TypeTable,
+    ConstraintSet, CtId, CtNode, FlatInt, FrozenTypeTable, GcId, GcNode, MtId, MtNode, PsiNode,
+    PsiViolation, TypeTable,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// The frozen post-link state every inference worker clones.
+/// The frozen post-link state every inference worker overlays.
+///
+/// The table/constraints/registry/interner exist twice here: once as the
+/// `Arc`-shared frozen bases workers build O(1) overlays from, and once as
+/// this struct's own overlay views (`table`, `constraints`, …) that the
+/// discharge stage reads and mutates after inference completes.
 #[derive(Clone, Debug)]
 pub struct BaseState {
-    /// Type table after translation, registration and external binding.
+    /// The shared immutable arena every worker's table view falls back to.
+    pub frozen: FrozenTypeTable,
+    /// Overlay view of [`BaseState::frozen`] for post-inference stages
+    /// (pristine until discharge mutates it).
     pub table: TypeTable,
-    /// Constraints accumulated before inference (usually from binding).
+    /// Overlay view of the shared post-link constraints.
     pub constraints: ConstraintSet,
-    /// The function environment `Γ_I`.
+    /// Overlay view of the shared function environment `Γ_I`.
     pub registry: Registry,
-    /// Snapshot of the session interner (workers intern clone-locally).
+    /// Overlay view of the shared post-link interner.
     pub interner: Interner,
+    /// Shared post-link constraints (workers overlay these).
+    shared_constraints: Arc<ConstraintSet>,
+    /// Shared function environment (workers overlay this).
+    shared_registry: Arc<Registry>,
+    /// Shared post-link interner (workers overlay this).
+    shared_interner: Arc<Interner>,
     /// GC node count at snapshot time — the `Base`/`Local` boundary.
     pub gc_len: usize,
     /// GC edge count at snapshot time (workers export edges past this).
@@ -210,9 +230,14 @@ pub struct FunctionOutcome {
     /// `value` that the base table had not (input to deferred-obligation
     /// re-checks in discharge).
     pub heap_slots: Vec<SlotKey>,
-    /// Wall-clock seconds this function's analysis took (snapshot clone
-    /// included). Never affects diagnostics; feeds the perf trajectory.
+    /// CPU seconds this function's analysis took (snapshot setup
+    /// included); see `WorkTimer` for why this is not wall clock.
+    /// Never affects diagnostics; feeds the perf trajectory.
     pub seconds: f64,
+    /// Of [`FunctionOutcome::seconds`], the part spent constructing the
+    /// worker's snapshot view (overlay setup; formerly the deep clone).
+    /// Not cached — replayed outcomes report zero, like `seconds`.
+    pub setup_seconds: f64,
 }
 
 /// Output of the inference stage: one outcome per function, program order.
@@ -228,9 +253,15 @@ pub struct InferArtifact {
     pub new_gc_edges: usize,
     /// Worker threads actually used.
     pub jobs: usize,
-    /// Sum of per-function analysis wall-clock (the stage's total work).
-    /// Replayed cache hits contribute zero.
+    /// The stage's total CPU work: the sum of the worker threads'
+    /// lifetime CPU counters, which is scheduling-invariant across `jobs`
+    /// widths (see `WorkTimer` for why wall clocks cannot measure this).
+    /// Falls back to summing per-function seconds where per-thread CPU
+    /// time is unavailable. Replayed cache hits contribute zero.
     pub work_seconds: f64,
+    /// Of [`InferArtifact::work_seconds`], the part spent on per-worker
+    /// snapshot setup rather than solving.
+    pub setup_seconds: f64,
     /// The slowest single function (the stage's critical path — a lower
     /// bound on parallel wall-clock whatever the worker count).
     pub critical_path_seconds: f64,
@@ -341,21 +372,33 @@ pub fn link(
         })
         .collect();
 
+    // Freeze: the table becomes the shared immutable arena, and the other
+    // three stores go behind `Arc`s. Everything after this point — every
+    // worker and the discharge stage — works on O(1) overlay views.
+    let frozen = table.freeze();
+    let shared_constraints = Arc::new(constraints);
+    let shared_registry = Arc::new(registry);
+    let shared_interner = Arc::new(session.interner().clone());
+
     BaseState {
         gc_len,
-        edge_len: constraints.gc_edge_count(),
-        node_count: table.node_count(),
-        interner: session.interner().clone(),
+        edge_len: shared_constraints.gc_edge_count(),
+        node_count: frozen.node_count(),
         poly_concrete_at_base,
         slot_keys,
         slot_concrete_at_base,
         base_gc_canon,
         open_mt_vars,
-        psi_bound_len: constraints.psi_bound_count(),
+        psi_bound_len: shared_constraints.psi_bound_count(),
         heap_slot_candidates,
-        table,
-        constraints,
-        registry,
+        table: frozen.overlay(),
+        constraints: ConstraintSet::overlay(shared_constraints.clone()),
+        registry: Registry::overlay(shared_registry.clone()),
+        interner: Interner::overlay(shared_interner.clone()),
+        frozen,
+        shared_constraints,
+        shared_registry,
+        shared_interner,
     }
 }
 
@@ -523,24 +566,40 @@ pub fn run(
     let workers_executed = todo.len();
 
     let jobs = options.effective_jobs().clamp(1, todo.len().max(1));
+    // Per-thread lifetime CPU totals: the per-function timers are clipped
+    // to scheduler quanta, so only these telescoping sums give the stage's
+    // true total work. `None` entries mean the interface is unavailable
+    // and the artifact falls back to summing per-function seconds.
+    let mut thread_work: Vec<Option<f64>> = Vec::new();
     if !todo.is_empty() {
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<FunctionOutcome>>> =
             todo.iter().map(|_| Mutex::new(None)).collect();
+        let worked: Vec<Mutex<Option<f64>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let t = next.fetch_add(1, Ordering::Relaxed);
-                    if t >= todo.len() {
-                        break;
+            let (next, results, todo, options) = (&next, &results, &todo, &options);
+            for w in 0..jobs {
+                let worked = &worked[w];
+                scope.spawn(move || {
+                    let cpu_start = thread_work_seconds();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= todo.len() {
+                            break;
+                        }
+                        let idx = todo[t];
+                        let outcome =
+                            analyze_one(base, &program.functions[idx], phase1, idx as u32, options);
+                        *results[t].lock().unwrap() = Some(outcome);
                     }
-                    let idx = todo[t];
-                    let outcome =
-                        analyze_one(base, &program.functions[idx], phase1, idx as u32, &options);
-                    *results[t].lock().unwrap() = Some(outcome);
+                    let delta = cpu_start
+                        .zip(thread_work_seconds())
+                        .map(|(start, end)| (end - start).max(0.0));
+                    *worked.lock().unwrap() = delta;
                 });
             }
         });
+        thread_work = worked.into_iter().map(|cell| cell.into_inner().unwrap()).collect();
         for (t, cell) in results.into_iter().enumerate() {
             let outcome = cell.into_inner().unwrap().expect("worker completed every claimed index");
             let idx = todo[t];
@@ -557,12 +616,20 @@ pub fn run(
 
     let outcomes: Vec<FunctionOutcome> =
         slots.into_iter().map(|s| s.expect("every function replayed or analyzed")).collect();
+    // Prefer the telescoping per-thread CPU totals (exact whatever the
+    // contention); the per-function sum is the portable fallback.
+    let work_seconds = if !thread_work.is_empty() && thread_work.iter().all(Option::is_some) {
+        thread_work.iter().map(|w| w.unwrap()).sum()
+    } else {
+        outcomes.iter().map(|o| o.seconds).sum()
+    };
     InferArtifact {
         passes: outcomes.iter().map(|o| o.passes).sum(),
         new_nodes: outcomes.iter().map(|o| o.new_nodes).sum(),
         new_gc_edges: outcomes.iter().map(|o| o.recorded_gc_edges).sum(),
         jobs,
-        work_seconds: outcomes.iter().map(|o| o.seconds).sum(),
+        work_seconds,
+        setup_seconds: outcomes.iter().map(|o| o.setup_seconds).sum(),
         critical_path_seconds: outcomes.iter().map(|o| o.seconds).fold(0.0, f64::max),
         cache_hits,
         cache_misses,
@@ -571,8 +638,69 @@ pub fn run(
     }
 }
 
-/// Analyzes one function on a fresh clone of the base state and reduces
-/// the result to snapshot-portable data.
+/// Measures the CPU time one worker thread spends on one function.
+///
+/// Work accounting feeds [`InferArtifact::work_seconds`], which the bench
+/// suite compares across `--jobs` widths. With more workers than cores a
+/// wall clock bills each worker for time it sat *descheduled* while a
+/// sibling held the core, so "total work" would appear to inflate with
+/// parallelism even though no extra computation happened. Per-thread CPU
+/// time (Linux `schedstat`) is scheduling-invariant but coarse: the
+/// counter only advances at scheduler events (ticks, context switches),
+/// so a per-function delta is either zero or a whole multi-millisecond
+/// quantum. Per-function `seconds` therefore reports the *smaller* of the
+/// CPU delta and the wall clock — exact when the function ran
+/// uninterrupted, and clipped to on-CPU time when it was preempted.
+/// Stage-total work uses per-thread lifetime counters instead
+/// ([`thread_work_seconds`]), which telescope to the true total. Where
+/// `schedstat` does not exist, everything falls back to wall clock.
+struct WorkTimer {
+    wall: std::time::Instant,
+    cpu_ns: Option<u64>,
+}
+
+impl WorkTimer {
+    fn start() -> Self {
+        Self { wall: std::time::Instant::now(), cpu_ns: thread_cpu_ns() }
+    }
+
+    /// Wall seconds since `start`. Used for the overlay-setup split: the
+    /// setup is a handful of `Arc` clones, far below the CPU counter's
+    /// quantum, and short enough that a mid-setup preemption is rare.
+    fn wall_seconds(&self) -> f64 {
+        self.wall.elapsed().as_secs_f64()
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        let wall = self.wall.elapsed().as_secs_f64();
+        match (self.cpu_ns, thread_cpu_ns()) {
+            (Some(start), Some(now)) => (now.saturating_sub(start) as f64 * 1e-9).min(wall),
+            _ => wall,
+        }
+    }
+}
+
+/// Nanoseconds this thread has spent on-CPU (first field of the Linux
+/// per-thread `schedstat`). `None` where the interface does not exist
+/// (non-Linux); zero until the thread's first scheduler event.
+fn thread_cpu_ns() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    text.split_whitespace().next()?.parse().ok()
+}
+
+/// A worker thread's total on-CPU seconds so far, read at a forced
+/// scheduler event so the counter is current to the nanosecond.
+/// [`std::thread::yield_now`] drives the kernel through `update_curr`,
+/// flushing the running slice into `schedstat` before the read; without
+/// it the boundary reads would be stale by up to a tick. `None` where the
+/// interface does not exist.
+fn thread_work_seconds() -> Option<f64> {
+    std::thread::yield_now();
+    thread_cpu_ns().map(|ns| ns as f64 * 1e-9)
+}
+
+/// Analyzes one function on a fresh overlay of the frozen base state and
+/// reduces the result to snapshot-portable data.
 fn analyze_one(
     base: &BaseState,
     func: &cil::ir::IrFunction,
@@ -580,11 +708,12 @@ fn analyze_one(
     func_idx: u32,
     options: &AnalysisOptions,
 ) -> FunctionOutcome {
-    let started = std::time::Instant::now();
-    let mut table = base.table.clone();
-    let mut constraints = base.constraints.clone();
-    let mut registry = base.registry.clone();
-    let mut interner = base.interner.clone();
+    let timer = WorkTimer::start();
+    let mut table = base.frozen.overlay();
+    let mut constraints = ConstraintSet::overlay(base.shared_constraints.clone());
+    let mut registry = Registry::overlay(base.shared_registry.clone());
+    let mut interner = Interner::overlay(base.shared_interner.clone());
+    let setup_seconds = timer.wall_seconds();
 
     let result =
         analyze_function(&mut table, &mut constraints, &mut registry, &mut interner, options, func);
@@ -609,22 +738,39 @@ fn analyze_one(
     let mut gc_roots = Vec::new();
 
     // Union-find merges over base effect ids (e.g. `unify_gc` under a
-    // function-type unification) happen only in this clone; siblings still
-    // see the unmerged classes. Export each changed class as bidirectional
-    // edges between its base representatives — and as roots when the class
-    // resolved to the `gc` constant — so the discharge reachability solve
-    // reunites them.
-    let mut merged: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
-    for raw in 0..base.gc_len as u32 {
-        if base.base_gc_canon[raw as usize] != raw {
-            continue; // one visit per base class
+    // function-type unification) happen only in this overlay; siblings
+    // still see the unmerged classes. Export each changed class as
+    // bidirectional edges between its base representatives — and as roots
+    // when the class resolved to the `gc` constant — so the discharge
+    // reachability solve reunites them.
+    //
+    // The unifier writes GC nodes only as links onto resolved canonicals
+    // and the frozen base is fully path-compressed, so every base class
+    // whose canonical or constant changed has at least one member in the
+    // overlay delta. Candidate representatives are therefore exactly: the
+    // base canonical of each re-bound id, plus — when a re-bound id now
+    // resolves to another *base* id — that id's base canonical (the
+    // unchanged representative whose class gained members). Walking the
+    // delta instead of all `0..gc_len` classes is what makes this export
+    // O(touched), and the `BTreeSet` keeps member order identical to the
+    // old ascending full scan.
+    let overlay_keys = table.gc_overlay_keys();
+    let mut candidate_reps: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    for &raw in &overlay_keys {
+        candidate_reps.insert(base.base_gc_canon[raw as usize]);
+        let canon = table.resolve_gc(GcId::from_raw(raw));
+        if (canon.as_raw() as usize) < base.gc_len {
+            candidate_reps.insert(base.base_gc_canon[canon.as_raw() as usize]);
         }
+    }
+    let mut merged: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
+    for &raw in &candidate_reps {
         let clone_canon = table.resolve_gc(GcId::from_raw(raw));
         merged.entry(clone_canon.as_raw()).or_default().push(raw);
     }
     for (canon_raw, members) in merged {
         let is_gc = matches!(table.gc_node(GcId::from_raw(canon_raw)), GcNode::Gc);
-        let base_is_gc = matches!(base.table.gc_node(GcId::from_raw(members[0])), GcNode::Gc);
+        let base_is_gc = matches!(base.frozen.gc_node(GcId::from_raw(members[0])), GcNode::Gc);
         if members.len() == 1 && canon_raw == members[0] && is_gc == base_is_gc {
             continue; // class unchanged from the snapshot
         }
@@ -643,7 +789,7 @@ fn analyze_one(
         }
     }
     let delta = base.edge_len.min(constraints.gc_edge_count());
-    let edges: Vec<(GcId, GcId)> = constraints.gc_edges()[delta..].to_vec();
+    let edges: Vec<(GcId, GcId)> = constraints.gc_edges_from(delta).collect();
     let recorded_gc_edges = edges.len();
     for (lo, hi) in edges {
         let (kl, gl) = keyed(&mut table, lo);
@@ -758,9 +904,8 @@ fn analyze_one(
             }
         }
     }
-    let deferred_psi_bounds: Vec<DeferredPsiBound> = constraints.psi_bounds()
-        [base.psi_bound_len.min(constraints.psi_bound_count())..]
-        .iter()
+    let deferred_psi_bounds: Vec<DeferredPsiBound> = constraints
+        .psi_bounds_from(base.psi_bound_len.min(constraints.psi_bound_count()))
         .filter_map(|b| {
             let canon = table.find_psi(b.psi);
             if !matches!(table.psi_node(canon), PsiNode::Var) {
@@ -828,6 +973,7 @@ fn analyze_one(
         pinned_polys,
         interface_pins,
         heap_slots,
-        seconds: started.elapsed().as_secs_f64(),
+        seconds: timer.elapsed_seconds(),
+        setup_seconds,
     }
 }

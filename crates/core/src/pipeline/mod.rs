@@ -28,25 +28,35 @@
 //! # Parallelism and determinism
 //!
 //! Per-function inference mutates the type table (unification), so workers
-//! cannot share one table. Instead [`infer::run`] gives every function a
-//! *snapshot*: a clone of the post-link base state. Each worker's findings
-//! are reduced to plain data ([`infer::FunctionOutcome`]) whose effect ids
-//! are normalized against the base table ([`infer::EffectKey`]), and
-//! [`discharge`] merges them in function order. The result is byte-for-byte
-//! identical whatever the worker count — `jobs=1` and `jobs=8` produce the
-//! same report, which `crates/core/tests/parallel_determinism.rs` locks in.
+//! cannot share one mutable table. [`infer::link`] therefore *freezes* the
+//! post-link state into an immutable, `Arc`-shared arena
+//! ([`ffisafe_types::FrozenTypeTable`] plus frozen constraint, registry
+//! and interner stores), and [`infer::run`] hands every worker an O(1)
+//! copy-on-write *overlay*: reads fall through to the frozen base, writes
+//! and fresh allocations land in a thin private layer, and overlay ids are
+//! numbered exactly as a deep clone's would be. Each worker's findings are
+//! reduced to plain data ([`infer::FunctionOutcome`]) whose effect ids are
+//! normalized against the base state ([`infer::EffectKey`]) by walking
+//! only the overlay's *delta* — the handful of base classes it actually
+//! touched — and [`discharge`] merges them in function order. The result
+//! is byte-for-byte identical whatever the worker count — `jobs=1` and
+//! `jobs=8` produce the same report, which
+//! `crates/core/tests/parallel_determinism.rs` locks in and
+//! `crates/core/tests/overlay_differential.rs` cross-checks against the
+//! old clone semantics on randomized operation sequences.
 //!
 //! # Incremental reanalysis
 //!
-//! Snapshot isolation is also what makes the pipeline cacheable: a worker
-//! reads *only* the frozen base state plus its own function's IR, so a
-//! stable fingerprint of those two inputs ([`cache`]) keys its
-//! [`infer::FunctionOutcome`] exactly. With a `--cache-dir`, [`infer::run`]
-//! replays memoized outcomes for fingerprint hits (zero workers on a warm
-//! unchanged corpus) and the driver short-circuits repeated corpora
-//! entirely via a report-level tier. Replay feeds [`discharge`] the same
-//! plain data a live worker would have produced, so warm reports are
-//! byte-identical to cold ones at any `--jobs`.
+//! Overlay isolation is also what makes the pipeline cacheable: a worker
+//! reads *only* the frozen base state plus its own function's IR, so
+//! [`cache::base_state_digest`] — a digest of the frozen state itself —
+//! extended per function keys its [`infer::FunctionOutcome`] exactly.
+//! With a `--cache-dir`, [`infer::run`] replays memoized outcomes for
+//! fingerprint hits (zero workers on a warm unchanged corpus) and the
+//! driver short-circuits repeated corpora entirely via a report-level
+//! tier. Replay feeds [`discharge`] the same plain data a live worker
+//! would have produced, so warm reports are byte-identical to cold ones
+//! at any `--jobs`.
 
 pub mod cache;
 pub mod discharge;

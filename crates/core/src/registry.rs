@@ -21,6 +21,7 @@ use ffisafe_cil::CTypeExpr;
 use ffisafe_support::{Interner, Span, Symbol};
 use ffisafe_types::{CtId, GcId, TypeTable};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the registry learned about a function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,8 +99,16 @@ enum SlotShape {
 }
 
 /// The function environment shared by all per-function analyses.
+///
+/// Post-link the environment is frozen behind an `Arc` and every worker
+/// gets an O(1) [`Registry::overlay`] view: lookups fall through to the
+/// shared base, memoizations and unknown-function synthesis land in the
+/// worker's local maps. An overlay behaves exactly like a deep clone of
+/// its base.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
+    /// Shared post-link environment this registry layers over, if any.
+    base: Option<Arc<Registry>>,
     funcs: HashMap<Symbol, FuncInfo>,
     /// Memoized per-name runtime classification (`None` = not a runtime
     /// function). Keyed by interned symbol; the expensive fresh
@@ -114,15 +123,26 @@ impl Registry {
         Registry::default()
     }
 
+    /// Creates a copy-on-write view over a shared base registry. O(1).
+    pub fn overlay(base: Arc<Registry>) -> Self {
+        debug_assert!(base.base.is_none(), "overlay bases must be flat registries");
+        Registry { base: Some(base), funcs: HashMap::new(), runtime_shapes: HashMap::new() }
+    }
+
     /// Looks up a function by name. Non-mutating: a name never interned
     /// was never registered.
     pub fn get(&self, interner: &Interner, name: &str) -> Option<&FuncInfo> {
-        self.funcs.get(&interner.get(name)?)
+        self.get_sym(interner.get(name)?)
     }
 
     /// Looks up a function by its interned symbol.
     pub fn get_sym(&self, sym: Symbol) -> Option<&FuncInfo> {
-        self.funcs.get(&sym)
+        self.funcs.get(&sym).or_else(|| self.base.as_deref().and_then(|b| b.funcs.get(&sym)))
+    }
+
+    fn contains_sym(&self, sym: Symbol) -> bool {
+        self.funcs.contains_key(&sym)
+            || self.base.as_deref().is_some_and(|b| b.funcs.contains_key(&sym))
     }
 
     /// Registers a function definition/prototype with `η`-translated
@@ -140,26 +160,37 @@ impl Registry {
         span: Span,
     ) -> &FuncInfo {
         let sym = interner.intern(name);
-        self.funcs.entry(sym).or_insert_with(|| {
+        if !self.contains_sym(sym) {
             let params: Vec<CtId> = params.iter().map(|p| eta(table, p)).collect();
             let ret = eta(table, ret);
             let effect = table.fresh_gc();
-            FuncInfo {
-                name: name.to_string(),
-                params,
-                ret,
-                effect,
-                origin,
-                external_index: None,
-                noreturn: false,
-                span,
-            }
-        })
+            self.funcs.insert(
+                sym,
+                FuncInfo {
+                    name: name.to_string(),
+                    params,
+                    ret,
+                    effect,
+                    origin,
+                    external_index: None,
+                    noreturn: false,
+                    span,
+                },
+            );
+        }
+        self.get_sym(sym).expect("just ensured present")
     }
 
     /// Ties a registered function to its phase-1 `external` signature.
     pub fn set_external_index(&mut self, interner: &Interner, name: &str, idx: usize) {
-        if let Some(f) = interner.get(name).and_then(|s| self.funcs.get_mut(&s)) {
+        let Some(sym) = interner.get(name) else { return };
+        // copy-on-write: pull a base entry into the local layer to annotate
+        if !self.funcs.contains_key(&sym) {
+            if let Some(info) = self.base.as_deref().and_then(|b| b.funcs.get(&sym)) {
+                self.funcs.insert(sym, info.clone());
+            }
+        }
+        if let Some(f) = self.funcs.get_mut(&sym) {
             f.external_index = Some(idx);
         }
     }
@@ -180,12 +211,18 @@ impl Registry {
     ) -> FuncInfo {
         let _ = arity; // runtime classification is name-driven
         let sym = interner.intern(name);
-        if let Some(info) = self.funcs.get(&sym) {
+        if let Some(info) = self.get_sym(sym) {
             return info.clone();
         }
         // The shape (the immutable part) is memoized; the instantiation
         // stays fresh per call site, keeping runtime functions polymorphic.
-        let shape = self.runtime_shapes.entry(sym).or_insert_with(|| runtime_shape(name));
+        // A memo already present in the shared base is reused as-is; fresh
+        // classifications land in the local layer.
+        let base_shape = self.base.as_deref().and_then(|b| b.runtime_shapes.get(&sym)).cloned();
+        let shape = match base_shape {
+            Some(memoized) => memoized,
+            None => self.runtime_shapes.entry(sym).or_insert_with(|| runtime_shape(name)).clone(),
+        };
         if let Some(shape) = shape {
             return shape.instantiate(table, name, span);
         }
@@ -208,19 +245,48 @@ impl Registry {
         info
     }
 
-    /// All registered functions.
+    /// All registered functions: base entries not shadowed locally, then
+    /// local entries (iteration order within each layer is unspecified).
     pub fn iter(&self) -> impl Iterator<Item = &FuncInfo> {
-        self.funcs.values()
+        self.base
+            .as_deref()
+            .map(|b| &b.funcs)
+            .into_iter()
+            .flatten()
+            .filter(|(sym, _)| !self.funcs.contains_key(sym))
+            .map(|(_, f)| f)
+            .chain(self.funcs.values())
+    }
+
+    /// All registered functions with their symbols, sorted by symbol —
+    /// a deterministic iteration for fingerprinting.
+    pub fn iter_stable(&self) -> Vec<(Symbol, &FuncInfo)> {
+        let mut out: Vec<(Symbol, &FuncInfo)> = self
+            .base
+            .as_deref()
+            .map(|b| &b.funcs)
+            .into_iter()
+            .flatten()
+            .filter(|(sym, _)| !self.funcs.contains_key(sym))
+            .chain(self.funcs.iter())
+            .map(|(sym, f)| (*sym, f))
+            .collect();
+        out.sort_by_key(|(sym, _)| *sym);
+        out
     }
 
     /// Number of registered functions.
     pub fn len(&self) -> usize {
-        self.funcs.len()
+        let shadowed = match self.base.as_deref() {
+            Some(b) => b.funcs.keys().filter(|s| self.funcs.contains_key(s)).count(),
+            None => 0,
+        };
+        self.base.as_deref().map_or(0, |b| b.funcs.len()) + self.funcs.len() - shadowed
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.funcs.is_empty()
+        self.len() == 0
     }
 }
 
@@ -516,6 +582,71 @@ mod tests {
         assert_eq!(reg.get(&intern, "helper").unwrap().name, "helper");
         assert_eq!(reg.get_sym(sym).unwrap().name, "helper");
         assert!(reg.get(&intern, "missing").is_none());
+    }
+
+    #[test]
+    fn overlay_reads_base_and_writes_locally() {
+        let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
+        let mut base = Registry::new();
+        base.register(
+            &mut tt,
+            &mut intern,
+            "helper",
+            &CTypeExpr::Int,
+            &[CTypeExpr::Value],
+            FuncOrigin::Defined,
+            Span::dummy(),
+        );
+        base.resolve_call(&mut tt, &mut intern, "caml_alloc", 2, Span::dummy());
+        let base = Arc::new(base);
+
+        let mut view = Registry::overlay(base.clone());
+        assert_eq!(view.len(), base.len());
+        // base entries resolve through the overlay without copying
+        let helper = view.resolve_call(&mut tt, &mut intern, "helper", 1, Span::dummy());
+        assert_eq!(helper.origin, FuncOrigin::Defined);
+        assert!(view.funcs.is_empty(), "base hit must not populate the local layer");
+        // the base runtime-shape memo is reused, not re-derived
+        let alloc = view.resolve_call(&mut tt, &mut intern, "caml_alloc", 2, Span::dummy());
+        assert_eq!(alloc.origin, FuncOrigin::Runtime);
+        assert!(view.runtime_shapes.is_empty());
+        // unknown synthesis lands locally; the shared base is untouched
+        let gz = view.resolve_call(&mut tt, &mut intern, "gzopen", 1, Span::dummy());
+        assert_eq!(gz.origin, FuncOrigin::Unknown);
+        assert_eq!(view.len(), base.len() + 1);
+        assert!(base.get(&intern, "gzopen").is_none());
+        assert_eq!(view.iter().count(), view.len());
+        // a sibling view never sees another view's synthesis
+        let sibling = Registry::overlay(base);
+        assert!(sibling.get(&intern, "gzopen").is_none());
+    }
+
+    #[test]
+    fn iter_stable_is_sorted_and_complete() {
+        let mut tt = TypeTable::new();
+        let mut intern = Interner::new();
+        let mut base = Registry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            base.register(
+                &mut tt,
+                &mut intern,
+                name,
+                &CTypeExpr::Int,
+                &[],
+                FuncOrigin::Defined,
+                Span::dummy(),
+            );
+        }
+        let base = Arc::new(base);
+        let mut view = Registry::overlay(base);
+        view.resolve_call(&mut tt, &mut intern, "extra", 0, Span::dummy());
+        let stable = view.iter_stable();
+        assert_eq!(stable.len(), 4);
+        let syms: Vec<u32> = stable.iter().map(|(s, _)| s.as_raw()).collect();
+        let mut sorted = syms.clone();
+        sorted.sort_unstable();
+        assert_eq!(syms, sorted, "iter_stable must be symbol-ordered");
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Cross-clone fact propagation under snapshot isolation.
+//! Cross-worker fact propagation under overlay isolation.
 //!
-//! Each inference worker analyzes its function against a private clone of
-//! the post-link base state, so facts one function establishes about a
-//! *shared* identity (an opaque type's hidden representation, a signature
-//! slot's heap-ness) are invisible to its siblings' clones. The discharge
-//! stage must reunite them; these tests pin the scenarios a sequential
-//! shared-table run would catch trivially.
+//! Each inference worker analyzes its function against a private
+//! copy-on-write overlay of the frozen post-link base state, so facts one
+//! function establishes about a *shared* identity (an opaque type's
+//! hidden representation, a signature slot's heap-ness, a base effect
+//! variable's GC-ness) are invisible to its siblings' overlays. The
+//! discharge stage must reunite them; these tests pin the scenarios a
+//! sequential shared-table run would catch trivially, re-locked at
+//! jobs ∈ {1, 2, 8}.
 
 use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus};
 
@@ -44,7 +46,7 @@ value ml_h(value a, value b) {
         report.contains("constructor number 7 used but the sum type has only 2"),
         "cross-function Ψ violation missing:\n{report}"
     );
-    for jobs in [2, 8] {
+    for jobs in [1, 2, 8] {
         assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
     }
 }
@@ -100,7 +102,7 @@ value ml_h(value x) {
         report.contains("`tmp` holds a pointer into the OCaml heap"),
         "deferred aliased-local check missing:\n{report}"
     );
-    for jobs in [2, 8] {
+    for jobs in [1, 2, 8] {
         assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
     }
 }
@@ -129,7 +131,46 @@ value ml_f(value u) {
         report.contains("`y` holds a pointer into the OCaml heap"),
         "deferred callee-return check missing:\n{report}"
     );
-    for jobs in [2, 8] {
+    for jobs in [1, 2, 8] {
+        assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
+    }
+}
+
+/// The `EffectKey` Local/Base promotion edges. `ml_f`'s worker holds a
+/// heap string across three calls: `ml_g` (a *base* effect variable only
+/// `ml_g`'s own worker proves GC — the report requires the merged solve
+/// to promote that fact across workers), and `unknown_leaf` (a synthetic
+/// callee whose effect is a worker-*local* GC id exported as
+/// `EffectKey::Local` — never proven GC, so it must stay silent). The
+/// verdicts and the rendered report must be identical at every width.
+#[test]
+fn base_effect_proven_gc_by_sibling_reaches_callers_local_graph() {
+    let ml = r#"
+external f : unit -> unit = "ml_f"
+"#;
+    let c = r#"
+value ml_g(value u) {
+    caml_alloc(1, 0);
+    return Val_unit;
+}
+value ml_f(value u) {
+    value y = caml_copy_string("hi");
+    unknown_leaf();
+    ml_g(Val_unit);
+    use_ptr(y);
+    return Val_unit;
+}
+"#;
+    let report = render(ml, c, 1);
+    assert!(
+        report.contains("across a call to `ml_g`"),
+        "sibling-proven base effect did not reach the caller:\n{report}"
+    );
+    assert!(
+        !report.contains("across a call to `unknown_leaf`"),
+        "an unproven local effect must not fire:\n{report}"
+    );
+    for jobs in [1, 2, 8] {
         assert_eq!(report, render(ml, c, jobs), "jobs={jobs} diverged");
     }
 }

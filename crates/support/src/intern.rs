@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// An interned string. Comparison and hashing are O(1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -22,6 +23,12 @@ impl fmt::Display for Symbol {
 
 /// Interner mapping strings to [`Symbol`]s and back.
 ///
+/// An interner is either self-contained or an overlay view over a frozen,
+/// `Arc`-shared base (see [`Interner::overlay`]): lookups consult the base
+/// first, fresh strings append locally, and symbols are numbered
+/// continuously across the seam — an overlay issues exactly the symbols a
+/// deep clone of the base would.
+///
 /// # Examples
 ///
 /// ```
@@ -34,6 +41,7 @@ impl fmt::Display for Symbol {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Interner {
+    base: Option<Arc<Interner>>,
     map: HashMap<String, Symbol>,
     strings: Vec<String>,
 }
@@ -44,12 +52,27 @@ impl Interner {
         Interner::default()
     }
 
+    /// Creates a copy-on-write view over a shared base interner. O(1).
+    pub fn overlay(base: Arc<Interner>) -> Self {
+        debug_assert!(base.base.is_none(), "overlay bases must be flat interners");
+        Interner { base: Some(base), map: HashMap::new(), strings: Vec::new() }
+    }
+
+    fn base_len(&self) -> usize {
+        self.base.as_deref().map_or(0, |b| b.strings.len())
+    }
+
     /// Interns `s`, returning its symbol (existing or fresh).
     pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(b) = self.base.as_deref() {
+            if let Some(&sym) = b.map.get(s) {
+                return sym;
+            }
+        }
         if let Some(&sym) = self.map.get(s) {
             return sym;
         }
-        let sym = Symbol(self.strings.len() as u32);
+        let sym = Symbol((self.base_len() + self.strings.len()) as u32);
         self.strings.push(s.to_string());
         self.map.insert(s.to_string(), sym);
         sym
@@ -57,6 +80,11 @@ impl Interner {
 
     /// Looks up an already-interned string.
     pub fn get(&self, s: &str) -> Option<Symbol> {
+        if let Some(b) = self.base.as_deref() {
+            if let Some(&sym) = b.map.get(s) {
+                return Some(sym);
+            }
+        }
         self.map.get(s).copied()
     }
 
@@ -66,17 +94,23 @@ impl Interner {
     ///
     /// Panics if `sym` was not issued by this interner.
     pub fn resolve(&self, sym: Symbol) -> &str {
-        &self.strings[sym.0 as usize]
+        let idx = sym.0 as usize;
+        let base_len = self.base_len();
+        if idx < base_len {
+            &self.base.as_deref().expect("base exists for base-range symbol").strings[idx]
+        } else {
+            &self.strings[idx - base_len]
+        }
     }
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.base_len() + self.strings.len()
     }
 
     /// Returns `true` when nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
     }
 }
 
@@ -115,5 +149,30 @@ mod tests {
         let i = Interner::new();
         assert!(i.is_empty());
         assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn overlay_issues_clone_identical_symbols() {
+        let mut base = Interner::new();
+        let caml = base.intern("caml_alloc");
+        let mut cloned = base.clone();
+        let base = Arc::new(base);
+        let mut view = Interner::overlay(base.clone());
+
+        // base strings resolve through the overlay
+        assert_eq!(view.get("caml_alloc"), Some(caml));
+        assert_eq!(view.resolve(caml), "caml_alloc");
+        assert_eq!(view.intern("caml_alloc"), caml);
+
+        // fresh strings get the same symbols a deep clone would issue
+        assert_eq!(view.intern("local_one"), cloned.intern("local_one"));
+        assert_eq!(view.intern("local_two"), cloned.intern("local_two"));
+        assert_eq!(view.len(), cloned.len());
+        assert_eq!(view.resolve(view.get("local_two").unwrap()), "local_two");
+
+        // a sibling overlay never sees another view's strings
+        let sibling = Interner::overlay(base);
+        assert_eq!(sibling.get("local_one"), None);
+        assert_eq!(sibling.len(), 1);
     }
 }

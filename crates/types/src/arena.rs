@@ -1,7 +1,113 @@
 //! The type arena: one table owning every node of every sort, with
 //! union-find resolution.
+//!
+//! Storage is layered for the parallel pipeline. A [`TypeTable`] built
+//! from scratch owns its nodes outright; [`TypeTable::freeze`] turns the
+//! post-link table into a [`FrozenTypeTable`] — six `Arc`-shared,
+//! fully path-compressed node vectors — and [`FrozenTypeTable::overlay`]
+//! hands out O(1) copy-on-write views of it. An overlay records only what
+//! a worker changes: re-bound base nodes land in a small per-sort delta
+//! map, fresh allocations append to a local tail, and every read falls
+//! through to the frozen base. Ids allocated by an overlay are numbered
+//! exactly as a deep clone would have numbered them, so snapshot-isolated
+//! workers behave identically to the old clone-per-worker scheme while
+//! paying per-function cost proportional to what they touch, not to the
+//! whole base state.
 
 use crate::term::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One sort's layered node storage: an immutable shared base, a sparse
+/// copy-on-write delta over it, and a locally-owned tail for fresh
+/// allocations. Ids `0..base.len()` address the base (through the delta),
+/// ids past that address the tail — so overlay allocation order matches a
+/// deep clone's exactly.
+#[derive(Clone, Debug)]
+pub(crate) struct Shelf<T> {
+    base: Arc<Vec<T>>,
+    /// Base ids this view re-bound, in id order (deterministic iteration).
+    over: BTreeMap<u32, T>,
+    local: Vec<T>,
+}
+
+impl<T> Default for Shelf<T> {
+    fn default() -> Self {
+        Shelf { base: Arc::new(Vec::new()), over: BTreeMap::new(), local: Vec::new() }
+    }
+}
+
+impl<T: Clone + PartialEq> Shelf<T> {
+    fn from_base(base: Arc<Vec<T>>) -> Self {
+        Shelf { base, over: BTreeMap::new(), local: Vec::new() }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.base.len() + self.local.len()
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: u32) -> &T {
+        let idx = i as usize;
+        if idx < self.base.len() {
+            match self.over.get(&i) {
+                Some(v) => v,
+                None => &self.base[idx],
+            }
+        } else {
+            &self.local[idx - self.base.len()]
+        }
+    }
+
+    /// Writing a base id's original value back removes the delta entry, so
+    /// the delta holds exactly the base ids whose node differs from the
+    /// frozen base — the property the effect-delta export relies on.
+    pub(crate) fn set(&mut self, i: u32, v: T) {
+        let idx = i as usize;
+        if idx < self.base.len() {
+            if self.base[idx] == v {
+                self.over.remove(&i);
+            } else {
+                self.over.insert(i, v);
+            }
+        } else {
+            self.local[idx - self.base.len()] = v;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: T) -> u32 {
+        let id = self.len() as u32;
+        self.local.push(v);
+        id
+    }
+
+    /// Base ids re-bound by this view, ascending.
+    pub(crate) fn overlay_keys(&self) -> Vec<u32> {
+        self.over.keys().copied().collect()
+    }
+
+    pub(crate) fn overlay_len(&self) -> usize {
+        self.over.len()
+    }
+
+    /// Materializes base ∪ delta ∪ tail into one owned vector.
+    fn into_full_vec(self) -> Vec<T> {
+        if self.base.is_empty() {
+            return self.local;
+        }
+        let mut out: Vec<T> = match Arc::try_unwrap(self.base) {
+            Ok(v) => v,
+            Err(shared) => shared.as_ref().clone(),
+        };
+        for (i, v) in self.over {
+            out[i as usize] = v;
+        }
+        out.extend(self.local);
+        out
+    }
+}
 
 /// Owns all type nodes and implements union-find over each sort.
 ///
@@ -9,6 +115,10 @@ use crate::term::*;
 /// translation (`ρ`/`Φ`), the C-side `η` mapping, and the inference rules.
 /// Nodes are never removed; links created by unification are compressed on
 /// resolution.
+///
+/// A table is either self-contained (built by [`TypeTable::new`]) or an
+/// overlay view of a [`FrozenTypeTable`]; the two behave identically
+/// through this API.
 ///
 /// # Examples
 ///
@@ -23,18 +133,163 @@ use crate::term::*;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct TypeTable {
-    pub(crate) mts: Vec<MtNode>,
-    pub(crate) cts: Vec<CtNode>,
-    pub(crate) psis: Vec<PsiNode>,
-    pub(crate) sigmas: Vec<SigmaNode>,
-    pub(crate) pis: Vec<PiNode>,
-    pub(crate) gcs: Vec<GcNode>,
+    pub(crate) mts: Shelf<MtNode>,
+    pub(crate) cts: Shelf<CtNode>,
+    pub(crate) psis: Shelf<PsiNode>,
+    pub(crate) sigmas: Shelf<SigmaNode>,
+    pub(crate) pis: Shelf<PiNode>,
+    pub(crate) gcs: Shelf<GcNode>,
+}
+
+/// An immutable, fully path-compressed type table shared by reference.
+///
+/// Produced by [`TypeTable::freeze`] after linking; every inference worker
+/// gets an O(1) [`FrozenTypeTable::overlay`] view instead of a deep clone.
+/// Cloning a frozen table clones six `Arc`s.
+#[derive(Clone, Debug, Default)]
+pub struct FrozenTypeTable {
+    mts: Arc<Vec<MtNode>>,
+    cts: Arc<Vec<CtNode>>,
+    psis: Arc<Vec<PsiNode>>,
+    sigmas: Arc<Vec<SigmaNode>>,
+    pis: Arc<Vec<PiNode>>,
+    gcs: Arc<Vec<GcNode>>,
+}
+
+impl FrozenTypeTable {
+    /// A fresh mutable view: reads fall through to this frozen base,
+    /// writes stay private to the view. O(1).
+    pub fn overlay(&self) -> TypeTable {
+        TypeTable {
+            mts: Shelf::from_base(self.mts.clone()),
+            cts: Shelf::from_base(self.cts.clone()),
+            psis: Shelf::from_base(self.psis.clone()),
+            sigmas: Shelf::from_base(self.sigmas.clone()),
+            pis: Shelf::from_base(self.pis.clone()),
+            gcs: Shelf::from_base(self.gcs.clone()),
+        }
+    }
+
+    /// Total node count across all sorts.
+    pub fn node_count(&self) -> usize {
+        self.mts.len()
+            + self.cts.len()
+            + self.psis.len()
+            + self.sigmas.len()
+            + self.pis.len()
+            + self.gcs.len()
+    }
+
+    /// Number of GC effect nodes.
+    pub fn gc_count(&self) -> usize {
+        self.gcs.len()
+    }
+
+    /// The node behind the canonical representative of a frozen effect id
+    /// (frozen chains are at most one hop, but links are followed fully).
+    pub fn gc_node(&self, mut id: GcId) -> GcNode {
+        while let GcNode::Link(next) = self.gcs[id.0 as usize] {
+            id = next;
+        }
+        self.gcs[id.0 as usize]
+    }
+
+    /// All `mt` nodes, id order (digest input).
+    pub fn mts(&self) -> &[MtNode] {
+        &self.mts
+    }
+
+    /// All `ct` nodes, id order (digest input).
+    pub fn cts(&self) -> &[CtNode] {
+        &self.cts
+    }
+
+    /// All `Ψ` nodes, id order (digest input).
+    pub fn psis(&self) -> &[PsiNode] {
+        &self.psis
+    }
+
+    /// All `Σ` nodes, id order (digest input).
+    pub fn sigmas(&self) -> &[SigmaNode] {
+        &self.sigmas
+    }
+
+    /// All `Π` nodes, id order (digest input).
+    pub fn pis(&self) -> &[PiNode] {
+        &self.pis
+    }
+
+    /// All GC effect nodes, id order (digest input).
+    pub fn gcs(&self) -> &[GcNode] {
+        &self.gcs
+    }
 }
 
 impl TypeTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         TypeTable::default()
+    }
+
+    /// Freezes this table into shared immutable storage.
+    ///
+    /// Every link chain of every sort is fully path-compressed first, so
+    /// base chains in the frozen vectors are at most one hop and any later
+    /// overlay write to a base id reflects a genuine change, never
+    /// base-derivable compression.
+    pub fn freeze(mut self) -> FrozenTypeTable {
+        self.compress_all();
+        FrozenTypeTable {
+            mts: Arc::new(self.mts.into_full_vec()),
+            cts: Arc::new(self.cts.into_full_vec()),
+            psis: Arc::new(self.psis.into_full_vec()),
+            sigmas: Arc::new(self.sigmas.into_full_vec()),
+            pis: Arc::new(self.pis.into_full_vec()),
+            gcs: Arc::new(self.gcs.into_full_vec()),
+        }
+    }
+
+    fn compress_all(&mut self) {
+        for i in 0..self.mts.len() as u32 {
+            self.resolve_mt(MtId(i));
+        }
+        for i in 0..self.cts.len() as u32 {
+            self.resolve_ct(CtId(i));
+        }
+        for i in 0..self.psis.len() as u32 {
+            self.resolve_psi(PsiId(i));
+        }
+        for i in 0..self.sigmas.len() as u32 {
+            self.resolve_sigma(SigmaId(i));
+        }
+        for i in 0..self.pis.len() as u32 {
+            self.resolve_pi(PiId(i));
+        }
+        for i in 0..self.gcs.len() as u32 {
+            self.resolve_gc(GcId(i));
+        }
+    }
+
+    // ---- overlay observability -------------------------------------------
+
+    /// Base GC effect ids this view re-bound, ascending. Because the
+    /// unifier writes GC nodes only as links onto resolved canonicals (and
+    /// the frozen base is fully compressed), every base effect class whose
+    /// canonical or constant changed in this view has at least one member
+    /// in this list — the effect-delta export scans it instead of every
+    /// base class.
+    pub fn gc_overlay_keys(&self) -> Vec<u32> {
+        self.gcs.overlay_keys()
+    }
+
+    /// Total re-bound base ids across all sorts (diagnostics/tests).
+    pub fn overlay_node_count(&self) -> usize {
+        self.mts.overlay_len()
+            + self.cts.overlay_len()
+            + self.psis.overlay_len()
+            + self.sigmas.overlay_len()
+            + self.pis.overlay_len()
+            + self.gcs.overlay_len()
     }
 
     // ---- allocation: mt -------------------------------------------------
@@ -72,15 +327,13 @@ impl TypeTable {
     }
 
     fn push_mt(&mut self, n: MtNode) -> MtId {
-        let id = MtId(self.mts.len() as u32);
-        self.mts.push(n);
-        id
+        MtId(self.mts.push(n))
     }
 
     /// Overwrites the node behind `id`. Used by the OCaml translator to tie
     /// recursive knots (`'a list`) and by the unifier to install links.
     pub(crate) fn set_mt(&mut self, id: MtId, n: MtNode) {
-        self.mts[id.0 as usize] = n;
+        self.mts.set(id.0, n);
     }
 
     /// Binds the unbound variable `var` to `to`, tying a recursive knot.
@@ -90,7 +343,7 @@ impl TypeTable {
     /// Panics if `var` is not an unbound `α` variable.
     pub fn link_mt(&mut self, var: MtId, to: MtId) {
         assert!(
-            matches!(self.mts[var.0 as usize], MtNode::Var),
+            matches!(*self.mts.get(var.0), MtNode::Var),
             "link_mt target must be an unbound variable"
         );
         self.set_mt(var, MtNode::Link(to));
@@ -145,61 +398,47 @@ impl TypeTable {
     }
 
     fn push_ct(&mut self, n: CtNode) -> CtId {
-        let id = CtId(self.cts.len() as u32);
-        self.cts.push(n);
-        id
+        CtId(self.cts.push(n))
     }
 
     pub(crate) fn set_ct(&mut self, id: CtId, n: CtNode) {
-        self.cts[id.0 as usize] = n;
+        self.cts.set(id.0, n);
     }
 
     // ---- allocation: psi / sigma / pi / gc --------------------------------
 
     /// Fresh `ψ` variable.
     pub fn fresh_psi(&mut self) -> PsiId {
-        let id = PsiId(self.psis.len() as u32);
-        self.psis.push(PsiNode::Var);
-        id
+        PsiId(self.psis.push(PsiNode::Var))
     }
 
     /// `Ψ = n` (exactly `n` nullary constructors).
     pub fn psi_count(&mut self, n: u32) -> PsiId {
-        let id = PsiId(self.psis.len() as u32);
-        self.psis.push(PsiNode::Count(n));
-        id
+        PsiId(self.psis.push(PsiNode::Count(n)))
     }
 
     /// `Ψ = ⊤` (the type is `int`-like).
     pub fn psi_top(&mut self) -> PsiId {
-        let id = PsiId(self.psis.len() as u32);
-        self.psis.push(PsiNode::Top);
-        id
+        PsiId(self.psis.push(PsiNode::Top))
     }
 
     pub(crate) fn set_psi(&mut self, id: PsiId, n: PsiNode) {
-        self.psis[id.0 as usize] = n;
+        self.psis.set(id.0, n);
     }
 
     /// Fresh `σ` row variable.
     pub fn fresh_sigma(&mut self) -> SigmaId {
-        let id = SigmaId(self.sigmas.len() as u32);
-        self.sigmas.push(SigmaNode::Var);
-        id
+        SigmaId(self.sigmas.push(SigmaNode::Var))
     }
 
     /// The empty sum row `∅`.
     pub fn sigma_nil(&mut self) -> SigmaId {
-        let id = SigmaId(self.sigmas.len() as u32);
-        self.sigmas.push(SigmaNode::Nil);
-        id
+        SigmaId(self.sigmas.push(SigmaNode::Nil))
     }
 
     /// `Π + Σ`.
     pub fn sigma_cons(&mut self, head: PiId, tail: SigmaId) -> SigmaId {
-        let id = SigmaId(self.sigmas.len() as u32);
-        self.sigmas.push(SigmaNode::Cons(head, tail));
-        id
+        SigmaId(self.sigmas.push(SigmaNode::Cons(head, tail)))
     }
 
     /// Builds a closed sum row from products.
@@ -212,35 +451,27 @@ impl TypeTable {
     }
 
     pub(crate) fn set_sigma(&mut self, id: SigmaId, n: SigmaNode) {
-        self.sigmas[id.0 as usize] = n;
+        self.sigmas.set(id.0, n);
     }
 
     /// Fresh `π` row variable.
     pub fn fresh_pi(&mut self) -> PiId {
-        let id = PiId(self.pis.len() as u32);
-        self.pis.push(PiNode::Var);
-        id
+        PiId(self.pis.push(PiNode::Var))
     }
 
     /// The empty product row `∅`.
     pub fn pi_nil(&mut self) -> PiId {
-        let id = PiId(self.pis.len() as u32);
-        self.pis.push(PiNode::Nil);
-        id
+        PiId(self.pis.push(PiNode::Nil))
     }
 
     /// `mt × Π`.
     pub fn pi_cons(&mut self, head: MtId, tail: PiId) -> PiId {
-        let id = PiId(self.pis.len() as u32);
-        self.pis.push(PiNode::Cons(head, tail));
-        id
+        PiId(self.pis.push(PiNode::Cons(head, tail)))
     }
 
     /// Unknown-length block with uniform element type (`'a array`).
     pub fn pi_array(&mut self, elem: MtId) -> PiId {
-        let id = PiId(self.pis.len() as u32);
-        self.pis.push(PiNode::Array(elem));
-        id
+        PiId(self.pis.push(PiNode::Array(elem)))
     }
 
     /// Builds a closed product row from field types.
@@ -253,32 +484,26 @@ impl TypeTable {
     }
 
     pub(crate) fn set_pi(&mut self, id: PiId, n: PiNode) {
-        self.pis[id.0 as usize] = n;
+        self.pis.set(id.0, n);
     }
 
     /// Fresh effect variable `γ`.
     pub fn fresh_gc(&mut self) -> GcId {
-        let id = GcId(self.gcs.len() as u32);
-        self.gcs.push(GcNode::Var);
-        id
+        GcId(self.gcs.push(GcNode::Var))
     }
 
     /// The constant effect `gc`.
     pub fn gc_gc(&mut self) -> GcId {
-        let id = GcId(self.gcs.len() as u32);
-        self.gcs.push(GcNode::Gc);
-        id
+        GcId(self.gcs.push(GcNode::Gc))
     }
 
     /// The constant effect `nogc`.
     pub fn gc_nogc(&mut self) -> GcId {
-        let id = GcId(self.gcs.len() as u32);
-        self.gcs.push(GcNode::NoGc);
-        id
+        GcId(self.gcs.push(GcNode::NoGc))
     }
 
     pub(crate) fn set_gc(&mut self, id: GcId, n: GcNode) {
-        self.gcs[id.0 as usize] = n;
+        self.gcs.set(id.0, n);
     }
 
     // ---- resolution -------------------------------------------------------
@@ -286,19 +511,19 @@ impl TypeTable {
     /// Canonical representative of an `mt`, with path compression.
     pub fn resolve_mt(&mut self, mut id: MtId) -> MtId {
         let mut seen = Vec::new();
-        while let MtNode::Link(next) = self.mts[id.0 as usize] {
+        while let &MtNode::Link(next) = self.mts.get(id.0) {
             seen.push(id);
             id = next;
         }
         for s in seen {
-            self.mts[s.0 as usize] = MtNode::Link(id);
+            self.mts.set(s.0, MtNode::Link(id));
         }
         id
     }
 
     /// Canonical representative without mutation (no compression).
     pub fn find_mt(&self, mut id: MtId) -> MtId {
-        while let MtNode::Link(next) = self.mts[id.0 as usize] {
+        while let &MtNode::Link(next) = self.mts.get(id.0) {
             id = next;
         }
         id
@@ -307,25 +532,25 @@ impl TypeTable {
     /// The node behind the canonical representative of `id`.
     pub fn mt_node(&self, id: MtId) -> &MtNode {
         let id = self.find_mt(id);
-        &self.mts[id.0 as usize]
+        self.mts.get(id.0)
     }
 
     /// Canonical representative of a `ct`.
     pub fn resolve_ct(&mut self, mut id: CtId) -> CtId {
         let mut seen = Vec::new();
-        while let CtNode::Link(next) = self.cts[id.0 as usize] {
+        while let &CtNode::Link(next) = self.cts.get(id.0) {
             seen.push(id);
             id = next;
         }
         for s in seen {
-            self.cts[s.0 as usize] = CtNode::Link(id);
+            self.cts.set(s.0, CtNode::Link(id));
         }
         id
     }
 
     /// Canonical representative without mutation.
     pub fn find_ct(&self, mut id: CtId) -> CtId {
-        while let CtNode::Link(next) = self.cts[id.0 as usize] {
+        while let &CtNode::Link(next) = self.cts.get(id.0) {
             id = next;
         }
         id
@@ -334,25 +559,25 @@ impl TypeTable {
     /// The node behind the canonical representative of `id`.
     pub fn ct_node(&self, id: CtId) -> &CtNode {
         let id = self.find_ct(id);
-        &self.cts[id.0 as usize]
+        self.cts.get(id.0)
     }
 
     /// Canonical representative of a `Ψ`.
     pub fn resolve_psi(&mut self, mut id: PsiId) -> PsiId {
         let mut seen = Vec::new();
-        while let PsiNode::Link(next) = self.psis[id.0 as usize] {
+        while let &PsiNode::Link(next) = self.psis.get(id.0) {
             seen.push(id);
             id = next;
         }
         for s in seen {
-            self.psis[s.0 as usize] = PsiNode::Link(id);
+            self.psis.set(s.0, PsiNode::Link(id));
         }
         id
     }
 
     /// Canonical representative without mutation.
     pub fn find_psi(&self, mut id: PsiId) -> PsiId {
-        while let PsiNode::Link(next) = self.psis[id.0 as usize] {
+        while let &PsiNode::Link(next) = self.psis.get(id.0) {
             id = next;
         }
         id
@@ -361,25 +586,25 @@ impl TypeTable {
     /// The node behind the canonical representative of `id`.
     pub fn psi_node(&self, id: PsiId) -> PsiNode {
         let id = self.find_psi(id);
-        self.psis[id.0 as usize]
+        *self.psis.get(id.0)
     }
 
     /// Canonical representative of a `Σ`.
     pub fn resolve_sigma(&mut self, mut id: SigmaId) -> SigmaId {
         let mut seen = Vec::new();
-        while let SigmaNode::Link(next) = self.sigmas[id.0 as usize] {
+        while let &SigmaNode::Link(next) = self.sigmas.get(id.0) {
             seen.push(id);
             id = next;
         }
         for s in seen {
-            self.sigmas[s.0 as usize] = SigmaNode::Link(id);
+            self.sigmas.set(s.0, SigmaNode::Link(id));
         }
         id
     }
 
     /// Canonical representative without mutation.
     pub fn find_sigma(&self, mut id: SigmaId) -> SigmaId {
-        while let SigmaNode::Link(next) = self.sigmas[id.0 as usize] {
+        while let &SigmaNode::Link(next) = self.sigmas.get(id.0) {
             id = next;
         }
         id
@@ -388,25 +613,25 @@ impl TypeTable {
     /// The node behind the canonical representative of `id`.
     pub fn sigma_node(&self, id: SigmaId) -> SigmaNode {
         let id = self.find_sigma(id);
-        self.sigmas[id.0 as usize]
+        *self.sigmas.get(id.0)
     }
 
     /// Canonical representative of a `Π`.
     pub fn resolve_pi(&mut self, mut id: PiId) -> PiId {
         let mut seen = Vec::new();
-        while let PiNode::Link(next) = self.pis[id.0 as usize] {
+        while let &PiNode::Link(next) = self.pis.get(id.0) {
             seen.push(id);
             id = next;
         }
         for s in seen {
-            self.pis[s.0 as usize] = PiNode::Link(id);
+            self.pis.set(s.0, PiNode::Link(id));
         }
         id
     }
 
     /// Canonical representative without mutation.
     pub fn find_pi(&self, mut id: PiId) -> PiId {
-        while let PiNode::Link(next) = self.pis[id.0 as usize] {
+        while let &PiNode::Link(next) = self.pis.get(id.0) {
             id = next;
         }
         id
@@ -415,25 +640,25 @@ impl TypeTable {
     /// The node behind the canonical representative of `id`.
     pub fn pi_node(&self, id: PiId) -> PiNode {
         let id = self.find_pi(id);
-        self.pis[id.0 as usize]
+        *self.pis.get(id.0)
     }
 
     /// Canonical representative of a `GC` effect.
     pub fn resolve_gc(&mut self, mut id: GcId) -> GcId {
         let mut seen = Vec::new();
-        while let GcNode::Link(next) = self.gcs[id.0 as usize] {
+        while let &GcNode::Link(next) = self.gcs.get(id.0) {
             seen.push(id);
             id = next;
         }
         for s in seen {
-            self.gcs[s.0 as usize] = GcNode::Link(id);
+            self.gcs.set(s.0, GcNode::Link(id));
         }
         id
     }
 
     /// Canonical representative without mutation.
     pub fn find_gc(&self, mut id: GcId) -> GcId {
-        while let GcNode::Link(next) = self.gcs[id.0 as usize] {
+        while let &GcNode::Link(next) = self.gcs.get(id.0) {
             id = next;
         }
         id
@@ -442,7 +667,7 @@ impl TypeTable {
     /// The node behind the canonical representative of `id`.
     pub fn gc_node(&self, id: GcId) -> GcNode {
         let id = self.find_gc(id);
-        self.gcs[id.0 as usize]
+        *self.gcs.get(id.0)
     }
 
     // ---- statistics --------------------------------------------------------
@@ -458,8 +683,8 @@ impl TypeTable {
     }
 
     /// Number of GC effect nodes. Parallel inference workers use the base
-    /// table's count to tell shared (pre-snapshot) effect ids from ids they
-    /// allocated locally in their clone.
+    /// table's count to tell shared (frozen) effect ids from ids they
+    /// allocated locally in their overlay.
     pub fn gc_count(&self) -> usize {
         self.gcs.len()
     }
@@ -477,7 +702,7 @@ impl TypeTable {
         let mut n = 0usize;
         let mut cur = self.find_sigma(id);
         loop {
-            match self.sigmas[cur.0 as usize] {
+            match *self.sigmas.get(cur.0) {
                 SigmaNode::Nil => return Some(n),
                 SigmaNode::Cons(_, tail) => {
                     n += 1;
@@ -503,7 +728,7 @@ impl TypeTable {
     pub fn sigma_products(&self, id: SigmaId) -> Vec<PiId> {
         let mut out = Vec::new();
         let mut cur = self.find_sigma(id);
-        while let SigmaNode::Cons(head, tail) = self.sigmas[cur.0 as usize] {
+        while let &SigmaNode::Cons(head, tail) = self.sigmas.get(cur.0) {
             out.push(head);
             cur = self.find_sigma(tail);
             if out.len() > self.sigmas.len() {
@@ -519,7 +744,7 @@ impl TypeTable {
         let mut out = Vec::new();
         let mut cur = self.find_pi(id);
         loop {
-            match self.pis[cur.0 as usize] {
+            match *self.pis.get(cur.0) {
                 PiNode::Cons(head, tail) => {
                     out.push(head);
                     cur = self.find_pi(tail);
@@ -657,7 +882,7 @@ mod tests {
         tt.set_mt(b, MtNode::Link(c));
         assert_eq!(tt.resolve_mt(a), c);
         // path compression happened
-        assert_eq!(tt.mts[a.as_raw() as usize], MtNode::Link(c));
+        assert_eq!(*tt.mts.get(a.as_raw()), MtNode::Link(c));
     }
 
     #[test]
@@ -727,6 +952,68 @@ mod tests {
         let found = tt.find_mt(a);
         assert_eq!(found, b);
         // no compression via find
-        assert_eq!(tt.mts[a.as_raw() as usize], MtNode::Link(b));
+        assert_eq!(*tt.mts.get(a.as_raw()), MtNode::Link(b));
+    }
+
+    #[test]
+    fn freeze_compresses_and_overlay_reads_fall_through() {
+        let mut tt = TypeTable::new();
+        let a = tt.fresh_mt();
+        let b = tt.fresh_mt();
+        let c = tt.fresh_mt();
+        tt.set_mt(a, MtNode::Link(b));
+        tt.set_mt(b, MtNode::Link(c));
+        let frozen = tt.freeze();
+        let view = frozen.overlay();
+        // frozen chains are ≤ 1 hop, so find needs no compression
+        assert_eq!(view.find_mt(a), c);
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.overlay_node_count(), 0, "reads must not populate the overlay");
+    }
+
+    #[test]
+    fn overlay_ids_match_clone_ids() {
+        let mut tt = TypeTable::new();
+        tt.fresh_mt();
+        tt.fresh_gc();
+        let mut cloned = tt.clone();
+        let frozen = tt.freeze();
+        let mut view = frozen.overlay();
+        assert_eq!(view.fresh_mt(), cloned.fresh_mt());
+        assert_eq!(view.fresh_gc(), cloned.fresh_gc());
+        assert_eq!(view.node_count(), cloned.node_count());
+    }
+
+    #[test]
+    fn overlay_writes_stay_private_and_equality_skips() {
+        let mut tt = TypeTable::new();
+        let a = tt.fresh_gc();
+        let g = tt.gc_gc();
+        let frozen = tt.freeze();
+        let mut view = frozen.overlay();
+        view.unify_gc(a, g);
+        assert_eq!(view.gc_node(a), GcNode::Gc);
+        assert_eq!(view.gc_overlay_keys(), vec![a.as_raw()], "only the re-bound id is recorded");
+        // a sibling view never sees the write
+        let sibling = frozen.overlay();
+        assert_eq!(sibling.gc_node(a), GcNode::Var);
+        // writing the base value back erases the delta entry
+        let mut view2 = frozen.overlay();
+        view2.set_gc(a, GcNode::Var);
+        assert_eq!(view2.gc_overlay_keys(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn freeze_of_overlay_materializes_all_layers() {
+        let mut tt = TypeTable::new();
+        let a = tt.fresh_mt();
+        let frozen = tt.freeze();
+        let mut view = frozen.overlay();
+        let b = view.fresh_mt();
+        view.unify_mt(a, b).unwrap();
+        let refrozen = view.freeze();
+        let reread = refrozen.overlay();
+        assert_eq!(reread.find_mt(a), reread.find_mt(b));
+        assert_eq!(reread.node_count(), 2);
     }
 }

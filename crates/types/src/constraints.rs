@@ -6,6 +6,7 @@ use crate::lattice::FlatInt;
 use crate::term::{GcId, GcNode, PsiId, PsiNode};
 use ffisafe_support::Span;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// A recorded `T + 1 ≤ Ψ` constraint from (Val Int Exp) or (If int tag).
 #[derive(Clone, Debug)]
@@ -34,8 +35,16 @@ pub struct PsiViolation {
 /// Unification happens eagerly; these are the two constraint forms the
 /// paper defers: `Ψ` lower bounds (checked once `Ψ`s are resolved) and
 /// the atomic-subtyping GC edges (solved by graph reachability).
+///
+/// Like the type arena, a constraint store can be an *overlay* over a
+/// frozen, `Arc`-shared base (see [`ConstraintSet::overlay`]): reads see
+/// base constraints followed by locally-recorded ones, writes append
+/// locally, and global indices are continuous across the seam — index `n`
+/// in an overlay means the same constraint a deep clone's index `n` would.
 #[derive(Clone, Debug, Default)]
 pub struct ConstraintSet {
+    /// Shared post-link constraints this store layers over, if any.
+    base: Option<Arc<ConstraintSet>>,
     psi_bounds: Vec<PsiBound>,
     /// Edges `lo ⊑ hi`: if `lo` may collect, so may `hi`.
     gc_edges: Vec<(GcId, GcId)>,
@@ -45,6 +54,20 @@ impl ConstraintSet {
     /// Creates an empty store.
     pub fn new() -> Self {
         ConstraintSet::default()
+    }
+
+    /// Creates a copy-on-write view over a shared base store. O(1).
+    pub fn overlay(base: Arc<ConstraintSet>) -> Self {
+        debug_assert!(base.base.is_none(), "overlay bases must be flat stores");
+        ConstraintSet { base: Some(base), psi_bounds: Vec::new(), gc_edges: Vec::new() }
+    }
+
+    fn base_psi_bounds(&self) -> &[PsiBound] {
+        self.base.as_deref().map_or(&[][..], |b| &b.psi_bounds)
+    }
+
+    fn base_gc_edges(&self) -> &[(GcId, GcId)] {
+        self.base.as_deref().map_or(&[][..], |b| &b.gc_edges)
     }
 
     /// Records `t + 1 ≤ psi`.
@@ -63,24 +86,26 @@ impl ConstraintSet {
         self.gc_edges.push((lo, hi));
     }
 
-    /// Number of recorded `Ψ` bounds.
+    /// Number of recorded `Ψ` bounds (base plus local).
     pub fn psi_bound_count(&self) -> usize {
-        self.psi_bounds.len()
+        self.base_psi_bounds().len() + self.psi_bounds.len()
     }
 
-    /// All recorded `Ψ` bounds, in recording order.
-    pub fn psi_bounds(&self) -> &[PsiBound] {
-        &self.psi_bounds
+    /// Recorded `Ψ` bounds from global index `start` on, in recording
+    /// order (base first, then local appends).
+    pub fn psi_bounds_from(&self, start: usize) -> impl Iterator<Item = &PsiBound> {
+        self.base_psi_bounds().iter().chain(self.psi_bounds.iter()).skip(start)
     }
 
-    /// Number of recorded GC edges.
+    /// Number of recorded GC edges (base plus local).
     pub fn gc_edge_count(&self) -> usize {
-        self.gc_edges.len()
+        self.base_gc_edges().len() + self.gc_edges.len()
     }
 
-    /// All recorded GC edges, in recording order.
-    pub fn gc_edges(&self) -> &[(GcId, GcId)] {
-        &self.gc_edges
+    /// Recorded GC edges from global index `start` on, in recording order
+    /// (base first, then local appends).
+    pub fn gc_edges_from(&self, start: usize) -> impl Iterator<Item = (GcId, GcId)> + '_ {
+        self.base_gc_edges().iter().chain(self.gc_edges.iter()).copied().skip(start)
     }
 
     /// Checks every `Ψ` bound against the resolved table (§3.3.3):
@@ -93,7 +118,7 @@ impl ConstraintSet {
     ///   proven in range.
     pub fn check_psi_bounds(&self, table: &TypeTable) -> Vec<PsiViolation> {
         let mut out = Vec::new();
-        for bound in &self.psi_bounds {
+        for bound in self.psi_bounds_from(0) {
             let node = table.psi_node(bound.psi);
             let violation = match node {
                 PsiNode::Top | PsiNode::Var => None,
@@ -127,7 +152,7 @@ impl ConstraintSet {
         let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut roots: VecDeque<u32> = VecDeque::new();
         let mut all_nodes: HashSet<u32> = HashSet::new();
-        for &(lo, hi) in &self.gc_edges {
+        for (lo, hi) in self.gc_edges_from(0) {
             let lo = table.resolve_gc(lo).as_raw();
             let hi = table.resolve_gc(hi).as_raw();
             all_nodes.insert(lo);
@@ -249,6 +274,37 @@ mod tests {
         tt.unify_gc(a, b); // b aliases a
         let sol = cs.solve_gc(&mut tt);
         assert!(sol.may_gc(&tt, b));
+    }
+
+    #[test]
+    fn overlay_indices_are_continuous_with_base() {
+        let mut tt = TypeTable::new();
+        let mut base = ConstraintSet::new();
+        let a = tt.gc_gc();
+        let b = tt.fresh_gc();
+        base.add_gc_edge(a, b);
+        base.add_psi_bound(FlatInt::Known(0), tt.psi_top(), Span::dummy(), "base");
+        let base = Arc::new(base);
+
+        let mut view = ConstraintSet::overlay(base.clone());
+        assert_eq!(view.gc_edge_count(), 1);
+        assert_eq!(view.psi_bound_count(), 1);
+        let c = tt.fresh_gc();
+        view.add_gc_edge(b, c);
+        let over = tt.psi_count(2);
+        view.add_psi_bound(FlatInt::Known(5), over, Span::dummy(), "local");
+        assert_eq!(view.gc_edge_count(), 2);
+        assert_eq!(view.gc_edges_from(1).collect::<Vec<_>>(), vec![(b, c)]);
+        assert_eq!(view.psi_bounds_from(1).count(), 1);
+
+        // solving sees base and local edges together
+        let sol = view.solve_gc(&mut tt);
+        assert!(sol.may_gc(&tt, c), "gc flows base → local edge");
+        // checks see base and local bounds; only the local one violates
+        assert_eq!(view.check_psi_bounds(&tt).len(), 1);
+        // the shared base is untouched
+        assert_eq!(base.gc_edge_count(), 1);
+        assert_eq!(base.psi_bound_count(), 1);
     }
 
     #[test]

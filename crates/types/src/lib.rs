@@ -70,7 +70,7 @@ pub mod lattice;
 pub mod term;
 pub mod unify;
 
-pub use arena::TypeTable;
+pub use arena::{FrozenTypeTable, TypeTable};
 pub use constraints::{ConstraintSet, GcSolution, PsiBound, PsiViolation};
 pub use lattice::{Boxedness, FlatInt, Shape};
 pub use term::{

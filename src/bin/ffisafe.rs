@@ -239,6 +239,14 @@ fn analyze_main(args: &[String]) -> ExitCode {
             let work = report.timings.get_work(phase);
             eprintln!("{phase:>12}: {:>7.3}s {:>7.3}s", t.as_secs_f64(), work.as_secs_f64());
         }
+        // Split the infer work total so the overlay-setup cost (the former
+        // snapshot-clone tax) is visible separately from actual solving.
+        eprintln!(
+            "{:>12}: {:>7.3}s setup, {:>7.3}s solve",
+            "infer split",
+            report.stats.infer_setup_seconds,
+            report.stats.infer_work_seconds - report.stats.infer_setup_seconds,
+        );
         eprintln!("{:>12}: {}", "jobs", report.stats.jobs);
         if report.stats.cache_report_hit {
             eprintln!("{:>12}: report tier hit (analysis skipped)", "cache");

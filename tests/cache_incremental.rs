@@ -144,6 +144,43 @@ fn editing_one_function_invalidates_exactly_that_entry() {
     }
 }
 
+/// The tier-1 base digest is a digest of the *frozen post-link base
+/// state*, not of the input file surface. Two properties ride on that:
+/// the digest is identical whatever `--jobs` width computed it (prime the
+/// cache wide, edit narrow — siblings must still replay), and identical
+/// across cold and warm runs (a revert at yet another width must hit the
+/// report tier, which requires bit-for-bit digest agreement).
+#[test]
+fn overlay_digest_is_jobs_invariant_and_matches_across_cold_and_warm() {
+    let before = corpus(B_C_CLEAN);
+    let after = corpus(B_C_BUGGY);
+    let dir = temp_dir("overlay-digest");
+
+    // Prime at jobs = 8.
+    let cold = analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(8), Some(&dir));
+    assert!(!cold.stats.cache_report_hit);
+    assert_eq!(cold.stats.cache_fn_misses, 3);
+
+    // Edit one function body and replay at jobs = 1: the narrow run's
+    // frozen-state digest must equal the wide run's, or the untouched
+    // siblings would miss.
+    let edited = analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!edited.stats.cache_report_hit);
+    assert_eq!(edited.stats.cache_fn_hits, 2, "ml_a and ml_c replay across widths");
+    assert_eq!(edited.stats.cache_fn_misses, 1, "a single-body edit invalidates one entry");
+    assert_eq!(edited.stats.workers_executed, 1);
+    let fresh = analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(1), None);
+    assert_eq!(edited.render_stable(), fresh.render_stable(), "mixed replay is byte-identical");
+
+    // Revert at a third width: everything replays from the entries the
+    // jobs=8 cold run wrote, so the report tier hits outright.
+    let reverted = analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(2), Some(&dir));
+    assert!(reverted.stats.cache_report_hit, "cold and warm digests must agree");
+    assert_eq!(reverted.stats.workers_executed, 0);
+    assert_eq!(reverted.render_stable(), cold.render_stable());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn options_change_invalidates_everything() {
     let dir = temp_dir("options");
