@@ -14,7 +14,8 @@ use crate::corpus::generate;
 use crate::runner::scaling_benchmark;
 use crate::spec::paper_benchmarks;
 use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, ServiceConfig};
-use ffisafe_shard::{sweep, SweepConfig};
+use ffisafe_shard::{planner, sweep, LibraryCost, Schedule, SweepConfig, SweepOutput};
+use std::collections::HashMap;
 use std::path::Path;
 
 /// One measured configuration.
@@ -73,6 +74,7 @@ fn measure(
 ) -> PipelineMeasurement {
     let service = AnalysisService::with_config(ServiceConfig {
         cache_dir: cache.map(|(dir, _)| dir.to_path_buf()),
+        cache_url: None,
         batch_jobs: 0,
     })
     .expect("bench cache dir under temp_dir must open");
@@ -196,6 +198,100 @@ fn measure_sweep(rows: &mut Vec<PipelineMeasurement>) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The longest per-shard chain of historical costs under `schedule` at
+/// `--shards 8` — the packing's makespan, i.e. the map-phase wall clock
+/// an 8-core host converges to without work stealing.
+fn packing_makespan(root: &Path, schedule: Schedule, costs: &HashMap<String, LibraryCost>) -> f64 {
+    let plan = planner::plan_with(root, 8, schedule, costs)
+        .expect("bench skew tree was just written and must plan");
+    plan.shards
+        .iter()
+        .map(|shard| {
+            shard
+                .members
+                .iter()
+                .map(|&m| plan.libraries[m].cost.map(|c| c.cost_seconds).unwrap_or(0.0))
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The skewed-corpus scheduling benchmark: 24 cheap libraries plus one
+/// heavy one named `zz-heavy` so name order sorts it *last* — static
+/// contiguous chunking queues the long pole behind cheap neighbors in the
+/// final shard, while LPT cost packing starts it first on a shard of its
+/// own. Both sweeps run uncached at `--shards 8 --jobs 8`; the first
+/// (static) run records per-library costs into the manifest that the
+/// second (cost-scheduled) run packs from.
+///
+/// Each row's `critical_path_seconds` carries the *packing's* makespan
+/// over the measured costs (see [`packing_makespan`]) rather than a live
+/// thread measurement: it is deterministic given the costs and exposes
+/// the scheduling win even on hosts with too few cores for the two runs'
+/// wall clocks to separate.
+fn measure_skew_sweep(rows: &mut Vec<PipelineMeasurement>) {
+    let root = std::env::temp_dir().join(format!("ffisafe-bench-skew-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let write_lib = |name: String, c_loc: usize| {
+        let bench = scaling_benchmark(c_loc);
+        let dir = root.join(name);
+        std::fs::create_dir_all(&dir).expect("bench temp tree");
+        std::fs::write(dir.join("lib.ml"), &bench.ml_source).expect("bench temp tree");
+        std::fs::write(dir.join("glue.c"), &bench.c_source).expect("bench temp tree");
+    };
+    for i in 0..24 {
+        write_lib(format!("lib-a{i:02}"), 500 + i);
+    }
+    // ~1300 C LoC costs ≈ 4x a ~510 LoC library (inference is superlinear
+    // in LoC): heavy enough that LPT isolates it, light enough that the
+    // static makespan (two cheap libraries queued behind it) is not
+    // dominated by the heavy library alone.
+    write_lib("zz-heavy".to_string(), 1300);
+
+    let manifest = root.join("manifest.json");
+    let config = |schedule| SweepConfig {
+        shards: 8,
+        jobs: 8,
+        schedule,
+        manifest_path: Some(manifest.clone()),
+        options: AnalysisOptions::default().with_jobs(1),
+        ..SweepConfig::default()
+    };
+    let static_run = sweep(&root, &config(Schedule::Name)).expect("bench skew sweep (static)");
+    let costs = planner::load_manifest_costs(&manifest);
+    assert_eq!(costs.len(), 25, "static run must record every library's cost");
+    let cost_run = sweep(&root, &config(Schedule::Cost)).expect("bench skew sweep (cost)");
+    assert_eq!(
+        static_run.report.to_json(),
+        cost_run.report.to_json(),
+        "schedule changed sweep results"
+    );
+
+    let skew_row = |name: &str, out: &SweepOutput, schedule: Schedule| {
+        let total = out.report.summary();
+        let s = &out.stats;
+        PipelineMeasurement {
+            name: name.to_string(),
+            c_loc: s.c_loc,
+            functions: s.functions,
+            passes: s.passes,
+            jobs: 8,
+            cache: "off",
+            seconds: s.wall_seconds,
+            infer_seconds: s.work_seconds,
+            work_seconds: s.work_seconds,
+            setup_seconds: 0.0,
+            critical_path_seconds: packing_makespan(&root, schedule, &costs),
+            cache_fn_hits: s.cache_fn_hits,
+            report_hit: false,
+            diagnostics: total.errors + total.warnings + total.imprecision,
+        }
+    };
+    rows.push(skew_row("sweep-skew-static", &static_run, Schedule::Name));
+    rows.push(skew_row("sweep-skew-cost", &cost_run, Schedule::Cost));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Runs every workload at each worker count in `jobs_list`, plus the
 /// cold/warm cache pair per workload and the sharded-sweep cold/warm
 /// pair.
@@ -208,6 +304,7 @@ pub fn run(jobs_list: &[usize]) -> PipelineBench {
     let scale = scaling_benchmark(12_000);
     measure_workload(&mut rows, "scale-12k", &scale.ml_source, &scale.c_source, jobs_list);
     measure_sweep(&mut rows);
+    measure_skew_sweep(&mut rows);
     PipelineBench { rows }
 }
 

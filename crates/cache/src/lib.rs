@@ -20,8 +20,15 @@
 //! next to the pipeline in `ffisafe-core`, keeping the dependency graph
 //! acyclic: `support ← cache ← core`.
 //!
-//! See [`store`] for the on-disk layout, validation and eviction rules and
-//! [`codec`] for the dependency-free binary encoding.
+//! Where the bytes live is pluggable: the [`backend`] module defines the
+//! [`CacheBackend`] trait with two implementations — the local sharded
+//! on-disk [`CacheStore`] and the [`remote`] TCP client/daemon pair
+//! (`ffisafe cache-serve`) that lets many processes or machines share one
+//! logical store.
+//!
+//! See [`store`] for the on-disk layout, validation and eviction rules,
+//! [`remote`] for the wire protocol, and [`codec`] for the
+//! dependency-free binary encoding.
 //!
 //! # Examples
 //!
@@ -30,7 +37,7 @@
 //! use ffisafe_support::Fingerprint;
 //!
 //! let dir = std::env::temp_dir().join(format!("ffisafe-cache-doc-{}", std::process::id()));
-//! let mut store = CacheStore::open(&dir, "ffisafe 0.2.0 schema 1").unwrap();
+//! let store = CacheStore::open(&dir, "ffisafe 0.2.0 schema 1").unwrap();
 //! let key = Fingerprint::of_bytes(b"value ml_f(value n) { ... }");
 //! assert_eq!(store.get(Tier::Function, key), None);
 //! store.put(Tier::Function, key, b"memoized outcome").unwrap();
@@ -41,8 +48,12 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod codec;
+pub mod remote;
 pub mod store;
 
+pub use backend::{open_backend, CacheBackend, CacheLocation};
 pub use codec::{DecodeError, Decoder, Encoder};
+pub use remote::{CacheServer, RemoteBackend, WIRE_PROTOCOL_VERSION};
 pub use store::{CacheStats, CacheStore, Tier};

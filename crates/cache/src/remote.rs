@@ -1,0 +1,447 @@
+//! The remote cache backend: `ffisafe cache-serve` and its client.
+//!
+//! A [`CacheServer`] wraps one local [`CacheStore`] and serves it to any
+//! number of clients over plain `std::net::TcpStream` — no TLS, no HTTP,
+//! no dependencies — so N sweep processes (or machines) share one logical
+//! store. A [`RemoteBackend`] is the client side, implementing
+//! [`CacheBackend`] by forwarding every operation to the daemon.
+//!
+//! ## Wire protocol (version [`WIRE_PROTOCOL_VERSION`])
+//!
+//! Every message is a *frame*: a little-endian `u32` byte length followed
+//! by that many body bytes, encoded with the same [`Encoder`]/[`Decoder`]
+//! codec the on-disk formats use. Frames over [`MAX_FRAME_BYTES`] are
+//! rejected — a corrupt length prefix must not allocate unbounded memory.
+//!
+//! A connection starts with one handshake round-trip, then carries any
+//! number of requests, one reply per request, strictly in order:
+//!
+//! ```text
+//! client → HELLO    u8 op, u32 protocol version, str analyzer version
+//! server → reply    u8 status (0 ok; else str error follows)
+//!
+//! client → GET      u8 op, u8 tier, u64 fp.0, u64 fp.1
+//! server → reply    u8 1 + len + payload bytes (hit) | u8 0 (miss)
+//!
+//! client → PUT      u8 op, u8 tier, u64 fp.0, u64 fp.1, len + payload
+//! server → reply    u8 status
+//!
+//! client → FLUSH | STATS | ADOPT      u8 op
+//! server → reply    u8 status [, STATS: 8 × u64 counter/occupancy]
+//! ```
+//!
+//! The handshake pins both the protocol version and the analyzer version:
+//! a server for a different analyzer refuses the session, mirroring the
+//! wipe-on-version-mismatch rule of the local store — except a shared
+//! daemon must *refuse* rather than wipe, because other clients of the
+//! matching version may still be using the entries.
+//!
+//! The client degrades instead of failing: a dead connection is redialed
+//! once per operation, and an operation that still cannot complete reads
+//! as a miss (`get`) or surfaces an `io::Error` the pipeline ignores
+//! (`put`). Requests are sharded across [`CLIENT_CONNS`] connections by
+//! fingerprint prefix, so parallel workers do not serialize on one
+//! socket any more than they do on one index lock.
+
+use crate::backend::CacheBackend;
+use crate::codec::{Decoder, Encoder};
+use crate::store::{CacheStats, CacheStore, Tier};
+use ffisafe_support::Fingerprint;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+
+/// Bump when the frame layout or operation set changes. A mismatch ends
+/// the session at the handshake.
+pub const WIRE_PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame body; larger length prefixes are corruption.
+const MAX_FRAME_BYTES: usize = 512 * 1024 * 1024;
+
+/// Connections a client holds, addressed by fingerprint prefix.
+const CLIENT_CONNS: usize = 4;
+
+const OP_HELLO: u8 = 0;
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_FLUSH: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_ADOPT: u8 = 5;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_le_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(bad_data(format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES} cap")));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Splits a frame whose tail is a length-prefixed payload: decodes the
+/// length with `d`, checks it spans exactly the rest of `body`, and
+/// returns the payload bytes.
+fn tail_payload(d: &mut Decoder<'_>, body: &[u8]) -> io::Result<Vec<u8>> {
+    let len = d.get_len().map_err(|e| bad_data(e.to_string()))?;
+    if d.remaining() != len {
+        return Err(bad_data("payload length does not match the frame"));
+    }
+    Ok(body[body.len() - len..].to_vec())
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A daemon serving one [`CacheStore`] to many TCP clients.
+///
+/// Each accepted connection gets its own thread; the store itself is
+/// internally sharded, so concurrent clients contend only on the index
+/// shards their keys map to, exactly as in-process workers do.
+pub struct CacheServer {
+    listener: TcpListener,
+    store: Arc<CacheStore>,
+}
+
+impl CacheServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7441`, or port 0 for an ephemeral
+    /// port) and prepares to serve `store`.
+    pub fn bind(addr: impl ToSocketAddrs, store: CacheStore) -> io::Result<CacheServer> {
+        Ok(CacheServer { listener: TcpListener::bind(addr)?, store: Arc::new(store) })
+    }
+
+    /// The bound address — useful when binding port 0.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts clients forever, one thread per connection. Per-connection
+    /// errors end that session only; the daemon keeps serving. Returns
+    /// only if the listener itself fails.
+    pub fn serve(&self) -> io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let store = Arc::clone(&self.store);
+            std::thread::spawn(move || {
+                let _ = serve_client(stream, &store);
+            });
+        }
+    }
+
+    /// Runs [`CacheServer::serve`] on a background thread and returns the
+    /// bound address. The thread runs for the rest of the process; tests
+    /// and in-process callers use this, the CLI calls `serve` directly.
+    pub fn spawn(self) -> io::Result<std::net::SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = self.serve();
+        });
+        Ok(addr)
+    }
+}
+
+/// One client session: handshake, then request/reply until disconnect.
+fn serve_client(mut stream: TcpStream, store: &CacheStore) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    handshake_server(&mut stream, store)?;
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(body) => body,
+            // Disconnect is the normal end of a session.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let reply = handle_request(&body, store).unwrap_or_else(|e| {
+            let mut r = Encoder::new();
+            r.put_u8(STATUS_ERR);
+            r.put_str(&e.to_string());
+            r.into_bytes()
+        });
+        write_frame(&mut stream, &reply)?;
+    }
+}
+
+fn handshake_server(stream: &mut TcpStream, store: &CacheStore) -> io::Result<()> {
+    let body = read_frame(stream)?;
+    let refusal = check_hello(&body, store.analyzer_version());
+    let mut r = Encoder::new();
+    match &refusal {
+        None => r.put_u8(STATUS_OK),
+        Some(msg) => {
+            r.put_u8(STATUS_ERR);
+            r.put_str(msg);
+        }
+    }
+    write_frame(stream, &r.into_bytes())?;
+    match refusal {
+        None => Ok(()),
+        Some(msg) => Err(bad_data(msg)),
+    }
+}
+
+/// Why a HELLO must be refused, or `None` to accept the session.
+fn check_hello(body: &[u8], server_version: &str) -> Option<String> {
+    let mut d = Decoder::new(body);
+    match d.get_u8() {
+        Ok(OP_HELLO) => {}
+        Ok(_) => return Some("expected HELLO".to_string()),
+        Err(e) => return Some(format!("malformed HELLO: {e}")),
+    }
+    let proto = match d.get_u32() {
+        Ok(v) => v,
+        Err(e) => return Some(format!("malformed HELLO: {e}")),
+    };
+    if proto != WIRE_PROTOCOL_VERSION {
+        return Some(format!(
+            "protocol version mismatch: client {proto}, server {WIRE_PROTOCOL_VERSION}"
+        ));
+    }
+    let version = match d.get_str() {
+        Ok(v) => v,
+        Err(e) => return Some(format!("malformed HELLO: {e}")),
+    };
+    if version != server_version {
+        return Some(format!(
+            "analyzer version mismatch: client {version:?}, server {server_version:?}"
+        ));
+    }
+    None
+}
+
+fn handle_request(body: &[u8], store: &CacheStore) -> io::Result<Vec<u8>> {
+    let mut d = Decoder::new(body);
+    let op = d.get_u8().map_err(|e| bad_data(e.to_string()))?;
+    let mut r = Encoder::new();
+    match op {
+        OP_GET => {
+            let (tier, fp) = decode_key(&mut d)?;
+            match store.get(tier, fp) {
+                Some(payload) => {
+                    r.put_u8(1);
+                    r.put_len(payload.len());
+                    let mut bytes = r.into_bytes();
+                    bytes.extend_from_slice(&payload);
+                    return Ok(bytes);
+                }
+                None => r.put_u8(0),
+            }
+        }
+        OP_PUT => {
+            let (tier, fp) = decode_key(&mut d)?;
+            let payload = tail_payload(&mut d, body)?;
+            store.put(tier, fp, &payload)?;
+            r.put_u8(STATUS_OK);
+        }
+        OP_FLUSH => {
+            store.flush()?;
+            r.put_u8(STATUS_OK);
+        }
+        OP_STATS => {
+            let s = store.stats();
+            r.put_u8(STATUS_OK);
+            r.put_u64(s.fn_hits as u64);
+            r.put_u64(s.fn_misses as u64);
+            r.put_u64(s.report_hits as u64);
+            r.put_u64(s.report_misses as u64);
+            r.put_u64(s.evictions as u64);
+            r.put_u64(s.corrupt as u64);
+            r.put_u64(s.entries as u64);
+            r.put_u64(s.live_bytes);
+        }
+        OP_ADOPT => {
+            store.adopt_orphans();
+            r.put_u8(STATUS_OK);
+        }
+        other => return Err(bad_data(format!("unknown op {other}"))),
+    }
+    Ok(r.into_bytes())
+}
+
+fn decode_key(d: &mut Decoder<'_>) -> io::Result<(Tier, Fingerprint)> {
+    let raw = d.get_u8().map_err(|e| bad_data(e.to_string()))?;
+    let tier = match raw {
+        0 => Tier::Function,
+        1 => Tier::Report,
+        other => return Err(bad_data(format!("unknown tier {other}"))),
+    };
+    let fp = Fingerprint(
+        d.get_u64().map_err(|e| bad_data(e.to_string()))?,
+        d.get_u64().map_err(|e| bad_data(e.to_string()))?,
+    );
+    Ok((tier, fp))
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A [`CacheBackend`] forwarding every operation to a `cache-serve`
+/// daemon over TCP.
+pub struct RemoteBackend {
+    addr: String,
+    analyzer_version: String,
+    conns: Vec<Mutex<Option<TcpStream>>>,
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend").field("addr", &self.addr).finish()
+    }
+}
+
+impl RemoteBackend {
+    /// Connects to `url` (`tcp://host:port`) and performs the version
+    /// handshake. Fails eagerly if the daemon is unreachable or serves a
+    /// different analyzer/protocol version — a silently absent cache
+    /// would turn every sweep into a cold one.
+    pub fn connect(url: &str, analyzer_version: &str) -> io::Result<RemoteBackend> {
+        let addr = url
+            .strip_prefix("tcp://")
+            .ok_or_else(|| bad_data(format!("cache URL {url:?} must start with tcp://")))?
+            .to_string();
+        let backend = RemoteBackend {
+            addr,
+            analyzer_version: analyzer_version.to_string(),
+            conns: (0..CLIENT_CONNS).map(|_| Mutex::new(None)).collect(),
+        };
+        // Probe connection: surfaces bad address / refused handshake now.
+        let probe = backend.dial()?;
+        *backend.conns[0].lock().unwrap_or_else(|p| p.into_inner()) = Some(probe);
+        Ok(backend)
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        let mut hello = Encoder::new();
+        hello.put_u8(OP_HELLO);
+        hello.put_u32(WIRE_PROTOCOL_VERSION);
+        hello.put_str(&self.analyzer_version);
+        write_frame(&mut stream, &hello.into_bytes())?;
+        let reply = read_frame(&mut stream)?;
+        let mut d = Decoder::new(&reply);
+        match d.get_u8().map_err(|e| bad_data(e.to_string()))? {
+            STATUS_OK => Ok(stream),
+            _ => {
+                let msg = d.get_str().unwrap_or_else(|_| "handshake refused".to_string());
+                Err(bad_data(format!("cache server {}: {msg}", self.addr)))
+            }
+        }
+    }
+
+    /// Runs one request/reply round-trip on the connection slot for `fp`,
+    /// dialing (or redialing a dead connection) as needed. One retry on a
+    /// fresh connection covers a daemon restart; a second failure is
+    /// returned to the caller.
+    fn round_trip(&self, fp: Fingerprint, request: &[u8]) -> io::Result<Vec<u8>> {
+        let slot = (fp.0 >> 60) as usize % self.conns.len();
+        let mut conn = self.conns[slot].lock().unwrap_or_else(|p| p.into_inner());
+        for fresh in [false, true] {
+            if conn.is_none() {
+                match self.dial() {
+                    Ok(stream) => *conn = Some(stream),
+                    Err(e) if fresh => return Err(e),
+                    Err(_) => continue,
+                }
+            }
+            let stream = conn.as_mut().expect("dialed above");
+            match write_frame(stream, request).and_then(|()| read_frame(stream)) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // Drop the broken connection; retry once on a new one.
+                    *conn = None;
+                    if fresh {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("second pass either returns a reply or an error")
+    }
+
+    fn expect_ok(&self, fp: Fingerprint, request: &[u8]) -> io::Result<Vec<u8>> {
+        let reply = self.round_trip(fp, request)?;
+        let mut d = Decoder::new(&reply);
+        match d.get_u8().map_err(|e| bad_data(e.to_string()))? {
+            STATUS_OK => Ok(reply),
+            _ => {
+                let msg = d.get_str().unwrap_or_else(|_| "request failed".to_string());
+                Err(bad_data(format!("cache server {}: {msg}", self.addr)))
+            }
+        }
+    }
+}
+
+impl CacheBackend for RemoteBackend {
+    fn get(&self, tier: Tier, fp: Fingerprint) -> Option<Vec<u8>> {
+        let mut r = Encoder::new();
+        r.put_u8(OP_GET);
+        r.put_u8(tier.as_u8());
+        r.put_u64(fp.0);
+        r.put_u64(fp.1);
+        let reply = self.round_trip(fp, &r.into_bytes()).ok()?;
+        let mut d = Decoder::new(&reply);
+        match d.get_u8().ok()? {
+            1 => tail_payload(&mut d, &reply).ok(),
+            _ => None,
+        }
+    }
+
+    fn put(&self, tier: Tier, fp: Fingerprint, payload: &[u8]) -> io::Result<()> {
+        let mut r = Encoder::new();
+        r.put_u8(OP_PUT);
+        r.put_u8(tier.as_u8());
+        r.put_u64(fp.0);
+        r.put_u64(fp.1);
+        r.put_len(payload.len());
+        let mut request = r.into_bytes();
+        request.extend_from_slice(payload);
+        self.expect_ok(fp, &request).map(|_| ())
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.expect_ok(Fingerprint(0, 0), &[OP_FLUSH]).map(|_| ())
+    }
+
+    fn stats(&self) -> CacheStats {
+        let Ok(reply) = self.expect_ok(Fingerprint(0, 0), &[OP_STATS]) else {
+            return CacheStats::default();
+        };
+        let mut d = Decoder::new(&reply);
+        let _ = d.get_u8();
+        let mut next = || d.get_u64().unwrap_or(0);
+        CacheStats {
+            fn_hits: next() as usize,
+            fn_misses: next() as usize,
+            report_hits: next() as usize,
+            report_misses: next() as usize,
+            evictions: next() as usize,
+            corrupt: next() as usize,
+            entries: next() as usize,
+            live_bytes: next(),
+        }
+    }
+
+    fn adopt_orphans(&self) {
+        let _ = self.expect_ok(Fingerprint(0, 0), &[OP_ADOPT]);
+    }
+
+    fn location(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+}

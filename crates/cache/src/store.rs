@@ -37,6 +37,8 @@ use ffisafe_support::{Fingerprint, FingerprintHasher};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Magic prefix of entry files.
 const ENTRY_MAGIC: [u8; 4] = *b"FFSE";
@@ -46,6 +48,10 @@ const INDEX_MAGIC: [u8; 4] = *b"FFSX";
 const FORMAT_VERSION: u32 = 1;
 /// Default size cap: plenty for per-function outcomes of large corpora.
 const DEFAULT_CAP_BYTES: u64 = 256 * 1024 * 1024;
+/// Number of independent index shards. Must be a power of two. Lookups
+/// lock only the shard addressed by the fingerprint's top bits, so
+/// parallel workers hitting different keys never serialize.
+const INDEX_SHARDS: usize = 16;
 
 /// Which cache tier an entry belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -64,7 +70,7 @@ impl Tier {
         }
     }
 
-    fn as_u8(self) -> u8 {
+    pub(crate) fn as_u8(self) -> u8 {
         match self {
             Tier::Function => 0,
             Tier::Report => 1,
@@ -109,15 +115,48 @@ struct EntryMeta {
     last_used: u64,
 }
 
+/// Run-lifetime hit/miss counters, updated lock-free so concurrent
+/// lookups on different index shards never contend on accounting.
+#[derive(Debug, Default)]
+struct Counters {
+    fn_hits: AtomicUsize,
+    fn_misses: AtomicUsize,
+    report_hits: AtomicUsize,
+    report_misses: AtomicUsize,
+    evictions: AtomicUsize,
+    corrupt: AtomicUsize,
+}
+
 /// A two-tier content-addressed cache rooted at one directory.
+///
+/// The in-memory index is sharded by fingerprint prefix: every lookup or
+/// insert locks exactly one of [`INDEX_SHARDS`] independent maps, so a
+/// single `CacheStore` can be shared (`Arc<CacheStore>`) across many
+/// worker threads without funneling tier-1 traffic through one mutex.
+/// Only [`CacheStore::flush`] and [`CacheStore::wipe`] take all shard
+/// locks at once (in index order, so they cannot deadlock against the
+/// single-shard operations).
 #[derive(Debug)]
 pub struct CacheStore {
     dir: PathBuf,
     analyzer_version: String,
-    cap_bytes: u64,
-    clock: u64,
-    entries: HashMap<(u8, Fingerprint), EntryMeta>,
-    stats: CacheStats,
+    cap_bytes: AtomicU64,
+    clock: AtomicU64,
+    shards: Vec<Mutex<HashMap<(u8, Fingerprint), EntryMeta>>>,
+    counters: Counters,
+}
+
+/// Index shard addressed by a fingerprint's top bits (its key prefix).
+fn shard_of(fp: Fingerprint) -> usize {
+    (fp.0 >> 60) as usize & (INDEX_SHARDS - 1)
+}
+
+/// Locks a shard, recovering from poison: the maps hold only metadata
+/// whose loss degrades to a cache miss, never to wrong results.
+fn lock_shard(
+    shard: &Mutex<HashMap<(u8, Fingerprint), EntryMeta>>,
+) -> MutexGuard<'_, HashMap<(u8, Fingerprint), EntryMeta>> {
+    shard.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl CacheStore {
@@ -128,13 +167,13 @@ impl CacheStore {
     /// existing entry is deleted and the store starts empty.
     pub fn open(dir: &Path, analyzer_version: &str) -> io::Result<CacheStore> {
         std::fs::create_dir_all(dir)?;
-        let mut store = CacheStore {
+        let store = CacheStore {
             dir: dir.to_path_buf(),
             analyzer_version: analyzer_version.to_string(),
-            cap_bytes: DEFAULT_CAP_BYTES,
-            clock: 0,
-            entries: HashMap::new(),
-            stats: CacheStats::default(),
+            cap_bytes: AtomicU64::new(DEFAULT_CAP_BYTES),
+            clock: AtomicU64::new(0),
+            shards: (0..INDEX_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            counters: Counters::default(),
         };
         if !store.load_index() {
             store.wipe();
@@ -152,67 +191,98 @@ impl CacheStore {
         Ok(store)
     }
 
+    /// The directory this store is rooted at.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The analyzer version this store was opened with.
+    pub fn analyzer_version(&self) -> &str {
+        &self.analyzer_version
+    }
+
     /// Overrides the size cap enforced by [`CacheStore::flush`].
-    pub fn set_cap_bytes(&mut self, cap: u64) {
-        self.cap_bytes = cap;
+    pub fn set_cap_bytes(&self, cap: u64) {
+        self.cap_bytes.store(cap, Ordering::Relaxed);
     }
 
     /// Counters accumulated since the store was opened, with the current
     /// occupancy (entry count, live bytes) filled in at call time.
     pub fn stats(&self) -> CacheStats {
-        CacheStats { entries: self.entry_count(), live_bytes: self.total_bytes(), ..self.stats }
+        let (mut entries, mut live_bytes) = (0usize, 0u64);
+        for shard in &self.shards {
+            let map = lock_shard(shard);
+            entries += map.len();
+            live_bytes += map.values().map(|m| m.size).sum::<u64>();
+        }
+        CacheStats {
+            fn_hits: self.counters.fn_hits.load(Ordering::Relaxed),
+            fn_misses: self.counters.fn_misses.load(Ordering::Relaxed),
+            report_hits: self.counters.report_hits.load(Ordering::Relaxed),
+            report_misses: self.counters.report_misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+            entries,
+            live_bytes,
+        }
     }
 
     /// Number of entries currently indexed.
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// Total indexed payload-file bytes.
     pub fn total_bytes(&self) -> u64 {
-        self.entries.values().map(|m| m.size).sum()
+        self.shards.iter().map(|s| lock_shard(s).values().map(|m| m.size).sum::<u64>()).sum()
     }
 
     /// Whether an entry is indexed (no validation, no LRU touch).
     pub fn contains(&self, tier: Tier, fp: Fingerprint) -> bool {
-        self.entries.contains_key(&(tier.as_u8(), fp))
+        lock_shard(&self.shards[shard_of(fp)]).contains_key(&(tier.as_u8(), fp))
     }
 
     fn entry_path(&self, tier: Tier, fp: Fingerprint) -> PathBuf {
         self.dir.join(format!("{}-{}.bin", tier.prefix(), fp.to_hex()))
     }
 
-    fn count_get(&mut self, tier: Tier, hit: bool) {
-        match (tier, hit) {
-            (Tier::Function, true) => self.stats.fn_hits += 1,
-            (Tier::Function, false) => self.stats.fn_misses += 1,
-            (Tier::Report, true) => self.stats.report_hits += 1,
-            (Tier::Report, false) => self.stats.report_misses += 1,
-        }
+    fn count_get(&self, tier: Tier, hit: bool) {
+        let counter = match (tier, hit) {
+            (Tier::Function, true) => &self.counters.fn_hits,
+            (Tier::Function, false) => &self.counters.fn_misses,
+            (Tier::Report, true) => &self.counters.report_hits,
+            (Tier::Report, false) => &self.counters.report_misses,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Looks up an entry. A hit returns the validated payload and touches
     /// the LRU clock; any validation failure deletes the entry and reports
-    /// a miss.
-    pub fn get(&mut self, tier: Tier, fp: Fingerprint) -> Option<Vec<u8>> {
+    /// a miss. Locks only the entry's own index shard.
+    pub fn get(&self, tier: Tier, fp: Fingerprint) -> Option<Vec<u8>> {
         let key = (tier.as_u8(), fp);
-        if !self.entries.contains_key(&key) {
+        let shard = &self.shards[shard_of(fp)];
+        if !lock_shard(shard).contains_key(&key) {
             self.count_get(tier, false);
             return None;
         }
+        // The file read happens outside the shard lock: entries are
+        // content-addressed, so the worst a concurrent remove can do is
+        // turn this into a miss.
         let path = self.entry_path(tier, fp);
         match std::fs::read(&path).ok().and_then(|bytes| validate_entry(&bytes)) {
             Some(payload) => {
-                self.clock += 1;
-                let clock = self.clock;
-                self.entries.get_mut(&key).expect("checked above").last_used = clock;
+                let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(meta) = lock_shard(shard).get_mut(&key) {
+                    meta.last_used = clock;
+                }
                 self.count_get(tier, true);
                 Some(payload)
             }
             None => {
-                self.entries.remove(&key);
+                lock_shard(shard).remove(&key);
                 let _ = std::fs::remove_file(&path);
-                self.stats.corrupt += 1;
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
                 self.count_get(tier, false);
                 None
             }
@@ -221,7 +291,7 @@ impl CacheStore {
 
     /// Inserts (or replaces) an entry. The write is atomic: a temp file is
     /// renamed into place, so readers never observe a half-written entry.
-    pub fn put(&mut self, tier: Tier, fp: Fingerprint, payload: &[u8]) -> io::Result<()> {
+    pub fn put(&self, tier: Tier, fp: Fingerprint, payload: &[u8]) -> io::Result<()> {
         let mut bytes = Vec::with_capacity(payload.len() + 32);
         bytes.extend_from_slice(&ENTRY_MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -233,33 +303,45 @@ impl CacheStore {
 
         let path = self.entry_path(tier, fp);
         write_atomic(&path, &bytes)?;
-        self.clock += 1;
-        self.entries.insert(
-            (tier.as_u8(), fp),
-            EntryMeta { size: bytes.len() as u64, last_used: self.clock },
-        );
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        lock_shard(&self.shards[shard_of(fp)])
+            .insert((tier.as_u8(), fp), EntryMeta { size: bytes.len() as u64, last_used: clock });
         Ok(())
     }
 
     /// Enforces the size cap (evicting LRU entries) and persists the index.
-    pub fn flush(&mut self) -> io::Result<()> {
-        while self.total_bytes() > self.cap_bytes && !self.entries.is_empty() {
-            let (&key, _) = self
-                .entries
+    ///
+    /// Takes every shard lock (in order) for the duration, so the evicted
+    /// set and the persisted index are a consistent snapshot.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut maps: Vec<_> = self.shards.iter().map(lock_shard).collect();
+        let cap = self.cap_bytes.load(Ordering::Relaxed);
+        loop {
+            let total: u64 = maps.iter().flat_map(|m| m.values()).map(|m| m.size).sum();
+            if total <= cap {
+                break;
+            }
+            let Some((shard_idx, &key)) = maps
                 .iter()
-                .min_by_key(|(_, m)| m.last_used)
-                .expect("non-empty checked above");
+                .enumerate()
+                .flat_map(|(i, m)| m.iter().map(move |(k, meta)| (i, k, meta.last_used)))
+                .min_by_key(|&(_, _, last_used)| last_used)
+                .map(|(i, k, _)| (i, k))
+            else {
+                break;
+            };
             let (tier_u8, fp) = key;
             let tier = Tier::from_u8(tier_u8).expect("only valid tiers are inserted");
             let _ = std::fs::remove_file(self.entry_path(tier, fp));
-            self.entries.remove(&key);
-            self.stats.evictions += 1;
+            maps[shard_idx].remove(&key);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        self.write_index()
+        self.write_index_locked(&maps)
     }
 
     /// Deletes every entry file and resets the index.
-    pub fn wipe(&mut self) {
+    pub fn wipe(&self) {
+        let mut maps: Vec<_> = self.shards.iter().map(lock_shard).collect();
         if let Ok(read) = std::fs::read_dir(&self.dir) {
             for dirent in read.flatten() {
                 let name = dirent.file_name();
@@ -272,14 +354,16 @@ impl CacheStore {
                 }
             }
         }
-        self.entries.clear();
-        self.clock = 0;
+        for map in &mut maps {
+            map.clear();
+        }
+        self.clock.store(0, Ordering::Relaxed);
     }
 
     /// Loads `index.bin`. Returns `false` when the store must be wiped
     /// (missing/corrupt index, format or analyzer-version mismatch). An
     /// empty directory with no index loads as an empty store.
-    fn load_index(&mut self) -> bool {
+    fn load_index(&self) -> bool {
         let path = self.dir.join("index.bin");
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -292,8 +376,10 @@ impl CacheStore {
         if version != self.analyzer_version {
             return false;
         }
-        self.clock = clock;
-        self.entries = entries;
+        self.clock.store(clock, Ordering::Relaxed);
+        for (key, meta) in entries {
+            lock_shard(&self.shards[shard_of(key.1)]).insert(key, meta);
+        }
         true
     }
 
@@ -312,7 +398,11 @@ impl CacheStore {
     /// matter how concurrent index writes interleaved. Adopted entries
     /// join at the cold end of the LRU (`last_used = 0`), so under cap
     /// pressure they are the first to go.
-    fn adopt_orphans(&mut self) {
+    ///
+    /// Runs automatically at [`CacheStore::open`]; long-lived stores (a
+    /// sweep parent, a `cache-serve` daemon) may call it again to pick up
+    /// entries written by sibling processes since.
+    pub fn adopt_orphans(&self) {
         let Ok(read) = std::fs::read_dir(&self.dir) else { return };
         for dirent in read.flatten() {
             let name = dirent.file_name();
@@ -331,18 +421,19 @@ impl CacheStore {
                 let _ = std::fs::remove_file(dirent.path());
                 continue;
             };
-            if self.entries.contains_key(&(tier.as_u8(), fp)) {
+            if self.contains(tier, fp) {
                 continue;
             }
             let bytes = std::fs::read(dirent.path()).unwrap_or_default();
             match validate_entry(&bytes) {
                 Some(_) => {
                     let size = bytes.len() as u64;
-                    self.entries.insert((tier.as_u8(), fp), EntryMeta { size, last_used: 0 });
+                    lock_shard(&self.shards[shard_of(fp)])
+                        .insert((tier.as_u8(), fp), EntryMeta { size, last_used: 0 });
                 }
                 None => {
                     let _ = std::fs::remove_file(dirent.path());
-                    self.stats.corrupt += 1;
+                    self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -361,16 +452,25 @@ impl CacheStore {
     }
 
     fn write_index(&self) -> io::Result<()> {
+        let maps: Vec<_> = self.shards.iter().map(lock_shard).collect();
+        self.write_index_locked(&maps)
+    }
+
+    fn write_index_locked(
+        &self,
+        maps: &[MutexGuard<'_, HashMap<(u8, Fingerprint), EntryMeta>>],
+    ) -> io::Result<()> {
         let mut e = Encoder::new();
         e.put_u32(u32::from_le_bytes(INDEX_MAGIC));
         e.put_u32(FORMAT_VERSION);
         e.put_str(&self.analyzer_version);
-        e.put_u64(self.clock);
-        e.put_len(self.entries.len());
+        e.put_u64(self.clock.load(Ordering::Relaxed));
         // Stable order keeps repeated flushes byte-identical.
-        let mut rows: Vec<(&(u8, Fingerprint), &EntryMeta)> = self.entries.iter().collect();
-        rows.sort_by_key(|(k, _)| **k);
-        for (&(tier, fp), meta) in rows {
+        let mut rows: Vec<((u8, Fingerprint), EntryMeta)> =
+            maps.iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v))).collect();
+        rows.sort_by_key(|(k, _)| *k);
+        e.put_len(rows.len());
+        for ((tier, fp), meta) in rows {
             e.put_u8(tier);
             e.put_u64(fp.0);
             e.put_u64(fp.1);
@@ -474,7 +574,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip_and_persistence() {
         let dir = temp_store_dir("roundtrip");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(store.get(Tier::Function, fp(1)), None);
         store.put(Tier::Function, fp(1), b"outcome-bytes").unwrap();
         store.put(Tier::Report, fp(1), b"report-bytes").unwrap();
@@ -486,7 +586,7 @@ mod tests {
         assert_eq!(store.stats().fn_misses, 1);
 
         // reopen: index persisted both entries
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(store.entry_count(), 2);
         assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"outcome-bytes");
         let _ = std::fs::remove_dir_all(&dir);
@@ -495,12 +595,12 @@ mod tests {
     #[test]
     fn analyzer_version_change_wipes_everything() {
         let dir = temp_store_dir("version");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(1), b"old").unwrap();
         store.flush().unwrap();
         drop(store);
 
-        let mut store = CacheStore::open(&dir, "v2").unwrap();
+        let store = CacheStore::open(&dir, "v2").unwrap();
         assert_eq!(store.entry_count(), 0);
         assert_eq!(store.get(Tier::Function, fp(1)), None);
         // the stale entry file itself is gone, not merely unindexed
@@ -511,7 +611,7 @@ mod tests {
     #[test]
     fn corrupt_and_truncated_entries_are_misses() {
         let dir = temp_store_dir("corrupt");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(1), b"payload-one").unwrap();
         store.put(Tier::Function, fp(2), b"payload-two").unwrap();
         store.flush().unwrap();
@@ -526,7 +626,7 @@ mod tests {
         let bytes = std::fs::read(&p2).unwrap();
         std::fs::write(&p2, &bytes[..bytes.len() / 2]).unwrap();
 
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(store.get(Tier::Function, fp(1)), None);
         assert_eq!(store.get(Tier::Function, fp(2)), None);
         assert_eq!(store.stats().corrupt, 2);
@@ -540,7 +640,7 @@ mod tests {
     #[test]
     fn valid_orphans_next_to_a_valid_index_are_adopted_at_open() {
         let dir = temp_store_dir("orphan-next-to-index");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(1), b"indexed").unwrap();
         store.flush().unwrap();
         // A sibling process's index flush raced ours (or a run died between
@@ -548,7 +648,7 @@ mod tests {
         store.put(Tier::Function, fp(2), b"orphan").unwrap();
         drop(store);
 
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(store.entry_count(), 2, "valid orphans are adopted, not lost");
         assert_eq!(store.get(Tier::Function, fp(1)).unwrap(), b"indexed");
         assert_eq!(store.get(Tier::Function, fp(2)).unwrap(), b"orphan");
@@ -560,7 +660,7 @@ mod tests {
     #[test]
     fn invalid_orphans_are_deleted_at_open_and_adoptees_are_coldest() {
         let dir = temp_store_dir("orphan-invalid");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(1), b"indexed").unwrap();
         store.flush().unwrap();
         store.put(Tier::Function, fp(2), b"orphan-valid").unwrap();
@@ -569,7 +669,7 @@ mod tests {
         let bad = dir.join(format!("fn-{}.bin", fp(3).to_hex()));
         std::fs::write(&bad, b"FFSE-too-short").unwrap();
 
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(store.entry_count(), 2);
         assert!(!bad.exists(), "invalid orphan deleted");
         assert_eq!(store.stats().corrupt, 1);
@@ -589,12 +689,12 @@ mod tests {
         let store = CacheStore::open(&dir, "v1").unwrap();
         assert!(dir.join("index.bin").exists(), "fresh open writes the (empty) index");
         // process A writes an entry but has not flushed yet…
-        let mut a = store;
+        let a = store;
         a.put(Tier::Function, fp(7), b"in-flight").unwrap();
         // …when process B opens the same directory: the persisted index
         // keeps B from reading "entries without an index" as an
         // interrupted store, and A's entry is adopted, not destroyed.
-        let mut b = CacheStore::open(&dir, "v1").unwrap();
+        let b = CacheStore::open(&dir, "v1").unwrap();
         assert_eq!(b.get(Tier::Function, fp(7)).unwrap(), b"in-flight");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -605,7 +705,7 @@ mod tests {
         // from an unknown producer (open() persists an index up front),
         // so nothing in it can be trusted: wipe.
         let dir = temp_store_dir("orphans");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         store.put(Tier::Function, fp(7), b"orphan").unwrap();
         drop(store);
         std::fs::remove_file(dir.join("index.bin")).unwrap();
@@ -635,7 +735,7 @@ mod tests {
     #[test]
     fn lru_eviction_respects_recency() {
         let dir = temp_store_dir("lru");
-        let mut store = CacheStore::open(&dir, "v1").unwrap();
+        let store = CacheStore::open(&dir, "v1").unwrap();
         let payload = vec![0u8; 100];
         for i in 0..10u64 {
             store.put(Tier::Function, fp(i), &payload).unwrap();

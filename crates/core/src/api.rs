@@ -40,7 +40,7 @@ use crate::driver::{AnalysisReport, AnalysisStats};
 use crate::engine::AnalysisOptions;
 use crate::pipeline::cache::{self, CachedReport, PipelineCache};
 use crate::pipeline::{discharge, frontend_c, frontend_ml, infer};
-use ffisafe_cache::{CacheStore, Tier};
+use ffisafe_cache::{open_backend, CacheBackend, CacheLocation, Tier};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
 use ffisafe_support::{Fingerprint, Interner, Phase, Session};
@@ -72,9 +72,10 @@ pub enum ApiError {
         /// The offending file name.
         name: String,
     },
-    /// Opening the on-disk cache store failed.
+    /// Opening the cache backend failed (local directory unusable, or the
+    /// remote daemon unreachable / serving a different analyzer version).
     Cache {
-        /// The configured cache directory.
+        /// The configured cache location (directory path or `tcp://` URL).
         dir: String,
         /// The underlying I/O error, rendered.
         message: String,
@@ -395,13 +396,33 @@ impl AnalysisRequest {
 #[derive(Clone, Debug, Default)]
 pub struct ServiceConfig {
     /// Root of the shared two-tier incremental-reanalysis store; `None`
-    /// disables caching for every request.
+    /// disables caching for every request (unless `cache_url` is set).
     pub cache_dir: Option<PathBuf>,
+    /// URL of a remote `ffisafe cache-serve` daemon (`tcp://host:port`).
+    /// Mutually exclusive with `cache_dir`: configuring both is an error,
+    /// not a silent preference.
+    pub cache_url: Option<String>,
     /// Concurrent requests [`AnalysisService::analyze_batch`] runs; `0`
     /// means "auto" (the machine's available parallelism). Each request
     /// additionally sizes its own inference pool from its
     /// [`AnalysisOptions::jobs`].
     pub batch_jobs: usize,
+}
+
+impl ServiceConfig {
+    /// The cache location the `cache_dir`/`cache_url` pair names, or
+    /// `None` when caching is disabled. `Err` when both are set.
+    pub fn cache_location(&self) -> Result<Option<CacheLocation>, ApiError> {
+        match (&self.cache_dir, &self.cache_url) {
+            (Some(dir), Some(url)) => Err(ApiError::Cache {
+                dir: format!("{} + {url}", dir.display()),
+                message: "configure either a cache dir or a cache URL, not both".to_string(),
+            }),
+            (Some(dir), None) => Ok(Some(CacheLocation::Dir(dir.clone()))),
+            (None, Some(url)) => Ok(Some(CacheLocation::parse(url))),
+            (None, None) => Ok(None),
+        }
+    }
 }
 
 /// A long-lived analysis engine: accepts any number of immutable corpora,
@@ -425,7 +446,7 @@ pub struct ServiceConfig {
 /// width, submission order or `jobs` setting.
 #[derive(Debug)]
 pub struct AnalysisService {
-    cache: Option<Arc<Mutex<CacheStore>>>,
+    cache: Option<Arc<dyn CacheBackend>>,
     interner_seed: Interner,
     batch_jobs: usize,
 }
@@ -444,15 +465,14 @@ impl AnalysisService {
     }
 
     /// A service configured explicitly. Fails with [`ApiError::Cache`]
-    /// when the cache directory cannot be opened or created.
+    /// when the cache directory cannot be opened or created, or when the
+    /// remote cache daemon is unreachable or version-mismatched.
     pub fn with_config(config: ServiceConfig) -> Result<AnalysisService, ApiError> {
-        let cache = match &config.cache_dir {
-            Some(dir) => {
-                let store =
-                    CacheStore::open(dir, &cache::analyzer_cache_version()).map_err(|e| {
-                        ApiError::Cache { dir: dir.display().to_string(), message: e.to_string() }
-                    })?;
-                Some(Arc::new(Mutex::new(store)))
+        let cache = match config.cache_location()? {
+            Some(location) => {
+                Some(open_backend(&location, &cache::analyzer_cache_version()).map_err(|e| {
+                    ApiError::Cache { dir: location.to_string(), message: e.to_string() }
+                })?)
             }
             None => None,
         };
@@ -465,25 +485,25 @@ impl AnalysisService {
 
     /// Convenience: a service whose requests share the store under `dir`.
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Result<AnalysisService, ApiError> {
-        AnalysisService::with_config(ServiceConfig { cache_dir: Some(dir.into()), batch_jobs: 0 })
+        AnalysisService::with_config(ServiceConfig {
+            cache_dir: Some(dir.into()),
+            ..Default::default()
+        })
     }
 
     /// Number of entries currently in the shared store (`None` without a
     /// cache) — observability for tests and operators.
     pub fn cache_entry_count(&self) -> Option<usize> {
-        self.cache
-            .as_ref()
-            .map(|store| store.lock().unwrap_or_else(PoisonError::into_inner).entry_count())
+        self.cache.as_ref().map(|store| store.stats().entries)
     }
 
     /// Hit/miss counters and current occupancy (entry count, live bytes,
     /// evictions) of the shared store; `None` without a cache. This is
     /// what `--cache-stats` and the sweep report's `cache_store` section
-    /// read.
+    /// read — through the backend trait, so a remote store reports the
+    /// *daemon's* occupancy, not a local-dir guess.
     pub fn cache_stats(&self) -> Option<ffisafe_cache::CacheStats> {
-        self.cache
-            .as_ref()
-            .map(|store| store.lock().unwrap_or_else(PoisonError::into_inner).stats())
+        self.cache.as_ref().map(|store| store.stats())
     }
 
     /// Analyzes one request.
@@ -850,8 +870,12 @@ mod tests {
             .ml_source("lib.ml", r#"external f : int -> int = "ml_f""#)
             .c_source("glue.c", "value ml_f(value n) { return Val_int(n); }")
             .build();
-        let service =
-            AnalysisService::with_config(ServiceConfig { cache_dir: None, batch_jobs: 4 }).unwrap();
+        let service = AnalysisService::with_config(ServiceConfig {
+            cache_dir: None,
+            cache_url: None,
+            batch_jobs: 4,
+        })
+        .unwrap();
         let requests: Vec<AnalysisRequest> = (0..8)
             .map(|i| AnalysisRequest::new(if i % 2 == 0 { clean.clone() } else { buggy.clone() }))
             .collect();

@@ -35,7 +35,7 @@
 use super::infer::{
     DeferredPsiBound, EffectKey, FunctionOutcome, InterfacePin, ResolvedObligation,
 };
-use ffisafe_cache::{CacheStore, Decoder, Encoder, Tier};
+use ffisafe_cache::{CacheBackend, CacheStore, Decoder, Encoder, Tier};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
 use ffisafe_support::{
@@ -43,7 +43,7 @@ use ffisafe_support::{
     Severity,
 };
 use ffisafe_types::{FlatInt, PsiBound, PsiId, PsiNode, PsiViolation};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Bumped whenever the meaning or layout of cached payloads or the
 /// fingerprint recipes change; folded into the store's analyzer version so
@@ -68,17 +68,20 @@ pub fn analyzer_cache_version() -> String {
 
 /// One analysis run's view of the (possibly shared) two-tier store.
 ///
-/// The store sits behind `Arc<Mutex<..>>` because an [`AnalysisService`]
-/// opens it once and lends it to every request in a batch — concurrent
-/// pipelines interleave their `get`/`put` calls entry by entry. Each
+/// The store sits behind `Arc<dyn CacheBackend>` because an
+/// [`AnalysisService`] opens it once and lends it to every request in a
+/// batch. Backends are internally synchronized (the local store shards
+/// its index by fingerprint prefix), so concurrent pipelines hit the
+/// store directly instead of funneling through one mutex. Each
 /// `PipelineCache` additionally carries the run's base-surface digest,
 /// which is per-request state.
 ///
 /// [`AnalysisService`]: crate::api::AnalysisService
 #[derive(Debug)]
 pub struct PipelineCache {
-    /// The on-disk two-tier store, shareable across concurrent runs.
-    store: Arc<Mutex<CacheStore>>,
+    /// The two-tier store (local dir or remote daemon), shareable across
+    /// concurrent runs.
+    store: Arc<dyn CacheBackend>,
     /// Digest of the base-state surface; [`function_fingerprint`] extends
     /// it per function. Set by the driver once linking inputs are known.
     pub base_digest: Fingerprint,
@@ -89,33 +92,27 @@ impl PipelineCache {
     /// one run.
     pub fn open(dir: &std::path::Path) -> std::io::Result<PipelineCache> {
         let store = CacheStore::open(dir, &analyzer_cache_version())?;
-        Ok(PipelineCache::from_shared(Arc::new(Mutex::new(store))))
+        Ok(PipelineCache::from_shared(Arc::new(store)))
     }
 
-    /// Wraps an already-open store shared with other runs.
-    pub fn from_shared(store: Arc<Mutex<CacheStore>>) -> PipelineCache {
+    /// Wraps an already-open backend shared with other runs.
+    pub fn from_shared(store: Arc<dyn CacheBackend>) -> PipelineCache {
         PipelineCache { store, base_digest: Fingerprint(0, 0) }
-    }
-
-    fn store(&self) -> std::sync::MutexGuard<'_, CacheStore> {
-        // A panic while holding the lock cannot corrupt the store (entry
-        // files are validated on read), so poison is recoverable.
-        self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Fetches one validated entry; `None` is a miss.
     pub fn get(&self, tier: Tier, fp: Fingerprint) -> Option<Vec<u8>> {
-        self.store().get(tier, fp)
+        self.store.get(tier, fp)
     }
 
     /// Stores one entry; failures only cost future hits.
     pub fn put(&self, tier: Tier, fp: Fingerprint, payload: &[u8]) {
-        let _ = self.store().put(tier, fp, payload);
+        let _ = self.store.put(tier, fp, payload);
     }
 
     /// Persists the index (best-effort, like `put`).
     pub fn flush(&self) {
-        let _ = self.store().flush();
+        let _ = self.store.flush();
     }
 }
 

@@ -343,6 +343,7 @@ use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, Se
 fn render(ml: &str, c: &str, jobs: usize, cache_dir: Option<&std::path::Path>) -> String {
     let service = AnalysisService::with_config(ServiceConfig {
         cache_dir: cache_dir.map(|d| d.to_path_buf()),
+        cache_url: None,
         batch_jobs: 0,
     })
     .expect("temp cache dir opens");

@@ -1,5 +1,5 @@
 //! The map executor: runs a [`SweepPlan`]'s shards with bounded
-//! parallelism, in one of two modes.
+//! parallelism and work stealing, in one of two modes.
 //!
 //! * **In-process** ([`MapMode::InProcess`]): one long-lived
 //!   [`AnalysisService`] owns the shared cache store; shard workers submit
@@ -22,12 +22,21 @@
 //! Failed attempts are retried per library ([`MapConfig::retries`] extra
 //! attempts); a library that fails every attempt becomes a
 //! [`SweepFailure`] in the reduced report rather than sinking the sweep.
+//!
+//! Scheduling is **work-stealing at library granularity**: each shard is
+//! a deque of its member libraries, each worker drains its home shard
+//! from the front, and an idle worker steals from the *back* of the
+//! longest remaining queue — so under a cost-packed plan the victim keeps
+//! its heavy head while cheap tail work migrates to the idle worker.
+//! Stragglers rebalance dynamically, and because results land in
+//! per-library slots the reduced output never depends on who ran what.
 
 use crate::planner::SweepPlan;
 use crate::reducer::{LibraryReport, SweepFailure};
-use ffisafe_cache::{CacheStats, CacheStore};
+use ffisafe_cache::{open_backend, CacheStats};
 use ffisafe_core::pipeline::cache::analyzer_cache_version;
 use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, ApiError, ServiceConfig};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -52,10 +61,14 @@ pub enum MapMode {
 pub struct MapConfig {
     /// Map mode (in-process or child processes).
     pub mode: MapMode,
-    /// Concurrent shards; `0` means the machine's available parallelism.
+    /// Concurrent workers; `0` means the machine's available parallelism.
     pub jobs: usize,
     /// The shared two-tier cache store; `None` sweeps uncached.
     pub cache_dir: Option<PathBuf>,
+    /// A remote cache daemon (`tcp://host:port`, see
+    /// [`ffisafe_cache::remote`]) instead of a local directory. Mutually
+    /// exclusive with `cache_dir`.
+    pub cache_url: Option<String>,
     /// Semantic analysis options applied to every library.
     /// [`AnalysisOptions::jobs`] of `0` gets a fair share of the cores
     /// per in-flight shard.
@@ -70,6 +83,7 @@ impl Default for MapConfig {
             mode: MapMode::InProcess,
             jobs: 0,
             cache_dir: None,
+            cache_url: None,
             options: AnalysisOptions::default(),
             retries: 2,
         }
@@ -108,6 +122,12 @@ pub struct MapStats {
     pub ml_loc: usize,
     /// Summed per-function inference work in seconds (≈0 when warm).
     pub work_seconds: f64,
+    /// The schedule's critical path: the largest per-worker sum of
+    /// library `work_seconds`. This is what the map phase's wall clock
+    /// converges to on an unloaded many-core host, so it exposes
+    /// scheduling quality (one straggler worker = long critical path)
+    /// even when the measuring host is itself short on cores.
+    pub critical_path_seconds: f64,
     /// Wall-clock seconds for the whole map phase.
     pub wall_seconds: f64,
 }
@@ -124,32 +144,45 @@ pub struct MapOutput {
     pub cache_store: Option<CacheStats>,
 }
 
+/// One shard's warmth bookkeeping under work stealing: members may
+/// complete on any worker, so warmth is settled when the last one lands.
+struct ShardTrack {
+    remaining: usize,
+    warm: bool,
+}
+
 /// Runs every shard of `plan` under `config`.
 ///
-/// Shards are pulled from a shared queue by `jobs` workers; within a
-/// shard, member libraries run sequentially (each library's own
-/// inference-stage parallelism is governed by
-/// [`AnalysisOptions::jobs`]). Results land in per-library slots, so
-/// *which worker finishes first never changes the output* — the reducer
-/// sees plan order regardless of arrival order.
+/// Each shard's members form a deque; `jobs` workers drain their home
+/// shard front-first and steal from the back of the longest remaining
+/// queue once it is empty (each library's own inference-stage parallelism
+/// is governed by [`AnalysisOptions::jobs`]). Results land in per-library
+/// slots, so *which worker finishes first never changes the output* — the
+/// reducer sees plan order regardless of arrival order.
 pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiError> {
     let start = Instant::now();
-    // Open the store up front in both modes: the service needs it, and in
-    // child mode this validates the directory once instead of letting
-    // every child fail on it.
+    let location = ServiceConfig {
+        cache_dir: config.cache_dir.clone(),
+        cache_url: config.cache_url.clone(),
+        batch_jobs: 0,
+    }
+    .cache_location()?;
+    // Open the backend up front in both modes: the service needs it, and
+    // in child mode this validates the directory or daemon once instead
+    // of letting every child fail on it.
     let service = match &config.mode {
         MapMode::InProcess => Some(AnalysisService::with_config(ServiceConfig {
             cache_dir: config.cache_dir.clone(),
+            cache_url: config.cache_url.clone(),
             batch_jobs: 0,
         })?),
         MapMode::ChildProcess { .. } => {
-            if let Some(dir) = &config.cache_dir {
-                // Validate the directory once instead of letting every
-                // child fail on it. Opening also persists the index, so
+            if let Some(location) = &location {
+                // Opening a local store also persists the index, so
                 // children racing on a fresh store can never mistake each
                 // other's entries for an interrupted unversioned store.
-                CacheStore::open(dir, &analyzer_cache_version()).map_err(|e| ApiError::Cache {
-                    dir: dir.display().to_string(),
+                open_backend(location, &analyzer_cache_version()).map_err(|e| ApiError::Cache {
+                    dir: location.to_string(),
                     message: e.to_string(),
                 })?;
             }
@@ -158,73 +191,112 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
     };
 
     let n_shards = plan.shards.len();
-    let width = effective_jobs(config.jobs).clamp(1, n_shards.max(1));
+    let n_libraries = plan.libraries.len();
+    let width = effective_jobs(config.jobs).clamp(1, n_libraries.max(1));
     let cores = available_cores();
     let infer_jobs =
         if config.options.jobs == 0 { (cores / width).max(1) } else { config.options.jobs };
 
+    // Which shard owns each library — warmth accounting must survive the
+    // library completing on a thief instead of its home worker.
+    let mut lib_shard = vec![0usize; n_libraries];
+    for shard in &plan.shards {
+        for &member in &shard.members {
+            lib_shard[member] = shard.index;
+        }
+    }
+
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        plan.shards.iter().map(|s| Mutex::new(s.members.iter().copied().collect())).collect();
+    // A shard is warm when the shared store served every member without
+    // running an inference worker; uncached sweeps are never warm.
+    let cached = location.is_some();
+    let tracks: Vec<Mutex<ShardTrack>> = plan
+        .shards
+        .iter()
+        .map(|s| {
+            Mutex::new(ShardTrack {
+                remaining: s.members.len(),
+                warm: cached && !s.members.is_empty(),
+            })
+        })
+        .collect();
+
     let slots: Vec<Mutex<Option<Result<LibraryReport, SweepFailure>>>> =
-        (0..plan.libraries.len()).map(|_| Mutex::new(None)).collect();
+        (0..n_libraries).map(|_| Mutex::new(None)).collect();
     let retries_used = AtomicUsize::new(0);
     let shards_warm = AtomicUsize::new(0);
-    let next_shard = AtomicUsize::new(0);
+    let worker_paths: Vec<Mutex<f64>> = (0..width).map(|_| Mutex::new(0.0)).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..width {
-            scope.spawn(|| loop {
-                let shard_idx = next_shard.fetch_add(1, Ordering::Relaxed);
-                if shard_idx >= n_shards {
-                    break;
-                }
-                let shard = &plan.shards[shard_idx];
-                // A shard is warm when the shared store served every
-                // member without running an inference worker; uncached
-                // sweeps are never warm.
-                let mut warm = config.cache_dir.is_some() && !shard.members.is_empty();
-                for &member in &shard.members {
-                    let library = &plan.libraries[member];
-                    let mut last_err = String::new();
-                    let mut outcome = None;
-                    for attempt in 0..=config.retries {
-                        if attempt > 0 {
-                            retries_used.fetch_add(1, Ordering::Relaxed);
-                        }
-                        match run_library(plan, member, service.as_ref(), config, infer_jobs) {
-                            Ok(report) => {
-                                outcome = Some(report);
-                                break;
+    if n_shards > 0 {
+        std::thread::scope(|scope| {
+            for worker in 0..width {
+                let queues = &queues;
+                let tracks = &tracks;
+                let lib_shard = &lib_shard;
+                let slots = &slots;
+                let retries_used = &retries_used;
+                let shards_warm = &shards_warm;
+                let worker_paths = &worker_paths;
+                let service = service.as_ref();
+                scope.spawn(move || {
+                    let home = worker % n_shards;
+                    let mut path = 0.0f64;
+                    while let Some(member) = next_library(queues, home) {
+                        let library = &plan.libraries[member];
+                        let mut last_err = String::new();
+                        let mut outcome = None;
+                        for attempt in 0..=config.retries {
+                            if attempt > 0 {
+                                retries_used.fetch_add(1, Ordering::Relaxed);
                             }
-                            Err(e) => last_err = e,
+                            match run_library(plan, member, service, config, infer_jobs) {
+                                Ok(report) => {
+                                    outcome = Some(report);
+                                    break;
+                                }
+                                Err(e) => last_err = e,
+                            }
+                        }
+                        let (result, served_from_cache) = match outcome {
+                            Some(report) => {
+                                // Warmth means the *cache* did the serving:
+                                // a tier-2 report hit, or every function
+                                // replayed from tier 1. `workers_executed ==
+                                // 0` alone is not enough — a library with no
+                                // C functions runs zero workers even cold.
+                                let served = report.exec.report_hit
+                                    || (report.exec.workers_executed == 0
+                                        && report.exec.cache_fn_hits > 0);
+                                path += report.exec.work_seconds;
+                                (Ok(report), served)
+                            }
+                            None => (
+                                Err(SweepFailure {
+                                    library: library.name.clone(),
+                                    error: last_err,
+                                }),
+                                false,
+                            ),
+                        };
+                        *slots[member].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(result);
+                        let mut track = tracks[lib_shard[member]]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if !served_from_cache {
+                            track.warm = false;
+                        }
+                        track.remaining -= 1;
+                        if track.remaining == 0 && track.warm {
+                            shards_warm.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    let result = match outcome {
-                        Some(report) => {
-                            // Warmth means the *cache* did the serving:
-                            // a tier-2 report hit, or every function
-                            // replayed from tier 1. `workers_executed ==
-                            // 0` alone is not enough — a library with no
-                            // C functions runs zero workers even cold.
-                            let served_from_cache = report.exec.report_hit
-                                || (report.exec.workers_executed == 0
-                                    && report.exec.cache_fn_hits > 0);
-                            if !served_from_cache {
-                                warm = false;
-                            }
-                            Ok(report)
-                        }
-                        None => {
-                            warm = false;
-                            Err(SweepFailure { library: library.name.clone(), error: last_err })
-                        }
-                    };
-                    *slots[member].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-                }
-                if warm {
-                    shards_warm.fetch_add(1, Ordering::Relaxed);
-                }
-            });
-        }
-    });
+                    *worker_paths[worker].lock().unwrap_or_else(PoisonError::into_inner) = path;
+                });
+            }
+        });
+    }
 
     let results: Vec<Result<LibraryReport, SweepFailure>> = slots
         .into_iter()
@@ -239,6 +311,10 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
         shards_executed: n_shards,
         shards_warm: shards_warm.into_inner(),
         retries_used: retries_used.into_inner(),
+        critical_path_seconds: worker_paths
+            .into_iter()
+            .map(|cell| cell.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .fold(0.0, f64::max),
         wall_seconds: start.elapsed().as_secs_f64(),
         ..MapStats::default()
     };
@@ -260,14 +336,15 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
         }
     }
 
-    // Occupancy after the map phase. In-process the live store is
+    // Occupancy after the map phase. In-process the live backend is
     // authoritative; in child mode a fresh open reconciles whatever index
     // interleaving the children left behind (valid orphans are adopted),
     // so the numbers are content-determined, not schedule-determined.
-    let cache_store = match (&service, &config.cache_dir) {
+    let cache_store = match (&service, &location) {
         (Some(service), _) => service.cache_stats(),
-        (None, Some(dir)) => {
-            CacheStore::open(dir, &analyzer_cache_version()).ok().map(|mut store| {
+        (None, Some(location)) => {
+            open_backend(location, &analyzer_cache_version()).ok().map(|store| {
+                store.adopt_orphans();
                 let _ = store.flush();
                 store.stats()
             })
@@ -276,6 +353,33 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
     };
 
     Ok(MapOutput { results, stats, cache_store })
+}
+
+/// Pops the next library for a worker homed on shard `home`: own queue
+/// front first, then steal from the back of the longest remaining queue.
+/// `None` means every queue is empty — and stays empty, since libraries
+/// are only ever removed.
+fn next_library(queues: &[Mutex<VecDeque<usize>>], home: usize) -> Option<usize> {
+    if let Some(member) = queues[home].lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+        return Some(member);
+    }
+    loop {
+        let mut victim: Option<(usize, usize)> = None; // (len, index)
+        for (index, queue) in queues.iter().enumerate() {
+            let len = queue.lock().unwrap_or_else(PoisonError::into_inner).len();
+            if len > 0 && victim.is_none_or(|(best, _)| len > best) {
+                victim = Some((len, index));
+            }
+        }
+        let (_, index) = victim?;
+        // Between the scan and this lock another thief may have drained
+        // the victim; rescan rather than give up.
+        if let Some(member) =
+            queues[index].lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+        {
+            return Some(member);
+        }
+    }
 }
 
 fn run_library(
@@ -311,6 +415,9 @@ fn run_library(
             }
             if let Some(dir) = &config.cache_dir {
                 cmd.arg("--cache-dir").arg(dir);
+            }
+            if let Some(url) = &config.cache_url {
+                cmd.arg("--cache-url").arg(url);
             }
             let output = cmd.output().map_err(|e| format!("cannot spawn {program:?}: {e}"))?;
             let code = output.status.code();

@@ -10,19 +10,90 @@
 //! library's [`Corpus::fingerprint`] is a pure function of the tree — the
 //! key under which shards hit the shared cache store.
 //!
-//! Sharding is deterministic too: libraries are sorted by name and split
-//! into contiguous, size-balanced chunks. The partitioning never affects
-//! the reduced [`crate::SweepReport`] (the reducer re-sorts by library
-//! name); it only decides what travels together to one worker.
+//! Sharding is deterministic in either schedule. [`Schedule::Name`]
+//! (the default) sorts libraries by name and splits them into contiguous,
+//! size-balanced chunks. [`Schedule::Cost`] packs shards by **historical
+//! per-library cost** — longest-processing-time-first (LPT) onto the
+//! least-loaded shard — using the cost rows a previous run persisted into
+//! `sweep-manifest.json`, so one expensive library no longer shares a
+//! chunk with (and stalls behind) a pile of cheap neighbors. The
+//! partitioning never affects the reduced [`crate::SweepReport`] (the
+//! reducer re-sorts by library name); it only decides what travels
+//! together to one worker and in which order work starts.
 
 use ffisafe_core::{source_files_under, ApiError, Corpus};
-use ffisafe_support::json::escape_into;
+use ffisafe_support::json::{self, escape_into, Json};
 use ffisafe_support::{Fingerprint, FingerprintHasher};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Version of `sweep-manifest.json`. Bumped whenever a field changes
 /// meaning, moves or disappears; adding fields does not bump it.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: adds the top-level `schedule` field and a per-library `cost`
+/// object (the [`LibraryCost`] row recorded after every run). v1
+/// manifests still load — they simply carry no cost data, so a
+/// cost-scheduled sweep over them falls back to name order.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+
+/// Floor cost used when packing, so zero-cost (warm or unknown) libraries
+/// still spread across shards instead of piling onto shard 0.
+const MIN_PACK_COST: f64 = 1e-6;
+
+/// How libraries are packed into shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous, size-balanced chunks of the name-sorted library list.
+    #[default]
+    Name,
+    /// LPT cost packing: libraries are placed heaviest-first onto the
+    /// least-loaded shard, using historical [`LibraryCost`] rows from a
+    /// prior manifest. Libraries without history cost the average of the
+    /// known ones; with no history at all this degrades to [`Schedule::Name`].
+    Cost,
+}
+
+impl Schedule {
+    /// Parses the CLI spelling (`name` | `cost`).
+    pub fn parse(s: &str) -> Option<Schedule> {
+        match s {
+            "name" => Some(Schedule::Name),
+            "cost" => Some(Schedule::Cost),
+            _ => None,
+        }
+    }
+
+    /// The CLI/manifest spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Schedule::Name => "name",
+            Schedule::Cost => "cost",
+        }
+    }
+}
+
+/// One library's cost row, persisted into `sweep-manifest.json` after
+/// every run (manifest v2) and read back as the cost model of the next.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LibraryCost {
+    /// The scheduling cost: expected *cold* inference work in seconds.
+    /// Measured work when the recording run actually executed workers;
+    /// carried forward from the previous manifest when it was served warm
+    /// (a warm run's ~0 measurement says nothing about cold cost).
+    pub cost_seconds: f64,
+    /// Per-function inference work measured in the recording run.
+    pub work_seconds: f64,
+    /// Wall seconds the library took in the recording run.
+    pub seconds: f64,
+    /// C functions analyzed.
+    pub functions: usize,
+    /// Tier-1 cache hits in the recording run.
+    pub cache_fn_hits: usize,
+    /// Tier-1 cache misses in the recording run.
+    pub cache_fn_misses: usize,
+    /// Whether the whole report came from the tier-2 cache.
+    pub report_hit: bool,
+}
 
 /// One library discovered under the corpus root: its name, its source
 /// files (sorted), its content fingerprint and (optionally) its loaded
@@ -39,6 +110,10 @@ pub struct LibraryPlan {
     /// child-process mapping re-reads sources from disk, so keeping a
     /// thousand libraries' text resident would be pure overhead.
     pub corpus: Option<Corpus>,
+    /// The library's cost row: the historical one at plan time, replaced
+    /// by the measured one before the post-run manifest rewrite. `None`
+    /// when no history exists and no run has completed yet.
+    pub cost: Option<LibraryCost>,
 }
 
 /// One shard: a contiguous run of libraries plus the digest that names
@@ -63,8 +138,10 @@ pub struct SweepPlan {
     pub root: PathBuf,
     /// Every discovered library, sorted by name.
     pub libraries: Vec<LibraryPlan>,
-    /// The shard partitioning (contiguous, size-balanced chunks).
+    /// The shard partitioning (contiguous name chunks, or LPT cost packs).
     pub shards: Vec<ShardPlan>,
+    /// The schedule the shards were packed with.
+    pub schedule: Schedule,
     /// Libraries that could not be *planned* (unreadable subtree, file
     /// deleted mid-walk, symlink loop, …). One broken library must not
     /// sink a thousand-library sweep, so these flow into
@@ -90,24 +167,43 @@ impl SweepPlan {
         }
     }
 
+    /// Replaces every library's cost row with the freshly measured one —
+    /// called by [`crate::sweep`] after the map phase so the rewritten
+    /// manifest carries this run's data for the next run's cost model.
+    pub fn set_costs(&mut self, costs: &HashMap<String, LibraryCost>) {
+        for library in &mut self.libraries {
+            if let Some(cost) = costs.get(&library.name) {
+                library.cost = Some(*cost);
+            }
+        }
+    }
+
     /// The versioned machine-readable manifest: which libraries exist,
-    /// their content fingerprints and file lists, and how they were
-    /// partitioned into shards.
+    /// their content fingerprints, file lists and cost rows, and how they
+    /// were partitioned into shards.
     ///
-    /// Schema (v1, see [`MANIFEST_SCHEMA_VERSION`]):
+    /// Schema (v2, see [`MANIFEST_SCHEMA_VERSION`]):
     ///
     /// ```text
     /// {
-    ///   "manifest_schema_version": 1,
+    ///   "manifest_schema_version": 2,
     ///   "tool": "ffisafe",
     ///   "tool_version": "<crate version>",
     ///   "root": "<corpus root>",
+    ///   "schedule": "name" | "cost",
     ///   "libraries": N,
     ///   "shards": [ { "shard": i, "key": "<hex128>",
     ///                 "libraries": [ { "name", "fingerprint": "<hex128>",
-    ///                                  "files": [ "<path>", ... ] } ] } ]
+    ///                                  "files": [ "<path>", ... ],
+    ///                                  "cost": { "cost_seconds", "work_seconds",
+    ///                                            "seconds", "functions",
+    ///                                            "fn_hits", "fn_misses",
+    ///                                            "report_hit" } } ] } ]
     /// }
     /// ```
+    ///
+    /// The `cost` object is per library and optional (absent in v1
+    /// manifests and for libraries that have never completed a run).
     pub fn manifest_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
@@ -117,6 +213,7 @@ impl SweepPlan {
         out.push_str("  \"root\": \"");
         escape_into(&mut out, &self.root.display().to_string());
         out.push_str("\",\n");
+        out.push_str(&format!("  \"schedule\": \"{}\",\n", self.schedule.as_str()));
         out.push_str(&format!("  \"libraries\": {},\n", self.libraries.len()));
         out.push_str("  \"shards\": [");
         for (i, shard) in self.shards.iter().enumerate() {
@@ -147,7 +244,20 @@ impl SweepPlan {
                     escape_into(&mut out, &file.display().to_string());
                     out.push('"');
                 }
-                out.push_str("]}");
+                out.push(']');
+                if let Some(cost) = &lib.cost {
+                    out.push_str(&format!(
+                        ", \"cost\": {{\"cost_seconds\": {:.6}, \"work_seconds\": {:.6}, \"seconds\": {:.6}, \"functions\": {}, \"fn_hits\": {}, \"fn_misses\": {}, \"report_hit\": {}}}",
+                        cost.cost_seconds,
+                        cost.work_seconds,
+                        cost.seconds,
+                        cost.functions,
+                        cost.cache_fn_hits,
+                        cost.cache_fn_misses,
+                        cost.report_hit
+                    ));
+                }
+                out.push('}');
             }
             out.push_str(if shard.members.is_empty() { "]}" } else { "\n    ]}" });
         }
@@ -156,20 +266,81 @@ impl SweepPlan {
     }
 }
 
+/// Reads the per-library cost rows out of a previous run's manifest.
+///
+/// Both schema versions load: v1 rows carry no `cost` object and simply
+/// contribute nothing. A missing or unparseable manifest yields an empty
+/// map — historical cost is an optimization, never a requirement.
+pub fn load_manifest_costs(path: &Path) -> HashMap<String, LibraryCost> {
+    let Ok(text) = std::fs::read_to_string(path) else { return HashMap::new() };
+    let Ok(doc) = json::parse(&text) else { return HashMap::new() };
+    let mut costs = HashMap::new();
+    let Some(shards) = doc.get("shards").and_then(Json::as_array) else { return costs };
+    for shard in shards {
+        let Some(libraries) = shard.get("libraries").and_then(Json::as_array) else { continue };
+        for lib in libraries {
+            let Some(name) = lib.get("name").and_then(Json::as_str) else { continue };
+            let Some(cost) = lib.get("cost") else { continue };
+            let f = |key: &str| cost.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+            let n = |key: &str| cost.get(key).and_then(Json::as_u64).unwrap_or(0) as usize;
+            costs.insert(
+                name.to_string(),
+                LibraryCost {
+                    cost_seconds: f("cost_seconds"),
+                    work_seconds: f("work_seconds"),
+                    seconds: f("seconds"),
+                    functions: n("functions"),
+                    cache_fn_hits: n("fn_hits"),
+                    cache_fn_misses: n("fn_misses"),
+                    report_hit: cost.get("report_hit").and_then(Json::as_bool).unwrap_or(false),
+                },
+            );
+        }
+    }
+    costs
+}
+
+/// Builds the plan for `root` with the default [`Schedule::Name`] and no
+/// cost history. See [`plan_with`].
+pub fn plan(root: &Path, shard_count: usize) -> Result<SweepPlan, ApiError> {
+    plan_with(root, shard_count, Schedule::Name, &HashMap::new())
+}
+
 /// Builds the plan for `root`: discovers libraries, loads and fingerprints
 /// each, and partitions them into `shard_count` shards (`0` means one
 /// shard per library — maximal fan-out). The partitioning is clamped to
 /// `[1, libraries]`, so any requested count is safe.
-pub fn plan(root: &Path, shard_count: usize) -> Result<SweepPlan, ApiError> {
-    let (libraries, failures) = discover_libraries(root)?;
+///
+/// `prior` is the cost model — typically [`load_manifest_costs`] over the
+/// previous run's manifest. Under [`Schedule::Cost`] with at least one
+/// known cost the libraries are LPT-packed; otherwise (including always
+/// under [`Schedule::Name`]) they are split into contiguous name-sorted
+/// chunks. Known cost rows are attached to the plan's libraries either
+/// way, so the rewritten manifest preserves history for libraries that
+/// get served warm this time.
+pub fn plan_with(
+    root: &Path,
+    shard_count: usize,
+    schedule: Schedule,
+    prior: &HashMap<String, LibraryCost>,
+) -> Result<SweepPlan, ApiError> {
+    let (mut libraries, failures) = discover_libraries(root)?;
+    for library in &mut libraries {
+        library.cost = prior.get(&library.name).copied();
+    }
     let n = libraries.len();
     let shards = if n == 0 {
         Vec::new()
     } else {
         let count = if shard_count == 0 { n } else { shard_count.clamp(1, n) };
-        partition(&libraries, count)
+        let any_known = libraries.iter().any(|l| l.cost.is_some());
+        if schedule == Schedule::Cost && any_known {
+            partition_lpt(&libraries, count)
+        } else {
+            partition(&libraries, count)
+        }
     };
-    Ok(SweepPlan { root: root.to_path_buf(), libraries, shards, failures })
+    Ok(SweepPlan { root: root.to_path_buf(), libraries, shards, schedule, failures })
 }
 
 /// Every immediate subdirectory of `root` with ≥ 1 FFI source (searched
@@ -235,7 +406,13 @@ fn load_library(name: String, files: Vec<PathBuf>) -> Result<LibraryPlan, ApiErr
         builder = builder.source_path(file)?;
     }
     let corpus = builder.build();
-    Ok(LibraryPlan { name, files, fingerprint: corpus.fingerprint(), corpus: Some(corpus) })
+    Ok(LibraryPlan {
+        name,
+        files,
+        fingerprint: corpus.fingerprint(),
+        corpus: Some(corpus),
+        cost: None,
+    })
 }
 
 /// Splits `libraries` (already name-sorted) into `count` contiguous
@@ -253,6 +430,43 @@ fn partition(libraries: &[LibraryPlan], count: usize) -> Vec<ShardPlan> {
         shards.push(ShardPlan { index, key: shard_key(libraries, &members), members });
     }
     shards
+}
+
+/// LPT packing: libraries sorted by (cost desc, name asc) are assigned
+/// one at a time to the least-loaded shard (ties broken toward the lowest
+/// shard index). Members stay in assignment order, so the heaviest
+/// library in each shard is also the first one its worker starts —
+/// long-pole work begins immediately instead of queueing behind cheap
+/// neighbors. Deterministic: same costs + names ⇒ same packing.
+fn partition_lpt(libraries: &[LibraryPlan], count: usize) -> Vec<ShardPlan> {
+    let known: Vec<f64> = libraries.iter().filter_map(|l| l.cost.map(|c| c.cost_seconds)).collect();
+    let average = known.iter().sum::<f64>() / known.len() as f64;
+    let mut order: Vec<usize> = (0..libraries.len()).collect();
+    let cost_of =
+        |i: usize| libraries[i].cost.map(|c| c.cost_seconds).unwrap_or(average).max(MIN_PACK_COST);
+    order.sort_by(|&a, &b| {
+        cost_of(b)
+            .partial_cmp(&cost_of(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| libraries[a].name.cmp(&libraries[b].name))
+    });
+    let mut loads = vec![0.0f64; count];
+    let mut packs: Vec<Vec<usize>> = vec![Vec::new(); count];
+    for lib in order {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        loads[lightest] += cost_of(lib);
+        packs[lightest].push(lib);
+    }
+    packs
+        .into_iter()
+        .enumerate()
+        .map(|(index, members)| ShardPlan { index, key: shard_key(libraries, &members), members })
+        .collect()
 }
 
 /// The digest naming a shard's total content: each member's name and
@@ -354,7 +568,8 @@ mod tests {
         let plan = plan(&root, 2).unwrap();
         let doc = ffisafe_support::json::parse(&plan.manifest_json()).expect("valid JSON");
         use ffisafe_support::json::Json;
-        assert_eq!(doc.get("manifest_schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("manifest_schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("schedule").and_then(Json::as_str), Some("name"));
         assert_eq!(doc.get("libraries").and_then(Json::as_u64), Some(3));
         let shards = doc.get("shards").and_then(Json::as_array).unwrap();
         assert_eq!(shards.len(), 2);
@@ -400,6 +615,96 @@ mod tests {
         assert_eq!(plan.failures.len(), 1);
         assert_eq!(plan.failures[0].library, "libzz");
         assert!(plan.failures[0].error.contains("cannot read"), "{:?}", plan.failures[0]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cost_schedule_isolates_the_heavy_library() {
+        let root = three_lib_tree("lpt");
+        let mut prior = HashMap::new();
+        prior.insert("liba".to_string(), LibraryCost { cost_seconds: 0.1, ..Default::default() });
+        prior.insert("libb".to_string(), LibraryCost { cost_seconds: 9.0, ..Default::default() });
+        prior.insert("libc".to_string(), LibraryCost { cost_seconds: 0.2, ..Default::default() });
+
+        let plan = plan_with(&root, 2, Schedule::Cost, &prior).unwrap();
+        assert_eq!(plan.schedule, Schedule::Cost);
+        // heaviest library (libb, index 1) packs alone; the cheap pair share
+        let solo: Vec<_> = plan.shards.iter().filter(|s| s.members == [1]).collect();
+        assert_eq!(solo.len(), 1, "libb isolated: {:?}", plan.shards);
+        let pair = plan.shards.iter().find(|s| s.members.len() == 2).unwrap();
+        assert_eq!(pair.members, [2, 0], "heaviest-first within the shard");
+        // deterministic
+        let again = plan_with(&root, 2, Schedule::Cost, &prior).unwrap();
+        assert_eq!(plan.manifest_json(), again.manifest_json());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cost_schedule_without_history_falls_back_to_name_partition() {
+        let root = three_lib_tree("lpt-nohist");
+        let by_cost = plan_with(&root, 2, Schedule::Cost, &HashMap::new()).unwrap();
+        let by_name = plan(&root, 2).unwrap();
+        let cost_members: Vec<_> = by_cost.shards.iter().map(|s| s.members.clone()).collect();
+        let name_members: Vec<_> = by_name.shards.iter().map(|s| s.members.clone()).collect();
+        assert_eq!(cost_members, name_members);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_cost_defaults_to_the_average_of_known_costs() {
+        let root = three_lib_tree("lpt-avg");
+        // only libb has history; liba/libc get the average (9.0) and spread
+        let mut prior = HashMap::new();
+        prior.insert("libb".to_string(), LibraryCost { cost_seconds: 9.0, ..Default::default() });
+        let plan = plan_with(&root, 3, Schedule::Cost, &prior).unwrap();
+        let sizes: Vec<usize> = plan.shards.iter().map(|s| s.members.len()).collect();
+        assert_eq!(sizes, [1, 1, 1], "equal costs spread one per shard");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn costs_round_trip_through_the_manifest() {
+        let root = three_lib_tree("cost-roundtrip");
+        let mut plan = plan(&root, 2).unwrap();
+        let mut measured = HashMap::new();
+        measured.insert(
+            "libb".to_string(),
+            LibraryCost {
+                cost_seconds: 1.25,
+                work_seconds: 1.25,
+                seconds: 1.5,
+                functions: 7,
+                cache_fn_hits: 2,
+                cache_fn_misses: 5,
+                report_hit: false,
+            },
+        );
+        plan.set_costs(&measured);
+        let path = root.join("sweep-manifest.json");
+        std::fs::write(&path, plan.manifest_json()).unwrap();
+
+        let loaded = load_manifest_costs(&path);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded["libb"], measured["libb"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn v1_manifests_and_garbage_load_as_empty_cost_maps() {
+        let root = temp_tree("v1-compat", &[]);
+        std::fs::create_dir_all(&root).unwrap();
+        let v1 = root.join("v1.json");
+        std::fs::write(
+            &v1,
+            r#"{"manifest_schema_version": 1, "shards": [{"shard": 0, "key": "00",
+                "libraries": [{"name": "liba", "fingerprint": "00", "files": []}]}]}"#,
+        )
+        .unwrap();
+        assert!(load_manifest_costs(&v1).is_empty(), "v1 rows carry no cost");
+        let junk = root.join("junk.json");
+        std::fs::write(&junk, "not json at all").unwrap();
+        assert!(load_manifest_costs(&junk).is_empty());
+        assert!(load_manifest_costs(&root.join("missing.json")).is_empty());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -2,12 +2,14 @@
 //! sweep a whole directory tree of libraries.
 //!
 //! ```text
-//! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR] [--no-cache]
-//!         [--cache-stats] [--format text|json] [--timings]
+//! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR|--cache-url URL]
+//!         [--no-cache] [--cache-stats] [--format text|json] [--timings]
 //!         <file.ml|file.c|dir>...
-//! ffisafe sweep [--shards N] [--jobs N] [--cache-dir DIR] [--no-cache]
-//!         [--mode in-process|child] [--manifest FILE] [--retries N]
-//!         [--no-flow] [--no-gc] [--format text|json] [--timings] <root>
+//! ffisafe sweep [--shards N] [--jobs N] [--cache-dir DIR|--cache-url URL]
+//!         [--no-cache] [--schedule name|cost] [--mode in-process|child]
+//!         [--manifest FILE] [--retries N] [--no-flow] [--no-gc]
+//!         [--format text|json] [--timings] <root>
+//! ffisafe cache-serve --cache-dir DIR [--listen ADDR]
 //! ```
 //!
 //! Exit-code policy (also documented in `--help` and the README):
@@ -32,11 +34,14 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: ffisafe [options] <file.ml|file.c|dir>...
        ffisafe sweep [options] <root>
+       ffisafe cache-serve --cache-dir DIR [--listen ADDR]
 
 Checks type and GC safety of OCaml-to-C foreign function calls
 (Furr & Foster, PLDI 2005). A directory argument loads every .ml/.c
 file under it; `ffisafe sweep` analyzes a directory *of libraries*
-(one subdirectory each) with sharded map/reduce execution.
+(one subdirectory each) with sharded map/reduce execution;
+`ffisafe cache-serve` exports a cache directory over TCP so
+multiple processes or machines share one logical store.
 
 options:
   --no-flow     disable the flow-sensitive dataflow analysis
@@ -48,7 +53,10 @@ options:
                 two-tier incremental-reanalysis cache: unchanged corpora
                 replay their report, unchanged functions skip inference;
                 sweeps share it across every shard and child process
-  --no-cache    ignore --cache-dir (force a cold run)
+  --cache-url tcp://HOST:PORT
+                use a remote cache daemon (see `ffisafe cache-serve`)
+                instead of a local directory
+  --no-cache    ignore --cache-dir/--cache-url (force a cold run)
   --cache-stats print cache store occupancy (entries, live bytes,
                 evictions) and hit/miss counters to stderr
   --format text|json
@@ -62,6 +70,11 @@ options:
 
 sweep options:
   --shards N    shard count (default 0 = one shard per library)
+  --schedule name|cost
+                shard packing: contiguous name-sorted chunks (default),
+                or LPT packing from the per-library costs a previous
+                run recorded into sweep-manifest.json (falls back to
+                name order when no history exists)
   --mode in-process|child
                 run shards in this process (default) or as child
                 ffisafe processes over the shared --cache-dir
@@ -69,6 +82,12 @@ sweep options:
                 where to write sweep-manifest.json (default:
                 <cache-dir>/sweep-manifest.json when --cache-dir is set)
   --retries N   extra attempts per failed library (default 2)
+
+cache-serve options:
+  --cache-dir DIR
+                the cache directory to export (required)
+  --listen ADDR TCP address to bind (default 127.0.0.1:0); the chosen
+                tcp:// URL is printed to stdout
 
 exit status:
   0  analysis completed, no errors found
@@ -105,11 +124,79 @@ fn print_cache_stats(stats: Option<ffisafe::cache::CacheStats>) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("sweep") {
-        sweep_main(&args[1..])
-    } else {
-        analyze_main(&args)
+    match args.first().map(String::as_str) {
+        Some("sweep") => sweep_main(&args[1..]),
+        Some("cache-serve") => cache_serve_main(&args[1..]),
+        _ => analyze_main(&args),
     }
+}
+
+// ---- `ffisafe cache-serve` ----------------------------------------------
+
+fn cache_serve_main(args: &[String]) -> ExitCode {
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    return usage_error("--cache-dir requires a directory");
+                };
+                cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--listen" => {
+                let Some(addr) = args.next() else {
+                    return usage_error("--listen requires a host:port address");
+                };
+                listen = addr;
+            }
+            "--version" | "-V" => {
+                println!("ffisafe {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown cache-serve argument `{other}`")),
+        }
+    }
+    let Some(dir) = cache_dir else {
+        return usage_error("cache-serve requires --cache-dir");
+    };
+    let store = match ffisafe::cache::CacheStore::open(
+        &dir,
+        &ffisafe::core::pipeline::cache::analyzer_cache_version(),
+    ) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("ffisafe: cannot open cache at {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let server = match ffisafe::cache::CacheServer::bind(listen.as_str(), store) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ffisafe: cannot listen on {listen}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        // The chosen URL goes to *stdout* (and is flushed by println) so
+        // scripts binding port 0 can capture it; chatter stays on stderr.
+        Ok(addr) => println!("tcp://{addr}"),
+        Err(e) => {
+            eprintln!("ffisafe: cannot resolve listening address: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    eprintln!("ffisafe: cache-serve exporting {} (Ctrl-C to stop)", dir.display());
+    if let Err(e) = server.serve() {
+        eprintln!("ffisafe: cache-serve: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }
 
 // ---- `ffisafe <files-or-dirs>` ------------------------------------------
@@ -119,6 +206,7 @@ fn analyze_main(args: &[String]) -> ExitCode {
     let mut timings = false;
     let mut cache_stats = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut cache_url: Option<String> = None;
     let mut no_cache = false;
     let mut format = Format::Text;
     let mut files = Vec::new();
@@ -135,6 +223,12 @@ fn analyze_main(args: &[String]) -> ExitCode {
                     return usage_error("--cache-dir requires a directory");
                 };
                 cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--cache-url" => {
+                let Some(url) = args.next() else {
+                    return usage_error("--cache-url requires a tcp://host:port URL");
+                };
+                cache_url = Some(url);
             }
             "--format" => {
                 format = match parse_format(args.next().as_deref()) {
@@ -207,6 +301,7 @@ fn analyze_main(args: &[String]) -> ExitCode {
 
     let service = match AnalysisService::with_config(ServiceConfig {
         cache_dir: if no_cache { None } else { cache_dir },
+        cache_url: if no_cache { None } else { cache_url },
         batch_jobs: 0,
     }) {
         Ok(s) => s,
@@ -320,6 +415,18 @@ fn sweep_main(args: &[String]) -> ExitCode {
                 };
                 config.cache_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--cache-url" => {
+                let Some(url) = args.next() else {
+                    return usage_error("--cache-url requires a tcp://host:port URL");
+                };
+                config.cache_url = Some(url);
+            }
+            "--schedule" => {
+                match args.next().as_deref().and_then(ffisafe::shard::Schedule::parse) {
+                    Some(schedule) => config.schedule = schedule,
+                    None => return usage_error("--schedule expects `name` or `cost`"),
+                }
+            }
             "--manifest" => {
                 let Some(path) = args.next() else {
                     return usage_error("--manifest requires a file path");
@@ -357,6 +464,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
     };
     if no_cache {
         config.cache_dir = None;
+        config.cache_url = None;
     }
     if child_mode {
         let program = std::env::current_exe().unwrap_or_else(|_| "ffisafe".into());
@@ -395,6 +503,10 @@ fn sweep_main(args: &[String]) -> ExitCode {
         eprintln!(
             "{:>12}: {:.3}s wall, {:.3}s inference work, {} function(s), {} pass(es)",
             "sweep", s.wall_seconds, s.work_seconds, s.functions, s.passes
+        );
+        eprintln!(
+            "{:>12}: {:.3}s (longest per-worker inference chain)",
+            "critical path", s.critical_path_seconds
         );
         print_cache_stats(output.report.cache_store);
     }

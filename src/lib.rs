@@ -127,6 +127,9 @@ pub use ffisafe_semantics as semantics;
 pub use ffisafe_support as support;
 pub use ffisafe_types as types;
 
+pub use ffisafe_cache::{
+    CacheBackend, CacheLocation, CacheServer, RemoteBackend, WIRE_PROTOCOL_VERSION,
+};
 #[allow(deprecated)]
 pub use ffisafe_core::Analyzer;
 pub use ffisafe_core::{
@@ -136,6 +139,7 @@ pub use ffisafe_core::{
 };
 pub use ffisafe_shard as shard;
 pub use ffisafe_shard::{
-    MapMode, SweepConfig, SweepOutput, SweepReport, MANIFEST_SCHEMA_VERSION, SWEEP_SCHEMA_VERSION,
+    MapMode, Schedule, SweepConfig, SweepOutput, SweepReport, MANIFEST_SCHEMA_VERSION,
+    SWEEP_SCHEMA_VERSION,
 };
 pub use ffisafe_support::{Diagnostic, DiagnosticCode, Phase, PhaseTimings, Session, Severity};

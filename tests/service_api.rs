@@ -74,8 +74,12 @@ fn figure9_batch_is_order_and_jobs_invariant() {
 
     // Reversed submission order, jobs = 8, wide batch pool: every slot
     // must still match its corpus's reference render.
-    let wide =
-        AnalysisService::with_config(ServiceConfig { cache_dir: None, batch_jobs: 4 }).unwrap();
+    let wide = AnalysisService::with_config(ServiceConfig {
+        cache_dir: None,
+        cache_url: None,
+        batch_jobs: 4,
+    })
+    .unwrap();
     let reversed: Vec<AnalysisRequest> = corpora
         .iter()
         .rev()

@@ -77,6 +77,7 @@ fn batch_over_shared_cache_matches_sequential_runs() {
         // One long-lived service with a shared store, wide batch pool.
         let service = AnalysisService::with_config(ServiceConfig {
             cache_dir: Some(dir.clone()),
+            cache_url: None,
             batch_jobs: 4,
         })
         .unwrap();
@@ -139,8 +140,12 @@ fn batch_over_shared_cache_matches_sequential_runs() {
 #[test]
 fn batch_results_ignore_submission_order() {
     let sets = corpora();
-    let service =
-        AnalysisService::with_config(ServiceConfig { cache_dir: None, batch_jobs: 3 }).unwrap();
+    let service = AnalysisService::with_config(ServiceConfig {
+        cache_dir: None,
+        cache_url: None,
+        batch_jobs: 3,
+    })
+    .unwrap();
     let forward: Vec<AnalysisRequest> =
         sets.iter().map(|(c, _)| AnalysisRequest::new(c.clone())).collect();
     let reversed: Vec<AnalysisRequest> =
@@ -161,9 +166,12 @@ fn batch_results_ignore_submission_order() {
 fn bypass_requests_share_a_batch_with_cached_ones() {
     let dir = temp_dir("mixed");
     let sets = corpora();
-    let service =
-        AnalysisService::with_config(ServiceConfig { cache_dir: Some(dir.clone()), batch_jobs: 4 })
-            .unwrap();
+    let service = AnalysisService::with_config(ServiceConfig {
+        cache_dir: Some(dir.clone()),
+        cache_url: None,
+        batch_jobs: 4,
+    })
+    .unwrap();
     let requests: Vec<AnalysisRequest> =
         sets.iter().map(|(c, _)| AnalysisRequest::new(c.clone())).collect();
     let _ = service.analyze_batch(&requests); // prime the store

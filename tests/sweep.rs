@@ -268,13 +268,92 @@ fn sweep_cli_writes_the_manifest_and_child_mode_matches_in_process() {
     // the manifest landed in the cache dir, versioned and parseable
     let manifest = std::fs::read_to_string(cache_a.join("sweep-manifest.json")).unwrap();
     let doc = json::parse(&manifest).expect("manifest is valid JSON");
-    assert_eq!(doc.get("manifest_schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("manifest_schema_version").and_then(Json::as_u64), Some(2));
     assert_eq!(doc.get("libraries").and_then(Json::as_u64), Some(5));
     assert_eq!(
         doc.get("shards").and_then(Json::as_array).map(|s| s.len()),
         Some(2),
         "manifest records the requested partitioning"
     );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cost_schedule_cli_sweeps_are_byte_identical_and_update_the_manifest() {
+    let root = build_tree("cli-schedule");
+    let cache = root.join(".cache");
+    let run = |schedule: &[&str]| {
+        let out = Command::new(ffisafe_bin())
+            .args(["sweep", "--shards", "2", "--format", "json", "--cache-dir"])
+            .arg(&cache)
+            .args(schedule)
+            .arg(&root)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    // first (name-scheduled) run records per-library costs; the second
+    // packs shards from them — and must not change a byte of output
+    let name_run = run(&[]);
+    let cost_run = run(&["--schedule", "cost"]);
+    assert_eq!(name_run, cost_run, "schedule leaked into the reduced report");
+
+    let manifest = std::fs::read_to_string(cache.join("sweep-manifest.json")).unwrap();
+    let doc = json::parse(&manifest).expect("manifest is valid JSON");
+    assert_eq!(doc.get("manifest_schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("schedule").and_then(Json::as_str), Some("cost"));
+    assert!(manifest.contains("\"cost_seconds\""), "cost rows recorded for the next run");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn remote_backend_sweeps_match_local_and_warm_runs_zero_workers() {
+    let root = build_tree("remote");
+    let store = ffisafe::cache::CacheStore::open(
+        &root.join(".remote-store"),
+        &ffisafe::core::pipeline::cache::analyzer_cache_version(),
+    )
+    .expect("store opens");
+    let addr = ffisafe::cache::CacheServer::bind("127.0.0.1:0", store)
+        .expect("daemon binds")
+        .spawn()
+        .expect("daemon spawns");
+    let config = SweepConfig {
+        shards: 2,
+        cache_url: Some(format!("tcp://{addr}")),
+        ..SweepConfig::default()
+    };
+    let cold = run_sweep(&root, &config);
+    assert!(cold.stats.workers_executed >= 5, "cold remote sweep runs workers");
+    let warm = run_sweep(&root, &config);
+    assert_eq!(warm.stats.workers_executed, 0, "warm remote sweep served by the daemon");
+    assert_eq!(cold.report.to_json(), warm.report.to_json());
+
+    // child mode reaches the daemon through the CLI's --cache-url flag —
+    // a second *process* sharing the same logical store
+    let child = run_sweep(
+        &root,
+        &SweepConfig {
+            mode: MapMode::ChildProcess { program: ffisafe_bin().into() },
+            ..config.clone()
+        },
+    );
+    assert_eq!(child.stats.libraries_failed, 0, "{:?}", child.report.failures);
+    assert_eq!(child.stats.workers_executed, 0, "children warm off the shared daemon");
+    assert_eq!(cold.report.to_json(), child.report.to_json());
+
+    // and the whole thing is byte-identical to a local-directory backend
+    let local = run_sweep(
+        &root,
+        &SweepConfig {
+            shards: 2,
+            cache_dir: Some(root.join(".local-store")),
+            ..SweepConfig::default()
+        },
+    );
+    assert_eq!(cold.report.to_json(), local.report.to_json(), "backend leaked into the report");
+    assert_eq!(cold.report.render(), local.report.render());
     let _ = std::fs::remove_dir_all(&root);
 }
 
