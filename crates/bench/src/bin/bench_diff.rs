@@ -29,6 +29,17 @@
 //!   clocks cannot separate, so it falls back to each row's
 //!   `critical_path_seconds` — the packing's longest per-shard cost
 //!   chain, which is what wall clock converges to with enough cores.
+//!   Each row records *how* its critical path was computed
+//!   (`critical_path_method`: `"live"`, `"packing"` or `"untracked"`),
+//!   and the fallback only fires when both rows used the same method —
+//!   a live thread timing and a packing makespan are different
+//!   quantities, so comparing them would be apples-to-oranges;
+//! * **telemetry overhead** — the `telemetry-on` row of the current
+//!   artifact (same workload as `telemetry-off`, but with span recording
+//!   enabled) must come in at ≤ 1.05× the untraced wall clock, with a
+//!   small absolute excess floor so sub-second workloads don't trip the
+//!   ratio on scheduler noise: tracing must stay cheap enough to leave on
+//!   in production daemons.
 //!
 //! `work_seconds` is jobs-independent but still wall-clock-derived, so
 //! runs on different hardware (or a noisy shared runner) drift even with
@@ -75,6 +86,15 @@ const MAX_SKEW_RATIO: f64 = 0.75;
 /// packing critical paths instead.
 const MIN_CORES_FOR_WALL: u64 = 4;
 
+/// Telemetry budget: the traced run may cost at most this factor of the
+/// untraced run of the same workload.
+const MAX_TELEMETRY_RATIO: f64 = 1.05;
+
+/// Absolute floor (seconds) for the telemetry gate: on a sub-second
+/// workload a single scheduler quantum can exceed 5% of the wall clock,
+/// so a real overhead regression must also cost this much extra time.
+const MIN_TELEMETRY_EXCESS: f64 = 0.020;
+
 struct Row {
     name: String,
     jobs: u64,
@@ -82,6 +102,9 @@ struct Row {
     seconds: f64,
     work_seconds: f64,
     critical_path_seconds: f64,
+    /// `"live"`, `"packing"` or `"untracked"`; empty on artifacts written
+    /// before the method was recorded.
+    critical_path_method: String,
 }
 
 fn rows(doc: &Json, which: &str) -> Result<Vec<Row>, String> {
@@ -116,6 +139,11 @@ fn rows(doc: &Json, which: &str) -> Result<Vec<Row>, String> {
                     .get("critical_path_seconds")
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0),
+                critical_path_method: r
+                    .get("critical_path_method")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             })
         })
         .collect()
@@ -183,6 +211,18 @@ fn skew_verdict(rows: &[Row], host_cores: u64) -> Option<(String, bool)> {
     let (metric, static_v, cost_v) = if host_cores >= MIN_CORES_FOR_WALL {
         ("wall", static_row.seconds, cost_row.seconds)
     } else {
+        // Critical paths are only comparable when both rows computed them
+        // the same way (live timing vs packing makespan are different
+        // quantities that share a unit).
+        if static_row.critical_path_method != cost_row.critical_path_method {
+            return Some((
+                format!(
+                    "skew makespan: critical-path methods differ (static `{}` vs cost `{}`); skipping the comparison",
+                    static_row.critical_path_method, cost_row.critical_path_method
+                ),
+                false,
+            ));
+        }
         ("critical path", static_row.critical_path_seconds, cost_row.critical_path_seconds)
     };
     if static_v <= 0.0 {
@@ -193,6 +233,25 @@ fn skew_verdict(rows: &[Row], host_cores: u64) -> Option<(String, bool)> {
         "skew makespan ({metric}, {host_cores} core(s)): static {static_v:.4}s -> cost {cost_v:.4}s ({ratio:.3}x, budget {MAX_SKEW_RATIO:.2}x)"
     );
     Some((message, ratio > MAX_SKEW_RATIO))
+}
+
+/// The telemetry-overhead verdict over the current artifact, or `None`
+/// when it carries no telemetry pair (older artifacts). Returns
+/// `(message, failed)`.
+fn telemetry_verdict(rows: &[Row]) -> Option<(String, bool)> {
+    let find = |name: &str| rows.iter().find(|r| r.name == name && r.cache == "off");
+    let off = find("telemetry-off")?;
+    let on = find("telemetry-on")?;
+    if off.seconds <= 0.0 {
+        return None;
+    }
+    let ratio = on.seconds / off.seconds;
+    let excess = on.seconds - off.seconds;
+    let message = format!(
+        "telemetry overhead: untraced {:.4}s -> traced {:.4}s ({ratio:.3}x, budget {MAX_TELEMETRY_RATIO:.2}x or +{MIN_TELEMETRY_EXCESS:.3}s)",
+        off.seconds, on.seconds
+    );
+    Some((message, ratio > MAX_TELEMETRY_RATIO && excess > MIN_TELEMETRY_EXCESS))
 }
 
 fn load(path: &str) -> Result<Json, String> {
@@ -262,6 +321,19 @@ fn main() -> ExitCode {
             }
         }
         None => println!("no skew-makespan rows in the current artifact; skipping that gate"),
+    }
+
+    match telemetry_verdict(&current_rows) {
+        Some((message, telemetry_failed)) => {
+            println!("{message}");
+            if telemetry_failed {
+                failed = true;
+                println!(
+                    "REGRESSION: span recording is no longer cheap enough to leave on in production"
+                );
+            }
+        }
+        None => println!("no telemetry-overhead rows in the current artifact; skipping that gate"),
     }
 
     let baseline_names: BTreeSet<&str> = baseline_rows.iter().map(|r| r.name.as_str()).collect();

@@ -1,0 +1,112 @@
+//! `trace_check` — smoke checker for Chrome trace-event files written by
+//! `--trace-out`.
+//!
+//! ```text
+//! trace_check <trace.json> [required-span-name ...]
+//! ```
+//!
+//! Verifies that the file is what a trace viewer (chrome://tracing,
+//! Perfetto) will accept and what the span schema promises:
+//!
+//! * the document is a top-level JSON array of complete (`"ph": "X"`)
+//!   events, each carrying `name`/`pid`/`tid`/`ts`/`dur`;
+//! * every span name passed on the command line occurs at least once;
+//! * per-thread spans nest properly — no two spans on one thread
+//!   partially overlap (see
+//!   [`ffisafe_support::telemetry::nesting_violations`]).
+//!
+//! Exit status: `0` healthy, `1` an assertion failed, `2` usage/IO/parse
+//! problem.
+
+use ffisafe_support::json::{self, Json};
+use ffisafe_support::telemetry::{nesting_violations, SpanEvent};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn event_from_json(i: usize, event: &Json) -> Result<SpanEvent, String> {
+    let field = |key: &str| event.get(key).ok_or_else(|| format!("events[{i}] missing `{key}`"));
+    let name = field("name")?.as_str().ok_or_else(|| format!("events[{i}].name not a string"))?;
+    let ph = field("ph")?.as_str().ok_or_else(|| format!("events[{i}].ph not a string"))?;
+    if ph != "X" {
+        return Err(format!("events[{i}] is `ph: {ph}`, expected a complete event (`X`)"));
+    }
+    field("pid")?.as_u64().ok_or_else(|| format!("events[{i}].pid not an integer"))?;
+    Ok(SpanEvent {
+        // `SpanEvent.name` is `&'static str` because live spans point at
+        // literals; a checker reading names back from a file leaks each
+        // one instead, which is fine for a run-once process.
+        name: Box::leak(name.to_string().into_boxed_str()),
+        start_us: field("ts")?.as_u64().ok_or_else(|| format!("events[{i}].ts not an integer"))?,
+        dur_us: field("dur")?.as_u64().ok_or_else(|| format!("events[{i}].dur not an integer"))?,
+        tid: field("tid")?.as_u64().ok_or_else(|| format!("events[{i}].tid not an integer"))?,
+        args: Vec::new(),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path, required @ ..] = args.as_slice() else {
+        eprintln!("usage: trace_check <trace.json> [required-span-name ...]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(raw_events) = doc.as_array() else {
+        eprintln!("trace_check: {path}: top level is not an array of trace events");
+        return ExitCode::FAILURE;
+    };
+
+    let mut events = Vec::with_capacity(raw_events.len());
+    for (i, raw) in raw_events.iter().enumerate() {
+        match event_from_json(i, raw) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                eprintln!("trace_check: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for event in &events {
+        *counts.entry(event.name).or_insert(0) += 1;
+    }
+    let mut failed = false;
+    for name in required {
+        match counts.get(name.as_str()) {
+            Some(n) => println!("{name}: {n} span(s)"),
+            None => {
+                failed = true;
+                eprintln!("trace_check: {path}: no `{name}` span recorded");
+            }
+        }
+    }
+
+    let violations = nesting_violations(&events);
+    if violations > 0 {
+        failed = true;
+        eprintln!("trace_check: {path}: {violations} span(s) partially overlap a sibling on the same thread");
+    }
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{path}: {} event(s) across {} thread(s), all nested",
+        events.len(),
+        events.iter().map(|e| e.tid).collect::<std::collections::BTreeSet<_>>().len()
+    );
+    ExitCode::SUCCESS
+}

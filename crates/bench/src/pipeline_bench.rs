@@ -15,6 +15,7 @@ use crate::runner::scaling_benchmark;
 use crate::spec::paper_benchmarks;
 use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, ServiceConfig};
 use ffisafe_shard::{planner, sweep, LibraryCost, Schedule, SweepConfig, SweepOutput};
+use ffisafe_support::telemetry;
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -46,6 +47,14 @@ pub struct PipelineMeasurement {
     pub setup_seconds: f64,
     /// Slowest single function — the parallel lower bound.
     pub critical_path_seconds: f64,
+    /// How `critical_path_seconds` was computed: `"live"` (slowest
+    /// measured function in this run), `"packing"` (deterministic
+    /// makespan of the schedule over manifest costs — see
+    /// [`packing_makespan`]) or `"untracked"` (not measured; the value
+    /// is 0). Trajectory tooling must only compare rows whose methods
+    /// match — a live timing and a packing makespan are different
+    /// quantities that happen to share a unit.
+    pub critical_path_method: &'static str,
     /// Functions replayed from the tier-1 cache. Note an unchanged warm
     /// run short-circuits at the report tier *before* tier 1 is
     /// consulted, so this is nonzero only for partially-invalidated runs.
@@ -72,6 +81,18 @@ fn measure(
     jobs: usize,
     cache: Option<(&Path, &'static str)>,
 ) -> PipelineMeasurement {
+    measure_with_report(name, ml, c, jobs, cache).0
+}
+
+/// Like [`measure`], but also returns the rendered report so callers can
+/// assert result invariance (the telemetry pair diffs the bytes).
+fn measure_with_report(
+    name: &str,
+    ml: &str,
+    c: &str,
+    jobs: usize,
+    cache: Option<(&Path, &'static str)>,
+) -> (PipelineMeasurement, String) {
     let service = AnalysisService::with_config(ServiceConfig {
         cache_dir: cache.map(|(dir, _)| dir.to_path_buf()),
         cache_url: None,
@@ -81,7 +102,10 @@ fn measure(
     let corpus = Corpus::builder().ml_source("lib.ml", ml).c_source("glue.c", c).build();
     let request = AnalysisRequest::new(corpus).options(AnalysisOptions::default().with_jobs(jobs));
     let report = service.analyze(&request).expect("in-memory corpus analysis cannot fail");
-    PipelineMeasurement {
+    // `render_stable` drops the wall-clock suffix, so byte-comparing two
+    // runs' reports checks the analysis, not the timer.
+    let rendered = report.render_stable();
+    let row = PipelineMeasurement {
         name: name.to_string(),
         c_loc: report.stats.c_loc,
         functions: report.stats.c_functions,
@@ -95,10 +119,12 @@ fn measure(
         work_seconds: report.stats.infer_work_seconds,
         setup_seconds: report.stats.infer_setup_seconds,
         critical_path_seconds: report.stats.infer_critical_path_seconds,
+        critical_path_method: "live",
         cache_fn_hits: report.stats.cache_fn_hits,
         report_hit: report.stats.cache_report_hit,
         diagnostics: report.error_count() + report.warning_count() + report.imprecision_count(),
-    }
+    };
+    (row, rendered)
 }
 
 /// Measures one workload: uncached at every width in `jobs_list`, then a
@@ -158,6 +184,7 @@ fn measure_sweep_once(
         work_seconds: s.work_seconds,
         setup_seconds: 0.0,
         critical_path_seconds: 0.0,
+        critical_path_method: "untracked",
         cache_fn_hits: s.cache_fn_hits,
         report_hit: s.report_hits == output.library_count,
         diagnostics: total.errors + total.warnings + total.imprecision,
@@ -282,6 +309,7 @@ fn measure_skew_sweep(rows: &mut Vec<PipelineMeasurement>) {
             work_seconds: s.work_seconds,
             setup_seconds: 0.0,
             critical_path_seconds: packing_makespan(&root, schedule, &costs),
+            critical_path_method: "packing",
             cache_fn_hits: s.cache_fn_hits,
             report_hit: false,
             diagnostics: total.errors + total.warnings + total.imprecision,
@@ -292,9 +320,33 @@ fn measure_skew_sweep(rows: &mut Vec<PipelineMeasurement>) {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The telemetry-overhead pair: one mid-size workload analyzed with
+/// tracing off (`telemetry-off`) and then with tracing on
+/// (`telemetry-on`), both uncached at `jobs = 1`. `bench_diff` gates the
+/// on/off wall-clock ratio, and the pair doubles as a result-invariance
+/// check — the traced run's rendered report must be byte-identical to the
+/// untraced one.
+fn measure_telemetry_overhead(rows: &mut Vec<PipelineMeasurement>) {
+    let scale = scaling_benchmark(4_000);
+    let (off_row, off_report) =
+        measure_with_report("telemetry-off", &scale.ml_source, &scale.c_source, 1, None);
+    telemetry::set_tracing(true);
+    let (on_row, on_report) =
+        measure_with_report("telemetry-on", &scale.ml_source, &scale.c_source, 1, None);
+    telemetry::set_tracing(false);
+    let spans = telemetry::drain_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "infer.solve"),
+        "traced bench run must record solver spans"
+    );
+    assert_eq!(off_report, on_report, "telemetry changed the report bytes");
+    rows.push(off_row);
+    rows.push(on_row);
+}
+
 /// Runs every workload at each worker count in `jobs_list`, plus the
-/// cold/warm cache pair per workload and the sharded-sweep cold/warm
-/// pair.
+/// cold/warm cache pair per workload, the sharded-sweep cold/warm
+/// pair and the telemetry-overhead pair.
 pub fn run(jobs_list: &[usize]) -> PipelineBench {
     let mut rows = Vec::new();
     for spec in paper_benchmarks() {
@@ -305,6 +357,7 @@ pub fn run(jobs_list: &[usize]) -> PipelineBench {
     measure_workload(&mut rows, "scale-12k", &scale.ml_source, &scale.c_source, jobs_list);
     measure_sweep(&mut rows);
     measure_skew_sweep(&mut rows);
+    measure_telemetry_overhead(&mut rows);
     PipelineBench { rows }
 }
 
@@ -381,7 +434,7 @@ impl PipelineBench {
         ));
         for (i, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"setup_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"setup_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"critical_path_method\": \"{}\", \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
                 json_escape(&r.name),
                 r.c_loc,
                 r.functions,
@@ -393,6 +446,7 @@ impl PipelineBench {
                 r.work_seconds,
                 r.setup_seconds,
                 r.critical_path_seconds,
+                r.critical_path_method,
                 r.cache_fn_hits,
                 r.report_hit,
                 r.diagnostics,

@@ -28,6 +28,9 @@
 //!
 //! client → FLUSH | STATS | ADOPT      u8 op
 //! server → reply    u8 status [, STATS: 8 × u64 counter/occupancy]
+//!
+//! client → METRICS  u8 op
+//! server → reply    u8 status, str Prometheus text exposition
 //! ```
 //!
 //! The handshake pins both the protocol version and the analyzer version:
@@ -46,14 +49,17 @@
 use crate::backend::CacheBackend;
 use crate::codec::{Decoder, Encoder};
 use crate::store::{CacheStats, CacheStore, Tier};
+use ffisafe_support::telemetry::{self, LogLevel, MetricsRegistry, SpanEvent};
 use ffisafe_support::Fingerprint;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Bump when the frame layout or operation set changes. A mismatch ends
-/// the session at the handshake.
-pub const WIRE_PROTOCOL_VERSION: u32 = 1;
+/// the session at the handshake. Version 2 added the METRICS op.
+pub const WIRE_PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on one frame body; larger length prefixes are corruption.
 const MAX_FRAME_BYTES: usize = 512 * 1024 * 1024;
@@ -67,9 +73,52 @@ const OP_PUT: u8 = 2;
 const OP_FLUSH: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_ADOPT: u8 = 5;
+const OP_METRICS: u8 = 6;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
+
+/// Stable lowercase op name, used in span names, logs, and metric labels.
+fn op_name(op: u8) -> &'static str {
+    match op {
+        OP_HELLO => "hello",
+        OP_GET => "get",
+        OP_PUT => "put",
+        OP_FLUSH => "flush",
+        OP_STATS => "stats",
+        OP_ADOPT => "adopt",
+        OP_METRICS => "metrics",
+        _ => "unknown",
+    }
+}
+
+/// Client-side span name for an op (`cache.rpc.<op>`).
+fn rpc_span_name(op: u8) -> &'static str {
+    match op {
+        OP_HELLO => "cache.rpc.hello",
+        OP_GET => "cache.rpc.get",
+        OP_PUT => "cache.rpc.put",
+        OP_FLUSH => "cache.rpc.flush",
+        OP_STATS => "cache.rpc.stats",
+        OP_ADOPT => "cache.rpc.adopt",
+        OP_METRICS => "cache.rpc.metrics",
+        _ => "cache.rpc.unknown",
+    }
+}
+
+/// Server-side span name for an op (`cache.serve.<op>`).
+fn serve_span_name(op: u8) -> &'static str {
+    match op {
+        OP_HELLO => "cache.serve.hello",
+        OP_GET => "cache.serve.get",
+        OP_PUT => "cache.serve.put",
+        OP_FLUSH => "cache.serve.flush",
+        OP_STATS => "cache.serve.stats",
+        OP_ADOPT => "cache.serve.adopt",
+        OP_METRICS => "cache.serve.metrics",
+        _ => "cache.serve.unknown",
+    }
+}
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -108,6 +157,118 @@ fn tail_payload(d: &mut Decoder<'_>, body: &[u8]) -> io::Result<Vec<u8>> {
 // Server
 // ---------------------------------------------------------------------
 
+/// Lock-free lifetime counters for one daemon: sessions, per-op request
+/// counts, bytes moved, request errors. Feeds the `METRICS` wire op and
+/// the daemon's `--metrics-out` file.
+#[derive(Debug, Default)]
+struct ServerCounters {
+    sessions_opened: AtomicU64,
+    sessions_refused: AtomicU64,
+    /// Requests served, indexed by op code (unknown ops land in the last
+    /// slot).
+    ops: [AtomicU64; 8],
+    op_errors: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl ServerCounters {
+    fn count_op(&self, op: u8) {
+        let idx = (op as usize).min(self.ops.len() - 1);
+        self.ops[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by every session thread of one daemon.
+struct ServerShared {
+    store: Arc<CacheStore>,
+    counters: ServerCounters,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    /// Spans accumulated across finished sessions, so the `--trace-out`
+    /// file can be rewritten whole after each session ends.
+    trace_spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl ServerShared {
+    /// Builds the daemon's metrics registry: store counters/occupancy plus
+    /// server lifetime counters.
+    fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.store.stats().feed_metrics(&mut reg);
+        let c = &self.counters;
+        reg.inc_counter(
+            "ffisafe_server_sessions_opened_total",
+            "Client sessions accepted after a successful handshake",
+            &[],
+            c.sessions_opened.load(Ordering::Relaxed),
+        );
+        reg.inc_counter(
+            "ffisafe_server_sessions_refused_total",
+            "Client sessions refused at the handshake (version mismatch)",
+            &[],
+            c.sessions_refused.load(Ordering::Relaxed),
+        );
+        for (op, slot) in c.ops.iter().enumerate() {
+            let count = slot.load(Ordering::Relaxed);
+            if count > 0 {
+                reg.inc_counter(
+                    "ffisafe_server_ops_total",
+                    "Requests served, by wire op",
+                    &[("op", op_name(op as u8))],
+                    count,
+                );
+            }
+        }
+        reg.inc_counter(
+            "ffisafe_server_op_errors_total",
+            "Requests that returned an error status",
+            &[],
+            c.op_errors.load(Ordering::Relaxed),
+        );
+        reg.inc_counter(
+            "ffisafe_server_bytes_read_total",
+            "Request frame bytes read from clients",
+            &[],
+            c.bytes_read.load(Ordering::Relaxed),
+        );
+        reg.inc_counter(
+            "ffisafe_server_bytes_written_total",
+            "Reply frame bytes written to clients",
+            &[],
+            c.bytes_written.load(Ordering::Relaxed),
+        );
+        reg
+    }
+
+    /// Rewrites the daemon's `--trace-out` / `--metrics-out` files; called
+    /// by each session thread as it ends, so the files are always a
+    /// complete snapshot of the daemon so far.
+    fn export(&self) {
+        if let Some(path) = &self.metrics_out {
+            if let Err(e) = std::fs::write(path, self.metrics().to_prometheus()) {
+                telemetry::log(
+                    LogLevel::Error,
+                    "cache-serve",
+                    &format!("failed to write {}: {e}", path.display()),
+                );
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            telemetry::flush_thread();
+            let mut accumulated = self.trace_spans.lock().unwrap_or_else(|p| p.into_inner());
+            accumulated.extend(telemetry::drain_spans());
+            if let Err(e) = std::fs::write(path, telemetry::chrome_trace_json(&accumulated)) {
+                telemetry::log(
+                    LogLevel::Error,
+                    "cache-serve",
+                    &format!("failed to write {}: {e}", path.display()),
+                );
+            }
+        }
+    }
+}
+
 /// A daemon serving one [`CacheStore`] to many TCP clients.
 ///
 /// Each accepted connection gets its own thread; the store itself is
@@ -115,14 +276,39 @@ fn tail_payload(d: &mut Decoder<'_>, body: &[u8]) -> io::Result<Vec<u8>> {
 /// shards their keys map to, exactly as in-process workers do.
 pub struct CacheServer {
     listener: TcpListener,
-    store: Arc<CacheStore>,
+    shared: Arc<ServerShared>,
 }
 
 impl CacheServer {
     /// Binds `addr` (e.g. `127.0.0.1:7441`, or port 0 for an ephemeral
     /// port) and prepares to serve `store`.
     pub fn bind(addr: impl ToSocketAddrs, store: CacheStore) -> io::Result<CacheServer> {
-        Ok(CacheServer { listener: TcpListener::bind(addr)?, store: Arc::new(store) })
+        Ok(CacheServer {
+            listener: TcpListener::bind(addr)?,
+            shared: Arc::new(ServerShared {
+                store: Arc::new(store),
+                counters: ServerCounters::default(),
+                trace_out: None,
+                metrics_out: None,
+                trace_spans: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// Rewrite a Chrome trace-event JSON snapshot of the daemon's spans to
+    /// `path` after each session ends. Must be called before serving.
+    pub fn set_trace_out(&mut self, path: PathBuf) {
+        if let Some(shared) = Arc::get_mut(&mut self.shared) {
+            shared.trace_out = Some(path);
+        }
+    }
+
+    /// Rewrite a Prometheus text snapshot of the daemon's metrics to
+    /// `path` after each session ends. Must be called before serving.
+    pub fn set_metrics_out(&mut self, path: PathBuf) {
+        if let Some(shared) = Arc::get_mut(&mut self.shared) {
+            shared.metrics_out = Some(path);
+        }
     }
 
     /// The bound address — useful when binding port 0.
@@ -134,11 +320,15 @@ impl CacheServer {
     /// errors end that session only; the daemon keeps serving. Returns
     /// only if the listener itself fails.
     pub fn serve(&self) -> io::Result<()> {
+        if let Ok(addr) = self.local_addr() {
+            telemetry::log(LogLevel::Info, "cache-serve", &format!("listening on {addr}"));
+        }
         loop {
             let (stream, _) = self.listener.accept()?;
-            let store = Arc::clone(&self.store);
+            let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || {
-                let _ = serve_client(stream, &store);
+                let _ = serve_client(stream, &shared);
+                shared.export();
             });
         }
     }
@@ -156,35 +346,84 @@ impl CacheServer {
 }
 
 /// One client session: handshake, then request/reply until disconnect.
-fn serve_client(mut stream: TcpStream, store: &CacheStore) -> io::Result<()> {
+fn serve_client(mut stream: TcpStream, shared: &ServerShared) -> io::Result<()> {
     stream.set_nodelay(true).ok();
-    handshake_server(&mut stream, store)?;
-    loop {
+    let peer =
+        stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "<unknown>".to_string());
+    handshake_server(&mut stream, shared, &peer)?;
+    let (mut ops, mut bytes_in, mut bytes_out) = (0u64, 0u64, 0u64);
+    let result = loop {
         let body = match read_frame(&mut stream) {
             Ok(body) => body,
             // Disconnect is the normal end of a session.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break Ok(()),
+            Err(e) => break Err(e),
         };
-        let reply = handle_request(&body, store).unwrap_or_else(|e| {
+        let op = body.first().copied().unwrap_or(u8::MAX);
+        let mut span = telemetry::span_with(serve_span_name(op), || {
+            vec![("bytes_in", body.len().to_string())]
+        });
+        let reply = handle_request(&body, shared).unwrap_or_else(|e| {
+            shared.counters.op_errors.fetch_add(1, Ordering::Relaxed);
+            telemetry::log(
+                LogLevel::Warn,
+                "cache-serve",
+                &format!("{} from {peer}: {} failed: {e}", op_name(op), op_name(op)),
+            );
             let mut r = Encoder::new();
             r.put_u8(STATUS_ERR);
             r.put_str(&e.to_string());
             r.into_bytes()
         });
-        write_frame(&mut stream, &reply)?;
-    }
+        span.arg("bytes_out", reply.len().to_string());
+        drop(span);
+        if telemetry::log_enabled(LogLevel::Debug) {
+            telemetry::log(
+                LogLevel::Debug,
+                "cache-serve",
+                &format!("{} from {peer}: {} B in, {} B out", op_name(op), body.len(), reply.len()),
+            );
+        }
+        shared.counters.count_op(op);
+        shared.counters.bytes_read.fetch_add(body.len() as u64, Ordering::Relaxed);
+        shared.counters.bytes_written.fetch_add(reply.len() as u64, Ordering::Relaxed);
+        ops += 1;
+        bytes_in += body.len() as u64;
+        bytes_out += reply.len() as u64;
+        if let Err(e) = write_frame(&mut stream, &reply) {
+            break Err(e);
+        }
+    };
+    telemetry::log(
+        LogLevel::Info,
+        "cache-serve",
+        &format!("session closed ({peer}): {ops} op(s), {bytes_in} B in, {bytes_out} B out"),
+    );
+    result
 }
 
-fn handshake_server(stream: &mut TcpStream, store: &CacheStore) -> io::Result<()> {
+fn handshake_server(stream: &mut TcpStream, shared: &ServerShared, peer: &str) -> io::Result<()> {
     let body = read_frame(stream)?;
-    let refusal = check_hello(&body, store.analyzer_version());
+    let _span =
+        telemetry::span_with("cache.serve.hello", || vec![("bytes_in", body.len().to_string())]);
+    let refusal = check_hello(&body, shared.store.analyzer_version());
+    shared.counters.count_op(OP_HELLO);
     let mut r = Encoder::new();
     match &refusal {
-        None => r.put_u8(STATUS_OK),
+        None => {
+            r.put_u8(STATUS_OK);
+            shared.counters.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            telemetry::log(LogLevel::Info, "cache-serve", &format!("session open ({peer})"));
+        }
         Some(msg) => {
             r.put_u8(STATUS_ERR);
             r.put_str(msg);
+            shared.counters.sessions_refused.fetch_add(1, Ordering::Relaxed);
+            telemetry::log(
+                LogLevel::Warn,
+                "cache-serve",
+                &format!("session refused ({peer}): {msg}"),
+            );
         }
     }
     write_frame(stream, &r.into_bytes())?;
@@ -223,7 +462,8 @@ fn check_hello(body: &[u8], server_version: &str) -> Option<String> {
     None
 }
 
-fn handle_request(body: &[u8], store: &CacheStore) -> io::Result<Vec<u8>> {
+fn handle_request(body: &[u8], shared: &ServerShared) -> io::Result<Vec<u8>> {
+    let store = &*shared.store;
     let mut d = Decoder::new(body);
     let op = d.get_u8().map_err(|e| bad_data(e.to_string()))?;
     let mut r = Encoder::new();
@@ -266,6 +506,10 @@ fn handle_request(body: &[u8], store: &CacheStore) -> io::Result<Vec<u8>> {
         OP_ADOPT => {
             store.adopt_orphans();
             r.put_u8(STATUS_OK);
+        }
+        OP_METRICS => {
+            r.put_u8(STATUS_OK);
+            r.put_str(&shared.metrics().to_prometheus());
         }
         other => return Err(bad_data(format!("unknown op {other}"))),
     }
@@ -332,8 +576,13 @@ impl RemoteBackend {
         hello.put_u8(OP_HELLO);
         hello.put_u32(WIRE_PROTOCOL_VERSION);
         hello.put_str(&self.analyzer_version);
-        write_frame(&mut stream, &hello.into_bytes())?;
+        let request = hello.into_bytes();
+        let mut span = telemetry::span_with("cache.rpc.hello", || {
+            vec![("bytes_out", request.len().to_string())]
+        });
+        write_frame(&mut stream, &request)?;
         let reply = read_frame(&mut stream)?;
+        span.arg("bytes_in", reply.len().to_string());
         let mut d = Decoder::new(&reply);
         match d.get_u8().map_err(|e| bad_data(e.to_string()))? {
             STATUS_OK => Ok(stream),
@@ -349,6 +598,19 @@ impl RemoteBackend {
     /// fresh connection covers a daemon restart; a second failure is
     /// returned to the caller.
     fn round_trip(&self, fp: Fingerprint, request: &[u8]) -> io::Result<Vec<u8>> {
+        let op = request.first().copied().unwrap_or(u8::MAX);
+        let mut span = telemetry::span_with(rpc_span_name(op), || {
+            vec![("bytes_out", request.len().to_string())]
+        });
+        let reply = self.round_trip_inner(fp, request);
+        match &reply {
+            Ok(body) => span.arg("bytes_in", body.len().to_string()),
+            Err(_) => span.arg("error", "true"),
+        }
+        reply
+    }
+
+    fn round_trip_inner(&self, fp: Fingerprint, request: &[u8]) -> io::Result<Vec<u8>> {
         let slot = (fp.0 >> 60) as usize % self.conns.len();
         let mut conn = self.conns[slot].lock().unwrap_or_else(|p| p.into_inner());
         for fresh in [false, true] {
@@ -385,6 +647,15 @@ impl RemoteBackend {
             }
         }
     }
+
+    /// Scrapes the daemon's metrics (the `METRICS` wire op): the same
+    /// Prometheus text the daemon writes to its `--metrics-out` file.
+    pub fn fetch_metrics(&self) -> io::Result<String> {
+        let reply = self.expect_ok(Fingerprint(0, 0), &[OP_METRICS])?;
+        let mut d = Decoder::new(&reply);
+        let _ = d.get_u8();
+        d.get_str().map_err(|e| bad_data(e.to_string()))
+    }
 }
 
 impl CacheBackend for RemoteBackend {
@@ -394,7 +665,17 @@ impl CacheBackend for RemoteBackend {
         r.put_u8(tier.as_u8());
         r.put_u64(fp.0);
         r.put_u64(fp.1);
-        let reply = self.round_trip(fp, &r.into_bytes()).ok()?;
+        let reply = match self.round_trip(fp, &r.into_bytes()) {
+            Ok(reply) => reply,
+            Err(e) => {
+                telemetry::log(
+                    LogLevel::Warn,
+                    "cache-client",
+                    &format!("get from {} degraded to miss: {e}", self.addr),
+                );
+                return None;
+            }
+        };
         let mut d = Decoder::new(&reply);
         match d.get_u8().ok()? {
             1 => tail_payload(&mut d, &reply).ok(),
@@ -419,8 +700,16 @@ impl CacheBackend for RemoteBackend {
     }
 
     fn stats(&self) -> CacheStats {
-        let Ok(reply) = self.expect_ok(Fingerprint(0, 0), &[OP_STATS]) else {
-            return CacheStats::default();
+        let reply = match self.expect_ok(Fingerprint(0, 0), &[OP_STATS]) {
+            Ok(reply) => reply,
+            Err(e) => {
+                telemetry::log(
+                    LogLevel::Warn,
+                    "cache-client",
+                    &format!("stats from {} degraded to defaults: {e}", self.addr),
+                );
+                return CacheStats::default();
+            }
         };
         let mut d = Decoder::new(&reply);
         let _ = d.get_u8();

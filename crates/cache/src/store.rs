@@ -33,7 +33,7 @@
 //! is ever silently lost to an index race.
 
 use crate::codec::{Decoder, Encoder};
-use ffisafe_support::{Fingerprint, FingerprintHasher};
+use ffisafe_support::{Fingerprint, FingerprintHasher, MetricsRegistry};
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -107,6 +107,61 @@ pub struct CacheStats {
     pub entries: usize,
     /// Total indexed payload-file bytes (occupancy, not a counter).
     pub live_bytes: u64,
+}
+
+impl CacheStats {
+    /// Feeds these counters into a [`MetricsRegistry`] under the
+    /// `ffisafe_cache_store_*` family (see README "Observability").
+    pub fn feed_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.inc_counter(
+            "ffisafe_cache_store_fn_hits_total",
+            "Store-level tier-1 lookups that replayed a memoized outcome",
+            &[],
+            self.fn_hits as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_store_fn_misses_total",
+            "Store-level tier-1 lookups that fell through to a worker",
+            &[],
+            self.fn_misses as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_store_report_hits_total",
+            "Store-level tier-2 lookups that served a whole report",
+            &[],
+            self.report_hits as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_store_report_misses_total",
+            "Store-level tier-2 lookups that fell through to a full analysis",
+            &[],
+            self.report_misses as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_store_evictions_total",
+            "Entries deleted by the LRU size-cap sweep",
+            &[],
+            self.evictions as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_store_corrupt_total",
+            "Entries dropped because validation failed",
+            &[],
+            self.corrupt as u64,
+        );
+        reg.set_gauge(
+            "ffisafe_cache_store_entries",
+            "Entries currently indexed",
+            &[],
+            self.entries as f64,
+        );
+        reg.set_gauge(
+            "ffisafe_cache_store_live_bytes",
+            "Total indexed payload-file bytes",
+            &[],
+            self.live_bytes as f64,
+        );
+    }
 }
 
 #[derive(Clone, Copy, Debug)]

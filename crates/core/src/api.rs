@@ -43,6 +43,7 @@ use crate::pipeline::{discharge, frontend_c, frontend_ml, infer};
 use ffisafe_cache::{open_backend, CacheBackend, CacheLocation, Tier};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
+use ffisafe_support::telemetry;
 use ffisafe_support::{Fingerprint, Interner, Phase, Session};
 use ffisafe_types::TypeTable;
 use std::fmt;
@@ -558,6 +559,9 @@ impl AnalysisService {
     ) -> Vec<Result<AnalysisReport, ApiError>> {
         let n = requests.len();
         let width = self.effective_batch_jobs().clamp(1, n.max(1));
+        let mut span =
+            telemetry::span_with("service.analyze_batch", || vec![("requests", n.to_string())]);
+        span.arg("width", width.to_string());
         if n <= 1 || width == 1 {
             return requests.iter().map(|r| self.analyze(r)).collect();
         }
@@ -567,18 +571,23 @@ impl AnalysisService {
             (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..width {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        break;
+                scope.spawn(|| {
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let request = &requests[idx];
+                        let mut options = *request.analysis_options();
+                        if options.jobs == 0 {
+                            options.jobs = fair_auto_jobs(cores, width);
+                        }
+                        let result = self.analyze_as(request, options);
+                        *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                     }
-                    let request = &requests[idx];
-                    let mut options = *request.analysis_options();
-                    if options.jobs == 0 {
-                        options.jobs = fair_auto_jobs(cores, width);
-                    }
-                    let result = self.analyze_as(request, options);
-                    *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                    // Scoped joins don't wait for thread-local teardown, so
+                    // the spans must be handed off before the closure ends.
+                    telemetry::flush_thread();
                 });
             }
         });
@@ -667,6 +676,9 @@ pub(crate) fn execute(
 ) -> AnalysisReport {
     let start = Instant::now();
     let ParsedSources { mut session, ml_files, c_units, ml_loc, c_loc } = parsed;
+    let mut span = telemetry::span_with("service.analyze", || {
+        vec![("ml_files", ml_files.len().to_string()), ("c_units", c_units.len().to_string())]
+    });
     let mut pcache = cache;
 
     // Tier-2 probe: an already-analyzed (corpus, options) pair skips the
@@ -675,6 +687,7 @@ pub(crate) fn execute(
     if let (Some(pc), Some(fp)) = (pcache.as_ref(), report_fp) {
         if let Some(cached) = pc.get(Tier::Report, fp).and_then(|b| cache::decode_report(&b)) {
             pc.flush();
+            span.arg("report_hit", "true");
             let stats = AnalysisStats {
                 ml_loc,
                 c_loc,

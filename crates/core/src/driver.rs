@@ -18,7 +18,8 @@ use crate::api::{AnalysisRequest, AnalysisService, Corpus, SourceKind};
 use crate::engine::AnalysisOptions;
 use crate::pipeline::cache::CachedReport;
 use ffisafe_support::json::escape_into;
-use ffisafe_support::{DiagnosticBag, DiagnosticCode, Loc, PhaseTimings, SourceMap};
+use ffisafe_support::telemetry::{self, MetricsRegistry};
+use ffisafe_support::{DiagnosticBag, DiagnosticCode, Loc, Phase, PhaseTimings, SourceMap};
 use std::path::PathBuf;
 
 /// Version of the structured report schema emitted by
@@ -159,6 +160,107 @@ impl AnalysisReport {
             imprecision: self.imprecision_count(),
             notes,
             diagnostics: self.diagnostics.len(),
+        }
+    }
+
+    /// Feeds this report's timings, stats, and diagnostic counts into a
+    /// [`MetricsRegistry`]. This is the single source both the CLI's
+    /// `--timings` stderr renderer and the Prometheus `--metrics-out`
+    /// export draw from, so the two cannot drift apart.
+    pub fn feed_metrics(&self, reg: &mut MetricsRegistry) {
+        for phase in Phase::ALL {
+            let labels = [("phase", phase.name())];
+            reg.set_gauge(
+                "ffisafe_phase_wall_seconds",
+                "Wall-clock seconds spent in each pipeline phase",
+                &labels,
+                self.timings.get(phase).as_secs_f64(),
+            );
+            reg.set_gauge(
+                "ffisafe_phase_work_seconds",
+                "Work seconds performed by each pipeline phase (= wall for serial phases)",
+                &labels,
+                self.timings.get_work(phase).as_secs_f64(),
+            );
+        }
+        let s = &self.stats;
+        reg.set_gauge(
+            "ffisafe_analysis_seconds",
+            "Wall-clock seconds for the whole analysis",
+            &[],
+            s.seconds,
+        );
+        reg.observe(
+            "ffisafe_analysis_duration_seconds",
+            "Distribution of whole-analysis wall-clock seconds",
+            &[],
+            telemetry::LATENCY_BUCKETS,
+            s.seconds,
+        );
+        reg.set_gauge(
+            "ffisafe_infer_setup_seconds",
+            "Inference work spent building per-worker overlay views",
+            &[],
+            s.infer_setup_seconds,
+        );
+        reg.set_gauge(
+            "ffisafe_infer_critical_path_seconds",
+            "Slowest single function (lower bound on parallel inference)",
+            &[],
+            s.infer_critical_path_seconds,
+        );
+        reg.set_gauge("ffisafe_jobs", "Inference worker threads used", &[], s.jobs as f64);
+        reg.set_gauge("ffisafe_ml_loc", "Lines of OCaml source analyzed", &[], s.ml_loc as f64);
+        reg.set_gauge("ffisafe_c_loc", "Lines of C source analyzed", &[], s.c_loc as f64);
+        reg.set_gauge(
+            "ffisafe_c_functions",
+            "C function definitions analyzed",
+            &[],
+            s.c_functions as f64,
+        );
+        reg.inc_counter(
+            "ffisafe_passes_total",
+            "Fixpoint passes across all functions",
+            &[],
+            s.passes as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_fn_hits_total",
+            "Functions replayed from the tier-1 (per-function) cache",
+            &[],
+            s.cache_fn_hits as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_fn_misses_total",
+            "Functions that missed the tier-1 cache",
+            &[],
+            s.cache_fn_misses as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_cache_report_hits_total",
+            "Whole reports served from the tier-2 (report) cache",
+            &[],
+            u64::from(s.cache_report_hit),
+        );
+        reg.inc_counter(
+            "ffisafe_workers_executed_total",
+            "Functions analyzed by a live inference worker",
+            &[],
+            s.workers_executed as u64,
+        );
+        let summary = self.summary();
+        for (severity, count) in [
+            ("error", summary.errors),
+            ("warning", summary.warnings),
+            ("imprecision", summary.imprecision),
+            ("note", summary.notes),
+        ] {
+            reg.inc_counter(
+                "ffisafe_diagnostics_total",
+                "Findings by severity",
+                &[("severity", severity)],
+                count as u64,
+            );
         }
     }
 

@@ -34,6 +34,7 @@ use crate::registry::{FuncOrigin, Registry};
 use ffisafe_cache::Tier;
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
+use ffisafe_support::telemetry;
 use ffisafe_support::{
     Diagnostic, DiagnosticBag, DiagnosticCode, Fingerprint, Interner, Session, Span,
 };
@@ -588,6 +589,14 @@ pub fn run(
                             break;
                         }
                         let idx = todo[t];
+                        // `infer.solve` spans only wrap actually-executed
+                        // workers (cache misses), so a warm run emits none.
+                        let _span = telemetry::span_with("infer.solve", || {
+                            vec![
+                                ("function", program.functions[idx].name.clone()),
+                                ("index", idx.to_string()),
+                            ]
+                        });
                         let outcome =
                             analyze_one(base, &program.functions[idx], phase1, idx as u32, options);
                         *results[t].lock().unwrap() = Some(outcome);
@@ -596,6 +605,9 @@ pub fn run(
                         .zip(thread_work_seconds())
                         .map(|(start, end)| (end - start).max(0.0));
                     *worked.lock().unwrap() = delta;
+                    // Scoped joins don't wait for thread-local teardown, so
+                    // the spans must be handed off before the closure ends.
+                    telemetry::flush_thread();
                 });
             }
         });

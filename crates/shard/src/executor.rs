@@ -36,6 +36,7 @@ use crate::reducer::{LibraryReport, SweepFailure};
 use ffisafe_cache::{open_backend, CacheStats};
 use ffisafe_core::pipeline::cache::analyzer_cache_version;
 use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, ApiError, ServiceConfig};
+use ffisafe_support::telemetry;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -160,6 +161,12 @@ struct ShardTrack {
 /// slots, so *which worker finishes first never changes the output* — the
 /// reducer sees plan order regardless of arrival order.
 pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiError> {
+    let _span = telemetry::span_with("sweep.map", || {
+        vec![
+            ("shards", plan.shards.len().to_string()),
+            ("libraries", plan.libraries.len().to_string()),
+        ]
+    });
     let start = Instant::now();
     let location = ServiceConfig {
         cache_dir: config.cache_dir.clone(),
@@ -246,10 +253,20 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
                         let library = &plan.libraries[member];
                         let mut last_err = String::new();
                         let mut outcome = None;
+                        let stolen = lib_shard[member] != home;
                         for attempt in 0..=config.retries {
                             if attempt > 0 {
                                 retries_used.fetch_add(1, Ordering::Relaxed);
                             }
+                            // One span per library *attempt*: retries and
+                            // steals are visible in the trace.
+                            let _span = telemetry::span_with("sweep.library", || {
+                                vec![
+                                    ("library", library.name.clone()),
+                                    ("attempt", attempt.to_string()),
+                                    ("stolen", stolen.to_string()),
+                                ]
+                            });
                             match run_library(plan, member, service, config, infer_jobs) {
                                 Ok(report) => {
                                     outcome = Some(report);
@@ -293,6 +310,9 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
                         }
                     }
                     *worker_paths[worker].lock().unwrap_or_else(PoisonError::into_inner) = path;
+                    // Scoped joins don't wait for thread-local teardown, so
+                    // the spans must be handed off before the closure ends.
+                    telemetry::flush_thread();
                 });
             }
         });

@@ -62,6 +62,7 @@ pub use reducer::{
 };
 
 use ffisafe_core::{AnalysisOptions, ApiError};
+use ffisafe_support::telemetry::{self, MetricsRegistry};
 use std::path::{Path, PathBuf};
 
 /// Configuration for one whole sweep (plan → map → reduce).
@@ -117,6 +118,121 @@ pub struct SweepOutput {
     pub shard_count: usize,
     /// Libraries planned.
     pub library_count: usize,
+}
+
+impl SweepOutput {
+    /// Feeds the sweep's execution stats, diagnostic totals, and shared
+    /// cache occupancy into a [`MetricsRegistry`] — the single source the
+    /// CLI's `--timings` renderer and the Prometheus `--metrics-out`
+    /// export both draw from.
+    pub fn feed_metrics(&self, reg: &mut MetricsRegistry) {
+        let s = &self.stats;
+        reg.set_gauge("ffisafe_sweep_shards", "Shards planned", &[], self.shard_count as f64);
+        reg.set_gauge(
+            "ffisafe_sweep_libraries",
+            "Libraries planned",
+            &[],
+            self.library_count as f64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_shards_warm_total",
+            "Shards served entirely from the shared cache",
+            &[],
+            s.shards_warm as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_libraries_failed_total",
+            "Libraries that failed after every retry",
+            &[],
+            s.libraries_failed as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_retries_total",
+            "Extra library attempts after a failure",
+            &[],
+            s.retries_used as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_workers_executed_total",
+            "Functions analyzed by a live inference worker across the sweep",
+            &[],
+            s.workers_executed as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_cache_fn_hits_total",
+            "Tier-1 function replays across the sweep",
+            &[],
+            s.cache_fn_hits as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_cache_fn_misses_total",
+            "Tier-1 function misses across the sweep",
+            &[],
+            s.cache_fn_misses as u64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_report_hits_total",
+            "Libraries served whole from the tier-2 report cache",
+            &[],
+            s.report_hits as u64,
+        );
+        reg.set_gauge(
+            "ffisafe_sweep_functions",
+            "C function definitions analyzed across the sweep",
+            &[],
+            s.functions as f64,
+        );
+        reg.inc_counter(
+            "ffisafe_sweep_passes_total",
+            "Fixpoint passes across the sweep",
+            &[],
+            s.passes as u64,
+        );
+        reg.set_gauge("ffisafe_sweep_ml_loc", "Lines of OCaml swept", &[], s.ml_loc as f64);
+        reg.set_gauge("ffisafe_sweep_c_loc", "Lines of C swept", &[], s.c_loc as f64);
+        reg.set_gauge(
+            "ffisafe_sweep_wall_seconds",
+            "Wall-clock seconds for the whole sweep",
+            &[],
+            s.wall_seconds,
+        );
+        reg.set_gauge(
+            "ffisafe_sweep_work_seconds",
+            "Total inference work across the sweep",
+            &[],
+            s.work_seconds,
+        );
+        reg.set_gauge(
+            "ffisafe_sweep_critical_path_seconds",
+            "Largest per-worker work sum (live critical path)",
+            &[],
+            s.critical_path_seconds,
+        );
+        reg.observe(
+            "ffisafe_sweep_duration_seconds",
+            "Distribution of whole-sweep wall-clock seconds",
+            &[],
+            telemetry::LATENCY_BUCKETS,
+            s.wall_seconds,
+        );
+        let summary = self.report.summary();
+        for (severity, count) in [
+            ("error", summary.errors),
+            ("warning", summary.warnings),
+            ("imprecision", summary.imprecision),
+            ("note", summary.notes),
+        ] {
+            reg.inc_counter(
+                "ffisafe_diagnostics_total",
+                "Findings by severity",
+                &[("severity", severity)],
+                count as u64,
+            );
+        }
+        if let Some(cache_store) = &self.report.cache_store {
+            cache_store.feed_metrics(reg);
+        }
+    }
 }
 
 /// Plans, maps and reduces one sweep over the corpus rooted at `root`.

@@ -23,6 +23,7 @@
 
 use ffisafe_core::{source_files_under, ApiError, Corpus};
 use ffisafe_support::json::{self, escape_into, Json};
+use ffisafe_support::telemetry;
 use ffisafe_support::{Fingerprint, FingerprintHasher};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -324,7 +325,10 @@ pub fn plan_with(
     schedule: Schedule,
     prior: &HashMap<String, LibraryCost>,
 ) -> Result<SweepPlan, ApiError> {
+    let mut span =
+        telemetry::span_with("sweep.plan", || vec![("shards_requested", shard_count.to_string())]);
     let (mut libraries, failures) = discover_libraries(root)?;
+    span.arg("libraries", libraries.len().to_string());
     for library in &mut libraries {
         library.cost = prior.get(&library.name).copied();
     }

@@ -303,6 +303,9 @@ impl SweepReport {
         mut failures: Vec<SweepFailure>,
         cache_store: Option<CacheStats>,
     ) -> SweepReport {
+        let _span = ffisafe_support::telemetry::span_with("sweep.reduce", || {
+            vec![("libraries", libraries.len().to_string())]
+        });
         libraries.sort_by(|a, b| a.library.cmp(&b.library));
         failures.sort_by(|a, b| a.library.cmp(&b.library));
         SweepReport { libraries, failures, cache_store }

@@ -38,6 +38,7 @@ pub mod session;
 pub mod source_map;
 pub mod span;
 pub mod table;
+pub mod telemetry;
 
 pub use diagnostics::{Diagnostic, DiagnosticBag, DiagnosticCode, Severity};
 pub use fingerprint::{Fingerprint, FingerprintHasher};
@@ -45,3 +46,4 @@ pub use intern::{Interner, Symbol};
 pub use session::{AnalysisOptions, Phase, PhaseTimings, Session};
 pub use source_map::{FileId, Loc, SourceFile, SourceMap};
 pub use span::Span;
+pub use telemetry::{LogLevel, MetricsRegistry, SpanEvent};

@@ -121,6 +121,17 @@ impl Phase {
             Phase::Discharge => "discharge",
         }
     }
+
+    /// Trace span name for this phase (`phase.<name>`, see README
+    /// "Observability").
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Phase::FrontendMl => "phase.frontend_ml",
+            Phase::FrontendC => "phase.frontend_c",
+            Phase::Infer => "phase.infer",
+            Phase::Discharge => "phase.discharge",
+        }
+    }
 }
 
 impl fmt::Display for Phase {
@@ -259,8 +270,10 @@ impl Session {
         std::mem::take(&mut self.diagnostics)
     }
 
-    /// Runs `f`, charging its wall-clock time to `phase`.
+    /// Runs `f`, charging its wall-clock time to `phase` and recording a
+    /// `phase.<name>` trace span when tracing is enabled.
     pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Session) -> T) -> T {
+        let _span = crate::telemetry::span(phase.span_name());
         let start = Instant::now();
         let out = f(self);
         self.timings.record(phase, start.elapsed());

@@ -4,12 +4,15 @@
 //! ```text
 //! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR|--cache-url URL]
 //!         [--no-cache] [--cache-stats] [--format text|json] [--timings]
-//!         <file.ml|file.c|dir>...
+//!         [--trace-out FILE] [--metrics-out FILE] <file.ml|file.c|dir>...
 //! ffisafe sweep [--shards N] [--jobs N] [--cache-dir DIR|--cache-url URL]
 //!         [--no-cache] [--schedule name|cost] [--mode in-process|child]
 //!         [--manifest FILE] [--retries N] [--no-flow] [--no-gc]
-//!         [--format text|json] [--timings] <root>
+//!         [--format text|json] [--timings] [--trace-out FILE]
+//!         [--metrics-out FILE] <root>
 //! ffisafe cache-serve --cache-dir DIR [--listen ADDR]
+//!         [--log-level error|warn|info|debug] [--trace-out FILE]
+//!         [--metrics-out FILE]
 //! ```
 //!
 //! Exit-code policy (also documented in `--help` and the README):
@@ -27,6 +30,7 @@
 //! chatter goes to stderr.
 
 use ffisafe::shard::{sweep, MapMode, SweepConfig};
+use ffisafe::support::telemetry::{self, LogLevel, MetricsRegistry};
 use ffisafe::{
     AnalysisOptions, AnalysisRequest, AnalysisService, CacheMode, Corpus, ServiceConfig,
 };
@@ -63,8 +67,14 @@ options:
                 report format on stdout (default: text); json emits the
                 versioned structured report (schema_version 1 / sweep
                 schema 1) and nothing else on stdout
-  --timings     print per-phase wall-clock/work timings and cache
-                hit/miss counts to stderr
+  --timings     print the run's metrics registry (per-phase wall/work
+                timings, cache hit/miss counters, ...) to stderr
+  --trace-out FILE
+                record tracing spans and write them as Chrome
+                trace-event JSON (chrome://tracing, Perfetto) on exit
+  --metrics-out FILE
+                write the run's metrics registry in Prometheus text
+                exposition format on exit
   --version     print version and exit
   --help, -h    print this help
 
@@ -88,6 +98,15 @@ cache-serve options:
                 the cache directory to export (required)
   --listen ADDR TCP address to bind (default 127.0.0.1:0); the chosen
                 tcp:// URL is printed to stdout
+  --log-level error|warn|info|debug
+                stderr log verbosity (default info): session open/
+                refuse, per-op detail at debug, degraded operations
+  --trace-out FILE
+                rewrite a Chrome trace-event snapshot of the daemon's
+                spans after each client session
+  --metrics-out FILE
+                rewrite a Prometheus metrics snapshot after each client
+                session (same text the METRICS wire op serves)
 
 exit status:
   0  analysis completed, no errors found
@@ -122,6 +141,32 @@ fn print_cache_stats(stats: Option<ffisafe::cache::CacheStats>) {
     }
 }
 
+/// Writes the side-channel telemetry files requested via `--trace-out` /
+/// `--metrics-out`. These never touch stdout, so the report bytes stay
+/// identical whether or not telemetry is enabled; a write failure is an
+/// I/O error (exit 2) like any other unusable output path.
+fn write_telemetry_outputs(
+    trace_out: Option<&std::path::Path>,
+    metrics_out: Option<&std::path::Path>,
+    registry: &MetricsRegistry,
+) -> Result<(), ExitCode> {
+    if let Some(path) = trace_out {
+        telemetry::flush_thread();
+        let spans = telemetry::drain_spans();
+        if let Err(e) = std::fs::write(path, telemetry::chrome_trace_json(&spans)) {
+            eprintln!("ffisafe: cannot write trace to {}: {e}", path.display());
+            return Err(ExitCode::from(2));
+        }
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(path, registry.to_prometheus()) {
+            eprintln!("ffisafe: cannot write metrics to {}: {e}", path.display());
+            return Err(ExitCode::from(2));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -136,6 +181,9 @@ fn main() -> ExitCode {
 fn cache_serve_main(args: &[String]) -> ExitCode {
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut listen = "127.0.0.1:0".to_string();
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut log_level = LogLevel::Info;
     let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -150,6 +198,24 @@ fn cache_serve_main(args: &[String]) -> ExitCode {
                     return usage_error("--listen requires a host:port address");
                 };
                 listen = addr;
+            }
+            "--log-level" => match args.next().as_deref().and_then(LogLevel::parse) {
+                Some(level) => log_level = level,
+                None => {
+                    return usage_error("--log-level expects `error`, `warn`, `info`, or `debug`");
+                }
+            },
+            "--trace-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--trace-out requires a file path");
+                };
+                trace_out = Some(std::path::PathBuf::from(path));
+            }
+            "--metrics-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--metrics-out requires a file path");
+                };
+                metrics_out = Some(std::path::PathBuf::from(path));
             }
             "--version" | "-V" => {
                 println!("ffisafe {}", env!("CARGO_PKG_VERSION"));
@@ -175,13 +241,21 @@ fn cache_serve_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let server = match ffisafe::cache::CacheServer::bind(listen.as_str(), store) {
+    telemetry::set_log_level(log_level);
+    let mut server = match ffisafe::cache::CacheServer::bind(listen.as_str(), store) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("ffisafe: cannot listen on {listen}: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = trace_out {
+        telemetry::set_tracing(true);
+        server.set_trace_out(path);
+    }
+    if let Some(path) = metrics_out {
+        server.set_metrics_out(path);
+    }
     match server.local_addr() {
         // The chosen URL goes to *stdout* (and is flushed by println) so
         // scripts binding port 0 can capture it; chatter stays on stderr.
@@ -191,7 +265,11 @@ fn cache_serve_main(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    eprintln!("ffisafe: cache-serve exporting {} (Ctrl-C to stop)", dir.display());
+    telemetry::log(
+        LogLevel::Info,
+        "cache-serve",
+        &format!("exporting {} (Ctrl-C to stop)", dir.display()),
+    );
     if let Err(e) = server.serve() {
         eprintln!("ffisafe: cache-serve: {e}");
         return ExitCode::from(2);
@@ -209,6 +287,8 @@ fn analyze_main(args: &[String]) -> ExitCode {
     let mut cache_url: Option<String> = None;
     let mut no_cache = false;
     let mut format = Format::Text;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut files = Vec::new();
     let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
@@ -218,6 +298,18 @@ fn analyze_main(args: &[String]) -> ExitCode {
             "--timings" => timings = true,
             "--cache-stats" => cache_stats = true,
             "--no-cache" => no_cache = true,
+            "--trace-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--trace-out requires a file path");
+                };
+                trace_out = Some(std::path::PathBuf::from(path));
+            }
+            "--metrics-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--metrics-out requires a file path");
+                };
+                metrics_out = Some(std::path::PathBuf::from(path));
+            }
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
                     return usage_error("--cache-dir requires a directory");
@@ -263,6 +355,9 @@ fn analyze_main(args: &[String]) -> ExitCode {
     if files.is_empty() {
         eprintln!("ffisafe: no input files (try --help)");
         return ExitCode::from(2);
+    }
+    if trace_out.is_some() {
+        telemetry::set_tracing(true);
     }
 
     let mut builder = Corpus::builder();
@@ -328,32 +423,25 @@ fn analyze_main(args: &[String]) -> ExitCode {
         Format::Text => print!("{}", report.render()),
         Format::Json => print!("{}", report.to_json()),
     }
+    // The --timings table and the --metrics-out file are two renderers over
+    // the same registry, so they can never disagree.
+    let mut registry = MetricsRegistry::new();
+    if timings || metrics_out.is_some() {
+        report.feed_metrics(&mut registry);
+        if let Some(stats) = service.cache_stats() {
+            stats.feed_metrics(&mut registry);
+        }
+    }
     if timings {
-        eprintln!("{:>12}  {:>8}  {:>8}", "phase", "wall", "work");
-        for (phase, t) in report.timings.iter() {
-            let work = report.timings.get_work(phase);
-            eprintln!("{phase:>12}: {:>7.3}s {:>7.3}s", t.as_secs_f64(), work.as_secs_f64());
+        eprint!("{}", registry.render_text());
+        if registry.counter("ffisafe_cache_report_hits_total", &[]).unwrap_or(0) > 0 {
+            eprintln!("  cache: report tier hit (analysis skipped)");
         }
-        // Split the infer work total so the overlay-setup cost (the former
-        // snapshot-clone tax) is visible separately from actual solving.
-        eprintln!(
-            "{:>12}: {:>7.3}s setup, {:>7.3}s solve",
-            "infer split",
-            report.stats.infer_setup_seconds,
-            report.stats.infer_work_seconds - report.stats.infer_setup_seconds,
-        );
-        eprintln!("{:>12}: {}", "jobs", report.stats.jobs);
-        if report.stats.cache_report_hit {
-            eprintln!("{:>12}: report tier hit (analysis skipped)", "cache");
-        } else {
-            eprintln!(
-                "{:>12}: {} function hit(s), {} miss(es), {} worker(s) run",
-                "cache",
-                report.stats.cache_fn_hits,
-                report.stats.cache_fn_misses,
-                report.stats.workers_executed
-            );
-        }
+    }
+    if let Err(code) =
+        write_telemetry_outputs(trace_out.as_deref(), metrics_out.as_deref(), &registry)
+    {
+        return code;
     }
     if cache_stats {
         print_cache_stats(service.cache_stats());
@@ -374,6 +462,8 @@ fn sweep_main(args: &[String]) -> ExitCode {
     let mut timings = false;
     let mut cache_stats = false;
     let mut child_mode = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut roots = Vec::new();
     let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
@@ -383,6 +473,18 @@ fn sweep_main(args: &[String]) -> ExitCode {
             "--timings" => timings = true,
             "--cache-stats" => cache_stats = true,
             "--no-cache" => no_cache = true,
+            "--trace-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--trace-out requires a file path");
+                };
+                trace_out = Some(std::path::PathBuf::from(path));
+            }
+            "--metrics-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--metrics-out requires a file path");
+                };
+                metrics_out = Some(std::path::PathBuf::from(path));
+            }
             "--version" | "-V" => {
                 println!("ffisafe {}", env!("CARGO_PKG_VERSION"));
                 return ExitCode::SUCCESS;
@@ -470,6 +572,9 @@ fn sweep_main(args: &[String]) -> ExitCode {
         let program = std::env::current_exe().unwrap_or_else(|_| "ffisafe".into());
         config.mode = MapMode::ChildProcess { program };
     }
+    if trace_out.is_some() {
+        telemetry::set_tracing(true);
+    }
 
     let output = match sweep(std::path::Path::new(root), &config) {
         Ok(output) => output,
@@ -483,34 +588,21 @@ fn sweep_main(args: &[String]) -> ExitCode {
         Format::Text => print!("{}", output.report.render()),
         Format::Json => print!("{}", output.report.to_json()),
     }
-    if timings {
-        let s = &output.stats;
-        eprintln!(
-            "{:>12}: {} planned, {} executed, {} warm",
-            "shards", output.shard_count, s.shards_executed, s.shards_warm
-        );
-        eprintln!(
-            "{:>12}: {} analyzed, {} failed, {} retry(ies)",
-            "libraries",
-            output.library_count - s.libraries_failed,
-            s.libraries_failed,
-            s.retries_used
-        );
-        eprintln!(
-            "{:>12}: {} function hit(s), {} miss(es), {} report hit(s), {} worker(s) run",
-            "cache", s.cache_fn_hits, s.cache_fn_misses, s.report_hits, s.workers_executed
-        );
-        eprintln!(
-            "{:>12}: {:.3}s wall, {:.3}s inference work, {} function(s), {} pass(es)",
-            "sweep", s.wall_seconds, s.work_seconds, s.functions, s.passes
-        );
-        eprintln!(
-            "{:>12}: {:.3}s (longest per-worker inference chain)",
-            "critical path", s.critical_path_seconds
-        );
-        print_cache_stats(output.report.cache_store);
+    // The --timings table and the --metrics-out file are two renderers over
+    // the same registry, so they can never disagree.
+    let mut registry = MetricsRegistry::new();
+    if timings || metrics_out.is_some() {
+        output.feed_metrics(&mut registry);
     }
-    if cache_stats && !timings {
+    if timings {
+        eprint!("{}", registry.render_text());
+    }
+    if let Err(code) =
+        write_telemetry_outputs(trace_out.as_deref(), metrics_out.as_deref(), &registry)
+    {
+        return code;
+    }
+    if cache_stats {
         print_cache_stats(output.report.cache_store);
     }
     for failure in &output.report.failures {

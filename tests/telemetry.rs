@@ -1,0 +1,205 @@
+//! Locks the telemetry subsystem's two core contracts:
+//!
+//! * **useful** — a traced sweep records the documented span schema
+//!   (planner, map, per-library attempts, per-function solves), the
+//!   spans nest properly per thread even with concurrent workers and
+//!   steals, the Chrome export parses, and a warm sweep records zero
+//!   `infer.solve` spans;
+//! * **inert** — the reduced sweep report is byte-identical with
+//!   tracing on and off, and the metrics registry agrees with the
+//!   numbers the sweep JSON itself reports.
+//!
+//! Tracing is process-global state, so every test that toggles it runs
+//! under one mutex and drains the sink before releasing it.
+
+use ffisafe::shard::{sweep, SweepConfig, SweepOutput};
+use ffisafe::support::json::{self, Json};
+use ffisafe::support::telemetry::{
+    self, chrome_trace_json, drain_spans, nesting_violations, set_tracing, MetricsRegistry,
+    SpanEvent,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Serializes the tests that toggle the process-global tracing flag.
+static TRACING_LOCK: Mutex<()> = Mutex::new(());
+
+/// Builds a small multi-library tree (clean, erroring, imprecise) so the
+/// sweep has real per-library work and nonzero diagnostics.
+fn build_tree(tag: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("ffisafe-telemetry-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let libs: &[(&str, &str, &str)] = &[
+        (
+            "alpha",
+            "external add : int -> int -> int = \"ml_add\"\n",
+            "value ml_add(value a, value b) { return Val_int(Int_val(a) + Int_val(b)); }\n",
+        ),
+        (
+            "bravo",
+            "external wrap : int -> int = \"ml_wrap\"\n",
+            "value ml_wrap(value n) { return Val_int(n); }\n",
+        ),
+        (
+            "charlie",
+            "external id : int -> int = \"ml_id\"\n",
+            "value ml_id(value n) { return Val_int(Int_val(n)); }\n",
+        ),
+    ];
+    for (name, ml, c) in libs {
+        let dir = root.join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("lib.ml"), ml).unwrap();
+        std::fs::write(dir.join("glue.c"), c).unwrap();
+    }
+    root
+}
+
+fn run_sweep(root: &Path, config: &SweepConfig) -> SweepOutput {
+    sweep(root, config).expect("sweep completes")
+}
+
+fn traced_sweep(root: &Path, config: &SweepConfig) -> (SweepOutput, Vec<SpanEvent>) {
+    set_tracing(true);
+    let output = run_sweep(root, config);
+    set_tracing(false);
+    (output, drain_spans())
+}
+
+fn count(events: &[SpanEvent], name: &str) -> usize {
+    events.iter().filter(|e| e.name == name).count()
+}
+
+#[test]
+fn traced_sweep_records_the_span_schema_and_nests_per_thread() {
+    let _guard = TRACING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let root = build_tree("schema");
+    // Several shards and workers so spans interleave across threads —
+    // the nesting check must hold under concurrency and steals.
+    let config = SweepConfig { shards: 2, jobs: 4, ..SweepConfig::default() };
+    let (output, events) = traced_sweep(&root, &config);
+    assert_eq!(output.stats.libraries_failed, 0);
+
+    assert_eq!(count(&events, "sweep.plan"), 1);
+    assert_eq!(count(&events, "sweep.map"), 1);
+    assert_eq!(count(&events, "sweep.reduce"), 1);
+    assert_eq!(count(&events, "sweep.library"), 3, "one span per library attempt");
+    assert_eq!(count(&events, "service.analyze"), 3);
+    assert!(count(&events, "infer.solve") >= 3, "cold run solves every function");
+    assert!(count(&events, "phase.infer") > 0);
+
+    assert_eq!(nesting_violations(&events), 0, "spans must nest within each thread");
+
+    // A library attempt span carries its schema-documented args.
+    let lib_span = events.iter().find(|e| e.name == "sweep.library").unwrap();
+    assert!(lib_span.arg("library").is_some());
+    assert_eq!(lib_span.arg("attempt"), Some("0"));
+
+    // The Chrome export is a parseable top-level array of complete events.
+    let exported = chrome_trace_json(&events);
+    let doc = json::parse(&exported).expect("trace JSON parses");
+    let array = doc.as_array().expect("trace is a top-level array");
+    assert_eq!(array.len(), events.len());
+    for event in array {
+        assert_eq!(event.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(event.get("ts").and_then(Json::as_u64).is_some());
+        assert!(event.get("dur").and_then(Json::as_u64).is_some());
+        assert!(event.get("tid").and_then(Json::as_u64).is_some());
+    }
+}
+
+#[test]
+fn warm_sweep_emits_zero_infer_solve_spans() {
+    let _guard = TRACING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let root = build_tree("warm");
+    let config = SweepConfig {
+        shards: 2,
+        jobs: 2,
+        cache_dir: Some(root.join(".cache")),
+        ..SweepConfig::default()
+    };
+    let cold = run_sweep(&root, &config);
+    assert!(cold.stats.workers_executed > 0, "cold run must execute workers");
+
+    let (warm, events) = traced_sweep(&root, &config);
+    assert_eq!(warm.stats.workers_executed, 0, "warm run must replay from the cache");
+    assert_eq!(
+        count(&events, "infer.solve"),
+        0,
+        "solver spans wrap executed workers only, so a warm run records none"
+    );
+    // The sweep skeleton is still visible: the cache saves the solving,
+    // not the orchestration.
+    assert_eq!(count(&events, "sweep.library"), 3);
+}
+
+#[test]
+fn sweep_report_bytes_are_identical_with_tracing_on_and_off() {
+    let _guard = TRACING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let root = build_tree("inert");
+    let config = SweepConfig { shards: 2, jobs: 2, ..SweepConfig::default() };
+    let untraced = run_sweep(&root, &config);
+    let (traced, events) = traced_sweep(&root, &config);
+    assert!(!events.is_empty(), "traced run must record spans");
+    assert_eq!(
+        untraced.report.to_json(),
+        traced.report.to_json(),
+        "tracing changed the sweep JSON"
+    );
+    assert_eq!(
+        untraced.report.render(),
+        traced.report.render(),
+        "tracing changed the sweep text report"
+    );
+}
+
+#[test]
+fn metrics_registry_agrees_with_the_sweep_json_cache_numbers() {
+    let _guard = TRACING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let root = build_tree("metrics");
+    let config = SweepConfig {
+        shards: 2,
+        jobs: 2,
+        cache_dir: Some(root.join(".cache")),
+        ..SweepConfig::default()
+    };
+    let output = run_sweep(&root, &config);
+    let mut registry = MetricsRegistry::new();
+    output.feed_metrics(&mut registry);
+
+    // The registry's sweep counters are fed from the same MapStats the
+    // sweep reports, so they must agree exactly.
+    assert_eq!(
+        registry.counter("ffisafe_sweep_cache_fn_hits_total", &[]),
+        Some(output.stats.cache_fn_hits as u64)
+    );
+    assert_eq!(
+        registry.counter("ffisafe_sweep_cache_fn_misses_total", &[]),
+        Some(output.stats.cache_fn_misses as u64)
+    );
+
+    // And the store-occupancy gauges must equal what the sweep JSON
+    // itself publishes under `cache_store`.
+    let doc = json::parse(&output.report.to_json()).expect("sweep JSON parses");
+    let store = doc.get("cache_store").expect("sweep used a cache dir");
+    assert_eq!(
+        registry.gauge("ffisafe_cache_store_entries", &[]),
+        store.get("entries").and_then(Json::as_u64).map(|v| v as f64)
+    );
+    assert_eq!(
+        registry.gauge("ffisafe_cache_store_live_bytes", &[]),
+        store.get("live_bytes").and_then(Json::as_u64).map(|v| v as f64)
+    );
+
+    // The Prometheus rendering carries the same counters.
+    let prom = registry.to_prometheus();
+    assert!(prom.contains(&format!(
+        "ffisafe_sweep_cache_fn_misses_total {}",
+        output.stats.cache_fn_misses
+    )));
+    assert!(prom.contains("# TYPE ffisafe_sweep_cache_fn_misses_total counter"));
+
+    // Leave the global sink clean for whichever test runs next.
+    let _ = telemetry::drain_spans();
+}
