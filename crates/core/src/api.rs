@@ -5,7 +5,7 @@
 //! the boundary a long-lived deployment programs against:
 //!
 //! * a [`Corpus`] is an **immutable, content-addressed** bundle of named
-//!   `.ml`/`.c` sources, fingerprinted once at build time
+//!   `.ml`/`.rs`/`.c` sources, fingerprinted once at build time
 //!   ([`ffisafe_support::Fingerprint`]) so caches and shard reducers can
 //!   key work by content instead of by path or mtime;
 //! * an [`AnalysisRequest`] pairs a corpus with [`AnalysisOptions`] and a
@@ -39,7 +39,7 @@
 use crate::driver::{AnalysisReport, AnalysisStats};
 use crate::engine::AnalysisOptions;
 use crate::pipeline::cache::{self, CachedReport, PipelineCache};
-use crate::pipeline::{discharge, frontend_c, frontend_ml, infer};
+use crate::pipeline::{discharge, frontend, frontend_c, frontend_ml, frontend_rust, infer};
 use ffisafe_cache::{open_backend, CacheBackend, CacheLocation, Tier};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
@@ -67,8 +67,8 @@ pub enum ApiError {
         /// The underlying I/O error, rendered.
         message: String,
     },
-    /// A file's extension names neither an OCaml (`.ml`/`.mli`) nor a C
-    /// (`.c`/`.h`) source.
+    /// A file's extension names neither an OCaml (`.ml`/`.mli`), a Rust
+    /// (`.rs`) nor a C (`.c`/`.h`) source.
     UnknownFileKind {
         /// The offending file name.
         name: String,
@@ -88,7 +88,7 @@ impl fmt::Display for ApiError {
         match self {
             ApiError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
             ApiError::UnknownFileKind { name } => {
-                write!(f, "{name}: unknown file kind (expected .ml, .mli, .c or .h)")
+                write!(f, "{name}: unknown file kind (expected .ml, .mli, .rs, .c or .h)")
             }
             ApiError::Cache { dir, message } => {
                 write!(f, "cannot open cache directory {dir}: {message}")
@@ -108,6 +108,8 @@ pub enum SourceKind {
     Ml,
     /// C glue code.
     C,
+    /// Rust: `extern "C"` boundary surfaces.
+    Rust,
 }
 
 impl SourceKind {
@@ -117,14 +119,18 @@ impl SourceKind {
         match self {
             SourceKind::Ml => 0,
             SourceKind::C => 1,
+            SourceKind::Rust => 2,
         }
     }
 
     /// Classifies a file name by extension: `.ml`/`.mli` are OCaml,
-    /// `.c`/`.h` are C, anything else is `None` (not an FFI source).
+    /// `.rs` is Rust, `.c`/`.h` are C, anything else is `None` (not an
+    /// FFI source).
     pub fn from_name(name: &str) -> Option<SourceKind> {
         if name.ends_with(".ml") || name.ends_with(".mli") {
             Some(SourceKind::Ml)
+        } else if name.ends_with(".rs") {
+            Some(SourceKind::Rust)
         } else if name.ends_with(".c") || name.ends_with(".h") {
             Some(SourceKind::C)
         } else {
@@ -172,6 +178,7 @@ pub struct Corpus {
     fingerprint: Fingerprint,
     ml_loc: usize,
     c_loc: usize,
+    rust_loc: usize,
 }
 
 impl Corpus {
@@ -180,7 +187,7 @@ impl Corpus {
         CorpusBuilder::default()
     }
 
-    /// Loads every FFI source (`.ml`/`.mli`/`.c`/`.h`) under `dir`,
+    /// Loads every FFI source (`.ml`/`.mli`/`.rs`/`.c`/`.h`) under `dir`,
     /// recursively, in deterministic (sorted-path) order. Files of any
     /// other kind are skipped, never [`ApiError::UnknownFileKind`] — a
     /// library directory full of build scripts and READMEs loads cleanly.
@@ -220,6 +227,11 @@ impl Corpus {
     pub fn c_loc(&self) -> usize {
         self.c_loc
     }
+
+    /// Total Rust lines.
+    pub fn rust_loc(&self) -> usize {
+        self.rust_loc
+    }
 }
 
 /// Accumulates files for a [`Corpus`]; consumed by
@@ -239,6 +251,12 @@ impl CorpusBuilder {
     /// Adds a C source.
     pub fn c_source(mut self, name: impl Into<String>, src: impl Into<String>) -> Self {
         self.files.push(CorpusFile { kind: SourceKind::C, name: name.into(), src: src.into() });
+        self
+    }
+
+    /// Adds a Rust source.
+    pub fn rust_source(mut self, name: impl Into<String>, src: impl Into<String>) -> Self {
+        self.files.push(CorpusFile { kind: SourceKind::Rust, name: name.into(), src: src.into() });
         self
     }
 
@@ -284,20 +302,22 @@ impl CorpusBuilder {
     pub fn build(self) -> Corpus {
         let mut ml_loc = 0;
         let mut c_loc = 0;
+        let mut rust_loc = 0;
         for f in &self.files {
             match f.kind {
                 SourceKind::Ml => ml_loc += f.src.lines().count(),
                 SourceKind::C => c_loc += f.src.lines().count(),
+                SourceKind::Rust => rust_loc += f.src.lines().count(),
             }
         }
         let fingerprint = cache::corpus_content_digest(
             self.files.iter().map(|f| (f.kind.tag(), f.name.as_str(), f.src.as_str())),
         );
-        Corpus { files: self.files, fingerprint, ml_loc, c_loc }
+        Corpus { files: self.files, fingerprint, ml_loc, c_loc, rust_loc }
     }
 }
 
-/// Every FFI source file (`.ml`/`.mli`/`.c`/`.h`) under `root`,
+/// Every FFI source file (`.ml`/`.mli`/`.rs`/`.c`/`.h`) under `root`,
 /// recursively, sorted by path string — the one deterministic file order
 /// [`Corpus::from_dir`], the CLI's directory arguments and the sweep
 /// planner all share, so the same tree always produces the same corpus
@@ -629,12 +649,15 @@ pub(crate) struct ParsedSources {
     pub(crate) session: Session,
     pub(crate) ml_files: Vec<ocaml::ParsedFile>,
     pub(crate) c_units: Vec<cil::CUnit>,
+    pub(crate) rust_files: Vec<ffisafe_rustffi::ParsedRustFile>,
     pub(crate) ml_loc: usize,
     pub(crate) c_loc: usize,
+    pub(crate) rust_loc: usize,
 }
 
 /// Parses every source into a fresh session (optionally warm-started from
-/// an interner seed), in corpus order.
+/// an interner seed), in corpus order, dispatching each file through the
+/// [`frontend::Frontend`] registry by its [`SourceKind`].
 pub(crate) fn parse_sources<'a>(
     options: AnalysisOptions,
     interner_seed: Option<&Interner>,
@@ -646,21 +669,28 @@ pub(crate) fn parse_sources<'a>(
     }
     let mut ml_files = Vec::new();
     let mut c_units = Vec::new();
+    let mut rust_files = Vec::new();
     let mut ml_loc = 0;
     let mut c_loc = 0;
+    let mut rust_loc = 0;
     for (kind, name, src) in files {
-        match kind {
-            SourceKind::Ml => {
-                ml_loc += src.lines().count();
-                ml_files.push(frontend_ml::parse(&mut session, name, src));
+        let loc = src.lines().count();
+        match frontend::frontend_for(kind).parse(&mut session, name, src) {
+            frontend::ParsedUnit::Ml(file) => {
+                ml_loc += loc;
+                ml_files.push(file);
             }
-            SourceKind::C => {
-                c_loc += src.lines().count();
-                c_units.push(frontend_c::parse(&mut session, name, src));
+            frontend::ParsedUnit::C(unit) => {
+                c_loc += loc;
+                c_units.push(unit);
+            }
+            frontend::ParsedUnit::Rust(file) => {
+                rust_loc += loc;
+                rust_files.push(file);
             }
         }
     }
-    ParsedSources { session, ml_files, c_units, ml_loc, c_loc }
+    ParsedSources { session, ml_files, c_units, rust_files, ml_loc, c_loc, rust_loc }
 }
 
 /// Runs the staged pipeline over parsed sources and assembles the report.
@@ -675,9 +705,14 @@ pub(crate) fn execute(
     cache: Option<PipelineCache>,
 ) -> AnalysisReport {
     let start = Instant::now();
-    let ParsedSources { mut session, ml_files, c_units, ml_loc, c_loc } = parsed;
+    let ParsedSources { mut session, ml_files, c_units, rust_files, ml_loc, c_loc, rust_loc } =
+        parsed;
     let mut span = telemetry::span_with("service.analyze", || {
-        vec![("ml_files", ml_files.len().to_string()), ("c_units", c_units.len().to_string())]
+        vec![
+            ("ml_files", ml_files.len().to_string()),
+            ("c_units", c_units.len().to_string()),
+            ("rust_files", rust_files.len().to_string()),
+        ]
     });
     let mut pcache = cache;
 
@@ -691,6 +726,7 @@ pub(crate) fn execute(
             let stats = AnalysisStats {
                 ml_loc,
                 c_loc,
+                rust_loc,
                 seconds: start.elapsed().as_secs_f64(),
                 cache_report_hit: true,
                 ..AnalysisStats::default()
@@ -708,6 +744,9 @@ pub(crate) fn execute(
     let mut table = TypeTable::new();
     let ml = session.time(Phase::FrontendMl, |s| frontend_ml::run(s, &ml_files, &mut table));
     let c = session.time(Phase::FrontendC, |s| frontend_c::run(s, &c_units));
+    let rust = session.time(Phase::FrontendRust, |s| {
+        frontend_rust::run(s, &rust_files, &c.program, pcache.as_ref())
+    });
     let mut base = session.time(Phase::Infer, |s| infer::link(s, table, &ml, &c.program));
     if let Some(pc) = pcache.as_mut() {
         pc.base_digest = cache::base_state_digest(session.options(), &base, &ml.phase1);
@@ -722,8 +761,13 @@ pub(crate) fn execute(
     let stats = AnalysisStats {
         ml_loc,
         c_loc,
+        rust_loc,
         externals: ml.phase1.signatures.len(),
         c_functions: c.program.functions.len(),
+        rust_externs: rust.program.imports.len() + rust.program.statics.len(),
+        rust_exports: rust.program.exports.len(),
+        rust_types: rust.program.types.len(),
+        rust_check_cached: rust.check_cached,
         passes: inferred.passes,
         type_nodes: base.table.node_count() + inferred.new_nodes,
         gc_edges: base.constraints.gc_edge_count() + inferred.new_gc_edges,
@@ -814,9 +858,14 @@ mod tests {
             .unwrap()
             .source("d.h", "")
             .unwrap()
+            .source("e.rs", "")
+            .unwrap()
             .build();
         let kinds: Vec<_> = corpus.files().map(|f| f.kind()).collect();
-        assert_eq!(kinds, [SourceKind::Ml, SourceKind::Ml, SourceKind::C, SourceKind::C]);
+        assert_eq!(
+            kinds,
+            [SourceKind::Ml, SourceKind::Ml, SourceKind::C, SourceKind::C, SourceKind::Rust]
+        );
 
         let err = Corpus::builder().source("notes.txt", "").unwrap_err();
         assert_eq!(err, ApiError::UnknownFileKind { name: "notes.txt".into() });
@@ -863,6 +912,24 @@ mod tests {
         let report = service.analyze(&AnalysisRequest::new(tiny_corpus("f"))).unwrap();
         assert_eq!(report.error_count(), 0, "{}", report.render());
         assert_eq!(report.stats.c_functions, 1);
+    }
+
+    #[test]
+    fn service_analyzes_rust_c_corpora() {
+        let corpus = Corpus::builder()
+            .rust_source(
+                "lib.rs",
+                "extern \"C\" {\n    fn add(a: i32, b: i32, c: i32) -> i32;\n}\n",
+            )
+            .c_source("add.c", "int add(int a, int b) { return a + b; }")
+            .build();
+        assert_eq!(corpus.rust_loc(), 3);
+        let service = AnalysisService::new();
+        let report = service.analyze(&AnalysisRequest::new(corpus)).unwrap();
+        assert_eq!(report.error_count(), 1, "{}", report.render());
+        assert!(report.render().contains("E011"), "{}", report.render());
+        assert_eq!(report.stats.rust_externs, 1);
+        assert_eq!(report.stats.rust_loc, 3);
     }
 
     #[test]

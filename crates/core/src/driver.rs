@@ -1,9 +1,11 @@
 //! The analysis report and the deprecated single-corpus facade.
 //!
 //! The engine itself lives in [`crate::api`]: [`crate::api::AnalysisService`]
-//! parses a [`crate::api::Corpus`] and runs the four pipeline stages —
-//! [`pipeline::frontend_ml`], [`pipeline::frontend_c`], [`pipeline::infer`]
-//! (parallel), [`pipeline::discharge`]. This module holds what comes *out*:
+//! parses a [`crate::api::Corpus`] through the frontend registry and runs
+//! the pipeline stages — [`pipeline::frontend_ml`],
+//! [`pipeline::frontend_c`], [`pipeline::frontend_rust`],
+//! [`pipeline::infer`] (parallel), [`pipeline::discharge`]. This module
+//! holds what comes *out*:
 //! [`AnalysisReport`] with its stable rendering and versioned
 //! [`AnalysisReport::to_json`] form, plus [`Analyzer`], the original
 //! mutable one-shot entry point, kept as a thin deprecated facade over a
@@ -11,6 +13,7 @@
 //!
 //! [`pipeline::frontend_ml`]: crate::pipeline::frontend_ml
 //! [`pipeline::frontend_c`]: crate::pipeline::frontend_c
+//! [`pipeline::frontend_rust`]: crate::pipeline::frontend_rust
 //! [`pipeline::infer`]: crate::pipeline::infer
 //! [`pipeline::discharge`]: crate::pipeline::discharge
 
@@ -35,10 +38,20 @@ pub struct AnalysisStats {
     pub ml_loc: usize,
     /// Lines of C source added.
     pub c_loc: usize,
+    /// Lines of Rust source added.
+    pub rust_loc: usize,
     /// Number of `external` declarations.
     pub externals: usize,
     /// Number of C function definitions analyzed.
     pub c_functions: usize,
+    /// Rust boundary imports checked (`extern "C"` functions and statics).
+    pub rust_externs: usize,
+    /// Rust boundary exports checked (`#[no_mangle] extern "C" fn`).
+    pub rust_exports: usize,
+    /// Rust type declarations visible to the boundary checker.
+    pub rust_types: usize,
+    /// Whether the Rust boundary check was replayed from the tier-1 cache.
+    pub rust_check_cached: bool,
     /// Total fixpoint passes across all functions.
     pub passes: usize,
     /// Arena nodes allocated (base table plus every worker's growth).
@@ -218,6 +231,36 @@ impl AnalysisReport {
             &[],
             s.c_functions as f64,
         );
+        reg.set_gauge(
+            "ffisafe_frontend_rust_loc",
+            "Lines of Rust source analyzed",
+            &[],
+            s.rust_loc as f64,
+        );
+        reg.set_gauge(
+            "ffisafe_frontend_rust_externs",
+            "Rust extern \"C\" imports checked against the C program",
+            &[],
+            s.rust_externs as f64,
+        );
+        reg.set_gauge(
+            "ffisafe_frontend_rust_exports",
+            "Rust #[no_mangle] extern \"C\" exports checked against the C program",
+            &[],
+            s.rust_exports as f64,
+        );
+        reg.set_gauge(
+            "ffisafe_frontend_rust_types",
+            "Rust type declarations visible to the boundary checker",
+            &[],
+            s.rust_types as f64,
+        );
+        reg.inc_counter(
+            "ffisafe_frontend_rust_check_cache_hits_total",
+            "Rust boundary checks replayed from the tier-1 cache",
+            &[],
+            u64::from(s.rust_check_cached),
+        );
         reg.inc_counter(
             "ffisafe_passes_total",
             "Fixpoint passes across all functions",
@@ -323,8 +366,16 @@ impl AnalysisReport {
                 out.push_str(&format!("  {nloc}: note: {note}\n"));
             }
         }
+        // The Rust clause is appended only when the corpus has Rust
+        // sources, so pure OCaml/C reports stay byte-identical to what
+        // they were before the Rust frontend existed.
+        let rust = if self.stats.rust_loc > 0 {
+            format!(", {} lines Rust", self.stats.rust_loc)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "{} error(s), {} warning(s), {} imprecision report(s) — {} lines C, {} lines OCaml\n",
+            "{} error(s), {} warning(s), {} imprecision report(s) — {} lines C, {} lines OCaml{rust}\n",
             self.error_count(),
             self.warning_count(),
             self.imprecision_count(),
@@ -348,12 +399,13 @@ impl AnalysisReport {
     ///                "notes": N, "diagnostics": N },
     ///   "diagnostics": [ { "file", "line", "column", "severity", "code",
     ///                      "message", "notes": [ {file,line,column,message} ] } ],
-    ///   "stats": { "ml_loc", "c_loc", "externals", "c_functions", "passes",
-    ///              "type_nodes", "gc_edges", "jobs", "seconds",
-    ///              "infer_work_seconds", "infer_setup_seconds",
-    ///              "infer_critical_path_seconds",
+    ///   "stats": { "ml_loc", "c_loc", "rust_loc", "externals",
+    ///              "c_functions", "rust_externs", "rust_exports",
+    ///              "rust_types", "passes", "type_nodes", "gc_edges",
+    ///              "jobs", "seconds", "infer_work_seconds",
+    ///              "infer_setup_seconds", "infer_critical_path_seconds",
     ///              "cache": { "fn_hits", "fn_misses", "workers_executed",
-    ///                         "report_hit" } },
+    ///                         "report_hit", "rust_check_hit" } },
     ///   "timings": [ { "phase", "wall_seconds", "work_seconds" } ]
     /// }
     /// ```
@@ -409,11 +461,15 @@ impl AnalysisReport {
 
         let s = &self.stats;
         out.push_str(&format!(
-            "  \"stats\": {{\"ml_loc\": {}, \"c_loc\": {}, \"externals\": {}, \"c_functions\": {}, \"passes\": {}, \"type_nodes\": {}, \"gc_edges\": {}, \"jobs\": {}, \"seconds\": {:.6}, \"infer_work_seconds\": {:.6}, \"infer_setup_seconds\": {:.6}, \"infer_critical_path_seconds\": {:.6}, \"cache\": {{\"fn_hits\": {}, \"fn_misses\": {}, \"workers_executed\": {}, \"report_hit\": {}}}}},\n",
+            "  \"stats\": {{\"ml_loc\": {}, \"c_loc\": {}, \"rust_loc\": {}, \"externals\": {}, \"c_functions\": {}, \"rust_externs\": {}, \"rust_exports\": {}, \"rust_types\": {}, \"passes\": {}, \"type_nodes\": {}, \"gc_edges\": {}, \"jobs\": {}, \"seconds\": {:.6}, \"infer_work_seconds\": {:.6}, \"infer_setup_seconds\": {:.6}, \"infer_critical_path_seconds\": {:.6}, \"cache\": {{\"fn_hits\": {}, \"fn_misses\": {}, \"workers_executed\": {}, \"report_hit\": {}, \"rust_check_hit\": {}}}}},\n",
             s.ml_loc,
             s.c_loc,
+            s.rust_loc,
             s.externals,
             s.c_functions,
+            s.rust_externs,
+            s.rust_exports,
+            s.rust_types,
             s.passes,
             s.type_nodes,
             s.gc_edges,
@@ -426,6 +482,7 @@ impl AnalysisReport {
             s.cache_fn_misses,
             s.workers_executed,
             s.cache_report_hit,
+            s.rust_check_cached,
         ));
 
         out.push_str("  \"timings\": [\n");
@@ -518,6 +575,11 @@ impl Analyzer {
         self.files.push((SourceKind::C, name.to_string(), src.to_string()));
     }
 
+    /// Adds one Rust source file.
+    pub fn add_rust_source(&mut self, name: &str, src: &str) {
+        self.files.push((SourceKind::Rust, name.to_string(), src.to_string()));
+    }
+
     /// Runs the full pipeline: both frontends, linking, parallel
     /// inference, and discharge.
     ///
@@ -533,6 +595,7 @@ impl Analyzer {
             builder = match kind {
                 SourceKind::Ml => builder.ml_source(name, src),
                 SourceKind::C => builder.c_source(name, src),
+                SourceKind::Rust => builder.rust_source(name, src),
             };
         }
         let corpus = builder.build();

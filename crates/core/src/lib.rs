@@ -86,4 +86,5 @@ pub use driver::{
 };
 pub use engine::{AnalysisOptions, GcObligation};
 pub use ffisafe_support::{Phase, PhaseTimings, Session};
+pub use pipeline::{Frontend, ParsedUnit, FRONTENDS};
 pub use registry::{FuncInfo, FuncOrigin, Registry};

@@ -38,6 +38,7 @@ use super::infer::{
 use ffisafe_cache::{CacheBackend, CacheStore, Decoder, Encoder, Tier};
 use ffisafe_cil as cil;
 use ffisafe_ocaml as ocaml;
+use ffisafe_rustffi as rustffi;
 use ffisafe_support::{
     AnalysisOptions, Diagnostic, DiagnosticBag, DiagnosticCode, Fingerprint, FingerprintHasher,
     Severity,
@@ -58,7 +59,14 @@ use std::sync::Arc;
 /// state ([`base_state_digest`]) instead of the pre-link input surface —
 /// same invalidation behavior, but computed from what workers actually
 /// read.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the Rust frontend landed — corpus content digests now carry a third
+/// [`crate::api::SourceKind`] tag, diagnostic payloads can carry the
+/// `E011`–`E014`/`W004` boundary codes, and the Rust boundary check is
+/// memoized under [`rust_check_fingerprint`]. Pre-Rust stores never saw
+/// those tags, but the schema bump wipes them anyway so no v3 payload is
+/// ever decoded by a decoder that assigns the new tags meaning.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// The producer identity pinned in the cache index: crate version plus
 /// payload schema version.
@@ -118,8 +126,9 @@ impl PipelineCache {
 
 /// Digest of one registered source file for the tier-2 corpus key.
 ///
-/// `kind` distinguishes how the driver parsed the file (OCaml vs C), since
-/// the file name alone need not determine it for library users.
+/// `kind` distinguishes how the driver parsed the file (OCaml vs C vs
+/// Rust), since the file name alone need not determine it for library
+/// users.
 pub fn hash_source_file(h: &mut FingerprintHasher, kind: u8, name: &str, src: &str) {
     h.write_u8(kind);
     h.write_str(name);
@@ -130,7 +139,7 @@ pub fn hash_source_file(h: &mut FingerprintHasher, kind: u8, name: &str, src: &s
 /// `String`, then delimits the field with its streamed byte count (a
 /// length *suffix* is as collision-proof as a prefix, and unlike a prefix
 /// it does not require knowing the length up front).
-fn hash_debug<T: std::fmt::Debug>(h: &mut FingerprintHasher, v: &T) {
+fn hash_debug<T: std::fmt::Debug + ?Sized>(h: &mut FingerprintHasher, v: &T) {
     use std::fmt::Write as _;
     let before = h.bytes_written();
     let _ = write!(h, "{v:?}");
@@ -250,6 +259,39 @@ pub fn function_fingerprint(base_digest: Fingerprint, func: &cil::ir::IrFunction
     h.finish()
 }
 
+/// The Rust boundary-check key: the merged `.rs` surface plus everything
+/// the checker can read of the C program — function signatures (return
+/// type, the parameter prefix of the locals, spans), prototypes and
+/// globals, but never function *bodies*. A C body edit or an `.ml` edit
+/// therefore replays the memoized check, while any boundary-relevant
+/// `.rs` edit or C signature edit invalidates exactly this one entry.
+///
+/// The [`rustffi::RustProgram`] is hashed via `Debug`: it holds only plain
+/// data (strings, enums, spans) and its maps are `BTreeMap`s, so the
+/// rendering is deterministic. Spans participate on both sides because the
+/// cached diagnostics carry them.
+pub fn rust_check_fingerprint(
+    options: &AnalysisOptions,
+    rust: &rustffi::RustProgram,
+    c: &cil::IrProgram,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("ffisafe-rust-check");
+    h.write_fingerprint(options.semantic_digest());
+    hash_debug(&mut h, rust);
+    h.write_u64(c.functions.len() as u64);
+    for f in &c.functions {
+        h.write_str(&f.name);
+        hash_debug(&mut h, &f.ret);
+        hash_debug(&mut h, &f.locals[..f.n_params]);
+        h.write_u64(f.n_params as u64);
+        hash_debug(&mut h, &f.span);
+    }
+    hash_debug(&mut h, &c.prototypes);
+    hash_debug(&mut h, &c.globals);
+    h.finish()
+}
+
 // ---- severity / code tags ----------------------------------------------
 
 fn severity_tag(s: Severity) -> u8 {
@@ -293,6 +335,11 @@ fn code_tag(c: DiagnosticCode) -> u8 {
         FunctionPointerCall => 16,
         PolymorphicVariant => 17,
         Context => 18,
+        RustArityMismatch => 19,
+        RustTypeMismatch => 20,
+        RustMissingReprC => 21,
+        RustFfiUnsafe => 22,
+        RustNullability => 23,
     }
 }
 
@@ -318,6 +365,11 @@ fn code_from_tag(t: u8) -> Option<DiagnosticCode> {
         16 => FunctionPointerCall,
         17 => PolymorphicVariant,
         18 => Context,
+        19 => RustArityMismatch,
+        20 => RustTypeMismatch,
+        21 => RustMissingReprC,
+        22 => RustFfiUnsafe,
+        23 => RustNullability,
         _ => return None,
     })
 }
@@ -356,6 +408,22 @@ fn get_diagnostics(d: &mut Decoder) -> Option<DiagnosticBag> {
         }
         bag.push(diag);
     }
+    Some(bag)
+}
+
+/// Serializes a standalone diagnostic bag — the payload of the memoized
+/// Rust boundary check, stored under [`rust_check_fingerprint`].
+pub fn encode_diagnostics(bag: &DiagnosticBag) -> Vec<u8> {
+    let mut e = Encoder::new();
+    put_diagnostics(&mut e, bag);
+    e.into_bytes()
+}
+
+/// Decodes a standalone diagnostic bag; `None` is a cache miss.
+pub fn decode_diagnostics(bytes: &[u8]) -> Option<DiagnosticBag> {
+    let mut d = Decoder::new(bytes);
+    let bag = get_diagnostics(&mut d)?;
+    d.finish().ok()?;
     Some(bag)
 }
 
@@ -929,6 +997,61 @@ mod tests {
             setup_seconds: 0.0,
         };
         assert!(encode_outcome(&outcome, 0).is_none(), "unreplayable outcome must not cache");
+    }
+
+    #[test]
+    fn rust_check_fingerprint_ignores_c_bodies() {
+        let options = AnalysisOptions::default();
+        let import = rustffi::ast::ForeignFn {
+            name: "f".into(),
+            link_name: "f".into(),
+            variadic: false,
+            params: vec![rustffi::RustType::path("i32")],
+            ret: rustffi::RustType::path("i32"),
+            span: Span::dummy(),
+        };
+        let mut rust = rustffi::RustProgram::default();
+        rust.imports.push(import);
+
+        let mk = |ret_const| cil::IrProgram {
+            functions: vec![sample_function("f", ret_const)],
+            prototypes: vec![],
+            globals: vec![],
+            notes: vec![],
+        };
+        let a = rust_check_fingerprint(&options, &rust, &mk(1));
+        assert_eq!(a, rust_check_fingerprint(&options, &rust, &mk(1)), "stable");
+        assert_eq!(a, rust_check_fingerprint(&options, &rust, &mk(2)), "C body edits replay");
+
+        let mut renamed = mk(1);
+        renamed.functions[0].name = "g".into();
+        assert_ne!(a, rust_check_fingerprint(&options, &rust, &renamed), "C signature edit");
+        let mut edited = rust.clone();
+        edited.imports[0].params.push(rustffi::RustType::path("i32"));
+        assert_ne!(a, rust_check_fingerprint(&options, &edited, &mk(1)), "Rust surface edit");
+        let no_flow = AnalysisOptions { flow_sensitive: false, ..options };
+        assert_ne!(a, rust_check_fingerprint(&no_flow, &rust, &mk(1)), "options change");
+    }
+
+    #[test]
+    fn standalone_diagnostics_roundtrip_with_rust_codes() {
+        let mut bag = DiagnosticBag::new();
+        bag.push(
+            Diagnostic::new(DiagnosticCode::RustArityMismatch, Span::dummy(), "3 vs 2")
+                .with_note(Span::dummy(), "declared here"),
+        );
+        bag.push(
+            Diagnostic::new(DiagnosticCode::RustNullability, Span::dummy(), "plain pointer")
+                .with_severity(Severity::Warning),
+        );
+        let bytes = encode_diagnostics(&bag);
+        let back = decode_diagnostics(&bytes).expect("decodes");
+        assert_eq!(back.len(), 2);
+        let codes: Vec<_> = back.iter().map(|d| d.code()).collect();
+        assert_eq!(codes, [DiagnosticCode::RustArityMismatch, DiagnosticCode::RustNullability]);
+        for cut in 0..bytes.len() {
+            assert!(decode_diagnostics(&bytes[..cut]).is_none(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -1,24 +1,32 @@
 //! The staged analysis pipeline.
 //!
 //! The old driver ran both phases of the paper inside one monolithic
-//! `Analyzer::analyze`. This module splits it into four explicit stages
-//! with a typed artifact flowing between them, all sharing one
-//! [`ffisafe_support::Session`]:
+//! `Analyzer::analyze`. This module splits it into explicit stages with a
+//! typed artifact flowing between them, all sharing one
+//! [`ffisafe_support::Session`]. Parsing dispatches through the pluggable
+//! [`frontend::Frontend`] registry (one implementation per language);
+//! lowering then runs in stage order:
 //!
 //! ```text
-//! frontend_ml ─▶ MlArtifact ─┐
-//!                            ├─▶ infer::link ─▶ BaseState
-//! frontend_c ─▶ CArtifact ───┘        │
-//!                                     ▼
-//!                      infer::run (parallel worker pool)
-//!                                     │ InferArtifact
-//!                                     ▼
-//!                                 discharge ─▶ diagnostics in the Session
+//! frontend_ml ─▶ MlArtifact ──┐
+//!                             ├─▶ infer::link ─▶ BaseState
+//! frontend_c ─▶ CArtifact ──┬─┘        │
+//!                           │          ▼
+//! frontend_rust ─▶ RustArtifact   infer::run (parallel worker pool)
+//!     (checks the C program)           │ InferArtifact
+//!           │                          ▼
+//!           └──▶ diagnostics      discharge ─▶ diagnostics in the Session
 //! ```
 //!
+//! * [`frontend`] — the [`frontend::Frontend`] trait and the
+//!   [`frontend::FRONTENDS`] registry corpus parsing dispatches through.
 //! * [`frontend_ml`] — registers parsed OCaml files in the type
 //!   repository and translates `external` signatures (Φ/ρ, Figure 4).
 //! * [`frontend_c`] — lowers parsed C units to the Figure 5 IR.
+//! * [`frontend_rust`] — merges `.rs` boundary surfaces and checks their
+//!   `extern "C"` signatures for layout agreement against the C program
+//!   (the third language pair; OCaml/C checks representation through the
+//!   `value` encoding, Rust/C checks `repr`-level layout).
 //! * [`infer`] — seeds the function registry (`Γ_I`), binds externals to
 //!   their C definitions, then runs per-function flow-sensitive inference
 //!   on a worker pool ([`ffisafe_support::AnalysisOptions::jobs`]).
@@ -60,12 +68,16 @@
 
 pub mod cache;
 pub mod discharge;
+pub mod frontend;
 pub mod frontend_c;
 pub mod frontend_ml;
+pub mod frontend_rust;
 pub mod infer;
 
 pub use cache::{CachedReport, PipelineCache, CACHE_SCHEMA_VERSION};
 pub use discharge::DischargeSummary;
+pub use frontend::{Frontend, ParsedUnit, FRONTENDS};
 pub use frontend_c::CArtifact;
 pub use frontend_ml::MlArtifact;
+pub use frontend_rust::RustArtifact;
 pub use infer::{BaseState, EffectKey, FunctionOutcome, InferArtifact};

@@ -1,0 +1,88 @@
+//! Frontend-trait conformance: routing corpus parsing through the
+//! pluggable [`Frontend`] registry must not change what the pipeline
+//! produces. The OCaml/C pair renders byte-identical reports at any
+//! worker width, cold and warm, and a pure OCaml/C corpus never grows a
+//! Rust suffix in its stable rendering.
+
+use ffisafe_core::{
+    AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, SourceKind, FRONTENDS,
+};
+
+const ML: &str = r#"
+type t = A of int | B
+external examine : t -> int = "ml_examine"
+external bump : int -> int = "ml_bump"
+"#;
+
+/// `ml_bump` is buggy (`Val_int` of a `value`), so the report has a
+/// stable finding to compare.
+const C: &str = r#"
+value ml_examine(value x) {
+    if (Is_long(x)) return Val_int(0);
+    return Field(x, 0);
+}
+value ml_bump(value n) { return Val_int(n); }
+"#;
+
+fn ocaml_c_corpus() -> Corpus {
+    Corpus::builder().ml_source("lib.ml", ML).c_source("glue.c", C).build()
+}
+
+#[test]
+fn registry_is_total_and_unambiguous_over_source_kinds() {
+    for kind in [SourceKind::Ml, SourceKind::C, SourceKind::Rust] {
+        let claims = FRONTENDS.iter().filter(|f| f.handles(kind)).count();
+        assert_eq!(claims, 1, "{kind:?} must be claimed by exactly one frontend");
+    }
+    let mut ids: Vec<&str> = FRONTENDS.iter().map(|f| f.id()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), FRONTENDS.len(), "frontend ids must be distinct");
+}
+
+#[test]
+fn ocaml_c_reports_are_byte_identical_across_jobs_cold_and_warm() {
+    let service = AnalysisService::new();
+    let reference = service
+        .analyze(
+            &AnalysisRequest::new(ocaml_c_corpus())
+                .options(AnalysisOptions::default().with_jobs(1)),
+        )
+        .unwrap();
+    let stable = reference.render_stable();
+    assert!(stable.contains("E001"), "premise: the corpus has a finding:\n{stable}");
+    assert!(
+        !stable.contains("lines Rust"),
+        "a pure OCaml/C report must not mention Rust:\n{stable}"
+    );
+
+    // Cold at jobs 8: same bytes.
+    let wide = service
+        .analyze(
+            &AnalysisRequest::new(ocaml_c_corpus())
+                .options(AnalysisOptions::default().with_jobs(8)),
+        )
+        .unwrap();
+    assert_eq!(wide.render_stable(), stable);
+
+    // Cold then warm through a shared cache, at both widths.
+    let dir = std::env::temp_dir().join(format!("ffisafe-fe-trait-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cached = AnalysisService::with_cache_dir(&dir).unwrap();
+    for jobs in [1, 8] {
+        let request = AnalysisRequest::new(ocaml_c_corpus())
+            .options(AnalysisOptions::default().with_jobs(jobs));
+        let cold_or_warm = cached.analyze(&request).unwrap();
+        assert_eq!(cold_or_warm.render_stable(), stable, "jobs={jobs}");
+    }
+    let warm = cached
+        .analyze(
+            &AnalysisRequest::new(ocaml_c_corpus())
+                .options(AnalysisOptions::default().with_jobs(8)),
+        )
+        .unwrap();
+    assert!(warm.stats.cache_report_hit, "unchanged corpus must hit the report tier");
+    assert_eq!(warm.stats.workers_executed, 0, "warm runs execute zero workers");
+    assert_eq!(warm.render_stable(), stable);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,271 @@
+//! AST for the Rust-FFI sublanguage: the boundary-relevant items of a
+//! `.rs` source file.
+//!
+//! Only three item families matter to the analysis — `extern "C"` blocks
+//! (imports), `#[no_mangle] extern "C" fn` definitions (exports) and type
+//! declarations — plus `type` aliases so signatures can be resolved.
+//! Everything else in a file is parsed far enough to be skipped.
+
+use ffisafe_support::Span;
+
+/// A Rust type expression as written in a boundary signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RustType {
+    /// A (possibly generic) path; only the final segment is kept for
+    /// classification (`std::os::raw::c_int` → `c_int`), with the full
+    /// source path retained for messages.
+    Path {
+        /// Final path segment (the classification key).
+        name: String,
+        /// Full path as written (for diagnostics).
+        full: String,
+        /// Generic type arguments (lifetimes dropped).
+        args: Vec<RustType>,
+    },
+    /// `*const T` / `*mut T`.
+    Ptr {
+        /// `*mut` vs `*const`.
+        mutable: bool,
+        /// Pointee.
+        inner: Box<RustType>,
+    },
+    /// `&T` / `&mut T` (lifetimes dropped).
+    Ref {
+        /// `&mut` vs `&`.
+        mutable: bool,
+        /// Referent.
+        inner: Box<RustType>,
+    },
+    /// `[T]` — unsized slice (only sound behind a wide pointer).
+    Slice(Box<RustType>),
+    /// `[T; N]` — fixed-size array (length kept as written).
+    Array(Box<RustType>, String),
+    /// `str` — unsized string slice.
+    Str,
+    /// `(T, U, …)`; the empty tuple is [`RustType::Unit`].
+    Tuple(Vec<RustType>),
+    /// `()`.
+    Unit,
+    /// `!`.
+    Never,
+    /// `fn(..) -> T` / `extern "C" fn(..) -> T` pointer.
+    FnPtr {
+        /// Whether the pointer carries an `extern "C"` (or `extern "system"`)
+        /// ABI; plain `fn(..)` is a Rust-ABI pointer and FFI-unsafe.
+        abi_c: bool,
+        /// Parameter types.
+        params: Vec<RustType>,
+        /// Return type ([`RustType::Unit`] when omitted).
+        ret: Box<RustType>,
+    },
+    /// `dyn Trait` / `impl Trait`.
+    TraitObject,
+    /// Anything the parser could not classify; treated opaquely.
+    Unknown,
+}
+
+impl RustType {
+    /// Convenience constructor for a bare (non-generic) path type.
+    pub fn path(name: &str) -> RustType {
+        RustType::Path { name: name.to_string(), full: name.to_string(), args: Vec::new() }
+    }
+
+    /// Renders the type roughly as written, for messages.
+    pub fn display(&self) -> String {
+        match self {
+            RustType::Path { full, args, .. } => {
+                if args.is_empty() {
+                    full.clone()
+                } else {
+                    let inner: Vec<String> = args.iter().map(|a| a.display()).collect();
+                    format!("{full}<{}>", inner.join(", "))
+                }
+            }
+            RustType::Ptr { mutable: true, inner } => format!("*mut {}", inner.display()),
+            RustType::Ptr { mutable: false, inner } => format!("*const {}", inner.display()),
+            RustType::Ref { mutable: true, inner } => format!("&mut {}", inner.display()),
+            RustType::Ref { mutable: false, inner } => format!("&{}", inner.display()),
+            RustType::Slice(inner) => format!("[{}]", inner.display()),
+            RustType::Array(inner, n) => format!("[{}; {n}]", inner.display()),
+            RustType::Str => "str".to_string(),
+            RustType::Tuple(parts) => {
+                let inner: Vec<String> = parts.iter().map(|p| p.display()).collect();
+                format!("({})", inner.join(", "))
+            }
+            RustType::Unit => "()".to_string(),
+            RustType::Never => "!".to_string(),
+            RustType::FnPtr { abi_c, .. } => {
+                if *abi_c {
+                    "extern \"C\" fn(..)".to_string()
+                } else {
+                    "fn(..)".to_string()
+                }
+            }
+            RustType::TraitObject => "dyn Trait".to_string(),
+            RustType::Unknown => "<unknown>".to_string(),
+        }
+    }
+}
+
+/// The `#[repr(..)]` of a type declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Repr {
+    /// No `repr` attribute (default Rust layout — unspecified).
+    Rust,
+    /// `#[repr(C)]` (possibly combined with `align`/`packed`).
+    C,
+    /// `#[repr(transparent)]`.
+    Transparent,
+    /// `#[repr(u8)]`, `#[repr(i32)]`, … — a primitive integer repr, which
+    /// gives fieldless enums a stable C representation.
+    PrimitiveInt,
+}
+
+/// Which ADT flavour a [`TypeDecl`] declares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdtKind {
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+}
+
+impl AdtKind {
+    /// Lowercase keyword, for messages.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AdtKind::Struct => "struct",
+            AdtKind::Enum => "enum",
+            AdtKind::Union => "union",
+        }
+    }
+}
+
+/// One field (or enum-variant payload slot) of a type declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (tuple fields are `"0"`, `"1"`, …; for enum payloads the
+    /// variant name prefixes the slot, e.g. `"Some.0"`).
+    pub name: String,
+    /// Declared type.
+    pub ty: RustType,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// A `struct`/`enum`/`union` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeDecl {
+    /// Type name.
+    pub name: String,
+    /// Its representation attribute.
+    pub repr: Repr,
+    /// Struct vs enum vs union.
+    pub kind: AdtKind,
+    /// Fields (for enums: every variant payload slot; fieldless variants
+    /// contribute nothing).
+    pub fields: Vec<Field>,
+    /// Whether the declaration has generic parameters (generic ADTs never
+    /// have a C-stable layout to check against).
+    pub generic: bool,
+    /// Whether any enum variant carries a payload (data-bearing enums have
+    /// no guaranteed discriminant layout even under `#[repr(int)]` alone).
+    pub has_payload: bool,
+    /// Span of the declaration header.
+    pub span: Span,
+}
+
+/// One function declared inside an `extern "C" { … }` block (an import).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignFn {
+    /// Rust-side name.
+    pub name: String,
+    /// Link name: `#[link_name = "…"]` override, else the Rust name.
+    pub link_name: String,
+    /// Whether the declaration is variadic (`...` in the parameter list);
+    /// variadic arity is checked as a lower bound.
+    pub variadic: bool,
+    /// Parameter types.
+    pub params: Vec<RustType>,
+    /// Return type ([`RustType::Unit`] when omitted).
+    pub ret: RustType,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A `static` declared inside an `extern "C" { … }` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignStatic {
+    /// Rust-side name.
+    pub name: String,
+    /// Link name: `#[link_name = "…"]` override, else the Rust name.
+    pub link_name: String,
+    /// Declared type.
+    pub ty: RustType,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A `#[no_mangle] extern "C" fn` definition (an export visible to C).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExportFn {
+    /// Rust-side name.
+    pub name: String,
+    /// Link name: `#[export_name = "…"]` override, else the Rust name.
+    pub link_name: String,
+    /// Parameter types.
+    pub params: Vec<RustType>,
+    /// Return type ([`RustType::Unit`] when omitted).
+    pub ret: RustType,
+    /// Span of the definition header.
+    pub span: Span,
+}
+
+/// A `type Alias = T;` item (resolved before classification).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeAlias {
+    /// Alias name.
+    pub name: String,
+    /// Aliased type.
+    pub ty: RustType,
+    /// Span of the item.
+    pub span: Span,
+}
+
+/// Everything boundary-relevant parsed out of one `.rs` file.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedRustFile {
+    /// File name as registered with the session source map.
+    pub name: String,
+    /// Imported C functions (`extern "C"` blocks).
+    pub imports: Vec<ForeignFn>,
+    /// Imported C globals (`static` in `extern "C"` blocks).
+    pub statics: Vec<ForeignStatic>,
+    /// Exported Rust functions (`#[no_mangle] extern "C" fn`).
+    pub exports: Vec<ExportFn>,
+    /// Type declarations (all of them, whatever their repr).
+    pub types: Vec<TypeDecl>,
+    /// `type` aliases.
+    pub aliases: Vec<TypeAlias>,
+    /// Recoverable parse errors (span + message).
+    pub errors: Vec<(Span, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_common_shapes() {
+        let t = RustType::Ptr { mutable: false, inner: Box::new(RustType::path("u8")) };
+        assert_eq!(t.display(), "*const u8");
+        let opt = RustType::Path {
+            name: "Option".into(),
+            full: "Option".into(),
+            args: vec![RustType::Ref { mutable: false, inner: Box::new(RustType::path("T")) }],
+        };
+        assert_eq!(opt.display(), "Option<&T>");
+    }
+}

@@ -1,0 +1,328 @@
+//! Lexer for the Rust-FFI sublanguage.
+//!
+//! Handles line and (nested) block comments, raw identifiers, raw strings,
+//! byte/char literals and lifetimes — enough that the item-level parser can
+//! skip function bodies by brace matching without being fooled by braces
+//! inside literals or comments.
+
+use crate::token::{RsToken, RsTokenKind};
+use ffisafe_support::{FileId, Span};
+
+/// Multi-character punctuation, longest first.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "->", "=>", "::", "..", "&&", "||", "<<", ">>", "<=", ">=", "==",
+    "!=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "#", "+", "-", "*", "/", "%", "=", "<",
+    ">", "!", "~", "&", "|", "^", "?", "@", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}", "$",
+];
+
+/// Lexes Rust source text into tokens (ending with `Eof`).
+pub fn lex(file: FileId, src: &str) -> Vec<RsToken> {
+    RsLexer { file, src: src.as_bytes(), pos: 0 }.run()
+}
+
+struct RsLexer<'a> {
+    file: FileId,
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RsLexer<'a> {
+    fn run(mut self) -> Vec<RsToken> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let lo = self.pos as u32;
+            let Some(c) = self.peek() else {
+                out.push(self.tok(RsTokenKind::Eof, lo));
+                return out;
+            };
+            let kind = match c {
+                b'r' | b'b' if self.is_raw_or_byte_string() => self.take_raw_or_byte_string(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let s = self.take_ident();
+                    RsTokenKind::Ident(s)
+                }
+                b'0'..=b'9' => RsTokenKind::Number(self.take_number()),
+                b'"' => RsTokenKind::Str(self.take_string()),
+                b'\'' => self.take_lifetime_or_char(),
+                _ => {
+                    let mut matched = None;
+                    for p in PUNCTS {
+                        if self.src[self.pos..].starts_with(p.as_bytes()) {
+                            matched = Some(*p);
+                            break;
+                        }
+                    }
+                    match matched {
+                        Some(p) => {
+                            self.pos += p.len();
+                            RsTokenKind::Punct(p)
+                        }
+                        None => {
+                            self.bump();
+                            continue; // unknown byte: drop it
+                        }
+                    }
+                }
+            };
+            out.push(self.tok(kind, lo));
+        }
+    }
+
+    fn tok(&self, kind: RsTokenKind, lo: u32) -> RsToken {
+        RsToken { kind, span: Span::new(self.file, lo, self.pos as u32) }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.bump(),
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    self.pos += 2;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.pos += 2;
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.pos += 2;
+                            }
+                            (Some(_), _) => self.bump(),
+                            (None, _) => break,
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn is_ident_byte(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || c == b'_'
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if Self::is_ident_byte(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // `r#type` lexes as a raw identifier meaning `type`-the-name; strip
+        // the sigil so the parser never confuses it with the keyword (raw
+        // identifiers are never keywords).
+        if s == "r" && self.peek() == Some(b'#') && self.peek_at(1).is_some_and(Self::is_ident_byte)
+        {
+            self.bump(); // '#'
+            let raw_start = self.pos;
+            while let Some(c) = self.peek() {
+                if Self::is_ident_byte(c) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            s = String::from_utf8_lossy(&self.src[raw_start..self.pos]).into_owned();
+        }
+        s
+    }
+
+    fn take_number(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            // Digits, radix prefixes/hex digits, `_` separators, exponent
+            // signs and type suffixes all fall in this set; the parser only
+            // ever looks at array-length literals, so precision is not
+            // required here.
+            if Self::is_ident_byte(c) || c == b'.' {
+                if c == b'.' && self.peek_at(1) == Some(b'.') {
+                    break; // `0..n` range: stop before `..`
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn take_string(&mut self) -> String {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            match c {
+                b'"' => break,
+                b'\\' => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump();
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+        let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if self.peek() == Some(b'"') {
+            self.bump();
+        }
+        s
+    }
+
+    /// Whether the cursor sits on `r"`, `r#`-string, `b"`, `br"` or `b'`.
+    fn is_raw_or_byte_string(&self) -> bool {
+        match (self.peek(), self.peek_at(1)) {
+            (Some(b'r'), Some(b'"')) => true,
+            (Some(b'r'), Some(b'#')) => {
+                // distinguish r"..."/r#"..."# from raw identifiers r#name
+                let mut i = 1;
+                while self.peek_at(i) == Some(b'#') {
+                    i += 1;
+                }
+                self.peek_at(i) == Some(b'"')
+            }
+            (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+            (Some(b'b'), Some(b'r')) => matches!(self.peek_at(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        }
+    }
+
+    fn take_raw_or_byte_string(&mut self) -> RsTokenKind {
+        if self.peek() == Some(b'b') {
+            self.bump();
+        }
+        if self.peek() == Some(b'\'') {
+            return self.take_lifetime_or_char(); // byte literal b'x'
+        }
+        if self.peek() == Some(b'r') {
+            self.bump();
+            let mut hashes = 0usize;
+            while self.peek() == Some(b'#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+            let start = self.pos;
+            let closer: Vec<u8> =
+                std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+            while self.pos < self.src.len() && !self.src[self.pos..].starts_with(&closer) {
+                self.bump();
+            }
+            let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.pos = (self.pos + closer.len()).min(self.src.len());
+            RsTokenKind::Str(s)
+        } else {
+            RsTokenKind::Str(self.take_string())
+        }
+    }
+
+    fn take_lifetime_or_char(&mut self) -> RsTokenKind {
+        self.bump(); // opening '
+                     // A lifetime is `'ident` NOT followed by a closing quote ('a' is a
+                     // char literal, 'a a lifetime).
+        if self.peek().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+            let mut i = 0;
+            while self.peek_at(i).is_some_and(Self::is_ident_byte) {
+                i += 1;
+            }
+            if self.peek_at(i) != Some(b'\'') {
+                let start = self.pos;
+                self.pos += i;
+                let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                return RsTokenKind::Lifetime(s);
+            }
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            match c {
+                b'\'' => break,
+                b'\\' => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump();
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+        let s = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if self.peek() == Some(b'\'') {
+            self.bump();
+        }
+        RsTokenKind::Char(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<RsTokenKind> {
+        lex(FileId::from_raw(0), src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_arrow() {
+        let ks = kinds("extern \"C\" fn f(x: *const u8) -> i32;");
+        assert!(ks.contains(&RsTokenKind::Ident("extern".into())));
+        assert!(ks.contains(&RsTokenKind::Str("C".into())));
+        assert!(ks.contains(&RsTokenKind::Punct("->")));
+        assert!(ks.contains(&RsTokenKind::Punct("*")));
+    }
+
+    #[test]
+    fn comments_are_trivia_even_nested() {
+        let ks = kinds("a /* x /* y */ z */ b // tail\nc");
+        let idents: Vec<_> = ks.iter().filter_map(|k| k.ident().map(String::from)).collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a str '\\n' 'x'");
+        assert!(ks.contains(&RsTokenKind::Lifetime("a".into())));
+        assert!(ks.contains(&RsTokenKind::Char("\\n".into())));
+        assert!(ks.contains(&RsTokenKind::Char("x".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let ks = kinds(r###"r#"{ not a brace }"# r#type b"bytes""###);
+        assert!(ks.contains(&RsTokenKind::Str("{ not a brace }".into())));
+        assert!(ks.contains(&RsTokenKind::Ident("type".into())));
+        assert!(ks.contains(&RsTokenKind::Str("bytes".into())));
+    }
+
+    #[test]
+    fn paths_and_generics() {
+        let ks = kinds("std::os::raw::c_int Option<&T>");
+        assert!(ks.contains(&RsTokenKind::Punct("::")));
+        assert!(ks.contains(&RsTokenKind::Punct("<")));
+        assert!(ks.contains(&RsTokenKind::Punct("&")));
+    }
+}

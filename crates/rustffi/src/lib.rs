@@ -1,0 +1,55 @@
+//! Rust frontend for `ffisafe` — the third language pair behind the
+//! pipeline's `Frontend` trait.
+//!
+//! Where the OCaml/C pair checks *runtime representation agreement* through
+//! the `value` encoding, the Rust/C pair checks *layout agreement* across
+//! `extern "C"`: every Rust type reachable from a boundary signature must
+//! have a defined C representation, and the signature must match the C
+//! definition with the same link name. The checker follows rustc's
+//! `improper_ctypes` lint (`check_type_for_ffi`): `#[repr(C)]` /
+//! `#[repr(transparent)]` gating, recursive field walks with cycle
+//! protection, and FfiSafe/FfiUnsafe verdicts per reachable component.
+//!
+//! * [`parser::parse`] — parses the boundary surface of one `.rs` file
+//!   (`extern "C"` blocks, `#[no_mangle] extern "C" fn` definitions, type
+//!   declarations, aliases); bodies and non-boundary items are skipped;
+//! * [`check::RustProgram::merge`] — merges parsed files into one corpus
+//!   surface;
+//! * [`check::check`] — compares that surface against the C program lowered
+//!   by the C frontend, emitting `E011`–`E014` / `W004` diagnostics.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffisafe_rustffi::{parser, check::{self, RustProgram}};
+//! use ffisafe_support::SourceMap;
+//!
+//! let src = r#"
+//!     extern "C" {
+//!         fn add(a: i32, b: i32, c: i32) -> i32;
+//!     }
+//! "#;
+//! let mut sm = SourceMap::new();
+//! let file = sm.add_file("lib.rs", src);
+//! let parsed = parser::parse(file, "lib.rs", src);
+//! assert_eq!(parsed.imports.len(), 1);
+//!
+//! let c_src = "int add(int a, int b) { return a + b; }";
+//! let c_file = sm.add_file("add.c", c_src);
+//! let unit = ffisafe_cil::parser::parse(c_file, c_src);
+//! let ir = ffisafe_cil::lower::lower_unit(&unit);
+//! let program = RustProgram::merge(&[parsed]);
+//! let bag = check::check(&program, &ir);
+//! assert_eq!(bag.count_errors(), 1); // E011: 3 params vs 2
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{ParsedRustFile, RustType};
+pub use check::{check, RustProgram};

@@ -1,0 +1,70 @@
+//! Tokens of the Rust-FFI sublanguage.
+//!
+//! The lexer only needs to be faithful enough to recover item structure,
+//! attributes and type syntax; expression bodies are skipped by brace
+//! matching in the parser, so literals carry no decoded payload.
+
+use ffisafe_support::Span;
+
+/// A lexed Rust token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RsTokenKind {
+    /// Identifier or keyword (including raw identifiers, `r#fn` → `fn`).
+    Ident(String),
+    /// Lifetime, without the leading `'` (e.g. `a` for `'a`).
+    Lifetime(String),
+    /// Integer/float literal text (kept verbatim; suffixes included).
+    Number(String),
+    /// String literal contents (escapes left verbatim; raw strings
+    /// unwrapped).
+    Str(String),
+    /// Character or byte literal (contents verbatim).
+    Char(String),
+    /// Punctuation / operator, e.g. `"->"`, `"::"`, `"#"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl RsTokenKind {
+    /// Whether this token is the identifier `kw`.
+    pub fn is_ident(&self, kw: &str) -> bool {
+        matches!(self, RsTokenKind::Ident(s) if s == kw)
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, RsTokenKind::Punct(s) if *s == p)
+    }
+
+    /// Identifier text, if any.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            RsTokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RsToken {
+    /// Kind and payload.
+    pub kind: RsTokenKind,
+    /// Source span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(RsTokenKind::Ident("extern".into()).is_ident("extern"));
+        assert!(!RsTokenKind::Ident("extern".into()).is_ident("fn"));
+        assert!(RsTokenKind::Punct("->").is_punct("->"));
+        assert_eq!(RsTokenKind::Ident("repr".into()).ident(), Some("repr"));
+        assert_eq!(RsTokenKind::Punct("#").ident(), None);
+    }
+}

@@ -121,6 +121,8 @@ pub struct MapStats {
     pub c_loc: usize,
     /// OCaml lines analyzed (summed).
     pub ml_loc: usize,
+    /// Rust lines analyzed (summed).
+    pub rust_loc: usize,
     /// Summed per-function inference work in seconds (≈0 when warm).
     pub work_seconds: f64,
     /// The schedule's critical path: the largest per-worker sum of
@@ -350,6 +352,7 @@ pub fn execute(plan: &SweepPlan, config: &MapConfig) -> Result<MapOutput, ApiErr
                 stats.passes += e.passes;
                 stats.c_loc += e.c_loc;
                 stats.ml_loc += e.ml_loc;
+                stats.rust_loc += e.rust_loc;
                 stats.work_seconds += e.work_seconds;
             }
             Err(_) => stats.libraries_failed += 1,

@@ -190,6 +190,7 @@ impl SweepOutput {
         );
         reg.set_gauge("ffisafe_sweep_ml_loc", "Lines of OCaml swept", &[], s.ml_loc as f64);
         reg.set_gauge("ffisafe_sweep_c_loc", "Lines of C swept", &[], s.c_loc as f64);
+        reg.set_gauge("ffisafe_sweep_rust_loc", "Lines of Rust swept", &[], s.rust_loc as f64);
         reg.set_gauge(
             "ffisafe_sweep_wall_seconds",
             "Wall-clock seconds for the whole sweep",

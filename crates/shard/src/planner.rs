@@ -3,7 +3,7 @@
 //! `sweep-manifest.json`.
 //!
 //! A **corpus root** is a directory of libraries: every immediate
-//! subdirectory containing at least one FFI source (`.ml`/`.mli`/`.c`/
+//! subdirectory containing at least one FFI source (`.ml`/`.mli`/`.rs`/`.c`/
 //! `.h`, found recursively) is one library, and FFI files sitting directly
 //! in the root form a library named `.`. Within a library, files load in
 //! the same deterministic sorted-path order as [`Corpus::from_dir`], so a

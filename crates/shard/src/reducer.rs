@@ -62,6 +62,8 @@ pub struct LibraryExec {
     pub ml_loc: usize,
     /// C lines analyzed.
     pub c_loc: usize,
+    /// Rust lines analyzed.
+    pub rust_loc: usize,
     /// C functions analyzed.
     pub functions: usize,
     /// Fixpoint passes.
@@ -137,6 +139,7 @@ impl LibraryReport {
             exec: LibraryExec {
                 ml_loc: s.ml_loc,
                 c_loc: s.c_loc,
+                rust_loc: s.rust_loc,
                 functions: s.c_functions,
                 passes: s.passes,
                 seconds: s.seconds,
@@ -206,6 +209,7 @@ impl LibraryReport {
         let exec = LibraryExec {
             ml_loc: stat("ml_loc")?,
             c_loc: stat("c_loc")?,
+            rust_loc: stat("rust_loc")?,
             functions: stat("c_functions")?,
             passes: stat("passes")?,
             seconds: stats.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),

@@ -80,6 +80,18 @@ pub enum DiagnosticCode {
     UnsafeValue,
     /// Arity mismatch between the OCaml `external` and the C definition.
     ArityMismatch,
+    /// Arity mismatch between a Rust `extern "C"` signature and the C
+    /// definition with the same link name.
+    RustArityMismatch,
+    /// Representation-level type mismatch between a Rust `extern "C"`
+    /// parameter/return and the C definition (e.g. integer vs pointer).
+    RustTypeMismatch,
+    /// A Rust struct/enum/union crosses the FFI boundary without
+    /// `#[repr(C)]` (or another FFI-stable representation).
+    RustMissingReprC,
+    /// An FFI-unsafe payload (`String`, `Vec`, wide pointer, non-`repr`
+    /// ADT, …) is reachable from a Rust boundary signature.
+    RustFfiUnsafe,
     // ---- questionable practice -----------------------------------------
     /// Trailing `unit` parameter in the OCaml signature with no C
     /// counterpart.
@@ -89,6 +101,10 @@ pub enum DiagnosticCode {
     PolymorphicAbuse,
     /// Value cast chains that are legal but fragile (heuristic).
     SuspiciousCast,
+    /// A non-nullable Rust reference (`&T`) crosses the boundary where the
+    /// C side has a plain (nullable) pointer; `Option<&T>` matches the C
+    /// contract.
+    RustNullability,
     // ---- imprecision ----------------------------------------------------
     /// Pointer arithmetic with a statically-unknown offset.
     UnknownOffset,
@@ -112,8 +128,11 @@ impl DiagnosticCode {
         match self {
             TypeMismatch | BoxednessMismatch | ConstructorRange | TagRange | FieldRange
             | UnrootedValue | MissingCamlReturn | SpuriousCamlReturn | UnsafeValue
-            | ArityMismatch => Severity::Error,
-            TrailingUnitParameter | PolymorphicAbuse | SuspiciousCast => Severity::Warning,
+            | ArityMismatch | RustArityMismatch | RustTypeMismatch | RustMissingReprC
+            | RustFfiUnsafe => Severity::Error,
+            TrailingUnitParameter | PolymorphicAbuse | SuspiciousCast | RustNullability => {
+                Severity::Warning
+            }
             UnknownOffset | GlobalValue | AddressOfValue | FunctionPointerCall
             | PolymorphicVariant => Severity::Imprecision,
             Context => Severity::Note,
@@ -134,9 +153,14 @@ impl DiagnosticCode {
             SpuriousCamlReturn => "E008",
             UnsafeValue => "E009",
             ArityMismatch => "E010",
+            RustArityMismatch => "E011",
+            RustTypeMismatch => "E012",
+            RustMissingReprC => "E013",
+            RustFfiUnsafe => "E014",
             TrailingUnitParameter => "W001",
             PolymorphicAbuse => "W002",
             SuspiciousCast => "W003",
+            RustNullability => "W004",
             UnknownOffset => "P001",
             GlobalValue => "P002",
             AddressOfValue => "P003",
@@ -359,9 +383,14 @@ mod tests {
             SpuriousCamlReturn,
             UnsafeValue,
             ArityMismatch,
+            RustArityMismatch,
+            RustTypeMismatch,
+            RustMissingReprC,
+            RustFfiUnsafe,
             TrailingUnitParameter,
             PolymorphicAbuse,
             SuspiciousCast,
+            RustNullability,
             UnknownOffset,
             GlobalValue,
             AddressOfValue,

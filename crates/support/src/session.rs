@@ -92,6 +92,9 @@ pub enum Phase {
     FrontendMl,
     /// C frontend: parse `.c`, lower to the Figure 5 IR.
     FrontendC,
+    /// Rust-FFI frontend: parse `.rs`, collect `extern "C"` boundary
+    /// signatures and check them against the C surface.
+    FrontendRust,
     /// Per-function flow-sensitive inference (the parallel stage).
     Infer,
     /// Deferred constraint discharge: GC solve, Ψ bounds, practice checks.
@@ -100,15 +103,16 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 4] =
-        [Phase::FrontendMl, Phase::FrontendC, Phase::Infer, Phase::Discharge];
+    pub const ALL: [Phase; 5] =
+        [Phase::FrontendMl, Phase::FrontendC, Phase::FrontendRust, Phase::Infer, Phase::Discharge];
 
     fn index(self) -> usize {
         match self {
             Phase::FrontendMl => 0,
             Phase::FrontendC => 1,
-            Phase::Infer => 2,
-            Phase::Discharge => 3,
+            Phase::FrontendRust => 2,
+            Phase::Infer => 3,
+            Phase::Discharge => 4,
         }
     }
 
@@ -117,6 +121,7 @@ impl Phase {
         match self {
             Phase::FrontendMl => "frontend_ml",
             Phase::FrontendC => "frontend_c",
+            Phase::FrontendRust => "frontend_rust",
             Phase::Infer => "infer",
             Phase::Discharge => "discharge",
         }
@@ -128,6 +133,7 @@ impl Phase {
         match self {
             Phase::FrontendMl => "phase.frontend_ml",
             Phase::FrontendC => "phase.frontend_c",
+            Phase::FrontendRust => "phase.frontend_rust",
             Phase::Infer => "phase.infer",
             Phase::Discharge => "phase.discharge",
         }
@@ -151,8 +157,8 @@ impl fmt::Display for Phase {
 /// surfaces.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseTimings {
-    totals: [Duration; 4],
-    work: [Duration; 4],
+    totals: [Duration; 5],
+    work: [Duration; 5],
 }
 
 impl PhaseTimings {
@@ -340,7 +346,7 @@ mod tests {
         assert!(s.timings().get(Phase::Infer) >= Duration::from_millis(1));
         assert_eq!(s.timings().get(Phase::FrontendMl), Duration::ZERO);
         let names: Vec<_> = s.timings().iter().map(|(p, _)| p.name()).collect();
-        assert_eq!(names, ["frontend_ml", "frontend_c", "infer", "discharge"]);
+        assert_eq!(names, ["frontend_ml", "frontend_c", "frontend_rust", "infer", "discharge"]);
     }
 
     #[test]

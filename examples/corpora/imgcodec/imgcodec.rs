@@ -1,0 +1,7 @@
+//! imgcodec — seeded arity bug: `img_decode` declares three parameters
+//! on the Rust side but the C definition takes two (E011).
+
+extern "C" {
+    fn img_decode(data: *const u8, len: usize, flags: i32) -> i32;
+    fn img_free(handle: i32) -> i32;
+}

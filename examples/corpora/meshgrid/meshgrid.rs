@@ -1,0 +1,13 @@
+//! meshgrid — seeded layout bug: `Grid` crosses the `extern "C"`
+//! boundary but has no `#[repr(C)]` attribute (E013).
+
+pub struct Grid {
+    nx: i32,
+    ny: i32,
+    cells: *mut f64,
+}
+
+extern "C" {
+    fn grid_init(pool: *mut Grid, nx: i32, ny: i32) -> *mut Grid;
+    fn grid_sum(g: *const Grid) -> f64;
+}

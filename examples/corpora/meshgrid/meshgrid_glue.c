@@ -1,0 +1,12 @@
+/* meshgrid glue — signatures agree; the defect is on the Rust side,
+ * where struct Grid lacks #[repr(C)] */
+
+typedef struct grid grid_t;
+
+grid_t *grid_init(grid_t *pool, int nx, int ny) {
+    return pool;
+}
+
+double grid_sum(grid_t *g) {
+    return 0.0;
+}

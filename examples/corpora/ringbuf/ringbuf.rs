@@ -1,0 +1,15 @@
+//! ringbuf — clean Rust/C pair: no findings expected.
+
+#[repr(C)]
+pub struct RingBuf {
+    head: u32,
+    tail: u32,
+    cap: u32,
+    data: *mut u8,
+}
+
+extern "C" {
+    fn rb_push(rb: *mut RingBuf, byte: u8) -> i32;
+    fn rb_pop(rb: *mut RingBuf) -> i32;
+    fn rb_len(rb: *const RingBuf) -> u32;
+}

@@ -4,7 +4,7 @@
 //! ```text
 //! ffisafe [--no-flow] [--no-gc] [--jobs N] [--cache-dir DIR|--cache-url URL]
 //!         [--no-cache] [--cache-stats] [--format text|json] [--timings]
-//!         [--trace-out FILE] [--metrics-out FILE] <file.ml|file.c|dir>...
+//!         [--trace-out FILE] [--metrics-out FILE] <file.ml|file.rs|file.c|dir>...
 //! ffisafe sweep [--shards N] [--jobs N] [--cache-dir DIR|--cache-url URL]
 //!         [--no-cache] [--schedule name|cost] [--mode in-process|child]
 //!         [--manifest FILE] [--retries N] [--no-flow] [--no-gc]
@@ -36,13 +36,14 @@ use ffisafe::{
 };
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ffisafe [options] <file.ml|file.c|dir>...
+const USAGE: &str = "usage: ffisafe [options] <file.ml|file.rs|file.c|dir>...
        ffisafe sweep [options] <root>
        ffisafe cache-serve --cache-dir DIR [--listen ADDR]
 
 Checks type and GC safety of OCaml-to-C foreign function calls
-(Furr & Foster, PLDI 2005). A directory argument loads every .ml/.c
-file under it; `ffisafe sweep` analyzes a directory *of libraries*
+(Furr & Foster, PLDI 2005) and layout safety of Rust extern \"C\"
+boundaries against the same C sources. A directory argument loads
+every .ml/.rs/.c file under it; `ffisafe sweep` analyzes a directory *of libraries*
 (one subdirectory each) with sharded map/reduce execution;
 `ffisafe cache-serve` exports a cache directory over TCP so
 multiple processes or machines share one logical store.
@@ -369,7 +370,7 @@ fn analyze_main(args: &[String]) -> ExitCode {
         let result = if std::path::Path::new(path).is_dir() {
             match ffisafe::core::source_files_under(std::path::Path::new(path)) {
                 Ok(dir_files) if dir_files.is_empty() => {
-                    eprintln!("ffisafe: {path}: no .ml/.mli/.c/.h files under directory");
+                    eprintln!("ffisafe: {path}: no .ml/.mli/.rs/.c/.h files under directory");
                     return ExitCode::from(2);
                 }
                 Ok(dir_files) => {

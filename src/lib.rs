@@ -22,6 +22,13 @@
 //! * **imprecision** — places the flow-sensitive analysis loses track
 //!   (unknown offsets, `value` globals, function pointers).
 //!
+//! A corpus may also contain Rust sources: `extern "C"` blocks,
+//! `#[no_mangle]` exports and `#[repr(C)]` type declarations are checked
+//! for *layout* agreement against the same C definitions (arity and type
+//! compatibility, missing `repr(C)`, FFI-unsafe payloads, nullability) —
+//! see the [`core::Frontend`] trait for how the three language frontends
+//! plug into one pipeline.
+//!
 //! ## Quickstart
 //!
 //! Build an immutable, content-addressed [`Corpus`] and submit it to an
@@ -111,6 +118,7 @@
 //! | [`ffisafe_types`] | the multi-lingual type language + unification |
 //! | [`ffisafe_ocaml`] | OCaml frontend, type repository, `ρ`/`Φ` |
 //! | [`ffisafe_cil`] | C frontend, Figure 5 IR, liveness |
+//! | [`ffisafe_rustffi`] | Rust `extern "C"` boundary surface + layout check |
 //! | [`ffisafe_core`] | the inference engine and [`AnalysisService`] |
 //! | [`ffisafe_shard`] | map/reduce sharded sweeps over library trees |
 //! | [`ffisafe_semantics`] | executable semantics + soundness harness |
@@ -123,6 +131,7 @@ pub use ffisafe_cache as cache;
 pub use ffisafe_cil as cil;
 pub use ffisafe_core as core;
 pub use ffisafe_ocaml as ocaml;
+pub use ffisafe_rustffi as rustffi;
 pub use ffisafe_semantics as semantics;
 pub use ffisafe_support as support;
 pub use ffisafe_types as types;

@@ -4,6 +4,9 @@
 //!   and renders a byte-identical report, at `--jobs 1` and `--jobs 8`;
 //! * editing one C function invalidates exactly that function's tier-1
 //!   entry — its siblings replay;
+//! * editing a `.rs` file invalidates only the Rust boundary-check entry
+//!   — every per-function OCaml/C outcome replays — and the mixed-language
+//!   fingerprints are jobs-invariant;
 //! * changing `AnalysisOptions` (or the analyzer version) invalidates
 //!   everything;
 //! * a corrupted or truncated cache file is a miss, never a crash.
@@ -54,6 +57,8 @@ fn analyze(
     for (name, src) in corpus {
         builder = if name.ends_with(".ml") {
             builder.ml_source(*name, *src)
+        } else if name.ends_with(".rs") {
+            builder.rust_source(*name, *src)
         } else {
             builder.c_source(*name, *src)
         };
@@ -178,6 +183,85 @@ fn overlay_digest_is_jobs_invariant_and_matches_across_cold_and_warm() {
     assert!(reverted.stats.cache_report_hit, "cold and warm digests must agree");
     assert_eq!(reverted.stats.workers_executed, 0);
     assert_eq!(reverted.render_stable(), cold.render_stable());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A Rust boundary declaration that agrees with `ml_a`'s C definition
+/// (`value` parameters are opaque to the layout check).
+const RS_CLEAN: &str = r#"extern "C" { fn ml_a(n: i32) -> i32; }"#;
+
+/// The same import with a phantom second parameter: E011.
+const RS_BUGGY: &str = r#"extern "C" { fn ml_a(n: i32, extra: i32) -> i32; }"#;
+
+fn mixed_corpus(rs_src: &str) -> Vec<(&'static str, String)> {
+    let mut files = corpus(B_C_CLEAN);
+    files.push(("lib.rs", rs_src.to_string()));
+    files
+}
+
+/// The Rust surface never reaches the frozen base-state digest, so a
+/// `.rs`-only edit invalidates exactly the memoized boundary check: every
+/// per-function OCaml/C outcome replays (zero workers) while the Rust
+/// check re-runs — at any worker width, cold-primed or warm.
+#[test]
+fn rust_edit_invalidates_only_rust_entries() {
+    let before = mixed_corpus(RS_CLEAN);
+    let after = mixed_corpus(RS_BUGGY);
+
+    for jobs in [1, 8] {
+        let dir = temp_dir(&format!("rust-edit-j{jobs}"));
+        let cold = analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(1), Some(&dir));
+        assert!(!cold.stats.rust_check_cached, "cold run computes the boundary check");
+        assert_eq!(cold.stats.rust_externs, 1);
+        let errors_before = cold.error_count();
+
+        // Unchanged mixed corpus: report-tier hit, zero workers.
+        let warm =
+            analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(jobs), Some(&dir));
+        assert!(warm.stats.cache_report_hit, "unchanged mixed corpus hits the report tier");
+        assert_eq!(warm.stats.workers_executed, 0);
+        assert_eq!(warm.render_stable(), cold.render_stable());
+
+        // Edit only the .rs file: the report tier misses, every OCaml/C
+        // function entry replays, and only the Rust check recomputes.
+        let edited =
+            analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(jobs), Some(&dir));
+        assert!(!edited.stats.cache_report_hit);
+        assert_eq!(edited.stats.cache_fn_hits, 3, "all C functions replay (jobs={jobs})");
+        assert_eq!(edited.stats.workers_executed, 0, "a .rs edit runs zero inference workers");
+        assert!(!edited.stats.rust_check_cached, "the boundary check must recompute");
+        assert_eq!(edited.error_count(), errors_before + 1, "the new E011 is found");
+
+        // Byte-identical to an uncached run of the edited corpus.
+        let fresh = analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(1), None);
+        assert_eq!(edited.render_stable(), fresh.render_stable());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The Rust-check fingerprint covers the C *signature* surface, never C
+/// bodies: a body-only C edit re-runs that function's inference but
+/// replays the memoized Rust boundary verdict.
+#[test]
+fn c_body_edit_keeps_the_rust_check_memoized() {
+    let dir = temp_dir("rust-c-body");
+    let before = mixed_corpus(RS_CLEAN);
+    let mut after = mixed_corpus(RS_CLEAN);
+    for (name, src) in &mut after {
+        if *name == "b.c" {
+            *src = B_C_BUGGY.to_string();
+        }
+    }
+
+    let cold = analyze(&as_refs(&before), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!cold.stats.rust_check_cached);
+
+    let edited = analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(1), Some(&dir));
+    assert!(!edited.stats.cache_report_hit);
+    assert_eq!(edited.stats.cache_fn_misses, 1, "only ml_b re-runs");
+    assert!(edited.stats.rust_check_cached, "a C body edit must not invalidate the Rust check");
+    let fresh = analyze(&as_refs(&after), AnalysisOptions::default().with_jobs(1), None);
+    assert_eq!(edited.render_stable(), fresh.render_stable());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

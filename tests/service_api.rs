@@ -181,11 +181,12 @@ value ml_g(value x) { return Val_int(Int_val(x)); }
     assert_eq!(cache.get("report_hit").and_then(Json::as_bool), Some(false));
     assert_eq!(cache.get("fn_hits").and_then(Json::as_u64), Some(0));
 
-    // Timings list all four phases in pipeline order.
+    // Timings list every phase in pipeline order (the Rust frontend is
+    // timed even when the corpus has no .rs files).
     let timings = doc.get("timings").and_then(Json::as_array).expect("timings array");
     let phases: Vec<&str> =
         timings.iter().filter_map(|t| t.get("phase").and_then(Json::as_str)).collect();
-    assert_eq!(phases, ["frontend_ml", "frontend_c", "infer", "discharge"]);
+    assert_eq!(phases, ["frontend_ml", "frontend_c", "frontend_rust", "infer", "discharge"]);
 }
 
 #[test]

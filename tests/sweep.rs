@@ -359,21 +359,30 @@ fn remote_backend_sweeps_match_local_and_warm_runs_zero_workers() {
 
 #[test]
 fn examples_corpora_sweep_matches_the_documented_findings() {
-    // the tree CI smokes over: 1 type error (strutil), 1 imprecision
-    // (gadgets), intcalc clean
+    // the tree CI smokes over: OCaml/C pairs (strutil seeded with a type
+    // error, gadgets with an imprecision, intcalc clean) plus Rust/C
+    // pairs (imgcodec seeded with an E011 arity bug, meshgrid with an
+    // E013 missing-repr(C) struct, ringbuf clean)
     let out = Command::new(ffisafe_bin())
         .args(["sweep", "--format", "json", "examples/corpora"])
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
-    let doc = json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = json::parse(&stdout).unwrap();
     let summary = doc.get("summary").unwrap();
-    assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(1));
+    assert_eq!(summary.get("errors").and_then(Json::as_u64), Some(3));
     assert_eq!(summary.get("imprecision").and_then(Json::as_u64), Some(1));
     let libs = doc.get("library_reports").and_then(Json::as_array).unwrap();
     let names: Vec<&str> =
         libs.iter().filter_map(|l| l.get("library").and_then(Json::as_str)).collect();
-    assert_eq!(names, ["gadgets", "intcalc", "strutil"], "sorted by library name");
+    assert_eq!(
+        names,
+        ["gadgets", "imgcodec", "intcalc", "meshgrid", "ringbuf", "strutil"],
+        "sorted by library name"
+    );
+    assert!(stdout.contains("\"code\": \"E011\""), "imgcodec's arity bug: {stdout}");
+    assert!(stdout.contains("\"code\": \"E013\""), "meshgrid's repr bug: {stdout}");
 }
 
 #[test]

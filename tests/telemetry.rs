@@ -88,6 +88,10 @@ fn traced_sweep_records_the_span_schema_and_nests_per_thread() {
     assert_eq!(count(&events, "service.analyze"), 3);
     assert!(count(&events, "infer.solve") >= 3, "cold run solves every function");
     assert!(count(&events, "phase.infer") > 0);
+    assert!(
+        count(&events, "phase.frontend_rust") > 0,
+        "the Rust frontend stage is timed even for OCaml-only corpora"
+    );
 
     assert_eq!(nesting_violations(&events), 0, "spans must nest within each thread");
 
