@@ -39,7 +39,13 @@
 //!   enabled) must come in at ≤ 1.05× the untraced wall clock, with a
 //!   small absolute excess floor so sub-second workloads don't trip the
 //!   ratio on scheduler noise: tracing must stay cheap enough to leave on
-//!   in production daemons.
+//!   in production daemons;
+//! * **serve warm latency** — on the `serve-load` rows (concurrent
+//!   clients against a resident `ffisafe serve` daemon), the warm round's
+//!   median per-request latency (`p50_seconds`) must be strictly below
+//!   the cold round's: a resubmitted corpus must be answered from the
+//!   report cache faster than it was first analyzed, or the daemon's
+//!   reason to stay resident is gone.
 //!
 //! `work_seconds` is jobs-independent but still wall-clock-derived, so
 //! runs on different hardware (or a noisy shared runner) drift even with
@@ -100,6 +106,9 @@ struct Row {
     jobs: u64,
     cache: String,
     seconds: f64,
+    /// Median per-request latency of a serve-load round; 0 on single-run
+    /// workloads and on artifacts written before the field existed.
+    p50_seconds: f64,
     work_seconds: f64,
     critical_path_seconds: f64,
     /// `"live"`, `"packing"` or `"untracked"`; empty on artifacts written
@@ -132,6 +141,7 @@ fn rows(doc: &Json, which: &str) -> Result<Vec<Row>, String> {
                 seconds: field("seconds")?
                     .as_f64()
                     .ok_or_else(|| format!("{which}: rows[{i}].seconds not a number"))?,
+                p50_seconds: r.get("p50_seconds").and_then(Json::as_f64).unwrap_or(0.0),
                 work_seconds: field("work_seconds")?
                     .as_f64()
                     .ok_or_else(|| format!("{which}: rows[{i}].work_seconds not a number"))?,
@@ -254,6 +264,24 @@ fn telemetry_verdict(rows: &[Row]) -> Option<(String, bool)> {
     Some((message, ratio > MAX_TELEMETRY_RATIO && excess > MIN_TELEMETRY_EXCESS))
 }
 
+/// The serve-load latency verdict over the current artifact, or `None`
+/// when it carries no serve-load rows (older artifacts) or the cold p50
+/// is zero. Returns `(message, failed)`.
+fn serve_verdict(rows: &[Row]) -> Option<(String, bool)> {
+    let find = |cache: &str| rows.iter().find(|r| r.name == "serve-load" && r.cache == cache);
+    let cold = find("cold")?;
+    let warm = find("warm")?;
+    if cold.p50_seconds <= 0.0 {
+        return None;
+    }
+    let ratio = warm.p50_seconds / cold.p50_seconds;
+    let message = format!(
+        "serve warm latency: cold p50 {:.4}s -> warm p50 {:.4}s ({ratio:.3}x, must be < 1x)",
+        cold.p50_seconds, warm.p50_seconds
+    );
+    Some((message, warm.p50_seconds >= cold.p50_seconds))
+}
+
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -334,6 +362,17 @@ fn main() -> ExitCode {
             }
         }
         None => println!("no telemetry-overhead rows in the current artifact; skipping that gate"),
+    }
+
+    match serve_verdict(&current_rows) {
+        Some((message, serve_failed)) => {
+            println!("{message}");
+            if serve_failed {
+                failed = true;
+                println!("REGRESSION: warm daemon requests are no longer faster than cold ones");
+            }
+        }
+        None => println!("no serve-load rows in the current artifact; skipping that gate"),
     }
 
     let baseline_names: BTreeSet<&str> = baseline_rows.iter().map(|r| r.name.as_str()).collect();

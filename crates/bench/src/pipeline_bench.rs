@@ -13,7 +13,9 @@
 use crate::corpus::generate;
 use crate::runner::scaling_benchmark;
 use crate::spec::paper_benchmarks;
-use ffisafe_core::{AnalysisOptions, AnalysisRequest, AnalysisService, Corpus, ServiceConfig};
+use ffisafe_core::{
+    AnalysisOptions, AnalysisRequest, AnalysisService, CacheMode, Corpus, ServiceConfig,
+};
 use ffisafe_shard::{planner, sweep, LibraryCost, Schedule, SweepConfig, SweepOutput};
 use ffisafe_support::telemetry;
 use std::collections::HashMap;
@@ -32,11 +34,18 @@ pub struct PipelineMeasurement {
     pub passes: usize,
     /// Worker threads used.
     pub jobs: usize,
-    /// Cache temperature: `"off"`, `"cold"` (populating) or `"warm"`
-    /// (replaying the run before it).
+    /// Cache temperature: `"off"`, `"cold"` (populating), `"warm"`
+    /// (replaying the run before it) or `"mixed"` (the serve-load
+    /// harness's interleaved cold/warm client mix).
     pub cache: &'static str,
     /// Wall-clock seconds for the whole analysis.
     pub seconds: f64,
+    /// Median per-request latency over a round of the serve-load harness;
+    /// 0 for single-run workloads, which have no request distribution.
+    pub p50_seconds: f64,
+    /// 95th-percentile per-request latency of the serve-load harness;
+    /// 0 for single-run workloads.
+    pub p95_seconds: f64,
     /// Wall-clock seconds of the inference stage alone.
     pub infer_seconds: f64,
     /// Sum of per-function inference work (jobs-independent; replayed
@@ -115,6 +124,8 @@ fn measure_with_report(
         jobs: if report.stats.cache_report_hit { jobs } else { report.stats.jobs },
         cache: cache.map(|(_, mode)| mode).unwrap_or("off"),
         seconds: report.stats.seconds,
+        p50_seconds: 0.0,
+        p95_seconds: 0.0,
         infer_seconds: report.timings.get(ffisafe_core::Phase::Infer).as_secs_f64(),
         work_seconds: report.stats.infer_work_seconds,
         setup_seconds: report.stats.infer_setup_seconds,
@@ -180,6 +191,8 @@ fn measure_sweep_once(
         jobs: 1,
         cache,
         seconds: s.wall_seconds,
+        p50_seconds: 0.0,
+        p95_seconds: 0.0,
         infer_seconds: s.work_seconds,
         work_seconds: s.work_seconds,
         setup_seconds: 0.0,
@@ -305,6 +318,8 @@ fn measure_skew_sweep(rows: &mut Vec<PipelineMeasurement>) {
             jobs: 8,
             cache: "off",
             seconds: s.wall_seconds,
+            p50_seconds: 0.0,
+            p95_seconds: 0.0,
             infer_seconds: s.work_seconds,
             work_seconds: s.work_seconds,
             setup_seconds: 0.0,
@@ -344,9 +359,150 @@ fn measure_telemetry_overhead(rows: &mut Vec<PipelineMeasurement>) {
     rows.push(on_row);
 }
 
+/// Nearest-rank percentile over unsorted latencies (`q` in 0..=100).
+fn percentile(latencies: &[f64], q: usize) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[(sorted.len() - 1) * q / 100]
+}
+
+/// One round of the serve-load harness: `SERVE_CLIENTS` concurrent
+/// connections each submitting `SERVE_REQUESTS` corpora produced by
+/// `corpus_for(client, request)`, against the daemon at `url`. Returns
+/// the round's wall clock, every per-request latency, and the per-request
+/// outcomes.
+fn serve_round(
+    url: &str,
+    corpus_for: impl Fn(usize, usize) -> Corpus + Send + Sync,
+) -> (f64, Vec<f64>, Vec<ffisafe_serve::AnalyzeOutcome>) {
+    let started = std::time::Instant::now();
+    let mut latencies = Vec::new();
+    let mut outcomes = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SERVE_CLIENTS)
+            .map(|client| {
+                let corpus_for = &corpus_for;
+                scope.spawn(move || {
+                    let mut conn = ffisafe_serve::ServeClient::connect(url)
+                        .expect("bench daemon must accept clients");
+                    let mut lats = Vec::new();
+                    let mut outs = Vec::new();
+                    for request in 0..SERVE_REQUESTS {
+                        let corpus = corpus_for(client, request);
+                        let t = std::time::Instant::now();
+                        let reply = conn
+                            .analyze(&corpus, AnalysisOptions::default(), CacheMode::Shared)
+                            .expect("bench daemon request must round-trip");
+                        lats.push(t.elapsed().as_secs_f64());
+                        match reply {
+                            ffisafe_serve::Reply::Analyze(outcome) => outs.push(*outcome),
+                            other => panic!("bench daemon replied {other:?}"),
+                        }
+                    }
+                    (lats, outs)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (lats, outs) = handle.join().expect("bench client thread");
+            latencies.extend(lats);
+            outcomes.extend(outs);
+        }
+    });
+    (started.elapsed().as_secs_f64(), latencies, outcomes)
+}
+
+/// Concurrent connections the serve-load harness opens.
+const SERVE_CLIENTS: usize = 4;
+/// Requests each serve-load connection submits per round.
+const SERVE_REQUESTS: usize = 6;
+
+/// The serve-load workload (the daemon's headline numbers): an in-process
+/// `ffisafe serve` daemon over a fresh cache, hit by [`SERVE_CLIENTS`]
+/// concurrent clients.
+///
+/// Three rounds: *cold* (every request a distinct corpus — all misses),
+/// *warm* (the same corpora resubmitted — all tier-2 report hits, zero
+/// inference workers) and *mixed* (alternating fresh and repeated
+/// corpora). Each round's p50/p95 per-request latency lands in its row;
+/// `bench_diff` gates warm p50 < cold p50.
+fn measure_serve_load(rows: &mut Vec<PipelineMeasurement>) {
+    let cache =
+        std::env::temp_dir().join(format!("ffisafe-bench-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let config = ffisafe_serve::ServeConfig {
+        service: ServiceConfig { cache_dir: Some(cache.clone()), ..Default::default() },
+        ..Default::default()
+    };
+    let addr = ffisafe_serve::AnalysisServer::bind("127.0.0.1:0", config)
+        .expect("bench daemon must bind an ephemeral port")
+        .spawn()
+        .expect("bench daemon must spawn");
+    let url = format!("tcp://{addr}");
+
+    // Each corpus is unique per (round-tag, client, request) so cold
+    // rounds cannot race each other into accidental cache hits.
+    let corpus = |tag: &str, client: usize, request: usize| {
+        let f = format!("load_{tag}_{client}_{request}");
+        Corpus::builder()
+            .ml_source("lib.ml", format!("external f : int -> int = \"{f}\"\n"))
+            .c_source(
+                "glue.c",
+                format!("value {f}(value n) {{ return Val_int(Int_val(n) + {client}); }}\n"),
+            )
+            .build()
+    };
+
+    let (cold_wall, cold_lats, cold_outs) = serve_round(&url, |c, r| corpus("cold", c, r));
+    assert!(cold_outs.iter().all(|o| !o.report_hit), "cold round must miss the report cache");
+    let (warm_wall, warm_lats, warm_outs) = serve_round(&url, |c, r| corpus("cold", c, r));
+    assert!(
+        warm_outs.iter().all(|o| o.report_hit && o.workers_executed == 0),
+        "warm resubmission must replay every report with zero inference workers"
+    );
+    let (mixed_wall, mixed_lats, _) = serve_round(&url, |c, r| {
+        if r % 2 == 0 {
+            corpus("cold", c, r) // already cached: the warm half
+        } else {
+            corpus("mixed", c, r) // first sight: the cold half
+        }
+    });
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let diagnostics: usize =
+        cold_outs.iter().map(|o| (o.errors + o.warnings) as usize).sum::<usize>();
+    let c_loc = SERVE_CLIENTS * SERVE_REQUESTS; // one C line per request corpus
+    let row =
+        |cache: &'static str, wall: f64, lats: &[f64], report_hit: bool| PipelineMeasurement {
+            name: if cache == "mixed" { "serve-load-mixed" } else { "serve-load" }.to_string(),
+            c_loc,
+            functions: SERVE_CLIENTS * SERVE_REQUESTS,
+            passes: 0,
+            jobs: SERVE_CLIENTS,
+            cache,
+            seconds: wall,
+            p50_seconds: percentile(lats, 50),
+            p95_seconds: percentile(lats, 95),
+            infer_seconds: 0.0,
+            work_seconds: 0.0,
+            setup_seconds: 0.0,
+            critical_path_seconds: 0.0,
+            critical_path_method: "untracked",
+            cache_fn_hits: 0,
+            report_hit,
+            diagnostics,
+        };
+    rows.push(row("cold", cold_wall, &cold_lats, false));
+    rows.push(row("warm", warm_wall, &warm_lats, true));
+    rows.push(row("mixed", mixed_wall, &mixed_lats, false));
+}
+
 /// Runs every workload at each worker count in `jobs_list`, plus the
 /// cold/warm cache pair per workload, the sharded-sweep cold/warm
-/// pair and the telemetry-overhead pair.
+/// pair, the telemetry-overhead pair and the serve-load rounds.
 pub fn run(jobs_list: &[usize]) -> PipelineBench {
     let mut rows = Vec::new();
     for spec in paper_benchmarks() {
@@ -358,6 +514,7 @@ pub fn run(jobs_list: &[usize]) -> PipelineBench {
     measure_sweep(&mut rows);
     measure_skew_sweep(&mut rows);
     measure_telemetry_overhead(&mut rows);
+    measure_serve_load(&mut rows);
     PipelineBench { rows }
 }
 
@@ -434,7 +591,7 @@ impl PipelineBench {
         ));
         for (i, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"setup_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"critical_path_method\": \"{}\", \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"c_loc\": {}, \"functions\": {}, \"passes\": {}, \"jobs\": {}, \"cache\": \"{}\", \"seconds\": {:.4}, \"p50_seconds\": {:.4}, \"p95_seconds\": {:.4}, \"infer_seconds\": {:.4}, \"work_seconds\": {:.4}, \"setup_seconds\": {:.4}, \"critical_path_seconds\": {:.4}, \"critical_path_method\": \"{}\", \"cache_fn_hits\": {}, \"report_hit\": {}, \"diagnostics\": {}}}{}\n",
                 json_escape(&r.name),
                 r.c_loc,
                 r.functions,
@@ -442,6 +599,8 @@ impl PipelineBench {
                 r.jobs,
                 r.cache,
                 r.seconds,
+                r.p50_seconds,
+                r.p95_seconds,
                 r.infer_seconds,
                 r.work_seconds,
                 r.setup_seconds,
@@ -510,6 +669,41 @@ mod tests {
     #[test]
     fn json_escape_handles_quotes() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn serve_load_rounds_measure_latency_distributions() {
+        let mut rows = Vec::new();
+        measure_serve_load(&mut rows);
+        assert_eq!(rows.len(), 3);
+        let (cold, warm, mixed) = (&rows[0], &rows[1], &rows[2]);
+        assert_eq!((cold.cache, warm.cache, mixed.cache), ("cold", "warm", "mixed"));
+        assert_eq!(cold.name, "serve-load");
+        assert_eq!(warm.name, "serve-load");
+        assert_eq!(mixed.name, "serve-load-mixed");
+        assert!(cold.p50_seconds > 0.0 && cold.p95_seconds >= cold.p50_seconds);
+        assert!(warm.p50_seconds > 0.0 && warm.p95_seconds >= warm.p50_seconds);
+        assert!(
+            warm.p50_seconds < cold.p50_seconds,
+            "warm p50 {:.4}s must beat cold p50 {:.4}s",
+            warm.p50_seconds,
+            cold.p50_seconds
+        );
+        assert!(warm.report_hit && !cold.report_hit);
+        let pb = PipelineBench { rows };
+        let json = pb.to_json();
+        assert!(json.contains("\"name\": \"serve-load\""));
+        assert!(json.contains("\"p50_seconds\""));
+        assert!(json.contains("\"cache\": \"mixed\""));
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let lats = [0.4, 0.1, 0.3, 0.2];
+        assert_eq!(percentile(&lats, 50), 0.2);
+        assert_eq!(percentile(&lats, 95), 0.3);
+        assert_eq!(percentile(&lats, 100), 0.4);
+        assert_eq!(percentile(&[], 50), 0.0);
     }
 
     #[test]

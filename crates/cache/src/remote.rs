@@ -49,7 +49,7 @@
 use crate::backend::CacheBackend;
 use crate::codec::{Decoder, Encoder};
 use crate::store::{CacheStats, CacheStore, Tier};
-use ffisafe_support::telemetry::{self, LogLevel, MetricsRegistry, SpanEvent};
+use ffisafe_support::telemetry::{self, LogLevel, MetricsRegistry, TraceFileWriter};
 use ffisafe_support::Fingerprint;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -183,11 +183,11 @@ impl ServerCounters {
 struct ServerShared {
     store: Arc<CacheStore>,
     counters: ServerCounters,
-    trace_out: Option<PathBuf>,
+    /// Shared trace-flush policy (accumulate + atomic whole-snapshot
+    /// rewrite); also used by `ffisafe serve`, so both daemons age their
+    /// `--trace-out` files identically.
+    trace: Option<TraceFileWriter>,
     metrics_out: Option<PathBuf>,
-    /// Spans accumulated across finished sessions, so the `--trace-out`
-    /// file can be rewritten whole after each session ends.
-    trace_spans: Mutex<Vec<SpanEvent>>,
 }
 
 impl ServerShared {
@@ -254,15 +254,12 @@ impl ServerShared {
                 );
             }
         }
-        if let Some(path) = &self.trace_out {
-            telemetry::flush_thread();
-            let mut accumulated = self.trace_spans.lock().unwrap_or_else(|p| p.into_inner());
-            accumulated.extend(telemetry::drain_spans());
-            if let Err(e) = std::fs::write(path, telemetry::chrome_trace_json(&accumulated)) {
+        if let Some(writer) = &self.trace {
+            if let Err(e) = writer.flush() {
                 telemetry::log(
                     LogLevel::Error,
                     "cache-serve",
-                    &format!("failed to write {}: {e}", path.display()),
+                    &format!("failed to write {}: {e}", writer.path().display()),
                 );
             }
         }
@@ -288,9 +285,8 @@ impl CacheServer {
             shared: Arc::new(ServerShared {
                 store: Arc::new(store),
                 counters: ServerCounters::default(),
-                trace_out: None,
+                trace: None,
                 metrics_out: None,
-                trace_spans: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -299,7 +295,7 @@ impl CacheServer {
     /// `path` after each session ends. Must be called before serving.
     pub fn set_trace_out(&mut self, path: PathBuf) {
         if let Some(shared) = Arc::get_mut(&mut self.shared) {
-            shared.trace_out = Some(path);
+            shared.trace = Some(TraceFileWriter::new(path));
         }
     }
 

@@ -600,7 +600,7 @@ impl AnalysisService {
                         let request = &requests[idx];
                         let mut options = *request.analysis_options();
                         if options.jobs == 0 {
-                            options.jobs = fair_auto_jobs(cores, width);
+                            options.jobs = fair_share_jobs(cores, width);
                         }
                         let result = self.analyze_as(request, options);
                         *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
@@ -630,14 +630,24 @@ impl AnalysisService {
     }
 }
 
-fn available_cores() -> usize {
+/// The machine's available parallelism (at least 1) — the core budget
+/// that [`fair_share_jobs`] divides among concurrent requests. Public so
+/// schedulers layered on the service (the batch executor here, the
+/// admission layer in `ffisafe-serve`) size against the same number.
+pub fn available_cores() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// The inference-pool width an auto-jobs request gets inside a batch
-/// running `width` requests concurrently: its share of the cores, at
-/// least 1.
-fn fair_auto_jobs(cores: usize, width: usize) -> usize {
+/// The inference-pool width an auto-jobs request gets when `width`
+/// requests share the machine: its fair share of the cores, at least 1.
+///
+/// [`AnalysisService::analyze_batch`] applies this per batch, and the
+/// resident daemon applies it per admitted request, so a default-
+/// configured client can never commandeer `cores²` worker threads no
+/// matter how many peers are in flight. Explicit `jobs` values are never
+/// rewritten — fairness only governs requests that left sizing to the
+/// service.
+pub fn fair_share_jobs(cores: usize, width: usize) -> usize {
     (cores / width.max(1)).max(1)
 }
 
@@ -934,12 +944,12 @@ mod tests {
 
     #[test]
     fn fair_share_splits_cores_across_the_batch() {
-        assert_eq!(fair_auto_jobs(16, 4), 4);
-        assert_eq!(fair_auto_jobs(16, 16), 1);
-        assert_eq!(fair_auto_jobs(16, 32), 1, "never below one worker");
-        assert_eq!(fair_auto_jobs(1, 4), 1);
-        assert_eq!(fair_auto_jobs(8, 3), 2, "rounds down: width * share <= cores");
-        assert_eq!(fair_auto_jobs(8, 0), 8, "degenerate width treated as 1");
+        assert_eq!(fair_share_jobs(16, 4), 4);
+        assert_eq!(fair_share_jobs(16, 16), 1);
+        assert_eq!(fair_share_jobs(16, 32), 1, "never below one worker");
+        assert_eq!(fair_share_jobs(1, 4), 1);
+        assert_eq!(fair_share_jobs(8, 3), 2, "rounds down: width * share <= cores");
+        assert_eq!(fair_share_jobs(8, 0), 8, "degenerate width treated as 1");
     }
 
     #[test]

@@ -76,8 +76,8 @@ pub mod pipeline;
 pub mod registry;
 
 pub use api::{
-    source_files_under, AnalysisRequest, AnalysisService, ApiError, CacheMode, Corpus,
-    CorpusBuilder, CorpusFile, ServiceConfig, SourceKind,
+    available_cores, fair_share_jobs, source_files_under, AnalysisRequest, AnalysisService,
+    ApiError, CacheMode, Corpus, CorpusBuilder, CorpusFile, ServiceConfig, SourceKind,
 };
 #[allow(deprecated)]
 pub use driver::Analyzer;

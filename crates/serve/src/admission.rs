@@ -1,0 +1,171 @@
+//! Admission control for the analysis daemon.
+//!
+//! The daemon wraps one shared `AnalysisService`; without a gate, N
+//! greedy clients would each spin up their own worker pool and thrash
+//! the machine. [`Admission`] bounds the number of analyses *executing*
+//! (`max_inflight`) and the number *waiting* for a slot (`max_queue`).
+//! A request past both bounds is refused with an explicit BUSY — the
+//! client sees backpressure immediately instead of an unbounded stall.
+//!
+//! Execution slots are RAII [`Permit`]s: dropping one (on any path,
+//! including a panic unwinding out of an analysis) frees the slot and
+//! wakes one waiter, so the gate cannot leak capacity.
+
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct State {
+    running: usize,
+    queued: usize,
+}
+
+/// A bounded two-stage gate: at most `max_inflight` holders, at most
+/// `max_queue` waiters.
+#[derive(Debug)]
+pub struct Admission {
+    max_inflight: usize,
+    max_queue: usize,
+    state: Mutex<State>,
+    freed: Condvar,
+}
+
+/// The refusal returned by [`Admission::try_admit`] when the queue is
+/// full, carrying a snapshot of the load for the BUSY reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Busy {
+    /// Analyses executing at refusal time.
+    pub running: usize,
+    /// Analyses queued at refusal time.
+    pub queued: usize,
+}
+
+/// An execution slot. Dropping it frees the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a Admission,
+}
+
+impl Admission {
+    /// A gate admitting `max_inflight` concurrent analyses (minimum 1)
+    /// and queueing up to `max_queue` more.
+    pub fn new(max_inflight: usize, max_queue: usize) -> Admission {
+        Admission {
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            state: Mutex::new(State::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquires a slot, waiting in the queue if one isn't free; refuses
+    /// with [`Busy`] when the queue is already at capacity.
+    pub fn try_admit(&self) -> Result<Permit<'_>, Busy> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.running >= self.max_inflight && state.queued >= self.max_queue {
+            return Err(Busy { running: state.running, queued: state.queued });
+        }
+        state.queued += 1;
+        while state.running >= self.max_inflight {
+            state = self.freed.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+        state.queued -= 1;
+        state.running += 1;
+        Ok(Permit { gate: self })
+    }
+
+    /// Acquires a slot unconditionally, waiting outside the bounded
+    /// queue. Used by the daemon's own watch loop, which must never be
+    /// refused (it would silently drop a filesystem change).
+    pub fn admit(&self) -> Permit<'_> {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while state.running >= self.max_inflight {
+            state = self.freed.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+        state.running += 1;
+        Permit { gate: self }
+    }
+
+    /// Analyses currently executing.
+    pub fn running(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).running
+    }
+
+    /// Analyses currently waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).queued
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap_or_else(|p| p.into_inner());
+        state.running -= 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_free_slots_on_drop() {
+        let gate = Admission::new(1, 0);
+        let permit = gate.try_admit().expect("first slot is free");
+        assert_eq!(gate.running(), 1);
+        assert_eq!(gate.try_admit().unwrap_err(), Busy { running: 1, queued: 0 });
+        drop(permit);
+        assert_eq!(gate.running(), 0);
+        let _second = gate.try_admit().expect("slot freed by drop");
+    }
+
+    #[test]
+    fn full_queue_refuses_with_a_load_snapshot() {
+        let gate = Arc::new(Admission::new(1, 1));
+        let _held = gate.try_admit().expect("take the only slot");
+        let queued = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _permit = gate.try_admit().expect("queue slot is free");
+            })
+        };
+        // Wait for the spawned thread to actually enter the queue.
+        for _ in 0..200 {
+            if gate.queued() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(gate.try_admit().unwrap_err(), Busy { running: 1, queued: 1 });
+        drop(_held);
+        queued.join().unwrap();
+        assert_eq!(gate.running(), 0);
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn zero_inflight_is_clamped_to_one() {
+        let gate = Admission::new(0, 0);
+        let _permit = gate.try_admit().expect("clamped to one slot");
+        assert!(gate.try_admit().is_err());
+    }
+
+    #[test]
+    fn blocking_admit_bypasses_the_queue_bound() {
+        let gate = Arc::new(Admission::new(1, 0));
+        let held = gate.try_admit().expect("take the only slot");
+        let watcher = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _permit = gate.admit();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        watcher.join().unwrap();
+        assert_eq!(gate.running(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end: a daemon serving concurrent clients must be
+//! indistinguishable from local analysis, and a warm resubmission must
+//! execute zero inference workers.
+
+use ffisafe_core::{
+    AnalysisOptions, AnalysisRequest, AnalysisService, CacheMode, Corpus, ServiceConfig,
+};
+use ffisafe_serve::{AnalysisServer, Reply, ServeClient, ServeConfig};
+use std::net::SocketAddr;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ffisafe-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn corpus(tag: &str, buggy: bool) -> Corpus {
+    let ret = if buggy { "Val_int(n)" } else { "Val_int(Int_val(n) + 1)" };
+    Corpus::builder()
+        .ml_source(format!("{tag}.ml"), format!("external f : int -> int = \"{tag}_f\"\n"))
+        .c_source(format!("{tag}_stubs.c"), format!("value {tag}_f(value n) {{ return {ret}; }}\n"))
+        .build()
+}
+
+fn spawn_daemon(cache_dir: &std::path::Path) -> SocketAddr {
+    let config = ServeConfig {
+        service: ServiceConfig { cache_dir: Some(cache_dir.to_path_buf()), ..Default::default() },
+        ..Default::default()
+    };
+    AnalysisServer::bind("127.0.0.1:0", config).unwrap().spawn().unwrap()
+}
+
+fn analyze_ok(client: &mut ServeClient, corpus: &Corpus) -> ffisafe_serve::AnalyzeOutcome {
+    match client.analyze(corpus, AnalysisOptions::default(), CacheMode::Shared).unwrap() {
+        Reply::Analyze(outcome) => *outcome,
+        other => panic!("expected analyze reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_match_local_analysis_byte_for_byte() {
+    let cache = temp_dir("shared");
+    let addr = spawn_daemon(&cache);
+    let url = format!("tcp://{addr}");
+
+    // Two clients, two different corpora, concurrently.
+    let handles: Vec<_> = [("alpha", false), ("beta", true)]
+        .into_iter()
+        .map(|(tag, buggy)| {
+            let url = url.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&url).unwrap();
+                (tag, buggy, analyze_ok(&mut client, &corpus(tag, buggy)))
+            })
+        })
+        .collect();
+
+    // Local reference runs use their own cold cache so the cache counters
+    // inside the JSON report agree with the daemon's first sight of each
+    // corpus.
+    let local_cache = temp_dir("local");
+    let local = AnalysisService::with_config(ServiceConfig {
+        cache_dir: Some(local_cache.clone()),
+        ..Default::default()
+    })
+    .unwrap();
+    for handle in handles {
+        let (tag, buggy, outcome) = handle.join().unwrap();
+        let report = local.analyze(&AnalysisRequest::new(corpus(tag, buggy))).unwrap();
+        assert_eq!(
+            outcome.rendered_stable,
+            report.render_stable(),
+            "daemon and local reports must be byte-identical for {tag}"
+        );
+        assert_eq!(outcome.errors, report.error_count() as u64);
+        assert_eq!(buggy, outcome.errors > 0, "{tag} report:\n{}", outcome.rendered);
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&local_cache);
+}
+
+#[test]
+fn warm_resubmission_executes_zero_workers() {
+    let cache = temp_dir("warm");
+    let addr = spawn_daemon(&cache);
+    let mut client = ServeClient::connect(&format!("tcp://{addr}")).unwrap();
+    let corpus = corpus("gamma", false);
+
+    let cold = analyze_ok(&mut client, &corpus);
+    assert!(!cold.report_hit, "first submission must be a cache miss");
+    assert!(cold.workers_executed > 0, "cold run must execute workers");
+
+    // Same corpus again — even from a brand-new connection.
+    let mut second = ServeClient::connect(&format!("tcp://{addr}")).unwrap();
+    let warm = analyze_ok(&mut second, &corpus);
+    assert!(warm.report_hit, "resubmission must replay the tier-2 report");
+    assert_eq!(warm.workers_executed, 0, "warm resubmission must execute zero workers");
+    assert_eq!(warm.rendered_stable, cold.rendered_stable, "warm replay must be byte-identical");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn bypass_requests_skip_the_cache() {
+    let cache = temp_dir("bypass");
+    let addr = spawn_daemon(&cache);
+    let mut client = ServeClient::connect(&format!("tcp://{addr}")).unwrap();
+    let corpus = corpus("delta", false);
+
+    let first = analyze_ok(&mut client, &corpus);
+    assert!(first.workers_executed > 0);
+    let again = match client.analyze(&corpus, AnalysisOptions::default(), CacheMode::Bypass) {
+        Ok(Reply::Analyze(outcome)) => *outcome,
+        other => panic!("expected analyze reply, got {other:?}"),
+    };
+    assert!(!again.report_hit, "bypass must not read the report cache");
+    assert!(again.workers_executed > 0, "bypass must re-execute workers");
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn metrics_op_reports_request_counters() {
+    let cache = temp_dir("metrics");
+    let addr = spawn_daemon(&cache);
+    let mut client = ServeClient::connect(&format!("tcp://{addr}")).unwrap();
+    let _ = analyze_ok(&mut client, &corpus("epsilon", false));
+    let text = client.metrics().unwrap();
+    assert!(text.contains("ffisafe_server_requests_total 1"), "metrics:\n{text}");
+    assert!(text.contains("ffisafe_server_sessions_opened_total 1"), "metrics:\n{text}");
+    assert!(text.contains("ffisafe_server_request_seconds_count 1"), "metrics:\n{text}");
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -46,4 +46,4 @@ pub use intern::{Interner, Symbol};
 pub use session::{AnalysisOptions, Phase, PhaseTimings, Session};
 pub use source_map::{FileId, Loc, SourceFile, SourceMap};
 pub use span::Span;
-pub use telemetry::{LogLevel, MetricsRegistry, SpanEvent};
+pub use telemetry::{HistogramValue, LogLevel, MetricsRegistry, SpanEvent, TraceFileWriter};

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 ///
 /// `flow_sensitive` and `gc_effects` drive the ablation experiments
 /// (DESIGN.md E5); `jobs` sizes the inference worker pool.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// Track `B`/`I`/`T` refinements from dynamic tests. Disabling this
     /// removes the dataflow analysis of §3.3 while keeping unification.

@@ -25,6 +25,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -318,6 +319,65 @@ pub fn nesting_violations(events: &[SpanEvent]) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Trace files
+// ---------------------------------------------------------------------------
+
+/// The trace-flush policy shared by every resident daemon (`cache-serve`,
+/// `ffisafe serve`): spans drained from the global sink accumulate across
+/// flushes, and each [`TraceFileWriter::flush`] rewrites the `--trace-out`
+/// file as one *complete* Chrome trace-event snapshot of the daemon so
+/// far.
+///
+/// Two properties the ad-hoc per-daemon code used to get wrong:
+///
+/// * **no clobbering** — a flush never discards earlier sessions' spans;
+///   the accumulator grows monotonically, so the Nth snapshot is a
+///   superset of the (N-1)th;
+/// * **no torn reads** — the snapshot is written to a sibling `.tmp` file
+///   and renamed into place, so a trace viewer (or `trace_check`) opening
+///   the file mid-flush never sees a half-written JSON document.
+#[derive(Debug)]
+pub struct TraceFileWriter {
+    path: PathBuf,
+    /// Spans accumulated across flushes; every snapshot renders all of
+    /// them, so the file is always the daemon's complete history.
+    accumulated: Mutex<Vec<SpanEvent>>,
+}
+
+impl TraceFileWriter {
+    /// A writer that will snapshot to `path`. Nothing is written until the
+    /// first [`TraceFileWriter::flush`].
+    pub fn new(path: PathBuf) -> TraceFileWriter {
+        TraceFileWriter { path, accumulated: Mutex::new(Vec::new()) }
+    }
+
+    /// The snapshot path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Drains the global span sink (flushing the calling thread's buffer
+    /// first) into the accumulator and atomically rewrites the snapshot
+    /// file. Concurrent flushes serialize on the accumulator.
+    pub fn flush(&self) -> std::io::Result<()> {
+        flush_thread();
+        let mut accumulated = self.accumulated.lock().unwrap_or_else(|p| p.into_inner());
+        accumulated.extend(drain_spans());
+        let tmp = self.path.with_file_name(format!(
+            "{}.tmp",
+            self.path.file_name().and_then(|n| n.to_str()).unwrap_or("trace.json")
+        ));
+        std::fs::write(&tmp, chrome_trace_json(&accumulated))?;
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// Number of spans accumulated so far (observability for tests).
+    pub fn span_count(&self) -> usize {
+        self.accumulated.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
 
@@ -371,7 +431,11 @@ pub struct HistogramValue {
 }
 
 impl HistogramValue {
-    fn new(bounds: &[f64]) -> Self {
+    /// An empty histogram over `bounds`. Public so daemons can accumulate
+    /// observations outside a registry (behind their own lock) and
+    /// materialize a registry on demand via
+    /// [`MetricsRegistry::record_histogram`].
+    pub fn new(bounds: &[f64]) -> Self {
         HistogramValue {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
@@ -380,7 +444,8 @@ impl HistogramValue {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
         let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.sum += value;
@@ -485,6 +550,20 @@ impl MetricsRegistry {
         if let MetricValue::Histogram(h) = slot {
             h.observe(value);
         }
+    }
+
+    /// Insert (or replace) a fully-accumulated histogram sample — the
+    /// bulk form of [`MetricsRegistry::observe`] for daemons that count
+    /// observations in their own state and build a registry per scrape.
+    pub fn record_histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: HistogramValue,
+    ) {
+        let fam = self.family(name, help, MetricKind::Histogram);
+        fam.samples.insert(label_key(labels), MetricValue::Histogram(value));
     }
 
     /// Read a counter back, if present.
@@ -749,6 +828,52 @@ mod tests {
         assert!(text.contains("0.125"));
         assert!(text.contains("hits_total"));
         assert!(text.contains("12"));
+    }
+
+    #[test]
+    fn record_histogram_installs_the_accumulated_sample() {
+        let mut h = HistogramValue::new(&[0.01, 1.0]);
+        h.observe(0.005);
+        h.observe(0.5);
+        h.observe(5.0);
+        let mut reg = MetricsRegistry::new();
+        reg.record_histogram("req_seconds", "request latency", &[], h);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE req_seconds histogram\n"), "{text}");
+        assert!(text.contains("req_seconds_bucket{le=\"0.01\"} 1\n"), "{text}");
+        assert!(text.contains("req_seconds_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("req_seconds_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn trace_file_writer_accumulates_across_flushes_atomically() {
+        let dir = std::env::temp_dir().join(format!("ffisafe-tracewriter-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let writer = TraceFileWriter::new(dir.join("trace.json"));
+
+        // First flush: whatever the sink holds right now (other tests may
+        // share the process-global sink, so only count relative growth).
+        writer.flush().unwrap();
+        let after_first = writer.span_count();
+
+        // Record one span with tracing forced on, then flush again: the
+        // accumulator must grow, earlier spans must survive, and the file
+        // must parse as a complete snapshot of everything so far.
+        set_tracing(true);
+        drop(span("probe.trace-writer"));
+        set_tracing(false);
+        writer.flush().unwrap();
+        // Another test may share the process-global sink, so assert growth
+        // rather than an exact count.
+        assert!(writer.span_count() > after_first, "flush must append, not clobber");
+
+        let text = std::fs::read_to_string(writer.path()).unwrap();
+        let doc = json::parse(&text).expect("snapshot parses");
+        let events = doc.as_array().expect("top-level array");
+        assert_eq!(events.len(), writer.span_count(), "snapshot renders the full accumulator");
+        assert!(!dir.join("trace.json.tmp").exists(), "tmp file renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! ffisafe cache-serve --cache-dir DIR [--listen ADDR]
 //!         [--log-level error|warn|info|debug] [--trace-out FILE]
 //!         [--metrics-out FILE]
+//! ffisafe serve [--listen ADDR] [--cache-dir DIR|--cache-url URL]
+//!         [--max-inflight N] [--queue N] [--watch ROOT]
+//!         [--watch-interval-ms N] [--log-level error|warn|info|debug]
+//!         [--trace-out FILE] [--metrics-out FILE]
+//! ffisafe client --server-url tcp://HOST:PORT [--no-flow] [--no-gc]
+//!         [--jobs N] [--no-cache] [--format text|json] <file|dir>...
 //! ```
 //!
 //! Exit-code policy (also documented in `--help` and the README):
@@ -39,6 +45,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: ffisafe [options] <file.ml|file.rs|file.c|dir>...
        ffisafe sweep [options] <root>
        ffisafe cache-serve --cache-dir DIR [--listen ADDR]
+       ffisafe serve [--listen ADDR] [--cache-dir DIR] [--watch ROOT]
+       ffisafe client --server-url tcp://HOST:PORT <file|dir>...
 
 Checks type and GC safety of OCaml-to-C foreign function calls
 (Furr & Foster, PLDI 2005) and layout safety of Rust extern \"C\"
@@ -46,7 +54,9 @@ boundaries against the same C sources. A directory argument loads
 every .ml/.rs/.c file under it; `ffisafe sweep` analyzes a directory *of libraries*
 (one subdirectory each) with sharded map/reduce execution;
 `ffisafe cache-serve` exports a cache directory over TCP so
-multiple processes or machines share one logical store.
+multiple processes or machines share one logical store;
+`ffisafe serve` keeps a resident analysis daemon warm and
+`ffisafe client` (or `--server-url` on a plain run) submits to it.
 
 options:
   --no-flow     disable the flow-sensitive dataflow analysis
@@ -108,6 +118,32 @@ cache-serve options:
   --metrics-out FILE
                 rewrite a Prometheus metrics snapshot after each client
                 session (same text the METRICS wire op serves)
+
+serve options:
+  --listen ADDR TCP address to bind (default 127.0.0.1:0); the chosen
+                tcp:// URL is printed to stdout
+  --cache-dir DIR | --cache-url tcp://HOST:PORT
+                shared analysis cache behind the daemon (warm
+                resubmissions replay their report without inference)
+  --max-inflight N
+                concurrent analyses admitted (default 0 = one per core);
+                admitted auto-jobs requests split the cores fairly
+  --queue N     analyses allowed to wait for a slot before the daemon
+                answers BUSY (default 16)
+  --watch ROOT  poll ROOT for content changes, re-analyze on change, and
+                stream diagnostics to subscribed clients
+  --watch-interval-ms N
+                watch poll interval (default 500)
+  --log-level, --trace-out, --metrics-out
+                as for cache-serve
+
+client options (also usable on a plain `ffisafe` run):
+  --server-url tcp://HOST:PORT
+                submit the corpus to a resident `ffisafe serve` daemon
+                instead of analyzing in-process; output and exit codes
+                are identical to a local run. BUSY daemons are retried
+                briefly, then reported as exit 2. Mutually exclusive
+                with --cache-dir/--cache-url (the daemon owns the cache).
 
 exit status:
   0  analysis completed, no errors found
@@ -173,8 +209,131 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("sweep") => sweep_main(&args[1..]),
         Some("cache-serve") => cache_serve_main(&args[1..]),
-        _ => analyze_main(&args),
+        Some("serve") => serve_main(&args[1..]),
+        // `client` is analyze with a mandatory daemon; same flags, same
+        // output, same exit codes.
+        Some("client") => analyze_main(&args[1..], true),
+        _ => analyze_main(&args, false),
     }
+}
+
+// ---- `ffisafe serve` ----------------------------------------------------
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut config = ffisafe::ServeConfig::default();
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<std::path::PathBuf> = None;
+    let mut log_level = LogLevel::Info;
+    let mut args = args.iter().cloned();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                let Some(addr) = args.next() else {
+                    return usage_error("--listen requires a host:port address");
+                };
+                listen = addr;
+            }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    return usage_error("--cache-dir requires a directory");
+                };
+                config.service.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--cache-url" => {
+                let Some(url) = args.next() else {
+                    return usage_error("--cache-url requires a tcp://host:port URL");
+                };
+                config.service.cache_url = Some(url);
+            }
+            "--max-inflight" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage_error("--max-inflight requires an integer");
+                };
+                config.max_inflight = n;
+            }
+            "--queue" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage_error("--queue requires an integer");
+                };
+                config.queue_depth = n;
+            }
+            "--watch" => {
+                let Some(root) = args.next() else {
+                    return usage_error("--watch requires a directory");
+                };
+                config.watch_root = Some(std::path::PathBuf::from(root));
+            }
+            "--watch-interval-ms" => {
+                let Some(ms) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage_error("--watch-interval-ms requires an integer");
+                };
+                config.watch_interval = std::time::Duration::from_millis(ms);
+            }
+            "--log-level" => match args.next().as_deref().and_then(LogLevel::parse) {
+                Some(level) => log_level = level,
+                None => {
+                    return usage_error("--log-level expects `error`, `warn`, `info`, or `debug`");
+                }
+            },
+            "--trace-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--trace-out requires a file path");
+                };
+                trace_out = Some(std::path::PathBuf::from(path));
+            }
+            "--metrics-out" => {
+                let Some(path) = args.next() else {
+                    return usage_error("--metrics-out requires a file path");
+                };
+                metrics_out = Some(std::path::PathBuf::from(path));
+            }
+            "--version" | "-V" => {
+                println!("ffisafe {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown serve argument `{other}`")),
+        }
+    }
+    if let Some(root) = &config.watch_root {
+        if !root.is_dir() {
+            eprintln!("ffisafe: --watch root {} is not a directory", root.display());
+            return ExitCode::from(2);
+        }
+    }
+    telemetry::set_log_level(log_level);
+    let mut server = match ffisafe::AnalysisServer::bind(listen.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ffisafe: cannot start daemon on {listen}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = trace_out {
+        telemetry::set_tracing(true);
+        server.set_trace_out(path);
+    }
+    if let Some(path) = metrics_out {
+        server.set_metrics_out(path);
+    }
+    match server.local_addr() {
+        // The chosen URL goes to *stdout* (and is flushed by println) so
+        // scripts binding port 0 can capture it; chatter stays on stderr.
+        Ok(addr) => println!("tcp://{addr}"),
+        Err(e) => {
+            eprintln!("ffisafe: cannot resolve listening address: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("ffisafe: serve: {e}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }
 
 // ---- `ffisafe cache-serve` ----------------------------------------------
@@ -278,14 +437,15 @@ fn cache_serve_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-// ---- `ffisafe <files-or-dirs>` ------------------------------------------
+// ---- `ffisafe <files-or-dirs>` / `ffisafe client` -----------------------
 
-fn analyze_main(args: &[String]) -> ExitCode {
+fn analyze_main(args: &[String], require_server: bool) -> ExitCode {
     let mut options = AnalysisOptions::default();
     let mut timings = false;
     let mut cache_stats = false;
     let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut cache_url: Option<String> = None;
+    let mut server_url: Option<String> = None;
     let mut no_cache = false;
     let mut format = Format::Text;
     let mut trace_out: Option<std::path::PathBuf> = None;
@@ -294,6 +454,12 @@ fn analyze_main(args: &[String]) -> ExitCode {
     let mut args = args.iter().cloned();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--server-url" => {
+                let Some(url) = args.next() else {
+                    return usage_error("--server-url requires a tcp://host:port URL");
+                };
+                server_url = Some(url);
+            }
             "--no-flow" => options.flow_sensitive = false,
             "--no-gc" => options.gc_effects = false,
             "--timings" => timings = true,
@@ -357,6 +523,19 @@ fn analyze_main(args: &[String]) -> ExitCode {
         eprintln!("ffisafe: no input files (try --help)");
         return ExitCode::from(2);
     }
+    if require_server && server_url.is_none() {
+        return usage_error("client requires --server-url tcp://HOST:PORT");
+    }
+    if server_url.is_some() {
+        // The daemon owns the cache; a client-side cache location would
+        // silently diverge from what the daemon actually used.
+        if cache_dir.is_some() || cache_url.is_some() {
+            return usage_error("--server-url is mutually exclusive with --cache-dir/--cache-url");
+        }
+        if timings || cache_stats {
+            return usage_error("--timings/--cache-stats are not available with --server-url");
+        }
+    }
     if trace_out.is_some() {
         telemetry::set_tracing(true);
     }
@@ -394,6 +573,10 @@ fn analyze_main(args: &[String]) -> ExitCode {
         };
     }
     let corpus = builder.build();
+
+    if let Some(url) = server_url {
+        return analyze_remote(&url, &corpus, options, no_cache, format, trace_out.as_deref());
+    }
 
     let service = match AnalysisService::with_config(ServiceConfig {
         cache_dir: if no_cache { None } else { cache_dir },
@@ -448,6 +631,73 @@ fn analyze_main(args: &[String]) -> ExitCode {
         print_cache_stats(service.cache_stats());
     }
     if report.error_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Submits `corpus` to a resident `ffisafe serve` daemon and renders the
+/// daemon's report exactly as a local run would. BUSY replies are retried
+/// briefly (the daemon advertises backpressure; a short wait usually
+/// clears it), then reported as exit 2.
+fn analyze_remote(
+    url: &str,
+    corpus: &Corpus,
+    options: AnalysisOptions,
+    no_cache: bool,
+    format: Format,
+    trace_out: Option<&std::path::Path>,
+) -> ExitCode {
+    let mut client = match ffisafe::ServeClient::connect(url) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("ffisafe: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mode = if no_cache { CacheMode::Bypass } else { CacheMode::Shared };
+    let mut outcome = None;
+    for attempt in 0..20 {
+        match client.analyze(corpus, options, mode) {
+            Ok(ffisafe::serve::Reply::Analyze(o)) => {
+                outcome = Some(*o);
+                break;
+            }
+            Ok(ffisafe::serve::Reply::Busy { running, queued }) => {
+                if attempt == 0 {
+                    eprintln!(
+                        "ffisafe: server busy ({running} running, {queued} queued), retrying"
+                    );
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Ok(ffisafe::serve::Reply::Error { message }) => {
+                eprintln!("ffisafe: server: {message}");
+                return ExitCode::from(2);
+            }
+            Ok(other) => {
+                eprintln!("ffisafe: server sent an unexpected reply: {other:?}");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("ffisafe: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(outcome) = outcome else {
+        eprintln!("ffisafe: server still busy after 20 attempts; giving up");
+        return ExitCode::from(2);
+    };
+    match format {
+        Format::Text => print!("{}", outcome.rendered),
+        Format::Json => print!("{}", outcome.report_json),
+    }
+    if let Err(code) = write_telemetry_outputs(trace_out, None, &MetricsRegistry::new()) {
+        return code;
+    }
+    if outcome.errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -122,6 +122,7 @@
 //! | [`ffisafe_core`] | the inference engine and [`AnalysisService`] |
 //! | [`ffisafe_shard`] | map/reduce sharded sweeps over library trees |
 //! | [`ffisafe_semantics`] | executable semantics + soundness harness |
+//! | [`ffisafe_serve`] | resident analysis daemon + client (`ffisafe serve`) |
 //! | [`ffisafe_bench`] | Figure 9 corpus and measurement harness |
 
 #![warn(missing_docs)]
@@ -133,6 +134,7 @@ pub use ffisafe_core as core;
 pub use ffisafe_ocaml as ocaml;
 pub use ffisafe_rustffi as rustffi;
 pub use ffisafe_semantics as semantics;
+pub use ffisafe_serve as serve;
 pub use ffisafe_support as support;
 pub use ffisafe_types as types;
 
@@ -146,6 +148,7 @@ pub use ffisafe_core::{
     CacheMode, Corpus, CorpusBuilder, CorpusFile, ReportSummary, ServiceConfig, SourceKind,
     REPORT_SCHEMA_VERSION,
 };
+pub use ffisafe_serve::{AnalysisServer, ServeClient, ServeConfig, SERVE_PROTOCOL_VERSION};
 pub use ffisafe_shard as shard;
 pub use ffisafe_shard::{
     MapMode, Schedule, SweepConfig, SweepOutput, SweepReport, MANIFEST_SCHEMA_VERSION,

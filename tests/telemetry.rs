@@ -9,6 +9,11 @@
 //!   tracing on and off, and the metrics registry agrees with the
 //!   numbers the sweep JSON itself reports.
 //!
+//! The same contracts hold for the resident daemon: every wire request
+//! runs under a `server.*` span, and the daemon's `ffisafe_server_*`
+//! metrics must agree with the sums of the per-request outcomes it
+//! returned.
+//!
 //! Tracing is process-global state, so every test that toggles it runs
 //! under one mutex and drains the sink before releasing it.
 
@@ -203,6 +208,112 @@ fn metrics_registry_agrees_with_the_sweep_json_cache_numbers() {
         output.stats.cache_fn_misses
     )));
     assert!(prom.contains("# TYPE ffisafe_sweep_cache_fn_misses_total counter"));
+
+    // Leave the global sink clean for whichever test runs next.
+    let _ = telemetry::drain_spans();
+}
+
+// ---- the resident daemon ------------------------------------------------
+
+/// Spawns an in-process daemon over a fresh cache dir and runs `requests`
+/// wire analyses against it; returns the per-request outcomes and the
+/// daemon's final metrics text.
+fn serve_requests(
+    tag: &str,
+    requests: &[(&str, bool)],
+) -> (Vec<ffisafe::serve::AnalyzeOutcome>, String) {
+    use ffisafe::{AnalysisOptions, CacheMode, Corpus};
+    let cache =
+        std::env::temp_dir().join(format!("ffisafe-telemetry-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let config = ffisafe::ServeConfig {
+        service: ffisafe::ServiceConfig { cache_dir: Some(cache.clone()), ..Default::default() },
+        ..Default::default()
+    };
+    let addr = ffisafe::AnalysisServer::bind("127.0.0.1:0", config).unwrap().spawn().unwrap();
+    let mut client = ffisafe::ServeClient::connect(&format!("tcp://{addr}")).unwrap();
+    let mut outcomes = Vec::new();
+    for (name, bypass) in requests {
+        let corpus = Corpus::builder()
+            .ml_source("lib.ml", format!("external f : int -> int = \"{name}\"\n"))
+            .c_source(
+                "glue.c",
+                format!("value {name}(value n) {{ return Val_int(Int_val(n) + 1); }}\n"),
+            )
+            .build();
+        let mode = if *bypass { CacheMode::Bypass } else { CacheMode::Shared };
+        match client.analyze(&corpus, AnalysisOptions::default(), mode).unwrap() {
+            ffisafe::serve::Reply::Analyze(outcome) => outcomes.push(*outcome),
+            other => panic!("daemon replied {other:?}"),
+        }
+    }
+    let metrics = client.metrics().unwrap();
+    let _ = std::fs::remove_dir_all(&cache);
+    (outcomes, metrics)
+}
+
+#[test]
+fn daemon_requests_record_the_server_span_family() {
+    let _guard = TRACING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = drain_spans(); // start from a clean sink
+    set_tracing(true);
+    let (outcomes, _) = serve_requests(
+        "spans",
+        &[("ml_span_a", false), ("ml_span_a", false), ("ml_span_b", false)],
+    );
+    set_tracing(false);
+    let events = drain_spans();
+    assert_eq!(outcomes.len(), 3);
+
+    assert_eq!(count(&events, "server.hello"), 1, "one handshake span per session");
+    assert_eq!(count(&events, "server.request"), 3, "one span per analyze request");
+    assert_eq!(nesting_violations(&events), 0, "daemon spans must nest within each thread");
+
+    // The request span carries the schema-documented outcome args, which
+    // must agree with the wire reply for the same request.
+    let warm_spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "server.request" && e.arg("report_hit") == Some("true"))
+        .collect();
+    assert_eq!(warm_spans.len(), 1, "exactly the resubmission replays from the report tier");
+    assert_eq!(warm_spans[0].arg("workers_executed"), Some("0"));
+
+    // The Chrome export stays parseable with the server family included.
+    let doc = json::parse(&chrome_trace_json(&events)).expect("trace JSON parses");
+    assert_eq!(doc.as_array().map(<[_]>::len), Some(events.len()));
+}
+
+#[test]
+fn daemon_metrics_agree_with_the_per_request_outcomes() {
+    let _guard = TRACING_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (outcomes, metrics) = serve_requests(
+        "agree",
+        &[("ml_m_a", false), ("ml_m_b", false), ("ml_m_a", false), ("ml_m_c", true)],
+    );
+    assert_eq!(outcomes.len(), 4);
+
+    // Scrape one counter value out of the Prometheus text.
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("{name} missing from:\n{metrics}"))
+            .trim()
+            .parse()
+            .expect("counter value parses")
+    };
+
+    let workers: u64 = outcomes.iter().map(|o| o.workers_executed).sum();
+    let hits: u64 = outcomes.iter().filter(|o| o.report_hit).count() as u64;
+    assert!(workers > 0, "cold requests must execute workers");
+    assert_eq!(hits, 1, "exactly the ml_m_a resubmission hits the report tier");
+
+    assert_eq!(counter("ffisafe_server_requests_total"), outcomes.len() as u64);
+    assert_eq!(counter("ffisafe_server_workers_executed_total"), workers);
+    assert_eq!(counter("ffisafe_server_report_hits_total"), hits);
+    assert_eq!(counter("ffisafe_server_sessions_opened_total"), 1);
+    assert_eq!(counter("ffisafe_server_busy_total"), 0);
+    assert_eq!(counter("ffisafe_server_request_seconds_count"), outcomes.len() as u64);
 
     // Leave the global sink clean for whichever test runs next.
     let _ = telemetry::drain_spans();
